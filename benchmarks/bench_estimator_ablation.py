@@ -1,0 +1,72 @@
+"""Ablation: how the size estimator drives adaptive selection quality.
+
+Fig. 12 shows one query where optimizer-based estimation misleads the
+selector; this ablation measures the aggregate effect: Fig. 11-style
+success rates over the highlighted queries with the regression estimator
+vs the optimizer estimator feeding Algorithm 1.
+"""
+
+from repro.cloud.events import sample_events
+from repro.costmodel.optimizer_est import OptimizerSizeEstimator
+from repro.costmodel.termination import TerminationProfile
+from repro.harness.experiments import FIG10_WINDOWS, _alert_lead, _make_selector
+from repro.harness.report import format_table
+from repro.tpch.queries import build_query
+
+
+def _success_rate(config, estimator_factory, sf_label="SF-100"):
+    runner = config.runner(sf_label)
+    catalog = config.catalog(sf_label)
+    successes = 0
+    total = 0
+    for window in FIG10_WINDOWS:
+        for query in config.queries:
+            plan = build_query(query)
+            normal = config.normal_time(sf_label, query)
+            termination = TerminationProfile.from_fractions(normal, window[0], window[1], 1.0)
+            request = max(0.0, termination.t_start - _alert_lead(config, sf_label, query, window[0]))
+            for event in sample_events(termination, config.runs, seed=config.seed):
+                selector = _make_selector(
+                    config, catalog, plan, normal, termination, estimator_factory(catalog)
+                )
+                adaptive = runner.run_adaptive(plan, query, selector, normal, event.at_time)
+                forced = {
+                    strategy: runner.run_forced(
+                        plan, query, strategy, normal, event.at_time, request
+                    ).busy_time
+                    for strategy in ("redo", "pipeline", "process")
+                }
+                chosen = adaptive.strategy if adaptive.strategy in forced else "redo"
+                if forced[chosen] <= min(forced.values()) + 0.05 * normal:
+                    successes += 1
+                total += 1
+    return successes / max(1, total), total
+
+
+def test_estimator_quality_drives_selection(benchmark, highlight_config, full_regression_estimator):
+    def compare():
+        regression_rate, total = _success_rate(
+            highlight_config, lambda catalog: full_regression_estimator
+        )
+        optimizer_rate, _ = _success_rate(
+            highlight_config, lambda catalog: OptimizerSizeEstimator(catalog)
+        )
+        return regression_rate, optimizer_rate, total
+
+    regression_rate, optimizer_rate, total = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    print("\nAblation — selection success rate by size estimator "
+          f"({total} runs over the highlighted queries)")
+    print(
+        format_table(
+            ["estimator", "success rate"],
+            [["regression-based", f"{regression_rate * 100:.0f}%"],
+             ["optimizer-based", f"{optimizer_rate * 100:.0f}%"]],
+        )
+    )
+    benchmark.extra_info["regression_rate"] = regression_rate
+    benchmark.extra_info["optimizer_rate"] = optimizer_rate
+    # A well-trained estimator beats the statistics-free fallback.
+    assert regression_rate > optimizer_rate
+    assert regression_rate >= 0.75

@@ -1,0 +1,40 @@
+"""Fig. 10 — overhead of the three strategies across termination windows.
+
+Paper shape (P_T = 100%):
+* redo overhead grows monotonically with the window position;
+* process-level overhead grows gradually, with failures appearing late;
+* pipeline-level overhead depends on breaker placement and peaks where
+  windows fall inside dominating pipelines.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import FIG10_WINDOWS, run_fig10
+from repro.harness.report import format_table, summarize_distribution
+
+
+def test_fig10_strategy_overheads(benchmark, highlight_config):
+    data = benchmark.pedantic(run_fig10, args=(highlight_config,), rounds=1, iterations=1)
+
+    rows = []
+    means: dict[str, list[float]] = {"redo": [], "pipeline": [], "process": []}
+    for window in FIG10_WINDOWS:
+        label = f"{int(window[0] * 100)}-{int(window[1] * 100)}%"
+        for strategy, overheads in data[window].items():
+            stats = summarize_distribution(overheads)
+            means[strategy].append(stats["mean"])
+            rows.append(
+                [label, strategy]
+                + [f"{stats[k]:.1f}" for k in ("min", "q1", "median", "q3", "max", "mean")]
+            )
+    print("\nFig.10 — overhead distributions (seconds, P=100%)")
+    print(format_table(["window", "strategy", "min", "q1", "median", "q3", "max", "mean"], rows))
+
+    # Redo overhead rises monotonically across windows.
+    assert means["redo"] == sorted(means["redo"])
+    # Process-level beats redo decisively in the earliest window.
+    assert means["process"][0] < means["redo"][0] * 0.9
+    # Process overhead rises toward late windows (bigger images, failures).
+    assert means["process"][-1] > means["process"][0]
+    # No negative overheads anywhere.
+    assert all(o >= -1e-6 for by_s in data.values() for os_ in by_s.values() for o in os_)

@@ -1,0 +1,31 @@
+"""Fig. 11 — success rate of Riveter's adaptive strategy selection.
+
+Paper shape: across windows (P_T = 100%) the cost-model-driven choice
+usually coincides with the strategy that actually completes fastest.
+"""
+
+from repro.harness.experiments import run_fig11
+from repro.harness.report import format_table
+
+
+def test_fig11_selection_success_rate(benchmark, full_config, full_regression_estimator):
+    data = benchmark.pedantic(
+        run_fig11,
+        args=(full_config,),
+        kwargs={"estimator": full_regression_estimator},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [f"{int(w[0] * 100)}-{int(w[1] * 100)}%", f"{v['rate'] * 100:.0f}%", v["total"]]
+        for w, v in data.items()
+    ]
+    print("\nFig.11 — adaptive selection success rate")
+    print(format_table(["window", "success", "runs"], rows))
+
+    rates = [v["rate"] for v in data.values()]
+    benchmark.extra_info["mean_success_rate"] = sum(rates) / len(rates)
+    # Riveter "often selects the best approach": strong majority everywhere.
+    assert all(rate >= 0.6 for rate in rates), rates
+    assert sum(rates) / len(rates) >= 0.75

@@ -1,0 +1,50 @@
+"""Fig. 12 — Q17 strategy selection under optimizer-based estimation.
+
+Paper shape: the optimizer-based size estimate is wildly inaccurate for
+Q17, steering the selector differently from the regression-based estimate
+(in the paper, toward a sub-optimal pipeline-level choice whose deferred
+suspension overlaps the termination window).
+"""
+
+from repro.costmodel.optimizer_est import OptimizerSizeEstimator
+from repro.costmodel.regression import extract_features
+from repro.harness.experiments import run_fig12
+from repro.harness.report import format_table
+from repro.tpch import build_query
+
+
+def test_fig12_optimizer_misestimation(benchmark, highlight_config, regression_estimator):
+    report = benchmark.pedantic(
+        run_fig12,
+        args=(highlight_config,),
+        kwargs={"estimator": regression_estimator},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for index, run in enumerate(report["runs"]):
+        for estimator in ("optimizer", "regression"):
+            cell = run[estimator]
+            rows.append(
+                [index, estimator, cell["chosen"], f"{cell['busy_time']:.1f}s",
+                 cell["terminated"], cell["suspension_failed"]]
+            )
+    print(f"\nFig.12 — {report['query']} selection, optimizer vs regression estimation")
+    print(format_table(["run", "estimator", "chosen", "busy", "killed", "susp-failed"], rows))
+
+    # The estimates themselves must diverge by a large factor for Q17.
+    catalog = highlight_config.catalog("SF-100")
+    plan = build_query("Q17")
+    optimizer_bytes = OptimizerSizeEstimator(catalog).estimate_bytes(plan, 0.5)
+    regression_bytes = regression_estimator.predict(
+        extract_features(catalog, plan, 0.5)
+    )
+    ratio = optimizer_bytes / max(regression_bytes, 1.0)
+    benchmark.extra_info["optimizer_over_regression"] = ratio
+    assert ratio > 2.0 or ratio < 0.5, "estimates unexpectedly agree"
+
+    # Both paths must produce a decision for every run.
+    for run in report["runs"]:
+        assert run["optimizer"]["chosen"] in ("redo", "pipeline", "process")
+        assert run["regression"]["chosen"] in ("redo", "pipeline", "process")

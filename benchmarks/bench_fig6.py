@@ -1,0 +1,31 @@
+"""Fig. 6 — process-level image size, all 22 queries × 3 SFs, suspend @50%.
+
+Paper shape to reproduce: image sizes grow roughly proportionally with the
+input dataset (SF-10 → SF-50 → SF-100), except for lightweight queries
+that finish before accumulating state.
+"""
+
+from repro.harness.experiments import run_fig6
+from repro.harness.report import format_bytes, format_table
+
+
+def test_fig6_process_image_sizes(benchmark, full_config):
+    data = benchmark.pedantic(run_fig6, args=(full_config,), rounds=1, iterations=1)
+
+    rows = [
+        [query] + [format_bytes(data[sf][query]) for sf in full_config.sf_labels]
+        for query in full_config.queries
+    ]
+    print("\nFig.6 — process-level image size @50%")
+    print(format_table(["query"] + full_config.sf_labels, rows))
+
+    growing = sum(
+        1
+        for query in full_config.queries
+        if data["SF-100"][query] > data["SF-10"][query]
+    )
+    benchmark.extra_info["queries_growing_with_sf"] = growing
+    # Paper: sizes for most queries grow with the dataset.
+    assert growing >= len(full_config.queries) * 0.7
+    # Every suspended query persists something (context + touched memory).
+    assert all(size > 0 for sf in data.values() for size in sf.values())

@@ -1,0 +1,32 @@
+"""Fig. 7 — process-level image size vs suspension point (30/60/90%).
+
+Paper shape: the later the suspension, the larger the persisted image
+(memory is not de-allocated timely during execution).
+"""
+
+from repro.harness.experiments import run_fig7
+from repro.harness.report import format_bytes, format_table
+
+FRACTIONS = (0.3, 0.6, 0.9)
+
+
+def test_fig7_image_grows_with_suspension_point(benchmark, highlight_config):
+    data = benchmark.pedantic(
+        run_fig7,
+        args=(highlight_config,),
+        kwargs={"fractions": FRACTIONS},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [query] + [format_bytes(data[query][f]) for f in FRACTIONS] for query in data
+    ]
+    print("\nFig.7 — process image size vs suspension point (SF-100)")
+    print(format_table(["query", "30%", "60%", "90%"], rows))
+
+    for query, by_fraction in data.items():
+        values = [by_fraction[f] for f in FRACTIONS]
+        assert values[0] > 0
+        # Strong growth trend from the earliest to the latest point.
+        assert values[-1] > values[0], f"{query} image did not grow: {values}"

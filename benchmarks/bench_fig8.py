@@ -1,0 +1,43 @@
+"""Fig. 8 — pipeline-level persisted size, all 22 queries × 3 SFs.
+
+Paper shape: queries suspended in aggregation-ending pipelines persist
+tiny, SF-invariant state; queries suspended right after join builds
+persist large state that grows with the dataset.
+"""
+
+from repro.harness.experiments import run_fig8
+from repro.harness.report import format_bytes, format_table
+
+
+def test_fig8_pipeline_level_sizes(benchmark, full_config):
+    data = benchmark.pedantic(run_fig8, args=(full_config,), rounds=1, iterations=1)
+
+    rows = []
+    join_ending = []
+    for query in full_config.queries:
+        cells = []
+        for sf in full_config.sf_labels:
+            cell = data[sf][query]
+            cells.append(format_bytes(cell["bytes"]) + ("*" if cell["join_ending"] else ""))
+        if data["SF-100"][query]["join_ending"]:
+            join_ending.append(query)
+        rows.append([query] + cells)
+    print("\nFig.8 — pipeline-level persisted size @50% (* = join-ending pipeline)")
+    print(format_table(["query"] + full_config.sf_labels, rows))
+    benchmark.extra_info["join_ending_queries"] = ",".join(join_ending)
+
+    sizes_100 = {q: data["SF-100"][q]["bytes"] for q in full_config.queries}
+    suspended = [q for q in full_config.queries if data["SF-100"][q]["suspended"]]
+    assert len(suspended) >= 20  # nearly every query reaches a breaker
+
+    # The spread across queries spans orders of magnitude (paper: <1KB…GBs).
+    positive = [s for s in sizes_100.values() if s > 0]
+    assert max(positive) > 1000 * min(positive)
+
+    # Join-ending suspensions grow with SF; at least a few queries show it.
+    growers = [
+        q
+        for q in join_ending
+        if data["SF-100"][q]["bytes"] > data["SF-10"][q]["bytes"]
+    ]
+    assert growers, "expected some join-suspended queries to grow with SF"

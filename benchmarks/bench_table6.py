@@ -1,0 +1,94 @@
+"""Table VI — pipeline-level strategy vs pull-based operator-level
+suspension (Chandramouli et al., SIGMOD'07).
+
+The paper's comparison is qualitative (execution model, suspension
+timing, threading); this benchmark makes it quantitative on the same
+query: suspension lag after a request, persisted bytes, and the
+multi-worker support of each model.
+"""
+
+import pytest
+
+from repro.engine.errors import QuerySuspended
+from repro.engine.executor import QueryExecutor
+from repro.engine.profile import HardwareProfile
+from repro.harness.report import format_bytes, format_table
+from repro.iterator import IteratorExecutor
+from repro.suspend import PipelineLevelStrategy
+from repro.tpch import build_query
+from repro.tpch.dbgen import generate_catalog
+
+SCALE = 0.02
+QUERY = "Q3"
+FRACTION = 0.5
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_catalog(SCALE)
+
+
+def test_table6_pipeline_vs_operator_level(benchmark, catalog, tmp_path):
+    def compare():
+        profile = HardwareProfile()
+        plan = build_query(QUERY)
+
+        # Push-based pipeline-level (multi-worker).
+        normal = QueryExecutor(catalog, plan, profile=profile, query_name=QUERY).run()
+        strategy = PipelineLevelStrategy(profile)
+        controller = strategy.make_request_controller(normal.stats.duration * FRACTION)
+        executor = QueryExecutor(
+            catalog, plan, profile=profile, controller=controller, query_name=QUERY
+        )
+        try:
+            executor.run()
+            raise AssertionError("expected pipeline-level suspension")
+        except QuerySuspended as exc:
+            persisted = strategy.persist(exc.capture, tmp_path)
+        pipeline_row = {
+            "model": "push-based (morsel-driven)",
+            "timing": "pipeline breakers",
+            "lag": controller.lag,
+            "bytes": persisted.intermediate_bytes,
+            "threads": profile.num_threads,
+        }
+
+        # Pull-based operator-level (single-thread, low-memory points).
+        iterator = IteratorExecutor(catalog, plan, profile=profile, query_name=QUERY)
+        oracle = iterator.run()
+        suspended = iterator.run(
+            request_time=oracle.clock_time * FRACTION, policy="low-memory", patience=6
+        )
+        assert suspended.snapshot is not None
+        resumed = iterator.run(resume_from=suspended.snapshot)
+        assert resumed.result is not None
+        operator_row = {
+            "model": "pull-based (iterator)",
+            "timing": "low-memory operator boundaries",
+            "lag": suspended.suspended_at - oracle.clock_time * FRACTION,
+            "bytes": suspended.snapshot.intermediate_bytes,
+            "threads": 1,
+        }
+        return pipeline_row, operator_row
+
+    pipeline_row, operator_row = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    print(f"\nTable VI — pipeline-level vs operator-level suspension ({QUERY} @50%)")
+    print(
+        format_table(
+            ["strategy", "execution model", "suspension timing", "lag", "persisted", "threads"],
+            [
+                ["pipeline-level", pipeline_row["model"], pipeline_row["timing"],
+                 f"{pipeline_row['lag']:.2f}s", format_bytes(pipeline_row["bytes"]),
+                 pipeline_row["threads"]],
+                ["Chandramouli et al.", operator_row["model"], operator_row["timing"],
+                 f"{operator_row['lag']:.2f}s", format_bytes(operator_row["bytes"]),
+                 operator_row["threads"]],
+            ],
+        )
+    )
+
+    # The structural claims of Table VI.
+    assert pipeline_row["threads"] > 1
+    assert operator_row["threads"] == 1
+    assert pipeline_row["bytes"] > 0 and operator_row["bytes"] > 0

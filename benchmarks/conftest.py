@@ -1,0 +1,61 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every figure and table of the paper at a reduced
+scale ratio so the full suite finishes in minutes.  Set
+``RIVETER_BENCH_RATIO`` to change the paper-SF → local-SF mapping (the
+default 0.0002 maps SF-100 to local scale 0.02, ~120k lineitem rows);
+``RIVETER_BENCH_RUNS`` controls the independent runs averaged per
+scenario.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.experiments import ExperimentConfig, train_regression_estimator
+from repro.tpch.queries import QUERY_NAMES
+from repro.tpch.scale import ScalePolicy
+
+BENCH_RATIO = float(os.environ.get("RIVETER_BENCH_RATIO", "0.0002"))
+BENCH_RUNS = int(os.environ.get("RIVETER_BENCH_RUNS", "2"))
+
+HIGHLIGHT = ["Q1", "Q3", "Q17", "Q21"]
+
+
+@pytest.fixture(scope="session")
+def full_config() -> ExperimentConfig:
+    """All 22 queries — used by the size experiments (fig6/fig8)."""
+    return ExperimentConfig(
+        scale_policy=ScalePolicy(ratio=BENCH_RATIO),
+        queries=list(QUERY_NAMES),
+        runs=BENCH_RUNS,
+    )
+
+
+@pytest.fixture(scope="session")
+def highlight_config() -> ExperimentConfig:
+    """The paper's highlighted queries — used by the heavier experiments."""
+    return ExperimentConfig(
+        scale_policy=ScalePolicy(ratio=BENCH_RATIO),
+        queries=list(HIGHLIGHT),
+        runs=BENCH_RUNS,
+    )
+
+
+@pytest.fixture(scope="session")
+def full_regression_estimator(full_config):
+    """Estimator trained over all 22 queries × 3 SFs × 3 fractions.
+
+    This mirrors the paper's ~200 training executions; the estimator
+    ablation shows that skimping on training data measurably degrades
+    strategy selection, so every bench uses the fully trained model.
+    """
+    return train_regression_estimator(full_config, fractions=(0.3, 0.5, 0.7))
+
+
+@pytest.fixture(scope="session")
+def regression_estimator(full_regression_estimator):
+    """Alias used by the per-artifact benches."""
+    return full_regression_estimator

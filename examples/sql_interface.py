@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""SQL front-end: run TPC-H queries from their SQL text — and suspend them.
+
+Plans produced by the SQL layer are ordinary engine plans, so the whole
+suspension framework (strategies, cost model, cloud runners) applies to
+SQL queries unchanged.
+
+Run:  python examples/sql_interface.py
+"""
+
+import tempfile
+
+from repro.cloud import QueryRunner
+from repro.costmodel import TerminationProfile, AdaptiveStrategySelector
+from repro.costmodel.optimizer_est import OptimizerSizeEstimator
+from repro.engine.profile import HardwareProfile
+from repro.harness.report import format_table
+from repro.sql import execute_sql, plan_sql
+from repro.tpch import generate_catalog
+
+PRICING_SUMMARY = """
+    SELECT l_returnflag, l_linestatus,
+           sum(l_quantity)                                       AS sum_qty,
+           sum(l_extendedprice * (1 - l_discount))               AS sum_disc_price,
+           avg(l_discount)                                       AS avg_disc,
+           count(*)                                              AS count_order
+    FROM lineitem
+    WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+    GROUP BY l_returnflag, l_linestatus
+    ORDER BY l_returnflag, l_linestatus
+"""
+
+SHIPPING_PRIORITY = """
+    SELECT l_orderkey,
+           sum(l_extendedprice * (1 - l_discount)) AS revenue,
+           o_orderdate, o_shippriority
+    FROM customer, orders, lineitem
+    WHERE c_mktsegment = 'BUILDING'
+      AND c_custkey = o_custkey
+      AND l_orderkey = o_orderkey
+      AND o_orderdate < DATE '1995-03-15'
+      AND l_shipdate > DATE '1995-03-15'
+    GROUP BY l_orderkey, o_orderdate, o_shippriority
+    ORDER BY revenue DESC, o_orderdate
+    LIMIT 10
+"""
+
+
+def main() -> None:
+    print("Generating TPC-H data...")
+    catalog = generate_catalog(0.01)
+
+    print("\nTPC-H Q1 from SQL text:")
+    result = execute_sql(catalog, PRICING_SUMMARY)
+    columns = result.chunk.schema.names
+    rows = [
+        [
+            f"{result.chunk.column(c)[i]:.2f}"
+            if result.chunk.column(c).dtype.kind == "f"
+            else result.chunk.column(c)[i]
+            for c in columns
+        ]
+        for i in range(result.chunk.num_rows)
+    ]
+    print(format_table(columns, rows))
+
+    print("\nTPC-H Q3 from SQL text, executed under a revocation threat:")
+    profile = HardwareProfile()
+    plan = plan_sql(catalog, SHIPPING_PRIORITY)
+    runner = QueryRunner(catalog, profile, snapshot_dir=tempfile.mkdtemp(prefix="riveter-sql-"))
+    normal = runner.measure_normal(plan, "Q3-sql")
+    normal_time = normal.stats.duration
+    termination = TerminationProfile.from_fractions(normal_time, 0.4, 0.7, 0.9)
+    estimator = OptimizerSizeEstimator(catalog)
+    selector = AdaptiveStrategySelector(
+        profile=profile,
+        termination=termination,
+        process_size_estimator=lambda f: estimator.estimate_bytes(plan, f),
+        estimated_total_time=normal_time,
+    )
+    outcome = runner.run_adaptive(
+        plan, "Q3-sql", selector, normal_time, normal_time * 0.55
+    )
+    chosen = outcome.strategy if outcome.decision is not None else "redo (no breaker reached in time)"
+    print(
+        f"  normal: {normal_time:.1f}s — with threat: {outcome.busy_time:.1f}s "
+        f"(chose {chosen}, suspended={outcome.suspended}, killed={outcome.terminated})"
+    )
+    print("  top result row:", {
+        name: outcome.result.chunk.column(name)[0]
+        for name in outcome.result.chunk.schema.names
+    })
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""Top-level command line: ``python -m repro <command>``.
+
+Commands:
+
+* ``query`` — run a SQL query (or a named TPC-H query) against a freshly
+  generated TPC-H catalog, optionally suspending and resuming it midway
+  to demonstrate the framework;
+* ``experiments`` — alias for ``python -m repro.harness`` (regenerate the
+  paper's figures and tables).
+
+Examples::
+
+    python -m repro query --scale 0.01 "SELECT count(*) AS n FROM lineitem"
+    python -m repro query --scale 0.01 --name Q3 --suspend-at 0.5
+    python -m repro experiments fig8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.engine.clock import SimulatedClock
+from repro.engine.errors import QuerySuspended
+from repro.engine.executor import QueryExecutor
+from repro.engine.profile import HardwareProfile
+from repro.harness.report import format_table
+from repro.suspend import PipelineLevelStrategy, ProcessLevelStrategy
+from repro.tpch import QUERY_NAMES, build_query, generate_catalog
+
+
+def _print_chunk(chunk, limit: int = 25) -> None:
+    names = chunk.schema.names
+    rows = []
+    for index in range(min(limit, chunk.num_rows)):
+        row = []
+        for name in names:
+            value = chunk.column(name)[index]
+            row.append(f"{value:.4f}" if chunk.column(name).dtype.kind == "f" else str(value))
+        rows.append(row)
+    print(format_table(names, rows))
+    if chunk.num_rows > limit:
+        print(f"... ({chunk.num_rows - limit} more rows)")
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    catalog = generate_catalog(args.scale)
+    profile = HardwareProfile()
+    if args.name is not None:
+        if args.name not in QUERY_NAMES:
+            print(f"unknown query {args.name}; expected one of {QUERY_NAMES}", file=sys.stderr)
+            return 2
+        plan = build_query(args.name)
+        label = args.name
+    elif args.sql:
+        from repro.sql import plan_sql
+
+        plan = plan_sql(catalog, args.sql)
+        label = "sql"
+    else:
+        print("provide either --name QN or a SQL string", file=sys.stderr)
+        return 2
+
+    if args.explain:
+        from repro.engine.explain import explain
+
+        print(explain(catalog, plan))
+        return 0
+
+    if args.suspend_at is None:
+        result = QueryExecutor(catalog, plan, profile=profile, query_name=label).run()
+        _print_chunk(result.chunk)
+        print(f"\n{result.chunk.num_rows} row(s); simulated time {result.stats.duration:.2f}s")
+        return 0
+
+    normal = QueryExecutor(catalog, plan, profile=profile, query_name=label).run()
+    strategy = (
+        ProcessLevelStrategy(profile) if args.strategy == "process" else PipelineLevelStrategy(profile)
+    )
+    controller = strategy.make_request_controller(normal.stats.duration * args.suspend_at)
+    executor = QueryExecutor(
+        catalog, plan, profile=profile, controller=controller, query_name=label
+    )
+    directory = tempfile.mkdtemp(prefix="riveter-cli-")
+    try:
+        result = executor.run()
+        print("query finished before the suspension point; results:")
+        _print_chunk(result.chunk)
+        return 0
+    except QuerySuspended as suspended:
+        outcome = strategy.persist(suspended.capture, directory)
+    print(
+        f"suspended at t={outcome.suspended_at:.2f}s "
+        f"({outcome.intermediate_bytes} bytes persisted via {strategy.name}-level)"
+    )
+    resumed = strategy.prepare_resume(
+        outcome.snapshot_path, executor.pipelines, executor.plan_fingerprint
+    )
+    final = QueryExecutor(
+        catalog,
+        plan,
+        profile=profile,
+        clock=SimulatedClock(),
+        query_name=label,
+        resume=resumed.resume_state,
+    ).run()
+    print("resumed and finished; results:")
+    _print_chunk(final.chunk)
+    print(f"\n{final.chunk.num_rows} row(s); normal simulated time {normal.stats.duration:.2f}s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "experiments":
+        from repro.harness.__main__ import main as harness_main
+
+        return harness_main(argv[1:])
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    query = subparsers.add_parser("query", help="run a SQL or named TPC-H query")
+    query.add_argument("sql", nargs="?", default=None, help="SQL text to execute")
+    query.add_argument("--name", help="named TPC-H query (Q1..Q22) instead of SQL")
+    query.add_argument("--scale", type=float, default=0.01, help="local TPC-H scale factor")
+    query.add_argument(
+        "--suspend-at",
+        type=float,
+        default=None,
+        help="suspend at this fraction of execution time, then resume",
+    )
+    query.add_argument(
+        "--strategy", choices=["pipeline", "process"], default="pipeline",
+        help="suspension strategy used with --suspend-at",
+    )
+    query.add_argument(
+        "--explain", action="store_true",
+        help="print the plan tree and pipeline decomposition instead of running",
+    )
+    query.set_defaults(handler=cmd_query)
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

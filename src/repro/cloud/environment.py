@@ -1,0 +1,67 @@
+"""Ephemeral cloud environment simulation.
+
+Models the paper's motivating setting (§I, §II-B): computing capacity
+that can be revoked (spot instances, zero-carbon clouds) and whose price
+fluctuates with demand.  An :class:`EphemeralEnvironment` bundles a
+hardware profile with a termination behaviour and a price trace; the
+examples use it to decide when running is cost-effective, and the runner
+uses it to spawn termination events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.costmodel.termination import TerminationProfile
+from repro.engine.profile import HardwareProfile
+
+__all__ = ["PriceTrace", "EphemeralEnvironment"]
+
+
+@dataclass
+class PriceTrace:
+    """Piecewise-constant price per hour with random demand spikes.
+
+    The paper cites spot prices surging 200–400× during peak demand; the
+    default trace reproduces occasional spikes of that magnitude.
+    """
+
+    base_price: float = 1.0
+    spike_multiplier: float = 300.0
+    spike_probability: float = 0.05
+    segment_seconds: float = 60.0
+    seed: int = 7
+
+    def price_at(self, at_time: float) -> float:
+        """Price in effect at *at_time* (deterministic per segment)."""
+        segment = int(max(0.0, at_time) // self.segment_seconds)
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, segment]))
+        if rng.random() < self.spike_probability:
+            return self.base_price * self.spike_multiplier
+        return self.base_price
+
+    def is_affordable(self, at_time: float, budget_per_hour: float) -> bool:
+        """Whether running at *at_time* fits the hourly budget."""
+        return self.price_at(at_time) <= budget_per_hour
+
+
+@dataclass
+class EphemeralEnvironment:
+    """One ephemeral execution venue (a spot instance, a green data center)."""
+
+    name: str
+    profile: HardwareProfile = field(default_factory=HardwareProfile)
+    prices: PriceTrace = field(default_factory=PriceTrace)
+    seed: int = 1234
+
+    def rng(self, run_index: int = 0) -> np.random.Generator:
+        """Deterministic per-run RNG for event sampling."""
+        return np.random.default_rng(np.random.SeedSequence([self.seed, run_index]))
+
+    def sample_termination(
+        self, termination: TerminationProfile, run_index: int = 0
+    ) -> float | None:
+        """Sampled termination time for run *run_index* (None = survives)."""
+        return termination.sample(self.rng(run_index))

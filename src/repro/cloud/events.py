@@ -1,0 +1,38 @@
+"""Termination event schedules for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.costmodel.termination import TerminationProfile
+
+__all__ = ["TerminationEvent", "sample_events"]
+
+
+@dataclass(frozen=True)
+class TerminationEvent:
+    """One sampled (or absent) termination for a query execution."""
+
+    profile: TerminationProfile
+    at_time: float | None  # None: the probabilistic termination did not occur
+
+    @property
+    def occurs(self) -> bool:
+        return self.at_time is not None
+
+
+def sample_events(
+    profile: TerminationProfile, runs: int, seed: int = 42
+) -> list[TerminationEvent]:
+    """Independent termination samples for *runs* executions.
+
+    The paper reports results averaged over independent runs (three or
+    ten); this produces the per-run event list deterministically.
+    """
+    events = []
+    for index in range(runs):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
+        events.append(TerminationEvent(profile=profile, at_time=profile.sample(rng)))
+    return events

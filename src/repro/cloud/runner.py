@@ -1,0 +1,378 @@
+"""Query runner: executes queries under termination threats.
+
+Orchestrates the interplay the paper evaluates in §IV-B:
+
+* **forced-strategy runs** (Fig. 10): the strategy is fixed, the
+  suspension is requested when the threat window opens, and a sampled
+  termination may kill the query before the suspension completes;
+* **adaptive runs** (Fig. 11, Table III, Fig. 12): Algorithm 1 is
+  evaluated at pipeline breakers as the window approaches and the chosen
+  strategy is executed;
+* **multi-suspension runs** (§VI extension): a sequence of suspension
+  requests across one execution.
+
+The runner measures *busy time* — execution plus suspension/resumption
+work, excluding the suspended away-gap — so ``overhead = busy − normal``
+matches the paper's overhead metric.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.costmodel.selector import AdaptiveStrategySelector, SelectorDecision
+from repro.engine.clock import SimulatedClock
+from repro.engine.controller import Action, BoundaryContext, ExecutionController
+from repro.engine.errors import QuerySuspended, QueryTerminated
+from repro.engine.executor import QueryExecutor, QueryResult
+from repro.engine.plan import PlanNode
+from repro.engine.profile import HardwareProfile
+from repro.suspend.controller import CompositeController, TerminationController
+from repro.suspend.pipeline_level import PipelineLevelStrategy
+from repro.suspend.process_level import ProcessLevelStrategy
+from repro.suspend.redo import RedoStrategy
+from repro.suspend.strategy import SuspensionStrategy
+from repro.storage.catalog import Catalog
+
+__all__ = ["RunOutcome", "QueryRunner", "AdaptiveController", "make_strategy"]
+
+
+def make_strategy(name: str, profile: HardwareProfile) -> SuspensionStrategy:
+    """Strategy instance by name (``redo`` / ``pipeline`` / ``process``)."""
+    strategies = {
+        "redo": RedoStrategy,
+        "pipeline": PipelineLevelStrategy,
+        "process": ProcessLevelStrategy,
+    }
+    if name not in strategies:
+        raise KeyError(f"unknown strategy {name!r}; expected one of {sorted(strategies)}")
+    return strategies[name](profile)
+
+
+@dataclass
+class RunOutcome:
+    """Measured outcome of one execution under a termination threat."""
+
+    query_name: str
+    strategy: str
+    normal_time: float
+    busy_time: float
+    completed: bool = True
+    suspended: bool = False
+    suspension_failed: bool = False
+    terminated: bool = False
+    termination_time: float | None = None
+    suspended_at: float | None = None
+    intermediate_bytes: int = 0
+    persist_latency: float = 0.0
+    reload_latency: float = 0.0
+    decision: SelectorDecision | None = None
+    result: QueryResult | None = None
+
+    @property
+    def overhead(self) -> float:
+        """Extra busy time caused by the threat (the paper's Fig. 10 metric)."""
+        return self.busy_time - self.normal_time
+
+
+class AdaptiveController(ExecutionController):
+    """Runs Algorithm 1's selection loop during execution.
+
+    Following the paper's proactive design (Fig. 5, Algorithm 1 line 3),
+    the cost model is re-evaluated at *every* pipeline breaker while the
+    threat window is ahead or open; a ``redo`` outcome simply defers the
+    question to the next breaker.  Queries dominated by one long pipeline
+    may not reach a breaker before the window — for those the controller
+    also evaluates at morsel boundaries once the window start is within
+    the selector's decision lead (a pipeline-level choice made there is
+    armed and fires at the next breaker).
+    """
+
+    def __init__(self, selector: AdaptiveStrategySelector):
+        self.selector = selector
+        self.decision: SelectorDecision | None = None
+        self.pending_process_time: float | None = None
+        self.pipeline_armed = False
+        self.suspended_at: float | None = None
+        self._lead: float | None = None
+        self._next_morsel_decision = 0.0
+
+    @property
+    def committed(self) -> bool:
+        """Whether a suspension has been scheduled."""
+        return self.pipeline_armed or self.pending_process_time is not None
+
+    def _window_relevant(self, now: float) -> bool:
+        return now <= self.selector.termination.t_end
+
+    def _act(self, context: BoundaryContext, at_breaker: bool) -> Action:
+        decision = self.selector.decide(context)
+        self.decision = decision
+        now = context.clock_now
+        if decision.chosen == "pipeline":
+            if at_breaker:
+                self.suspended_at = now
+                return Action.SUSPEND_PIPELINE
+            self.pipeline_armed = True
+            return Action.CONTINUE
+        if decision.chosen == "process":
+            planned = decision.planned_suspension_time
+            self.pending_process_time = now if planned is None else max(now, planned)
+            if now >= self.pending_process_time:
+                self.suspended_at = now
+                return Action.SUSPEND_PROCESS
+        return Action.CONTINUE  # redo: keep going, re-evaluate later
+
+    def on_morsel_boundary(self, context: BoundaryContext) -> Action:
+        now = context.clock_now
+        if self.pending_process_time is not None and now >= self.pending_process_time:
+            self.suspended_at = now
+            return Action.SUSPEND_PROCESS
+        if self.committed or not self._window_relevant(now):
+            return Action.CONTINUE
+        if self._lead is None:
+            self._lead = self.selector.decision_lead()
+        if now < self.selector.termination.t_start - self._lead:
+            return Action.CONTINUE
+        if now < self._next_morsel_decision:
+            return Action.CONTINUE
+        # Re-evaluating at every morsel would be wasteful; throttle redo
+        # re-decisions to the cost model's probe step.
+        self._next_morsel_decision = now + max(
+            0.25, self.selector.probe_step or self.selector.termination.width / 20.0
+        )
+        return self._act(context, at_breaker=False)
+
+    def on_pipeline_breaker(self, context: BoundaryContext) -> Action:
+        now = context.clock_now
+        if context.pipeline_pos == context.total_pipelines - 1:
+            return Action.CONTINUE  # final pipeline: the query is done
+        if self.pipeline_armed:
+            self.suspended_at = now
+            return Action.SUSPEND_PIPELINE
+        if self.pending_process_time is not None:
+            if now >= self.pending_process_time:
+                self.suspended_at = now
+                return Action.SUSPEND_PROCESS
+            return Action.CONTINUE
+        if not self._window_relevant(now):
+            return Action.CONTINUE
+        return self._act(context, at_breaker=True)
+
+
+class QueryRunner:
+    """Runs queries under simulated terminations with a chosen strategy."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        profile: HardwareProfile | None = None,
+        snapshot_dir: str | os.PathLike = ".riveter-snapshots",
+        morsel_size: int = 16384,
+    ):
+        self.catalog = catalog
+        self.profile = profile if profile is not None else HardwareProfile()
+        self.snapshot_dir = Path(snapshot_dir)
+        self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+        self.morsel_size = morsel_size
+
+    # -- baselines -----------------------------------------------------------
+    def measure_normal(self, plan: PlanNode, query_name: str) -> QueryResult:
+        """Run without any threat; the paper's "normal execution time"."""
+        executor = self._executor(plan, query_name, SimulatedClock(), None)
+        return executor.run()
+
+    # -- forced strategy -------------------------------------------------------
+    def run_forced(
+        self,
+        plan: PlanNode,
+        query_name: str,
+        strategy_name: str,
+        normal_time: float,
+        termination_time: float | None,
+        request_time: float,
+    ) -> RunOutcome:
+        """Fixed strategy; suspension requested at *request_time*.
+
+        ``termination_time`` is the sampled kill time (``None`` when the
+        probabilistic termination does not occur).
+        """
+        strategy = make_strategy(strategy_name, self.profile)
+        outcome = RunOutcome(
+            query_name=query_name,
+            strategy=strategy_name,
+            normal_time=normal_time,
+            busy_time=0.0,
+            termination_time=termination_time,
+        )
+        request = strategy.make_request_controller(request_time)
+        controllers: list[ExecutionController] = [TerminationController(termination_time)]
+        if request is not None:
+            controllers.append(request)
+        clock = SimulatedClock()
+        executor = self._executor(plan, query_name, clock, CompositeController(controllers))
+        try:
+            result = executor.run()
+            outcome.busy_time = clock.now()
+            outcome.result = result
+            return outcome
+        except QueryTerminated as terminated:
+            return self._rerun_after_termination(outcome, plan, query_name, terminated.at_time)
+        except QuerySuspended as suspended:
+            return self._persist_and_resume(
+                outcome, plan, query_name, strategy, executor, suspended, termination_time
+            )
+
+    # -- adaptive ---------------------------------------------------------------
+    def run_adaptive(
+        self,
+        plan: PlanNode,
+        query_name: str,
+        selector: AdaptiveStrategySelector,
+        normal_time: float,
+        termination_time: float | None,
+    ) -> RunOutcome:
+        """Algorithm 1 decides if/when/how to suspend."""
+        adaptive = AdaptiveController(selector)
+        controller = CompositeController([TerminationController(termination_time), adaptive])
+        clock = SimulatedClock()
+        executor = self._executor(plan, query_name, clock, controller)
+        outcome = RunOutcome(
+            query_name=query_name,
+            strategy="adaptive",
+            normal_time=normal_time,
+            busy_time=0.0,
+            termination_time=termination_time,
+        )
+        try:
+            result = executor.run()
+            outcome.busy_time = clock.now()
+            outcome.result = result
+            outcome.decision = adaptive.decision
+            if adaptive.decision is not None:
+                outcome.strategy = adaptive.decision.chosen
+            return outcome
+        except QueryTerminated as terminated:
+            outcome.decision = adaptive.decision
+            if adaptive.decision is not None:
+                outcome.strategy = adaptive.decision.chosen
+            return self._rerun_after_termination(outcome, plan, query_name, terminated.at_time)
+        except QuerySuspended as suspended:
+            outcome.decision = adaptive.decision
+            strategy = make_strategy(adaptive.decision.chosen, self.profile)
+            outcome.strategy = adaptive.decision.chosen
+            return self._persist_and_resume(
+                outcome, plan, query_name, strategy, executor, suspended, termination_time
+            )
+
+    # -- multi-suspension (§VI extension) -----------------------------------------
+    def run_multi_suspension(
+        self,
+        plan: PlanNode,
+        query_name: str,
+        strategy_name: str,
+        normal_time: float,
+        request_times: list[float],
+    ) -> RunOutcome:
+        """Suspend and resume repeatedly at the given per-segment times.
+
+        Each request time is relative to its own execution segment;
+        latency grows roughly linearly with the number of suspensions
+        (the proportionality the paper notes in §VI).
+        """
+        strategy = make_strategy(strategy_name, self.profile)
+        outcome = RunOutcome(
+            query_name=query_name,
+            strategy=strategy_name,
+            normal_time=normal_time,
+            busy_time=0.0,
+        )
+        resume_state = None
+        pending = list(request_times)
+        while True:
+            clock = SimulatedClock()
+            request = (
+                strategy.make_request_controller(pending.pop(0)) if pending else None
+            )
+            executor = self._executor(plan, query_name, clock, request, resume=resume_state)
+            try:
+                result = executor.run()
+                outcome.busy_time += clock.now()
+                outcome.result = result
+                return outcome
+            except QuerySuspended as suspended:
+                persisted = strategy.persist(suspended.capture, self.snapshot_dir)
+                outcome.suspended = True
+                outcome.suspended_at = persisted.suspended_at
+                outcome.intermediate_bytes = max(
+                    outcome.intermediate_bytes, persisted.intermediate_bytes
+                )
+                outcome.persist_latency += persisted.persist_latency
+                outcome.busy_time += clock.now() + persisted.persist_latency
+                resumed = strategy.prepare_resume(
+                    persisted.snapshot_path, executor.pipelines, executor.plan_fingerprint
+                )
+                outcome.reload_latency += resumed.reload_latency
+                outcome.busy_time += resumed.reload_latency
+                resume_state = resumed.resume_state
+
+    # -- internals -------------------------------------------------------------
+    def _executor(self, plan, query_name, clock, controller, resume=None) -> QueryExecutor:
+        return QueryExecutor(
+            self.catalog,
+            plan,
+            profile=self.profile,
+            clock=clock,
+            morsel_size=self.morsel_size,
+            controller=controller,
+            query_name=query_name,
+            resume=resume,
+        )
+
+    def _rerun_after_termination(
+        self, outcome: RunOutcome, plan: PlanNode, query_name: str, killed_at: float
+    ) -> RunOutcome:
+        """Progress lost at *killed_at*; re-run from scratch, threat-free."""
+        outcome.terminated = True
+        clock = SimulatedClock()
+        result = self._executor(plan, query_name, clock, None).run()
+        outcome.busy_time = killed_at + clock.now()
+        outcome.result = result
+        return outcome
+
+    def _persist_and_resume(
+        self,
+        outcome: RunOutcome,
+        plan: PlanNode,
+        query_name: str,
+        strategy: SuspensionStrategy,
+        executor: QueryExecutor,
+        suspended: QuerySuspended,
+        termination_time: float | None,
+    ) -> RunOutcome:
+        persisted = strategy.persist(suspended.capture, self.snapshot_dir)
+        outcome.suspended = True
+        outcome.suspended_at = persisted.suspended_at
+        outcome.intermediate_bytes = persisted.intermediate_bytes
+        outcome.persist_latency = persisted.persist_latency
+        finish_persist = persisted.suspended_at + persisted.persist_latency
+        if termination_time is not None and finish_persist >= termination_time:
+            # The kill arrived before the snapshot hit stable storage.
+            outcome.suspension_failed = True
+            return self._rerun_after_termination(outcome, plan, query_name, termination_time)
+        resumed = strategy.prepare_resume(
+            persisted.snapshot_path, executor.pipelines, executor.plan_fingerprint
+        )
+        outcome.reload_latency = resumed.reload_latency
+        clock = SimulatedClock()
+        remaining = self._executor(
+            plan, query_name, clock, None, resume=resumed.resume_state
+        )
+        result = remaining.run()
+        outcome.busy_time = (
+            finish_persist + resumed.reload_latency + clock.now()
+        )
+        outcome.result = result
+        return outcome

@@ -1,0 +1,216 @@
+"""Suspension-aware workload scheduler (motivational Case 1, §II-B).
+
+Heterogeneous workloads mix long-running analytics with short interactive
+queries.  Treating queries as indivisible units forces short queries to
+wait behind long ones; Riveter's suspension converts a long-running query
+into a series of short-running ones, letting the scheduler interleave.
+
+:class:`SuspensionScheduler` runs a single-worker timeline (matching the
+paper's one-query-at-a-time resource model): when a short query arrives
+while a long query runs, the long query is suspended at its next breaker,
+the short queries drain, and the long query resumes from its snapshot.
+Both a suspension-aware and a run-to-completion (FIFO) policy are
+implemented so the benefit can be quantified.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.clock import SimulatedClock
+from repro.engine.errors import QuerySuspended
+from repro.engine.executor import QueryExecutor, ResumeState
+from repro.engine.plan import PlanNode
+from repro.engine.profile import HardwareProfile
+from repro.storage.catalog import Catalog
+from repro.suspend.pipeline_level import PipelineLevelStrategy
+
+__all__ = ["QueryRequest", "QueryCompletion", "ScheduleReport", "SuspensionScheduler"]
+
+
+@dataclass
+class QueryRequest:
+    """A query submitted to the scheduler at a point in simulated time."""
+
+    name: str
+    plan: PlanNode
+    arrival_time: float
+    interactive: bool = False  # short query that should preempt long ones
+
+
+@dataclass
+class QueryCompletion:
+    """Per-query outcome on the scheduler's timeline."""
+
+    name: str
+    arrival_time: float
+    finished_at: float
+    suspensions: int = 0
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.arrival_time
+
+
+@dataclass
+class ScheduleReport:
+    """Results of scheduling one workload."""
+
+    completions: list[QueryCompletion] = field(default_factory=list)
+
+    def completion(self, name: str) -> QueryCompletion:
+        for item in self.completions:
+            if item.name == name:
+                return item
+        raise KeyError(f"no completion recorded for {name!r}")
+
+    def mean_latency(self, interactive_only: bool = False, names: set[str] | None = None) -> float:
+        chosen = [
+            c
+            for c in self.completions
+            if (names is None or c.name in names)
+        ]
+        if not chosen:
+            return 0.0
+        return sum(c.latency for c in chosen) / len(chosen)
+
+
+class SuspensionScheduler:
+    """Single-worker scheduler over a simulated timeline."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        profile: HardwareProfile | None = None,
+        snapshot_dir: str | os.PathLike = ".riveter-scheduler",
+        morsel_size: int = 16384,
+    ):
+        self.catalog = catalog
+        self.profile = profile if profile is not None else HardwareProfile()
+        self.snapshot_dir = Path(snapshot_dir)
+        self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+        self.morsel_size = morsel_size
+        self.strategy = PipelineLevelStrategy(self.profile)
+
+    # -- policies -------------------------------------------------------------
+    def run_fifo(self, requests: list[QueryRequest]) -> ScheduleReport:
+        """Run-to-completion in arrival order (the non-adaptive baseline)."""
+        report = ScheduleReport()
+        now = 0.0
+        for request in sorted(requests, key=lambda r: r.arrival_time):
+            start = max(now, request.arrival_time)
+            clock = SimulatedClock(start)
+            QueryExecutor(
+                self.catalog,
+                request.plan,
+                profile=self.profile,
+                clock=clock,
+                morsel_size=self.morsel_size,
+                query_name=request.name,
+            ).run()
+            now = clock.now()
+            report.completions.append(
+                QueryCompletion(request.name, request.arrival_time, now)
+            )
+        return report
+
+    def run_preemptive(self, requests: list[QueryRequest]) -> ScheduleReport:
+        """Suspend the running long query whenever interactive work waits."""
+        report = ScheduleReport()
+        pending = sorted(requests, key=lambda r: r.arrival_time)
+        now = 0.0
+        while pending:
+            request = pending.pop(0)
+            now = max(now, request.arrival_time)
+            if request.interactive:
+                now = self._run_to_completion(request, now, report)
+                continue
+            now = self._run_long_with_preemption(request, now, pending, report)
+        return report
+
+    # -- internals -------------------------------------------------------------
+    def _run_to_completion(
+        self, request: QueryRequest, start: float, report: ScheduleReport, suspensions: int = 0
+    ) -> float:
+        clock = SimulatedClock(start)
+        QueryExecutor(
+            self.catalog,
+            request.plan,
+            profile=self.profile,
+            clock=clock,
+            morsel_size=self.morsel_size,
+            query_name=request.name,
+        ).run()
+        report.completions.append(
+            QueryCompletion(request.name, request.arrival_time, clock.now(), suspensions)
+        )
+        return clock.now()
+
+    def _run_long_with_preemption(
+        self,
+        request: QueryRequest,
+        start: float,
+        pending: list[QueryRequest],
+        report: ScheduleReport,
+    ) -> float:
+        now = start
+        resume_state: ResumeState | None = None
+        suspensions = 0
+        while True:
+            # Interactive queries already waiting run before the long query
+            # (re)occupies the worker.
+            while True:
+                ready = [r for r in pending if r.interactive and r.arrival_time <= now]
+                if not ready:
+                    break
+                short = ready[0]
+                pending.remove(short)
+                now = self._run_to_completion(short, max(now, short.arrival_time), report)
+            interactive_waiting = [r for r in pending if r.interactive]
+            next_arrival = min(
+                (r.arrival_time for r in interactive_waiting), default=None
+            )
+            clock = SimulatedClock(now)
+            if next_arrival is not None and next_arrival > now:
+                controller = self.strategy.make_request_controller(next_arrival)
+            else:
+                controller = None
+            executor = QueryExecutor(
+                self.catalog,
+                request.plan,
+                profile=self.profile,
+                clock=clock,
+                morsel_size=self.morsel_size,
+                controller=controller,
+                query_name=request.name,
+                resume=resume_state,
+            )
+            try:
+                executor.run()
+                report.completions.append(
+                    QueryCompletion(request.name, request.arrival_time, clock.now(), suspensions)
+                )
+                return clock.now()
+            except QuerySuspended as suspended:
+                persisted = self.strategy.persist(suspended.capture, self.snapshot_dir)
+                suspensions += 1
+                now = clock.now() + persisted.persist_latency
+                # Drain every interactive query that has arrived by now (or
+                # arrives while the worker is busy with earlier ones).
+                while True:
+                    ready = [
+                        r for r in pending if r.interactive and r.arrival_time <= now
+                    ]
+                    if not ready:
+                        break
+                    short = ready[0]
+                    pending.remove(short)
+                    now = self._run_to_completion(short, max(now, short.arrival_time), report)
+                resumed = self.strategy.prepare_resume(
+                    persisted.snapshot_path, executor.pipelines, executor.plan_fingerprint
+                )
+                now += resumed.reload_latency
+                resume_state = resumed.resume_state
+                resume_state.clock_time = 0.0

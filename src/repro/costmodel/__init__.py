@@ -1,0 +1,38 @@
+"""Cost model and adaptive strategy selection (Algorithm 1)."""
+
+from repro.costmodel.io_model import IOModel
+from repro.costmodel.model import (
+    CostInputs,
+    StrategyCost,
+    cost_est_ppl,
+    cost_est_proc,
+    cost_est_redo,
+    estimate_all,
+)
+from repro.costmodel.optimizer_est import OptimizerSizeEstimator
+from repro.costmodel.regression import (
+    RegressionFeatures,
+    RegressionSizeEstimator,
+    TrainingSample,
+    extract_features,
+)
+from repro.costmodel.selector import AdaptiveStrategySelector, SelectorDecision
+from repro.costmodel.termination import TerminationProfile
+
+__all__ = [
+    "IOModel",
+    "CostInputs",
+    "StrategyCost",
+    "cost_est_ppl",
+    "cost_est_proc",
+    "cost_est_redo",
+    "estimate_all",
+    "OptimizerSizeEstimator",
+    "RegressionFeatures",
+    "RegressionSizeEstimator",
+    "TrainingSample",
+    "extract_features",
+    "AdaptiveStrategySelector",
+    "SelectorDecision",
+    "TerminationProfile",
+]

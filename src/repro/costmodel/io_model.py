@@ -1,0 +1,38 @@
+"""I/O latency model for persist/reload estimation.
+
+``L_s`` and ``L_r`` in the paper's cost model are "denominated by the size
+of intermediate data": latency = fixed overhead + size / bandwidth, with
+bandwidths taken from the hardware profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.profile import HardwareProfile
+
+__all__ = ["IOModel"]
+
+
+@dataclass(frozen=True)
+class IOModel:
+    """Estimates persist (``L_s``) and reload (``L_r``) latencies."""
+
+    write_bandwidth: float
+    read_bandwidth: float
+    fixed_overhead: float = 0.05  # seconds: file creation, fsync, metadata
+
+    @classmethod
+    def from_profile(cls, profile: HardwareProfile) -> "IOModel":
+        return cls(
+            write_bandwidth=profile.effective_write_bandwidth,
+            read_bandwidth=profile.effective_read_bandwidth,
+        )
+
+    def persist_latency(self, nbytes: float) -> float:
+        """Estimated seconds to persist *nbytes* (``L_s``)."""
+        return self.fixed_overhead + nbytes / self.write_bandwidth
+
+    def reload_latency(self, nbytes: float) -> float:
+        """Estimated seconds to reload *nbytes* (``L_r``)."""
+        return self.fixed_overhead + nbytes / self.read_bandwidth

@@ -1,0 +1,220 @@
+"""Riveter's cost model — Algorithm 1 of the paper.
+
+At a pipeline breaker the framework estimates the expected latency cost of
+each strategy and picks the minimum:
+
+* ``Cost_redo = P_T^redo * C_t`` (Eq. 1; the work done so far is wasted
+  with the probability that the termination precedes the next breaker);
+* ``Cost_ppl  = L_s + L_r + P_T^ppl * C_t`` (Eq. 3; persist/reload the
+  pipeline-level intermediate data plus the risk of not finishing the
+  persist in time);
+* ``Cost_proc = min over probed suspension points st_i of
+  L_s(st_i) + L_r(st_i) + P_T^proc * st_i`` (Eq. 2; the process-level
+  strategy may suspend at any future time, so Algorithm 1 probes forward
+  one time unit at a time up to the mean pipeline duration).
+
+Termination-overlap probabilities follow lines 9–17 / 25–31 / 39–45 of
+Algorithm 1 via :meth:`TerminationProfile.overlap_probability`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.costmodel.io_model import IOModel
+from repro.costmodel.termination import TerminationProfile
+
+__all__ = ["CostInputs", "StrategyCost", "cost_est_redo", "cost_est_ppl", "cost_est_proc", "estimate_all"]
+
+
+@dataclass
+class CostInputs:
+    """Everything Algorithm 1 reads at a pipeline breaker."""
+
+    current_time: float  # C_t — observed at the breaker
+    available_memory: int  # M — free memory for intermediate data
+    pipeline_time_sum: float  # T_sum — total runtime of completed pipelines
+    pipeline_count: int  # N_ppl — number of completed pipelines
+    termination: TerminationProfile  # T = [T_s, T_e] with P_T
+    pipeline_state_bytes: int  # S^ppl — live global state size
+    process_size_estimator: Callable[[float], float]  # st_i → Ŝ^proc(st_i)
+    io: IOModel
+    probe_step: float = 1.0  # time unit for probing future suspension points
+    #: Estimated wait until the next pipeline breaker.  Zero when the cost
+    #: model runs at a breaker (Algorithm 1's setting); positive when it is
+    #: evaluated proactively mid-pipeline, in which case the pipeline-level
+    #: strategy cannot act before the breaker is reached.
+    breaker_delay: float = 0.0
+    #: Prior estimate of one pipeline's duration, used before any pipeline
+    #: has completed (Algorithm 1's ``T_sum / N_ppl`` is undefined until
+    #: the first breaker; a plan-derived prior keeps the extrapolation on
+    #: lines 10–14 meaningful for queries with one dominating pipeline).
+    pipeline_time_prior: float = 0.0
+    #: True when the evaluation happens away from a pipeline breaker
+    #: (proactive mode); enables the deferral lookahead in the redo arm.
+    proactive: bool = False
+
+    @property
+    def mean_pipeline_time(self) -> float:
+        """``T_sum / N_ppl`` — expected time to the next breaker."""
+        if self.pipeline_count == 0:
+            return self.pipeline_time_prior
+        return self.pipeline_time_sum / self.pipeline_count
+
+
+@dataclass
+class StrategyCost:
+    """Expected cost of one strategy, with its decision details."""
+
+    strategy: str
+    cost: float
+    termination_probability: float = 0.0
+    persist_latency: float = 0.0
+    reload_latency: float = 0.0
+    planned_suspension_time: float | None = None
+    details: dict = field(default_factory=dict)
+
+
+def cost_est_redo(inputs: CostInputs) -> StrategyCost:
+    """Lines 9–17: cost of letting the query be terminated and re-run.
+
+    At a pipeline breaker this is exactly Algorithm 1: the probability that
+    the termination precedes the next breaker times the work wasted so far.
+    For *proactive* evaluations (mid-pipeline, before the window opens) the
+    pure formula is myopic — deferring is free until the window, by which
+    time cheap suspension points are gone — so a one-step lookahead adds
+    the expected cost of the process-level suspension the deferral leads
+    to.  The lookahead only applies off-breaker; on-breaker behaviour
+    matches the paper.
+    """
+    current = inputs.current_time
+    window = inputs.termination
+    next_breaker = current + inputs.mean_pipeline_time
+    if current >= window.t_start or next_breaker >= window.t_end:
+        probability = window.probability
+    else:
+        probability = window.overlap_probability(next_breaker)
+    details: dict = {}
+    if not inputs.proactive:
+        cost = probability * current
+    else:
+        # Expected wasted work if the kill lands before the next breaker:
+        # the termination time itself, not just the work done so far.
+        waste_window_start = max(window.t_start, current)
+        waste_window_end = min(window.t_end, max(next_breaker, waste_window_start))
+        expected_waste = (waste_window_start + waste_window_end) / 2.0
+        cost = probability * expected_waste
+        if probability < window.probability:
+            # Deferring means a process-level suspension later with a
+            # bigger image (suspendable anytime, so its estimate is the
+            # dependable one); when that image no longer fits memory, the
+            # pipeline state is the remaining fallback.
+            deferred = _process_point_cost(inputs, next_breaker).cost
+            if math.isinf(deferred):
+                deferred = _pipeline_point_cost(inputs, next_breaker)
+            survival = 1.0 - probability
+            cost += survival * window.probability * deferred
+            details["deferred_cost"] = deferred
+    return StrategyCost(
+        strategy="redo",
+        cost=cost,
+        termination_probability=probability,
+        details=details,
+    )
+
+
+def cost_est_ppl(inputs: CostInputs) -> StrategyCost:
+    """Lines 33–46: cost of suspending at this pipeline breaker."""
+    size = inputs.pipeline_state_bytes
+    if size <= inputs.available_memory:
+        persist = inputs.io.persist_latency(size)
+        reload = inputs.io.reload_latency(size)
+    else:
+        persist = math.inf
+        reload = math.inf
+    window = inputs.termination
+    suspend_at = inputs.current_time + inputs.breaker_delay
+    done_at = suspend_at + persist
+    if done_at >= window.t_end:
+        probability = window.probability
+    else:
+        probability = window.overlap_probability(done_at)
+    # Off-breaker the wasted work at a failed suspension is the time spent
+    # waiting for the breaker, not just the work done so far.
+    wasted = inputs.current_time if not inputs.proactive else suspend_at
+    cost = persist + reload + probability * wasted
+    return StrategyCost(
+        strategy="pipeline",
+        cost=cost,
+        termination_probability=probability,
+        persist_latency=persist,
+        reload_latency=reload,
+        planned_suspension_time=suspend_at,
+        details={"state_bytes": size},
+    )
+
+
+def _pipeline_point_cost(inputs: CostInputs, at_time: float) -> float:
+    """Cost of a pipeline-level suspension landing at *at_time*."""
+    size = inputs.pipeline_state_bytes
+    if size > inputs.available_memory:
+        return math.inf
+    persist = inputs.io.persist_latency(size)
+    reload = inputs.io.reload_latency(size)
+    window = inputs.termination
+    done_at = at_time + persist
+    probability = (
+        window.probability if done_at >= window.t_end else window.overlap_probability(done_at)
+    )
+    return persist + reload + probability * at_time
+
+
+def _process_point_cost(inputs: CostInputs, point: float) -> StrategyCost:
+    """Cost of a process-level suspension at the single point *point*."""
+    window = inputs.termination
+    size = float(inputs.process_size_estimator(point))
+    if size <= inputs.available_memory:
+        persist = inputs.io.persist_latency(size)
+        reload = inputs.io.reload_latency(size)
+    else:
+        persist = math.inf
+        reload = math.inf
+    done_at = point + persist
+    if done_at >= window.t_end:
+        probability = window.probability
+    else:
+        probability = window.overlap_probability(done_at)
+    return StrategyCost(
+        strategy="process",
+        cost=persist + reload + probability * point,
+        termination_probability=probability,
+        persist_latency=persist,
+        reload_latency=reload,
+        planned_suspension_time=point,
+        details={"estimated_bytes": size},
+    )
+
+
+def cost_est_proc(inputs: CostInputs) -> StrategyCost:
+    """Lines 18–32: probe future suspension points, take the cheapest."""
+    best: StrategyCost | None = None
+    horizon = inputs.current_time + max(inputs.mean_pipeline_time, inputs.probe_step)
+    point = inputs.current_time
+    while point <= horizon + 1e-12:
+        candidate = _process_point_cost(inputs, point)
+        if best is None or candidate.cost < best.cost:
+            best = candidate
+        point += inputs.probe_step
+    assert best is not None
+    return best
+
+
+def estimate_all(inputs: CostInputs) -> dict[str, StrategyCost]:
+    """Costs of all three strategies, keyed by strategy name."""
+    return {
+        "redo": cost_est_redo(inputs),
+        "pipeline": cost_est_ppl(inputs),
+        "process": cost_est_proc(inputs),
+    }

@@ -1,0 +1,137 @@
+"""Adaptive strategy selection (the outer loop of Algorithm 1).
+
+A selector is consulted at every pipeline breaker.  It observes the
+current time ``C_t``, available memory ``M``, and the running time of
+completed pipelines, measures the pipeline-level intermediate data size by
+serializing the live global states (the step whose runtime Table V
+reports), estimates process-image sizes at probed future suspension
+points, and returns the strategy with the minimum expected cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.costmodel.io_model import IOModel
+from repro.costmodel.model import CostInputs, StrategyCost, estimate_all
+from repro.costmodel.termination import TerminationProfile
+from repro.engine.controller import BoundaryContext
+from repro.engine.profile import HardwareProfile
+
+__all__ = ["SelectorDecision", "AdaptiveStrategySelector"]
+
+
+@dataclass
+class SelectorDecision:
+    """Outcome of one Algorithm 1 evaluation at a breaker."""
+
+    chosen: str
+    costs: dict[str, StrategyCost]
+    decided_at: float
+    runtime_seconds: float
+    measured_state_bytes: int
+    planned_suspension_time: float | None
+
+    def cost_of(self, strategy: str) -> float:
+        return self.costs[strategy].cost
+
+
+@dataclass
+class AdaptiveStrategySelector:
+    """Evaluates the cost model and picks a suspension strategy.
+
+    ``process_size_estimator`` maps an execution-time fraction in ``[0,1]``
+    to an estimated process-image size in bytes — typically the
+    regression- or optimizer-based estimator bound to this query.
+    ``estimated_total_time`` converts absolute probe times to fractions.
+    """
+
+    profile: HardwareProfile
+    termination: TerminationProfile
+    process_size_estimator: Callable[[float], float]
+    estimated_total_time: float
+    probe_step: float | None = None
+    decisions: list[SelectorDecision] = field(default_factory=list)
+
+    def decision_lead(self) -> float:
+        """How far before the window decisions should start being considered.
+
+        Long enough for a process-level suspension planned at the window
+        start to persist before terminations become possible — Fig. 5's
+        proactive evaluation.
+        """
+        total = max(self.estimated_total_time, 1e-9)
+        fraction = min(1.0, self.termination.t_start / total)
+        estimated = float(self.process_size_estimator(fraction))
+        io = IOModel.from_profile(self.profile)
+        return io.persist_latency(max(0.0, estimated)) * 1.5
+
+    def decide(self, context: BoundaryContext) -> SelectorDecision:
+        """Run Algorithm 1 at a pipeline breaker."""
+        started = time.perf_counter()
+        # Determining S^ppl requires serializing the live global states —
+        # the dominant cost-model step for queries with large states
+        # (Table V, Q17).
+        live = context.executor.live_states()
+        state_bytes = sum(len(state.serialize()) for state in live.values())
+        if not context.at_breaker and context.morsel_count:
+            # A pipeline-level suspension planned from here fires at the
+            # next breaker, where the in-flight pipeline's state has become
+            # part of the live set — extrapolate its size to completion.
+            progress = max(1, context.morsel_index) / context.morsel_count
+            state_bytes += int(context.local_state_bytes / progress)
+
+        available = max(0, self.profile.memory_bytes - context.memory_bytes)
+        total = max(self.estimated_total_time, 1e-9)
+
+        def estimate_process_bytes(at_time: float) -> float:
+            return float(self.process_size_estimator(min(1.0, at_time / total)))
+
+        prior = total / max(1, context.total_pipelines)
+        if context.at_breaker:
+            breaker_delay = 0.0
+        else:
+            # Mid-pipeline proactive evaluation: extrapolate the wait until
+            # the breaker from the current pipeline's own pace (elapsed time
+            # over processed morsels), falling back to the plan prior.
+            if context.stats.pipelines:
+                pipeline_started = context.stats.pipelines[-1].finished_at
+            else:
+                pipeline_started = context.stats.started_at
+            elapsed = max(0.0, context.clock_now - pipeline_started)
+            if context.morsel_index > 0 and context.morsel_count > 0:
+                remaining_morsels = context.morsel_count - context.morsel_index
+                breaker_delay = elapsed * remaining_morsels / context.morsel_index
+            else:
+                breaker_delay = prior
+
+        inputs = CostInputs(
+            current_time=context.clock_now,
+            available_memory=available,
+            pipeline_time_sum=context.stats.total_pipeline_time,
+            pipeline_count=context.stats.completed_pipeline_count,
+            termination=self.termination,
+            pipeline_state_bytes=state_bytes,
+            process_size_estimator=estimate_process_bytes,
+            io=IOModel.from_profile(self.profile),
+            probe_step=self.probe_step
+            if self.probe_step is not None
+            else max(0.5, self.termination.width / 20.0),
+            breaker_delay=breaker_delay,
+            pipeline_time_prior=prior,
+            proactive=not context.at_breaker,
+        )
+        costs = estimate_all(inputs)
+        chosen = min(costs, key=lambda name: costs[name].cost)
+        decision = SelectorDecision(
+            chosen=chosen,
+            costs=costs,
+            decided_at=context.clock_now,
+            runtime_seconds=time.perf_counter() - started,
+            measured_state_bytes=state_bytes,
+            planned_suspension_time=costs[chosen].planned_suspension_time,
+        )
+        self.decisions.append(decision)
+        return decision

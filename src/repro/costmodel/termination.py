@@ -1,0 +1,66 @@
+"""Termination model: window ``[Ts, Te]`` with probability ``P_T``.
+
+Matches the paper's assumption (§III-C): a termination may occur within a
+known time window with a known probability — e.g. a spot-instance
+revocation alert or a forecast energy shortage in a zero-carbon cloud.
+If a termination occurs, its exact time is uniformly distributed over the
+window (§IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TerminationProfile"]
+
+
+@dataclass(frozen=True)
+class TerminationProfile:
+    """A potential termination within ``[t_start, t_end]`` with prob. ``probability``."""
+
+    t_start: float
+    t_end: float
+    probability: float
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError(f"window end {self.t_end} before start {self.t_start}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+
+    @property
+    def width(self) -> float:
+        return self.t_end - self.t_start
+
+    @classmethod
+    def from_fractions(
+        cls, total_time: float, start_fraction: float, end_fraction: float, probability: float
+    ) -> "TerminationProfile":
+        """Window expressed as fractions of the expected execution time.
+
+        The paper's ``X–Y%`` notation: ``from_fractions(T, 0.75, 1.0, 0.3)``
+        is a 75–100% window with a 30% termination probability.
+        """
+        return cls(total_time * start_fraction, total_time * end_fraction, probability)
+
+    def sample(self, rng: np.random.Generator) -> float | None:
+        """Sampled termination time, or ``None`` when no termination occurs."""
+        if rng.random() >= self.probability:
+            return None
+        return float(rng.uniform(self.t_start, self.t_end))
+
+    def overlap_probability(self, completion_time: float) -> float:
+        """Probability a uniform termination lands before *completion_time*.
+
+        This is the ``T_o / (T_e - T_s) * P_T`` overlap computation used
+        throughout Algorithm 1.
+        """
+        if completion_time >= self.t_end:
+            return self.probability
+        if completion_time < self.t_start:
+            return 0.0
+        if self.width == 0.0:
+            return self.probability
+        return (completion_time - self.t_start) / self.width * self.probability

@@ -1,0 +1,27 @@
+"""Push-based, morsel-driven vectorized query engine (DuckDB substitute)."""
+
+from repro.engine.chunk import DataChunk
+from repro.engine.clock import SimulatedClock, WallClock
+from repro.engine.controller import Action, ExecutionController
+from repro.engine.errors import EngineError, QuerySuspended, QueryTerminated
+from repro.engine.executor import QueryExecutor, QueryResult, ResumeState
+from repro.engine.profile import HardwareProfile
+from repro.engine.types import DataType, Field, Schema
+
+__all__ = [
+    "DataChunk",
+    "SimulatedClock",
+    "WallClock",
+    "Action",
+    "ExecutionController",
+    "EngineError",
+    "QuerySuspended",
+    "QueryTerminated",
+    "QueryExecutor",
+    "QueryResult",
+    "ResumeState",
+    "HardwareProfile",
+    "DataType",
+    "Field",
+    "Schema",
+]

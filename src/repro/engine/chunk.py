@@ -1,0 +1,99 @@
+"""Data chunks — the vectorized unit of data flow between operators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.types import Schema
+
+__all__ = ["DataChunk", "concat_chunks"]
+
+
+class DataChunk:
+    """A batch of rows stored column-wise.
+
+    Operators consume and produce chunks; a chunk pairs a :class:`Schema`
+    with one NumPy array per column.  Chunks are cheap views where possible
+    (slicing, filtering with boolean masks) and validated on construction.
+    """
+
+    __slots__ = ("schema", "columns", "_num_rows")
+
+    def __init__(self, schema: Schema, columns: list[np.ndarray]):
+        if len(columns) != len(schema):
+            raise ValueError(f"schema has {len(schema)} fields but got {len(columns)} columns")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged chunk columns: lengths {sorted(lengths)}")
+        self.schema = schema
+        self.columns = columns
+        self._num_rows = lengths.pop() if lengths else 0
+
+    def __repr__(self) -> str:
+        return f"DataChunk(rows={self.num_rows}, cols={self.schema.names})"
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def nbytes(self) -> int:
+        """Physical payload size of the chunk."""
+        return int(sum(c.nbytes for c in self.columns))
+
+    def column(self, name: str) -> np.ndarray:
+        """Array of the column called *name*."""
+        return self.columns[self.schema.index_of(name)]
+
+    def filter(self, mask: np.ndarray) -> "DataChunk":
+        """Rows where *mask* is true."""
+        if mask.dtype != np.bool_ or len(mask) != self.num_rows:
+            raise ValueError("mask must be a bool array matching the row count")
+        return DataChunk(self.schema, [c[mask] for c in self.columns])
+
+    def take(self, indices: np.ndarray) -> "DataChunk":
+        """Rows gathered at *indices* (may repeat / reorder)."""
+        return DataChunk(self.schema, [c[indices] for c in self.columns])
+
+    def slice(self, start: int, stop: int) -> "DataChunk":
+        """Zero-copy view of rows ``[start, stop)``."""
+        return DataChunk(self.schema, [c[start:stop] for c in self.columns])
+
+    def select(self, names: list[str]) -> "DataChunk":
+        """Chunk projected to *names* in the given order."""
+        return DataChunk(self.schema.select(names), [self.column(n) for n in names])
+
+    def with_schema(self, schema: Schema) -> "DataChunk":
+        """Same data, relabelled with *schema* (arity must match)."""
+        return DataChunk(schema, self.columns)
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        """Columns keyed by name."""
+        return dict(zip(self.schema.names, self.columns))
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "DataChunk":
+        """Zero-row chunk with the canonical dtype per column."""
+        columns = []
+        for field in schema:
+            dtype = field.dtype.numpy_dtype
+            if dtype.kind == "U":
+                dtype = np.dtype("U1")
+            columns.append(np.empty(0, dtype=dtype))
+        return cls(schema, columns)
+
+
+def concat_chunks(schema: Schema, chunks: list[DataChunk]) -> DataChunk:
+    """Concatenate *chunks* (all sharing *schema*) into one chunk."""
+    live = [c for c in chunks if c.num_rows]
+    if not live:
+        return DataChunk.empty(schema)
+    if len(live) == 1:
+        return live[0]
+    columns = [
+        np.concatenate([c.columns[i] for c in live]) for i in range(len(schema))
+    ]
+    return DataChunk(schema, columns)

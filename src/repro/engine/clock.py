@@ -1,0 +1,62 @@
+"""Execution clocks.
+
+Riveter's evaluation reasons about *when* things happen: termination time
+windows, suspension points at "50% of execution time", persist latencies.
+To make those experiments deterministic, the engine runs on a pluggable
+clock.  :class:`SimulatedClock` advances only when the executor reports
+work (per-morsel costs, persist/reload latencies); :class:`WallClock` is a
+thin wrapper over ``time.perf_counter`` for wall-time benchmarking.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "SimulatedClock", "WallClock"]
+
+
+class Clock:
+    """Abstract clock interface used by the executor and strategies."""
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        raise NotImplementedError
+
+    def advance(self, seconds: float) -> None:
+        """Account *seconds* of work.  A no-op for wall clocks."""
+        raise NotImplementedError
+
+
+class SimulatedClock(Clock):
+    """Deterministic virtual clock driven by reported work."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now:.6f})"
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds}")
+        self._now += seconds
+
+    def reset(self, start: float = 0.0) -> None:
+        """Rewind to *start* (used when re-running a query from scratch)."""
+        self._now = float(start)
+
+
+class WallClock(Clock):
+    """Real time; ``advance`` is a no-op because work takes real time."""
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter()
+
+    def now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def advance(self, seconds: float) -> None:
+        return None

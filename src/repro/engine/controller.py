@@ -1,0 +1,70 @@
+"""Execution controller hooks.
+
+The executor calls back into a controller at the two granularities the
+paper distinguishes:
+
+* **morsel boundaries** — the "anytime" points used by the process-level
+  strategy (and by the termination simulator, since a killed process stops
+  between instructions);
+* **pipeline breakers** — the points where the pipeline-level strategy may
+  suspend and where Algorithm 1 performs strategy selection.
+
+Controllers return an :class:`Action`; ``SUSPEND_*`` actions make the
+executor capture its state and raise
+:class:`~repro.engine.errors.QuerySuspended`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.engine.stats import QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.executor import QueryExecutor
+
+__all__ = ["Action", "BoundaryContext", "ExecutionController"]
+
+
+class Action(enum.Enum):
+    """Controller decision at an execution boundary."""
+
+    CONTINUE = "continue"
+    SUSPEND_PIPELINE = "suspend_pipeline"
+    SUSPEND_PROCESS = "suspend_process"
+
+
+@dataclass
+class BoundaryContext:
+    """Snapshot of execution state handed to controller callbacks."""
+
+    executor: "QueryExecutor"
+    clock_now: float
+    pipeline_id: int
+    pipeline_pos: int
+    total_pipelines: int
+    morsel_index: int
+    morsel_count: int
+    at_breaker: bool
+    memory_bytes: int
+    pipeline_state_bytes: int
+    local_state_bytes: int
+    stats: QueryStats
+
+
+class ExecutionController:
+    """Default controller: never suspends."""
+
+    def on_query_start(self, executor: "QueryExecutor") -> None:
+        """Called once before the first pipeline runs."""
+        return None
+
+    def on_morsel_boundary(self, context: BoundaryContext) -> Action:
+        """Called after each morsel is fully sunk."""
+        return Action.CONTINUE
+
+    def on_pipeline_breaker(self, context: BoundaryContext) -> Action:
+        """Called after a pipeline's global state is finalized."""
+        return Action.CONTINUE

@@ -1,0 +1,36 @@
+"""Engine control-flow exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["EngineError", "QueryTerminated", "QuerySuspended"]
+
+
+class EngineError(Exception):
+    """Base class for engine failures."""
+
+
+class QueryTerminated(EngineError):
+    """The execution environment killed the query (spot revocation etc.).
+
+    All in-memory progress is lost; only previously persisted snapshots
+    survive.  Raised by controllers when the simulated termination point
+    is reached.
+    """
+
+    def __init__(self, at_time: float, reason: str = "resource termination"):
+        super().__init__(f"query terminated at t={at_time:.3f}s ({reason})")
+        self.at_time = at_time
+        self.reason = reason
+
+
+class QuerySuspended(EngineError):
+    """A suspension strategy stopped the query; carries the live capture.
+
+    The ``capture`` attribute is an
+    :class:`~repro.engine.executor.ExecutionCapture` holding the states a
+    strategy needs to persist.
+    """
+
+    def __init__(self, capture: object):
+        super().__init__("query suspended")
+        self.capture = capture

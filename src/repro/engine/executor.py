@@ -1,0 +1,367 @@
+"""Morsel-driven pipeline executor.
+
+Implements the DuckDB-style execution model the paper builds on:
+
+* pipelines run in dependency (= id) order;
+* each pipeline's morsels are processed by ``num_threads`` simulated
+  worker contexts in round-robin, each accumulating a *local* sink state;
+* at pipeline completion the locals are combined into a *global* state and
+  finalized — the pipeline breaker;
+* a :class:`~repro.engine.controller.ExecutionController` is consulted at
+  every morsel boundary and breaker and may suspend the query.
+
+Worker "threads" are deterministic logical contexts rather than OS threads
+(the GIL makes real threads pointless here); the local/global state
+structure, which is what Riveter's mechanics depend on, is preserved
+exactly — including the process-level resumption constraint that the
+worker count must match the suspended configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.chunk import DataChunk, concat_chunks
+from repro.engine.clock import Clock, SimulatedClock
+from repro.engine.controller import Action, BoundaryContext, ExecutionController
+from repro.engine.errors import EngineError, QuerySuspended
+from repro.engine.memory import MemoryAccountant
+from repro.engine.operators.base import GlobalSinkState, LocalSinkState, Source
+from repro.engine.operators.scan import ChunkSource, TableScanSource
+from repro.engine.pipeline import Pipeline, build_pipelines
+from repro.engine.plan import PlanNode, plan_fingerprint
+from repro.engine.profile import HardwareProfile
+from repro.engine.stats import PipelineStats, QueryStats
+from repro.storage.catalog import Catalog
+
+__all__ = ["QueryExecutor", "QueryResult", "ExecutionCapture", "ResumeState"]
+
+DEFAULT_MORSEL_SIZE = 16384
+
+
+@dataclass
+class QueryResult:
+    """Completed query: final rows plus execution statistics."""
+
+    chunk: DataChunk
+    stats: QueryStats
+    peak_memory_bytes: int
+
+
+@dataclass
+class ExecutionCapture:
+    """Live (unserialized) execution state captured at a suspension point.
+
+    ``kind`` is ``"pipeline"`` (captured at a breaker; only completed
+    global states) or ``"process"`` (captured mid-pipeline; additionally
+    carries the in-flight pipeline's worker-local states and morsel
+    cursor).  Suspension strategies serialize captures into snapshots.
+    """
+
+    kind: str
+    query_name: str
+    plan_fingerprint: str
+    clock_time: float
+    num_threads: int
+    morsel_size: int
+    completed_states: dict[int, GlobalSinkState]
+    stats: QueryStats
+    memory_bytes: int
+    live_pipelines: set[int] = field(default_factory=set)
+    current_pipeline: int | None = None
+    next_morsel: int = 0
+    rows_in_pipeline: int = 0
+    local_states: list[LocalSinkState] | None = None
+
+    def live_states(self) -> dict[int, GlobalSinkState]:
+        """Completed global states still needed by unfinished pipelines.
+
+        A build/aggregate state whose consumers have all finished is dead:
+        the pipeline-level strategy need not persist it, which is why
+        pipeline-level snapshots can be orders of magnitude smaller than
+        process images (paper §IV-A).
+        """
+        return {
+            pid: state
+            for pid, state in self.completed_states.items()
+            if pid in self.live_pipelines
+        }
+
+
+@dataclass
+class ResumeState:
+    """Restored state handed to a fresh executor to continue a query."""
+
+    completed_states: dict[int, GlobalSinkState]
+    stats: QueryStats
+    clock_time: float = 0.0
+    skipped_pipelines: set[int] = field(default_factory=set)
+    current_pipeline: int | None = None
+    next_morsel: int = 0
+    rows_in_pipeline: int = 0
+    local_states: list[LocalSinkState] | None = None
+
+
+@dataclass
+class _PipelineRun:
+    """Mutable per-pipeline execution bookkeeping."""
+
+    pipeline: Pipeline
+    source: Source
+    local_states: list[LocalSinkState]
+    next_morsel: int = 0
+    rows_processed: int = 0
+    started_at: float = 0.0
+    stats: PipelineStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.stats = PipelineStats(
+            pipeline_id=self.pipeline.pipeline_id, description=self.pipeline.description
+        )
+
+
+class QueryExecutor:
+    """Executes one physical plan over a catalog, with suspension hooks."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        plan: PlanNode,
+        profile: HardwareProfile | None = None,
+        clock: Clock | None = None,
+        morsel_size: int = DEFAULT_MORSEL_SIZE,
+        controller: ExecutionController | None = None,
+        query_name: str = "query",
+        resume: ResumeState | None = None,
+    ):
+        self.catalog = catalog
+        self.plan = plan
+        self.profile = profile if profile is not None else HardwareProfile()
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.morsel_size = morsel_size
+        self.controller = controller if controller is not None else ExecutionController()
+        self.query_name = query_name
+        self.memory = MemoryAccountant()
+        self.plan_fingerprint = plan_fingerprint(plan)
+        self.pipelines: list[Pipeline] = build_pipelines(catalog, plan)
+        self.completed_states: dict[int, GlobalSinkState] = {}
+        self.skipped_pipelines: set[int] = set()
+        self.stats = QueryStats(query_name=query_name)
+        self.peak_memory_bytes = 0
+        self._resume = resume
+        if resume is not None:
+            self._apply_resume(resume)
+
+    # -- resume ------------------------------------------------------------
+    def _apply_resume(self, resume: ResumeState) -> None:
+        known = {p.pipeline_id for p in self.pipelines}
+        unknown = (set(resume.completed_states) | resume.skipped_pipelines) - known
+        if unknown:
+            raise EngineError(f"resume references unknown pipelines {sorted(unknown)}")
+        self.completed_states = dict(resume.completed_states)
+        self.skipped_pipelines = set(resume.skipped_pipelines)
+        self.stats = resume.stats
+        if isinstance(self.clock, SimulatedClock) and self.clock.now() < resume.clock_time:
+            self.clock.advance(resume.clock_time - self.clock.now())
+        for pid, state in self.completed_states.items():
+            self.memory.set_charge(f"global:{pid}", state.nbytes)
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> QueryResult:
+        """Execute to completion; may raise QuerySuspended/QueryTerminated."""
+        self.controller.on_query_start(self)
+        self.stats.started_at = self.clock.now() if not self.stats.pipelines else self.stats.started_at
+        for position, pipeline in enumerate(self.pipelines):
+            done = (
+                pipeline.pipeline_id in self.completed_states
+                or pipeline.pipeline_id in self.skipped_pipelines
+            )
+            if done:
+                continue
+            self._run_pipeline(position, pipeline)
+        result_state = self.completed_states[self.pipelines[-1].pipeline_id]
+        chunk = self.pipelines[-1].sink.result_chunk(result_state)
+        self.stats.finished_at = self.clock.now()
+        self.memory.release_all()
+        return QueryResult(chunk=chunk, stats=self.stats, peak_memory_bytes=self.peak_memory_bytes)
+
+    def _run_pipeline(self, position: int, pipeline: Pipeline) -> None:
+        source = self._make_source(pipeline)
+        self._bind_probe_states(pipeline)
+        sink = pipeline.sink
+        resuming_here = (
+            self._resume is not None
+            and self._resume.current_pipeline == pipeline.pipeline_id
+            and self._resume.local_states is not None
+        )
+        if resuming_here:
+            local_states = list(self._resume.local_states)
+            if len(local_states) != self.profile.num_threads:
+                raise EngineError(
+                    "process-level resume requires the original worker count "
+                    f"({len(local_states)}), got {self.profile.num_threads}"
+                )
+            run = _PipelineRun(pipeline, source, local_states, self._resume.next_morsel)
+            run.rows_processed = self._resume.rows_in_pipeline
+            self._resume = None
+        else:
+            run = _PipelineRun(
+                pipeline, source, [sink.make_local_state() for _ in range(self.profile.num_threads)]
+            )
+        run.started_at = self.clock.now()
+        run.stats.started_at = run.started_at
+
+        total_morsels = source.morsel_count
+        while run.next_morsel < total_morsels:
+            self._process_morsel(run)
+            context = self._context(position, run, at_breaker=False)
+            action = self.controller.on_morsel_boundary(context)
+            if action is Action.SUSPEND_PROCESS:
+                raise QuerySuspended(self._capture_process(run))
+            if action is Action.SUSPEND_PIPELINE:
+                raise EngineError(
+                    "pipeline-level suspension is only legal at a pipeline breaker"
+                )
+        self._finish_pipeline(position, run)
+
+    def _process_morsel(self, run: _PipelineRun) -> None:
+        pipeline = run.pipeline
+        pid = pipeline.pipeline_id
+        worker = run.next_morsel % self.profile.num_threads
+        chunk = run.source.get_morsel(run.next_morsel)
+        self.clock.advance(self.profile.tuple_cost(run.source.kind, chunk.num_rows))
+        # Lazy deallocation model: a calibrated fraction of scanned buffers
+        # stays charged until the query completes (paper §IV-A, Fig. 7).
+        self.memory.charge(f"scan:{pid}", int(chunk.nbytes * self.profile.buffer_retention))
+        for operator in pipeline.operators:
+            chunk = operator.execute(chunk)
+            self.clock.advance(self.profile.tuple_cost(operator.kind, chunk.num_rows))
+        pipeline.sink.sink(run.local_states[worker], chunk)
+        self.memory.set_charge(f"local:{pid}:{worker}", run.local_states[worker].nbytes)
+        self.peak_memory_bytes = max(self.peak_memory_bytes, self.memory.total_bytes)
+        run.rows_processed += chunk.num_rows
+        run.next_morsel += 1
+        run.stats.rows_processed = run.rows_processed
+        run.stats.morsels_processed = run.next_morsel
+
+    def _finish_pipeline(self, position: int, run: _PipelineRun) -> None:
+        pipeline = run.pipeline
+        pid = pipeline.pipeline_id
+        sink = pipeline.sink
+        global_state = sink.make_global_state()
+        for local_state in run.local_states:
+            sink.combine(global_state, local_state)
+        self.clock.advance(self.profile.tuple_cost("merge", run.rows_processed))
+        sink.finalize(global_state)
+        self.clock.advance(
+            self.profile.tuple_cost(sink.kind, sink.finalize_cost_rows(global_state))
+        )
+        self.completed_states[pid] = global_state
+        for worker in range(self.profile.num_threads):
+            self.memory.release(f"local:{pid}:{worker}")
+        self.memory.set_charge(f"global:{pid}", global_state.nbytes)
+        self.peak_memory_bytes = max(self.peak_memory_bytes, self.memory.total_bytes)
+        run.stats.finished_at = self.clock.now()
+        run.stats.global_state_bytes = global_state.nbytes
+        self.stats.record_pipeline(run.stats)
+        context = self._context(position, run, at_breaker=True)
+        action = self.controller.on_pipeline_breaker(context)
+        if action is Action.SUSPEND_PIPELINE:
+            raise QuerySuspended(self._capture_pipeline())
+        if action is Action.SUSPEND_PROCESS:
+            raise QuerySuspended(self._capture_process(None))
+
+    # -- sources and bindings ----------------------------------------------
+    def _make_source(self, pipeline: Pipeline) -> Source:
+        spec = pipeline.source
+        if spec.kind == "table":
+            table = self.catalog.get(spec.table)
+            return TableScanSource(table, list(spec.columns), self.morsel_size)
+        if spec.kind == "state":
+            chunks = []
+            for pid in spec.state_pipelines:
+                state = self.completed_states[pid]
+                chunks.append(self.pipelines[pid].sink.result_chunk(state))
+            merged = concat_chunks(pipeline.source_schema, chunks)
+            return ChunkSource(merged, self.morsel_size)
+        raise EngineError(f"unknown source kind {spec.kind!r}")
+
+    def _bind_probe_states(self, pipeline: Pipeline) -> None:
+        for operator in pipeline.operators:
+            operator.bind_state(self.completed_states)
+
+    # -- captures ------------------------------------------------------------
+    def _context(self, position: int, run: _PipelineRun, at_breaker: bool) -> BoundaryContext:
+        return BoundaryContext(
+            executor=self,
+            clock_now=self.clock.now(),
+            pipeline_id=run.pipeline.pipeline_id,
+            pipeline_pos=position,
+            total_pipelines=len(self.pipelines),
+            morsel_index=run.next_morsel,
+            morsel_count=run.source.morsel_count,
+            at_breaker=at_breaker,
+            memory_bytes=self.memory.total_bytes,
+            pipeline_state_bytes=self._completed_state_bytes(),
+            local_state_bytes=sum(state.nbytes for state in run.local_states),
+            stats=self.stats,
+        )
+
+    def _completed_state_bytes(self) -> int:
+        live = self.live_pipeline_ids()
+        return sum(
+            state.nbytes for pid, state in self.completed_states.items() if pid in live
+        )
+
+    def live_states(self) -> dict[int, GlobalSinkState]:
+        """Completed global states still needed by unfinished pipelines."""
+        live = self.live_pipeline_ids()
+        return {pid: s for pid, s in self.completed_states.items() if pid in live}
+
+    def live_pipeline_ids(self, running: int | None = None) -> set[int]:
+        """Completed pipelines whose global state unfinished pipelines need."""
+        finished = set(self.completed_states) | self.skipped_pipelines
+        if running is not None:
+            finished.discard(running)
+        live: set[int] = set()
+        for pipeline in self.pipelines:
+            if pipeline.pipeline_id in finished and pipeline.pipeline_id != running:
+                continue
+            live |= pipeline.dependencies & set(self.completed_states)
+        return live
+
+    def _capture_pipeline(self) -> ExecutionCapture:
+        return ExecutionCapture(
+            kind="pipeline",
+            query_name=self.query_name,
+            plan_fingerprint=self.plan_fingerprint,
+            clock_time=self.clock.now(),
+            num_threads=self.profile.num_threads,
+            morsel_size=self.morsel_size,
+            completed_states=dict(self.completed_states),
+            stats=self.stats,
+            memory_bytes=self.memory.total_bytes,
+            live_pipelines=self.live_pipeline_ids(),
+        )
+
+    def _capture_process(self, run: _PipelineRun | None) -> ExecutionCapture:
+        capture = ExecutionCapture(
+            kind="process",
+            query_name=self.query_name,
+            plan_fingerprint=self.plan_fingerprint,
+            clock_time=self.clock.now(),
+            num_threads=self.profile.num_threads,
+            morsel_size=self.morsel_size,
+            completed_states=dict(self.completed_states),
+            stats=self.stats,
+            memory_bytes=self.memory.total_bytes,
+            live_pipelines=self.live_pipeline_ids(
+                None if run is None else run.pipeline.pipeline_id
+            ),
+        )
+        if run is not None:
+            capture.current_pipeline = run.pipeline.pipeline_id
+            capture.next_morsel = run.next_morsel
+            capture.rows_in_pipeline = run.rows_processed
+            capture.local_states = list(run.local_states)
+        return capture

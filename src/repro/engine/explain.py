@@ -1,0 +1,95 @@
+"""EXPLAIN: human-readable plan trees and pipeline decompositions.
+
+Two views are provided, mirroring how Riveter thinks about a query:
+
+* :func:`explain_plan` — the logical/physical operator tree;
+* :func:`explain_pipelines` — the breaker decomposition the suspension
+  strategies operate on: one line per pipeline with its source, streaming
+  operators, sink kind, and dependencies.  This is the view that answers
+  "where can this query be suspended?".
+"""
+
+from __future__ import annotations
+
+from repro.engine import plan as planmod
+from repro.engine.pipeline import build_pipelines
+from repro.engine.plan import PlanNode
+from repro.storage.catalog import Catalog
+
+__all__ = ["explain_plan", "explain_pipelines", "explain"]
+
+
+def _node_label(node: PlanNode) -> str:
+    if isinstance(node, planmod.TableScan):
+        label = f"Scan {node.table} [{', '.join(node.columns)}]"
+        if node.predicate is not None:
+            label += f" filter={node.predicate!r}"
+        return label
+    if isinstance(node, planmod.Filter):
+        return f"Filter {node.predicate!r}"
+    if isinstance(node, planmod.Project):
+        return "Project " + ", ".join(name for name, _ in node.outputs)
+    if isinstance(node, planmod.Rename):
+        return "Rename " + ", ".join(f"{old}→{new}" for old, new in node.mapping.items())
+    if isinstance(node, planmod.HashJoin):
+        kind = node.join_type.value.upper()
+        keys = " AND ".join(
+            f"{probe}={build}" for probe, build in zip(node.probe_keys, node.build_keys)
+        )
+        label = f"HashJoin {kind} on {keys}"
+        if node.residual is not None:
+            label += f" residual={node.residual!r}"
+        return label
+    if isinstance(node, planmod.Aggregate):
+        keys = ", ".join(node.group_keys) if node.group_keys else "<global>"
+        aggs = ", ".join(
+            f"{s.name}={s.func.value}({s.column or '*'})" for s in node.aggregates
+        )
+        return f"Aggregate by {keys}: {aggs}"
+    if isinstance(node, planmod.Sort):
+        keys = ", ".join(f"{name} {'ASC' if asc else 'DESC'}" for name, asc in node.keys)
+        label = f"Sort {keys}"
+        if node.limit is not None:
+            label += f" limit={node.limit}"
+        return label
+    if isinstance(node, planmod.Limit):
+        return f"Limit {node.count}"
+    if isinstance(node, planmod.UnionAll):
+        return f"UnionAll ({len(node.inputs)} inputs)"
+    return type(node).__name__
+
+
+def explain_plan(plan: PlanNode) -> str:
+    """ASCII tree of the operator structure."""
+    lines: list[str] = []
+
+    def visit(node: PlanNode, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        lines.append(prefix + connector + _node_label(node))
+        children = node.children()
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        for index, child in enumerate(children):
+            visit(child, child_prefix, index == len(children) - 1, False)
+
+    visit(plan, "", True, True)
+    return "\n".join(lines)
+
+
+def explain_pipelines(catalog: Catalog, plan: PlanNode) -> str:
+    """One line per pipeline: the suspension-relevant decomposition."""
+    pipelines = build_pipelines(catalog, plan)
+    lines = [f"{len(pipelines)} pipelines ({len(pipelines) - 1} intermediate breakers):"]
+    for pipeline in pipelines:
+        deps = (
+            f" needs {sorted(pipeline.dependencies)}" if pipeline.dependencies else ""
+        )
+        lines.append(
+            f"  P{pipeline.pipeline_id}: {pipeline.description}"
+            f" [sink={pipeline.sink.kind}]{deps}"
+        )
+    return "\n".join(lines)
+
+
+def explain(catalog: Catalog, plan: PlanNode) -> str:
+    """Both views, joined."""
+    return explain_plan(plan) + "\n\n" + explain_pipelines(catalog, plan)

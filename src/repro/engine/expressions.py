@@ -1,0 +1,520 @@
+"""Vectorized scalar expression trees.
+
+Expressions are evaluated against a :class:`~repro.engine.chunk.DataChunk`
+and always return a NumPy array with one value per input row.  The builder
+helpers (:func:`col`, :func:`lit`) plus Python operator overloading keep
+query plans readable::
+
+    (col("l_shipdate") <= lit(parse_date("1998-09-02"))) & col("l_quantity").between(1, 10)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.engine.chunk import DataChunk
+from repro.engine.types import DataType, Schema, parse_date
+
+__all__ = [
+    "Expression",
+    "ColumnRef",
+    "Literal",
+    "Arithmetic",
+    "Comparison",
+    "BooleanOp",
+    "Not",
+    "InList",
+    "Like",
+    "Substring",
+    "ExtractYear",
+    "CaseWhen",
+    "col",
+    "lit",
+    "date_lit",
+]
+
+
+class ExpressionError(ValueError):
+    """Raised for malformed expressions or type mismatches."""
+
+
+class Expression:
+    """Base class of all scalar expressions."""
+
+    def evaluate(self, chunk: DataChunk) -> np.ndarray:
+        """Array of results, one per row of *chunk*."""
+        raise NotImplementedError
+
+    def output_type(self, schema: Schema) -> DataType:
+        """Logical type this expression produces over *schema*."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        """Names of all columns the expression reads."""
+        raise NotImplementedError
+
+    # -- builder sugar -----------------------------------------------------
+    def __add__(self, other: "Expression | object") -> "Arithmetic":
+        return Arithmetic("+", self, _wrap(other))
+
+    def __radd__(self, other: object) -> "Arithmetic":
+        return Arithmetic("+", _wrap(other), self)
+
+    def __sub__(self, other: "Expression | object") -> "Arithmetic":
+        return Arithmetic("-", self, _wrap(other))
+
+    def __rsub__(self, other: object) -> "Arithmetic":
+        return Arithmetic("-", _wrap(other), self)
+
+    def __mul__(self, other: "Expression | object") -> "Arithmetic":
+        return Arithmetic("*", self, _wrap(other))
+
+    def __rmul__(self, other: object) -> "Arithmetic":
+        return Arithmetic("*", _wrap(other), self)
+
+    def __truediv__(self, other: "Expression | object") -> "Arithmetic":
+        return Arithmetic("/", self, _wrap(other))
+
+    def __eq__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("==", self, _wrap(other))
+
+    def __ne__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("!=", self, _wrap(other))
+
+    def __lt__(self, other: object) -> "Comparison":
+        return Comparison("<", self, _wrap(other))
+
+    def __le__(self, other: object) -> "Comparison":
+        return Comparison("<=", self, _wrap(other))
+
+    def __gt__(self, other: object) -> "Comparison":
+        return Comparison(">", self, _wrap(other))
+
+    def __ge__(self, other: object) -> "Comparison":
+        return Comparison(">=", self, _wrap(other))
+
+    def __and__(self, other: "Expression") -> "BooleanOp":
+        return BooleanOp("and", [self, other])
+
+    def __or__(self, other: "Expression") -> "BooleanOp":
+        return BooleanOp("or", [self, other])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __hash__(self) -> int:  # __eq__ is overloaded, keep hashability
+        return id(self)
+
+    def isin(self, values: Sequence[object]) -> "InList":
+        """SQL ``IN (...)`` over literal *values*."""
+        return InList(self, list(values))
+
+    def between(self, low: object, high: object) -> "BooleanOp":
+        """SQL ``BETWEEN low AND high`` (inclusive)."""
+        return BooleanOp("and", [Comparison(">=", self, _wrap(low)), Comparison("<=", self, _wrap(high))])
+
+    def like(self, pattern: str) -> "Like":
+        """SQL ``LIKE pattern`` with ``%`` and ``_`` wildcards."""
+        return Like(self, pattern)
+
+    def not_like(self, pattern: str) -> "Not":
+        """SQL ``NOT LIKE pattern``."""
+        return Not(Like(self, pattern))
+
+    def substring(self, start: int, length: int) -> "Substring":
+        """SQL ``SUBSTRING(expr, start, length)`` (1-based start)."""
+        return Substring(self, start, length)
+
+    def year(self) -> "ExtractYear":
+        """SQL ``EXTRACT(YEAR FROM expr)`` for DATE expressions."""
+        return ExtractYear(self)
+
+
+def _wrap(value: "Expression | object") -> Expression:
+    return value if isinstance(value, Expression) else Literal(value)
+
+
+class ColumnRef(Expression):
+    """Reference to an input column by name."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+    def evaluate(self, chunk: DataChunk) -> np.ndarray:
+        return chunk.column(self.name)
+
+    def output_type(self, schema: Schema) -> DataType:
+        return schema.type_of(self.name)
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name}
+
+
+class Literal(Expression):
+    """A constant broadcast to the chunk's row count."""
+
+    def __init__(self, value: object, dtype: DataType | None = None):
+        self.value = value
+        self.dtype = dtype if dtype is not None else _infer_literal_type(value)
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+    def evaluate(self, chunk: DataChunk) -> np.ndarray:
+        dtype = self.dtype.numpy_dtype
+        if self.dtype is DataType.STRING:
+            return np.full(chunk.num_rows, self.value, dtype=f"U{max(1, len(str(self.value)))}")
+        return np.full(chunk.num_rows, self.value, dtype=dtype)
+
+    def output_type(self, schema: Schema) -> DataType:
+        return self.dtype
+
+    def referenced_columns(self) -> set[str]:
+        return set()
+
+
+def _infer_literal_type(value: object) -> DataType:
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, (int, np.integer)):
+        return DataType.INT64
+    if isinstance(value, (float, np.floating)):
+        return DataType.FLOAT64
+    if isinstance(value, str):
+        return DataType.STRING
+    raise ExpressionError(f"cannot infer literal type for {value!r}")
+
+
+_ARITH_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+}
+
+
+class Arithmetic(Expression):
+    """Binary arithmetic; division always yields FLOAT64."""
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _ARITH_OPS:
+            raise ExpressionError(f"unknown arithmetic op {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def evaluate(self, chunk: DataChunk) -> np.ndarray:
+        left = self.left.evaluate(chunk)
+        right = self.right.evaluate(chunk)
+        return _ARITH_OPS[self.op](left, right)
+
+    def output_type(self, schema: Schema) -> DataType:
+        if self.op == "/":
+            return DataType.FLOAT64
+        left = self.left.output_type(schema)
+        right = self.right.output_type(schema)
+        if DataType.FLOAT64 in (left, right):
+            return DataType.FLOAT64
+        return DataType.INT64
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+
+_CMP_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+class Comparison(Expression):
+    """Binary comparison producing a BOOL array."""
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _CMP_OPS:
+            raise ExpressionError(f"unknown comparison op {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def evaluate(self, chunk: DataChunk) -> np.ndarray:
+        left = self.left.evaluate(chunk)
+        right = self.right.evaluate(chunk)
+        return _CMP_OPS[self.op](left, right)
+
+    def output_type(self, schema: Schema) -> DataType:
+        return DataType.BOOL
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+
+class BooleanOp(Expression):
+    """N-ary AND / OR over BOOL operands."""
+
+    def __init__(self, op: str, operands: list[Expression]):
+        if op not in ("and", "or"):
+            raise ExpressionError(f"unknown boolean op {op!r}")
+        if not operands:
+            raise ExpressionError("boolean op needs at least one operand")
+        self.op = op
+        self.operands = operands
+
+    def __repr__(self) -> str:
+        joined = f" {self.op} ".join(repr(o) for o in self.operands)
+        return f"({joined})"
+
+    def evaluate(self, chunk: DataChunk) -> np.ndarray:
+        combine = np.logical_and if self.op == "and" else np.logical_or
+        result = self.operands[0].evaluate(chunk)
+        for operand in self.operands[1:]:
+            result = combine(result, operand.evaluate(chunk))
+        return result
+
+    def output_type(self, schema: Schema) -> DataType:
+        return DataType.BOOL
+
+    def referenced_columns(self) -> set[str]:
+        out: set[str] = set()
+        for operand in self.operands:
+            out |= operand.referenced_columns()
+        return out
+
+
+class Not(Expression):
+    """Logical negation."""
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"(not {self.operand!r})"
+
+    def evaluate(self, chunk: DataChunk) -> np.ndarray:
+        return np.logical_not(self.operand.evaluate(chunk))
+
+    def output_type(self, schema: Schema) -> DataType:
+        return DataType.BOOL
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+class InList(Expression):
+    """SQL ``IN (v1, v2, ...)`` against literal values."""
+
+    def __init__(self, operand: Expression, values: list[object]):
+        if not values:
+            raise ExpressionError("IN list must be non-empty")
+        self.operand = operand
+        self.values = values
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} in {self.values!r})"
+
+    def evaluate(self, chunk: DataChunk) -> np.ndarray:
+        data = self.operand.evaluate(chunk)
+        return np.isin(data, np.asarray(self.values))
+
+    def output_type(self, schema: Schema) -> DataType:
+        return DataType.BOOL
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+class Like(Expression):
+    """SQL ``LIKE`` with ``%`` (any run) and ``_`` (single char) wildcards.
+
+    Common shapes (``prefix%``, ``%suffix``, ``%infix%``,
+    ``%part1%part2%``) use fast vectorized string kernels; anything else
+    falls back to a compiled regex.
+    """
+
+    def __init__(self, operand: Expression, pattern: str):
+        self.operand = operand
+        self.pattern = pattern
+        self._matcher = _compile_like(pattern)
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} like {self.pattern!r})"
+
+    def evaluate(self, chunk: DataChunk) -> np.ndarray:
+        data = self.operand.evaluate(chunk)
+        if data.dtype.kind == "O":
+            data = data.astype(str)
+        return self._matcher(data)
+
+    def output_type(self, schema: Schema) -> DataType:
+        return DataType.BOOL
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+def _compile_like(pattern: str) -> Callable[[np.ndarray], np.ndarray]:
+    has_underscore = "_" in pattern
+    parts = pattern.split("%")
+    if not has_underscore:
+        if len(parts) == 2 and parts[1] == "" and parts[0]:
+            prefix = parts[0]
+            return lambda data: np.char.startswith(data, prefix)
+        if len(parts) == 2 and parts[0] == "" and parts[1]:
+            suffix = parts[1]
+            return lambda data: np.char.endswith(data, suffix)
+        if len(parts) == 3 and parts[0] == "" and parts[2] == "" and parts[1]:
+            infix = parts[1]
+            return lambda data: np.char.find(data, infix) >= 0
+        if len(parts) == 4 and parts[0] == "" and parts[3] == "" and parts[1] and parts[2]:
+            first, second = parts[1], parts[2]
+
+            def two_infix(data: np.ndarray) -> np.ndarray:
+                first_at = np.char.find(data, first)
+                found = first_at >= 0
+                result = np.zeros(len(data), dtype=np.bool_)
+                if found.any():
+                    hits = np.flatnonzero(found)
+                    rest_start = first_at[hits] + len(first)
+                    rest = np.array(
+                        [s[i:] for s, i in zip(data[hits], rest_start)], dtype=data.dtype
+                    )
+                    result[hits] = np.char.find(rest, second) >= 0
+                return result
+
+            return two_infix
+    regex = re.compile(
+        "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$", re.DOTALL
+    )
+
+    def regex_match(data: np.ndarray) -> np.ndarray:
+        return np.fromiter(
+            (regex.match(s) is not None for s in data), dtype=np.bool_, count=len(data)
+        )
+
+    return regex_match
+
+
+class Substring(Expression):
+    """SQL ``SUBSTRING(expr, start, length)`` with 1-based *start*."""
+
+    def __init__(self, operand: Expression, start: int, length: int):
+        if start < 1 or length < 0:
+            raise ExpressionError("substring start must be >=1 and length >=0")
+        self.operand = operand
+        self.start = start
+        self.length = length
+
+    def __repr__(self) -> str:
+        return f"substring({self.operand!r}, {self.start}, {self.length})"
+
+    def evaluate(self, chunk: DataChunk) -> np.ndarray:
+        data = self.operand.evaluate(chunk)
+        if data.dtype.kind == "O":
+            data = data.astype(str)
+        if len(data) == 0:
+            return np.empty(0, dtype=f"U{max(1, self.length)}")
+        begin = self.start - 1
+        end = begin + self.length
+        chars = data.view("U1").reshape(len(data), -1)
+        sliced = np.ascontiguousarray(chars[:, begin:end])
+        width = sliced.shape[1]
+        if width == 0:
+            return np.full(len(data), "", dtype="U1")
+        return sliced.view(f"U{width}").ravel()
+
+    def output_type(self, schema: Schema) -> DataType:
+        return DataType.STRING
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+class ExtractYear(Expression):
+    """``EXTRACT(YEAR FROM date_expr)`` over engine DATE values."""
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"year({self.operand!r})"
+
+    def evaluate(self, chunk: DataChunk) -> np.ndarray:
+        days = self.operand.evaluate(chunk)
+        dates = days.astype("datetime64[D]")
+        return dates.astype("datetime64[Y]").astype(np.int64) + 1970
+
+    def output_type(self, schema: Schema) -> DataType:
+        return DataType.INT64
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+class CaseWhen(Expression):
+    """``CASE WHEN cond THEN value ... ELSE default END``."""
+
+    def __init__(self, branches: list[tuple[Expression, Expression]], default: Expression):
+        if not branches:
+            raise ExpressionError("CASE requires at least one WHEN branch")
+        self.branches = branches
+        self.default = default
+
+    def __repr__(self) -> str:
+        arms = " ".join(f"when {c!r} then {v!r}" for c, v in self.branches)
+        return f"(case {arms} else {self.default!r})"
+
+    def evaluate(self, chunk: DataChunk) -> np.ndarray:
+        result = self.default.evaluate(chunk)
+        if result.dtype.kind in "iu":
+            result = result.astype(np.float64)
+        result = np.array(result, copy=True)
+        undecided = np.ones(chunk.num_rows, dtype=np.bool_)
+        for condition, value in self.branches:
+            mask = condition.evaluate(chunk) & undecided
+            if mask.any():
+                result[mask] = value.evaluate(chunk)[mask]
+            undecided &= ~mask
+        return result
+
+    def output_type(self, schema: Schema) -> DataType:
+        first_type = self.branches[0][1].output_type(schema)
+        if first_type in (DataType.INT32, DataType.INT64, DataType.FLOAT64):
+            return DataType.FLOAT64
+        return first_type
+
+    def referenced_columns(self) -> set[str]:
+        out = self.default.referenced_columns()
+        for condition, value in self.branches:
+            out |= condition.referenced_columns() | value.referenced_columns()
+        return out
+
+
+def col(name: str) -> ColumnRef:
+    """Column reference builder."""
+    return ColumnRef(name)
+
+
+def lit(value: object, dtype: DataType | None = None) -> Literal:
+    """Literal builder."""
+    return Literal(value, dtype)
+
+
+def date_lit(text: str) -> Literal:
+    """Literal DATE from ``YYYY-MM-DD`` text."""
+    return Literal(parse_date(text), DataType.DATE)

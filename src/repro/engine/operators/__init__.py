@@ -1,0 +1,32 @@
+"""Physical operators of the push-based engine."""
+
+from repro.engine.operators.aggregate import AggFunc, AggSpec, HashAggregateSink
+from repro.engine.operators.base import Sink, Source, StreamingOperator
+from repro.engine.operators.filter import FilterOperator, ProjectOperator, RenameOperator
+from repro.engine.operators.hash_join import HashJoinBuildSink, HashJoinProbeOperator, JoinType
+from repro.engine.operators.limit import LimitSink
+from repro.engine.operators.result import ResultSink
+from repro.engine.operators.scan import ChunkSource, TableScanSource
+from repro.engine.operators.sort import SortSink
+from repro.engine.operators.union_all import UnionAllSink
+
+__all__ = [
+    "AggFunc",
+    "AggSpec",
+    "HashAggregateSink",
+    "Sink",
+    "Source",
+    "StreamingOperator",
+    "FilterOperator",
+    "ProjectOperator",
+    "RenameOperator",
+    "HashJoinBuildSink",
+    "HashJoinProbeOperator",
+    "JoinType",
+    "LimitSink",
+    "ResultSink",
+    "ChunkSource",
+    "TableScanSource",
+    "SortSink",
+    "UnionAllSink",
+]

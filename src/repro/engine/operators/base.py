@@ -1,0 +1,205 @@
+"""Operator framework for the push-based engine.
+
+A pipeline is ``Source → [StreamingOperator...] → Sink``.  Streaming
+operators transform one chunk into another without retaining state.  Sinks
+accumulate per-worker :class:`LocalSinkState` objects which are merged into
+one :class:`GlobalSinkState` when the pipeline completes — the structure
+Riveter's pipeline-level strategy relies on (Fig. 2 of the paper: suspend
+only once thread-local results are merged into the global state, then
+serialize the global state).
+
+Both state kinds are byte-serializable: global states feed pipeline-level
+snapshots, and local states additionally feed process-level images.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.engine.chunk import DataChunk
+from repro.engine.types import DataType, Schema
+from repro.storage import serialize
+
+__all__ = [
+    "StreamingOperator",
+    "Source",
+    "Sink",
+    "LocalSinkState",
+    "GlobalSinkState",
+    "chunk_to_stream",
+    "chunk_from_stream",
+    "chunks_to_bytes",
+    "chunks_from_bytes",
+    "schema_to_json",
+    "schema_from_json",
+]
+
+
+def schema_to_json(schema: Schema) -> list[list[str]]:
+    """JSON-serializable form of a schema."""
+    return [[field.name, field.dtype.value] for field in schema]
+
+
+def schema_from_json(payload: list[list[str]]) -> Schema:
+    """Inverse of :func:`schema_to_json`."""
+    return Schema.of(*[(name, DataType(tname)) for name, tname in payload])
+
+
+def chunk_to_stream(stream: io.BytesIO, chunk: DataChunk) -> None:
+    """Write a chunk (schema + columns) to *stream*."""
+    serialize.write_json(stream, schema_to_json(chunk.schema))
+    serialize.write_named_arrays(stream, chunk.to_dict())
+
+
+def chunk_from_stream(stream: io.BytesIO) -> DataChunk:
+    """Inverse of :func:`chunk_to_stream`."""
+    schema = schema_from_json(serialize.read_json(stream))  # type: ignore[arg-type]
+    arrays = serialize.read_named_arrays(stream)
+    return DataChunk(schema, [arrays[name] for name in schema.names])
+
+
+def chunks_to_bytes(chunks: list[DataChunk]) -> bytes:
+    """Serialize a list of chunks."""
+    buffer = io.BytesIO()
+    serialize.write_json(buffer, len(chunks))
+    for chunk in chunks:
+        chunk_to_stream(buffer, chunk)
+    return buffer.getvalue()
+
+
+def chunks_from_bytes(blob: bytes) -> list[DataChunk]:
+    """Inverse of :func:`chunks_to_bytes`."""
+    buffer = io.BytesIO(blob)
+    count = serialize.read_json(buffer)
+    return [chunk_from_stream(buffer) for _ in range(int(count))]
+
+
+class StreamingOperator:
+    """Stateless chunk-at-a-time transformation within a pipeline."""
+
+    #: cost-model kind, keyed into ``HardwareProfile.operator_cost_factors``
+    kind: str = "project"
+
+    def __init__(self, output_schema: Schema):
+        self.output_schema = output_schema
+
+    def execute(self, chunk: DataChunk) -> DataChunk:
+        """Transform *chunk*; must not retain references to it."""
+        raise NotImplementedError
+
+    def bind_state(self, states: dict[int, "GlobalSinkState"]) -> None:
+        """Resolve references to dependency global states (joins override)."""
+        return None
+
+
+class Source:
+    """Morsel provider for a pipeline; supports cursor-based resumption."""
+
+    kind: str = "scan"
+
+    @property
+    def output_schema(self) -> Schema:
+        raise NotImplementedError
+
+    @property
+    def morsel_count(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def total_rows(self) -> int:
+        raise NotImplementedError
+
+    def get_morsel(self, index: int) -> DataChunk:
+        """Chunk for morsel *index* in ``[0, morsel_count)``."""
+        raise NotImplementedError
+
+
+class LocalSinkState:
+    """Per-worker accumulation state; serializable for process images."""
+
+    @property
+    def nbytes(self) -> int:
+        raise NotImplementedError
+
+    def serialize(self) -> bytes:
+        raise NotImplementedError
+
+
+class GlobalSinkState:
+    """Merged pipeline result; serializable for pipeline-level snapshots."""
+
+    finalized: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        raise NotImplementedError
+
+    def serialize(self) -> bytes:
+        raise NotImplementedError
+
+
+class Sink:
+    """Pipeline terminator (a pipeline breaker in DuckDB terms)."""
+
+    kind: str = "result"
+
+    def __init__(self, input_schema: Schema):
+        self.input_schema = input_schema
+
+    def make_local_state(self) -> LocalSinkState:
+        """Fresh per-worker state."""
+        raise NotImplementedError
+
+    def make_global_state(self) -> GlobalSinkState:
+        """Fresh (empty) global state."""
+        raise NotImplementedError
+
+    def sink(self, state: LocalSinkState, chunk: DataChunk) -> None:
+        """Accumulate *chunk* into worker-local *state*."""
+        raise NotImplementedError
+
+    def combine(self, global_state: GlobalSinkState, local_state: LocalSinkState) -> None:
+        """Merge one worker's local state into the global state."""
+        raise NotImplementedError
+
+    def finalize(self, global_state: GlobalSinkState) -> None:
+        """Complete the global state once all locals are combined."""
+        raise NotImplementedError
+
+    def finalize_cost_rows(self, global_state: GlobalSinkState) -> int:
+        """Row-equivalents of work done at finalize, for the clock."""
+        return 0
+
+    def deserialize_global_state(self, blob: bytes) -> GlobalSinkState:
+        """Rebuild a finalized global state from snapshot bytes."""
+        raise NotImplementedError
+
+    def deserialize_local_state(self, blob: bytes) -> LocalSinkState:
+        """Rebuild a local state from process-image bytes."""
+        raise NotImplementedError
+
+    def result_chunk(self, global_state: GlobalSinkState) -> DataChunk:
+        """Materialized result for sinks that downstream pipelines scan."""
+        raise NotImplementedError(f"{type(self).__name__} has no scannable result")
+
+
+class ChunkListLocalState(LocalSinkState):
+    """Common local state: a list of buffered chunks."""
+
+    def __init__(self, chunks: list[DataChunk] | None = None):
+        self.chunks: list[DataChunk] = list(chunks) if chunks else []
+
+    @property
+    def nbytes(self) -> int:
+        return sum(c.nbytes for c in self.chunks)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(c.num_rows for c in self.chunks)
+
+    def serialize(self) -> bytes:
+        return chunks_to_bytes(self.chunks)
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "ChunkListLocalState":
+        return cls(chunks_from_bytes(blob))

@@ -1,0 +1,62 @@
+"""Streaming filter and projection operators."""
+
+from __future__ import annotations
+
+from repro.engine.chunk import DataChunk
+from repro.engine.expressions import Expression
+from repro.engine.operators.base import StreamingOperator
+from repro.engine.types import Schema
+
+__all__ = ["FilterOperator", "ProjectOperator", "RenameOperator"]
+
+
+class FilterOperator(StreamingOperator):
+    """Keeps rows where the predicate evaluates to true."""
+
+    kind = "filter"
+
+    def __init__(self, output_schema: Schema, predicate: Expression):
+        super().__init__(output_schema)
+        self.predicate = predicate
+
+    def __repr__(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+    def execute(self, chunk: DataChunk) -> DataChunk:
+        mask = self.predicate.evaluate(chunk)
+        return chunk.filter(mask)
+
+
+class ProjectOperator(StreamingOperator):
+    """Computes named output expressions over the input chunk."""
+
+    kind = "project"
+
+    def __init__(self, output_schema: Schema, expressions: list[Expression]):
+        if len(output_schema) != len(expressions):
+            raise ValueError("projection schema/expression arity mismatch")
+        super().__init__(output_schema)
+        self.expressions = expressions
+
+    def __repr__(self) -> str:
+        return f"Project({self.output_schema.names})"
+
+    def execute(self, chunk: DataChunk) -> DataChunk:
+        return DataChunk(
+            self.output_schema, [expr.evaluate(chunk) for expr in self.expressions]
+        )
+
+
+class RenameOperator(StreamingOperator):
+    """Relabels columns without touching data (zero cost)."""
+
+    kind = "project"
+
+    def __init__(self, output_schema: Schema):
+        super().__init__(output_schema)
+
+    def __repr__(self) -> str:
+        return f"Rename({self.output_schema.names})"
+
+    def execute(self, chunk: DataChunk) -> DataChunk:
+        return chunk.with_schema(self.output_schema)

@@ -1,0 +1,87 @@
+"""Pipeline sources: base-table scans and intermediate-state scans."""
+
+from __future__ import annotations
+
+from repro.engine.chunk import DataChunk
+from repro.engine.operators.base import Source
+from repro.engine.types import Schema
+from repro.storage.table import Table
+
+__all__ = ["TableScanSource", "ChunkSource"]
+
+
+class TableScanSource(Source):
+    """Morsel-wise scan over a catalog table, pruned to needed columns."""
+
+    kind = "scan"
+
+    def __init__(self, table: Table, columns: list[str], morsel_size: int):
+        if morsel_size <= 0:
+            raise ValueError(f"morsel_size must be positive, got {morsel_size}")
+        self._table = table
+        self._columns = list(columns)
+        self._schema = table.schema.select(self._columns)
+        self._morsel_size = morsel_size
+        self._rows = table.num_rows
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def total_rows(self) -> int:
+        return self._rows
+
+    @property
+    def morsel_count(self) -> int:
+        if self._rows == 0:
+            return 0
+        return (self._rows + self._morsel_size - 1) // self._morsel_size
+
+    def get_morsel(self, index: int) -> DataChunk:
+        start = index * self._morsel_size
+        stop = min(start + self._morsel_size, self._rows)
+        if not 0 <= start < self._rows:
+            raise IndexError(f"morsel {index} out of range")
+        return DataChunk(
+            self._schema,
+            [self._table.array(name)[start:stop] for name in self._columns],
+        )
+
+
+class ChunkSource(Source):
+    """Scan over an already-materialized chunk (a breaker's result).
+
+    Used as the source of pipelines that consume the output of an upstream
+    pipeline breaker (aggregate, sort, limit, union-all).
+    """
+
+    kind = "state_scan"
+
+    def __init__(self, chunk: DataChunk, morsel_size: int):
+        if morsel_size <= 0:
+            raise ValueError(f"morsel_size must be positive, got {morsel_size}")
+        self._chunk = chunk
+        self._morsel_size = morsel_size
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._chunk.schema
+
+    @property
+    def total_rows(self) -> int:
+        return self._chunk.num_rows
+
+    @property
+    def morsel_count(self) -> int:
+        rows = self._chunk.num_rows
+        if rows == 0:
+            return 0
+        return (rows + self._morsel_size - 1) // self._morsel_size
+
+    def get_morsel(self, index: int) -> DataChunk:
+        start = index * self._morsel_size
+        stop = min(start + self._morsel_size, self._chunk.num_rows)
+        if not 0 <= start < self._chunk.num_rows:
+            raise IndexError(f"morsel {index} out of range")
+        return self._chunk.slice(start, stop)

@@ -1,0 +1,138 @@
+"""Sort (optionally with a row limit, i.e. top-N) — a pipeline breaker."""
+
+from __future__ import annotations
+
+import io
+import math
+
+import numpy as np
+
+from repro.engine.chunk import DataChunk, concat_chunks
+from repro.engine.operators.base import (
+    ChunkListLocalState,
+    GlobalSinkState,
+    Sink,
+    chunk_from_stream,
+    chunk_to_stream,
+)
+from repro.engine.types import Schema
+
+__all__ = ["SortSink", "SortGlobalState", "sort_indices"]
+
+
+def sort_indices(arrays: list[np.ndarray], ascending: list[bool]) -> np.ndarray:
+    """Row order sorting by *arrays* (first array is the primary key).
+
+    Descending order on strings is handled by factorizing to integer codes
+    and negating; numeric keys are negated directly.
+    """
+    if len(arrays) != len(ascending):
+        raise ValueError("one ascending flag per sort key is required")
+    lexsort_keys = []
+    for array, asc in zip(arrays, ascending):
+        if not asc:
+            if array.dtype.kind in "iufb":
+                array = -array.astype(np.float64 if array.dtype.kind == "f" else np.int64)
+            else:
+                _, codes = np.unique(array, return_inverse=True)
+                array = -codes.astype(np.int64)
+        lexsort_keys.append(array)
+    # np.lexsort treats the LAST key as primary.
+    return np.lexsort(tuple(reversed(lexsort_keys)))
+
+
+class SortGlobalState(GlobalSinkState):
+    """Buffered input chunks, then the finalized sorted (limited) chunk."""
+
+    def __init__(self) -> None:
+        self.pending: list[DataChunk] = []
+        self.result: DataChunk | None = None
+        self.input_rows = 0
+        self.finalized = False
+
+    @property
+    def nbytes(self) -> int:
+        total = sum(c.nbytes for c in self.pending)
+        if self.result is not None:
+            total += self.result.nbytes
+        return int(total)
+
+    def serialize(self) -> bytes:
+        if not self.finalized:
+            raise ValueError("cannot serialize an unfinalized sort state")
+        buffer = io.BytesIO()
+        chunk_to_stream(buffer, self.result)
+        return buffer.getvalue()
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "SortGlobalState":
+        state = cls()
+        state.result = chunk_from_stream(io.BytesIO(blob))
+        state.finalized = True
+        return state
+
+
+class SortSink(Sink):
+    """Materializes input, sorts it by the given keys, applies a limit."""
+
+    kind = "sort"
+
+    def __init__(
+        self,
+        input_schema: Schema,
+        sort_keys: list[tuple[str, bool]],
+        limit: int | None = None,
+    ):
+        super().__init__(input_schema)
+        for name, _asc in sort_keys:
+            if name not in input_schema:
+                raise KeyError(f"sort key {name!r} not in schema {input_schema.names}")
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        self.sort_keys = list(sort_keys)
+        self.limit = limit
+        self.output_schema = input_schema
+
+    def make_local_state(self) -> ChunkListLocalState:
+        return ChunkListLocalState()
+
+    def make_global_state(self) -> SortGlobalState:
+        return SortGlobalState()
+
+    def sink(self, state: ChunkListLocalState, chunk: DataChunk) -> None:
+        state.chunks.append(chunk)
+
+    def combine(self, global_state: SortGlobalState, local_state: ChunkListLocalState) -> None:
+        global_state.pending.extend(local_state.chunks)
+        local_state.chunks = []
+
+    def finalize(self, global_state: SortGlobalState) -> None:
+        merged = concat_chunks(self.input_schema, global_state.pending)
+        global_state.pending = []
+        global_state.input_rows = merged.num_rows
+        if self.sort_keys and merged.num_rows:
+            order = sort_indices(
+                [merged.column(name) for name, _ in self.sort_keys],
+                [asc for _, asc in self.sort_keys],
+            )
+            merged = merged.take(order)
+        if self.limit is not None:
+            merged = merged.slice(0, min(self.limit, merged.num_rows))
+        global_state.result = merged
+        global_state.finalized = True
+
+    def finalize_cost_rows(self, global_state: SortGlobalState) -> int:
+        rows = global_state.input_rows
+        # n log n sorting work expressed in row-equivalents for the clock
+        return int(rows * max(1.0, math.log2(rows + 2) / 4.0))
+
+    def deserialize_global_state(self, blob: bytes) -> SortGlobalState:
+        return SortGlobalState.deserialize(blob)
+
+    def deserialize_local_state(self, blob: bytes) -> ChunkListLocalState:
+        return ChunkListLocalState.deserialize(blob)
+
+    def result_chunk(self, global_state: SortGlobalState) -> DataChunk:
+        if not global_state.finalized:
+            raise ValueError("sort state not finalized")
+        return global_state.result

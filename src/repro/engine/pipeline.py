@@ -1,0 +1,226 @@
+"""Pipeline construction from physical plans.
+
+A plan tree is decomposed into pipelines at its *pipeline breakers*
+(join builds, aggregates, sorts, limits, union branches, and the final
+result collector), exactly the decomposition the paper's pipeline-level
+strategy exploits: every breaker is a natural suspension/resumption point.
+
+Construction is deterministic — the same plan always yields the same
+pipeline ids — which lets snapshots refer to pipelines by id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine import plan as planmod
+from repro.engine.operators.aggregate import HashAggregateSink
+from repro.engine.operators.base import Sink, StreamingOperator
+from repro.engine.operators.filter import FilterOperator, ProjectOperator, RenameOperator
+from repro.engine.operators.hash_join import HashJoinBuildSink, HashJoinProbeOperator
+from repro.engine.operators.limit import LimitSink
+from repro.engine.operators.result import ResultSink
+from repro.engine.operators.sort import SortSink
+from repro.engine.operators.union_all import UnionAllSink
+from repro.engine.types import Schema
+from repro.storage.catalog import Catalog
+
+__all__ = ["SourceSpec", "Pipeline", "build_pipelines"]
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """Declarative pipeline source.
+
+    ``kind`` is ``"table"`` (scan of ``table`` over ``columns``) or
+    ``"state"`` (scan of the materialized results of ``state_pipelines``).
+    """
+
+    kind: str
+    table: str | None = None
+    columns: tuple[str, ...] = ()
+    state_pipelines: tuple[int, ...] = ()
+
+
+@dataclass
+class Pipeline:
+    """An executable pipeline: source → streaming operators → sink."""
+
+    pipeline_id: int
+    source: SourceSpec
+    operators: list[StreamingOperator]
+    sink: Sink
+    dependencies: set[int]
+    description: str
+    source_schema: Schema
+
+    def __repr__(self) -> str:
+        return f"Pipeline({self.pipeline_id}: {self.description})"
+
+
+@dataclass
+class _Fragment:
+    """Partial pipeline produced while walking the plan tree."""
+
+    source: SourceSpec
+    source_schema: Schema
+    operators: list[StreamingOperator] = field(default_factory=list)
+    dependencies: set[int] = field(default_factory=set)
+    labels: list[str] = field(default_factory=list)
+
+
+class _PipelineBuilder:
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.pipelines: list[Pipeline] = []
+
+    def build(self, root: planmod.PlanNode) -> list[Pipeline]:
+        fragment = self._visit(root)
+        schema = self._fragment_output_schema(fragment)
+        self._seal(fragment, ResultSink(schema), "result")
+        return self.pipelines
+
+    # -- helpers -----------------------------------------------------------
+    def _fragment_output_schema(self, fragment: _Fragment) -> Schema:
+        if fragment.operators:
+            return fragment.operators[-1].output_schema
+        return fragment.source_schema
+
+    def _seal(self, fragment: _Fragment, sink: Sink, label: str) -> int:
+        pipeline_id = len(self.pipelines)
+        description = "→".join(fragment.labels + [label])
+        self.pipelines.append(
+            Pipeline(
+                pipeline_id=pipeline_id,
+                source=fragment.source,
+                operators=fragment.operators,
+                sink=sink,
+                dependencies=set(fragment.dependencies),
+                description=description,
+                source_schema=fragment.source_schema,
+            )
+        )
+        return pipeline_id
+
+    def _state_fragment(self, pipeline_ids: list[int], schema: Schema, label: str) -> _Fragment:
+        return _Fragment(
+            source=SourceSpec(kind="state", state_pipelines=tuple(pipeline_ids)),
+            source_schema=schema,
+            dependencies=set(pipeline_ids),
+            labels=[label],
+        )
+
+    # -- node dispatch -------------------------------------------------------
+    def _visit(self, node: planmod.PlanNode) -> _Fragment:
+        if isinstance(node, planmod.TableScan):
+            return self._visit_scan(node)
+        if isinstance(node, planmod.Filter):
+            return self._visit_filter(node)
+        if isinstance(node, planmod.Project):
+            return self._visit_project(node)
+        if isinstance(node, planmod.Rename):
+            return self._visit_rename(node)
+        if isinstance(node, planmod.HashJoin):
+            return self._visit_join(node)
+        if isinstance(node, planmod.Aggregate):
+            return self._visit_aggregate(node)
+        if isinstance(node, planmod.Sort):
+            return self._visit_sort(node)
+        if isinstance(node, planmod.Limit):
+            return self._visit_limit(node)
+        if isinstance(node, planmod.UnionAll):
+            return self._visit_union(node)
+        raise TypeError(f"unknown plan node {type(node).__name__}")
+
+    def _visit_scan(self, node: planmod.TableScan) -> _Fragment:
+        schema = node.output_schema(self.catalog)
+        fragment = _Fragment(
+            source=SourceSpec(kind="table", table=node.table, columns=tuple(node.columns)),
+            source_schema=schema,
+            labels=[f"scan({node.table})"],
+        )
+        if node.predicate is not None:
+            fragment.operators.append(FilterOperator(schema, node.predicate))
+            fragment.labels.append("filter")
+        return fragment
+
+    def _visit_filter(self, node: planmod.Filter) -> _Fragment:
+        fragment = self._visit(node.child)
+        schema = self._fragment_output_schema(fragment)
+        fragment.operators.append(FilterOperator(schema, node.predicate))
+        fragment.labels.append("filter")
+        return fragment
+
+    def _visit_project(self, node: planmod.Project) -> _Fragment:
+        fragment = self._visit(node.child)
+        schema = node.output_schema(self.catalog)
+        fragment.operators.append(
+            ProjectOperator(schema, [expr for _, expr in node.outputs])
+        )
+        fragment.labels.append("project")
+        return fragment
+
+    def _visit_rename(self, node: planmod.Rename) -> _Fragment:
+        fragment = self._visit(node.child)
+        fragment.operators.append(RenameOperator(node.output_schema(self.catalog)))
+        return fragment
+
+    def _visit_join(self, node: planmod.HashJoin) -> _Fragment:
+        build_fragment = self._visit(node.build)
+        build_schema = self._fragment_output_schema(build_fragment)
+        build_pid = self._seal(
+            build_fragment, HashJoinBuildSink(build_schema, node.build_keys), "build"
+        )
+        probe_fragment = self._visit(node.probe)
+        probe_schema = self._fragment_output_schema(probe_fragment)
+        payload_columns = node.payload_columns(self.catalog)
+        probe_fragment.operators.append(
+            HashJoinProbeOperator(
+                probe_schema=probe_schema,
+                probe_keys=node.probe_keys,
+                build_pipeline_id=build_pid,
+                join_type=node.join_type,
+                payload_columns=payload_columns,
+                payload_schema=build_schema.select(payload_columns),
+                residual=node.residual,
+                default_row=node.default_row,
+            )
+        )
+        probe_fragment.dependencies.add(build_pid)
+        probe_fragment.labels.append(f"probe#{build_pid}")
+        return probe_fragment
+
+    def _visit_aggregate(self, node: planmod.Aggregate) -> _Fragment:
+        child_fragment = self._visit(node.child)
+        child_schema = self._fragment_output_schema(child_fragment)
+        sink = HashAggregateSink(child_schema, node.group_keys, node.aggregates)
+        pid = self._seal(child_fragment, sink, "aggregate")
+        return self._state_fragment([pid], sink.output_schema, f"agg#{pid}")
+
+    def _visit_sort(self, node: planmod.Sort) -> _Fragment:
+        child_fragment = self._visit(node.child)
+        child_schema = self._fragment_output_schema(child_fragment)
+        sink = SortSink(child_schema, node.keys, node.limit)
+        pid = self._seal(child_fragment, sink, "sort")
+        return self._state_fragment([pid], sink.output_schema, f"sort#{pid}")
+
+    def _visit_limit(self, node: planmod.Limit) -> _Fragment:
+        child_fragment = self._visit(node.child)
+        child_schema = self._fragment_output_schema(child_fragment)
+        sink = LimitSink(child_schema, node.count)
+        pid = self._seal(child_fragment, sink, "limit")
+        return self._state_fragment([pid], sink.output_schema, f"limit#{pid}")
+
+    def _visit_union(self, node: planmod.UnionAll) -> _Fragment:
+        schema = node.output_schema(self.catalog)
+        branch_ids = []
+        for branch in node.inputs:
+            fragment = self._visit(branch)
+            branch_schema = self._fragment_output_schema(fragment)
+            branch_ids.append(self._seal(fragment, UnionAllSink(branch_schema), "union"))
+        return self._state_fragment(branch_ids, schema, f"union#{branch_ids}")
+
+
+def build_pipelines(catalog: Catalog, root: planmod.PlanNode) -> list[Pipeline]:
+    """Decompose *root* into executable pipelines (deterministic ids)."""
+    return _PipelineBuilder(catalog).build(root)

@@ -1,0 +1,317 @@
+"""Physical query plans.
+
+Plans are declarative trees; the :mod:`repro.engine.pipeline` builder turns
+them into executable pipelines.  Plan construction is deterministic, and a
+plan has a stable :func:`fingerprint` so suspension snapshots can verify
+they are resumed against the same plan (the paper assumes query plans do
+not change between suspension and resumption, §VI).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.engine.expressions import Expression
+from repro.engine.operators.aggregate import AggSpec, aggregate_output_schema
+from repro.engine.operators.hash_join import JoinType
+from repro.engine.types import Schema
+from repro.storage.catalog import Catalog
+
+__all__ = [
+    "PlanNode",
+    "TableScan",
+    "Filter",
+    "Project",
+    "Rename",
+    "HashJoin",
+    "Aggregate",
+    "Sort",
+    "Limit",
+    "UnionAll",
+    "plan_fingerprint",
+    "count_operators",
+    "referenced_tables",
+]
+
+
+class PlanNode:
+    """Base class for physical plan nodes."""
+
+    def children(self) -> list["PlanNode"]:
+        raise NotImplementedError
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        """Schema of this node's output, resolved against *catalog*."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable operator label."""
+        return type(self).__name__
+
+
+@dataclass
+class TableScan(PlanNode):
+    """Scan of a base table, pruned to *columns*, with optional pushdown filter."""
+
+    table: str
+    columns: list[str]
+    predicate: Expression | None = None
+
+    def children(self) -> list[PlanNode]:
+        return []
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return catalog.get(self.table).schema.select(self.columns)
+
+    def describe(self) -> str:
+        return f"scan({self.table})"
+
+
+@dataclass
+class Filter(PlanNode):
+    """Row filter."""
+
+    child: PlanNode
+    predicate: Expression
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def describe(self) -> str:
+        return "filter"
+
+
+@dataclass
+class Project(PlanNode):
+    """Computes named expressions; output columns are exactly *outputs*."""
+
+    child: PlanNode
+    outputs: list[tuple[str, Expression]]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        child_schema = self.child.output_schema(catalog)
+        return Schema.of(
+            *[(name, expr.output_type(child_schema)) for name, expr in self.outputs]
+        )
+
+    def describe(self) -> str:
+        return "project"
+
+
+@dataclass
+class Rename(PlanNode):
+    """Relabels columns via *mapping* (old name → new name)."""
+
+    child: PlanNode
+    mapping: dict[str, str]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog).rename(self.mapping)
+
+    def describe(self) -> str:
+        return "rename"
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Hash join; *build* side becomes its own pipeline (Fig. 4).
+
+    ``payload`` selects the build columns carried into the output (defaults
+    to every build column).  ``residual`` is an extra predicate evaluated
+    over the combined probe+payload row — used e.g. for Q21's
+    ``l2.l_suppkey <> l1.l_suppkey`` inside EXISTS.  ``default_row``
+    supplies LEFT OUTER fill values for unmatched probe rows.
+    """
+
+    probe: PlanNode
+    build: PlanNode
+    probe_keys: list[str]
+    build_keys: list[str]
+    join_type: JoinType = JoinType.INNER
+    payload: list[str] | None = None
+    residual: Expression | None = None
+    default_row: dict[str, object] | None = None
+
+    def children(self) -> list[PlanNode]:
+        return [self.probe, self.build]
+
+    def payload_columns(self, catalog: Catalog) -> list[str]:
+        build_schema = self.build.output_schema(catalog)
+        if self.payload is None:
+            return [n for n in build_schema.names if n not in self.build_keys]
+        return list(self.payload)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        probe_schema = self.probe.output_schema(catalog)
+        if self.join_type in (JoinType.SEMI, JoinType.ANTI):
+            return probe_schema
+        build_schema = self.build.output_schema(catalog)
+        payload_schema = build_schema.select(self.payload_columns(catalog))
+        return probe_schema.concat(payload_schema)
+
+    def describe(self) -> str:
+        if self.join_type is JoinType.LEFT_OUTER:
+            return "outer_join"
+        return f"{self.join_type.value}_join" if self.join_type is not JoinType.INNER else "join"
+
+
+@dataclass
+class Aggregate(PlanNode):
+    """Grouped (or global, when *group_keys* is empty) aggregation."""
+
+    child: PlanNode
+    group_keys: list[str]
+    aggregates: list[AggSpec]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return aggregate_output_schema(
+            self.child.output_schema(catalog), self.group_keys, self.aggregates
+        )
+
+    def describe(self) -> str:
+        return "groupby"
+
+
+@dataclass
+class Sort(PlanNode):
+    """Sort by ``(column, ascending)`` keys, optionally keeping *limit* rows."""
+
+    child: PlanNode
+    keys: list[tuple[str, bool]]
+    limit: int | None = None
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def describe(self) -> str:
+        return "sort" if self.limit is None else f"topn({self.limit})"
+
+
+@dataclass
+class Limit(PlanNode):
+    """First *count* rows of the child."""
+
+    child: PlanNode
+    count: int
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def describe(self) -> str:
+        return f"limit({self.count})"
+
+
+@dataclass
+class UnionAll(PlanNode):
+    """Concatenation of same-schema inputs."""
+
+    inputs: list[PlanNode]
+
+    def children(self) -> list[PlanNode]:
+        return list(self.inputs)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        schemas = [child.output_schema(catalog) for child in self.inputs]
+        first = schemas[0]
+        for schema in schemas[1:]:
+            if schema.names != first.names or schema.types != first.types:
+                raise ValueError("UNION ALL inputs must share a schema")
+        return first
+
+    def describe(self) -> str:
+        return "unionall"
+
+
+def _node_signature(node: PlanNode) -> str:
+    parts = [type(node).__name__]
+    if isinstance(node, TableScan):
+        parts += [node.table, ",".join(node.columns), repr(node.predicate)]
+    elif isinstance(node, Filter):
+        parts.append(repr(node.predicate))
+    elif isinstance(node, Project):
+        parts += [f"{name}={expr!r}" for name, expr in node.outputs]
+    elif isinstance(node, Rename):
+        parts += [f"{k}->{v}" for k, v in sorted(node.mapping.items())]
+    elif isinstance(node, HashJoin):
+        parts += [
+            node.join_type.value,
+            ",".join(node.probe_keys),
+            ",".join(node.build_keys),
+            repr(node.payload),
+            repr(node.residual),
+            repr(sorted(node.default_row.items()) if node.default_row else None),
+        ]
+    elif isinstance(node, Aggregate):
+        parts += [",".join(node.group_keys)]
+        parts += [f"{s.name}:{s.func.value}:{s.column}" for s in node.aggregates]
+    elif isinstance(node, Sort):
+        parts += [f"{name}:{asc}" for name, asc in node.keys] + [repr(node.limit)]
+    elif isinstance(node, Limit):
+        parts.append(str(node.count))
+    return "|".join(parts)
+
+
+def plan_fingerprint(root: PlanNode) -> str:
+    """Stable content hash of a plan tree (for snapshot validation)."""
+    digest = hashlib.sha256()
+
+    def visit(node: PlanNode) -> None:
+        digest.update(_node_signature(node).encode("utf-8"))
+        digest.update(b"(")
+        for child in node.children():
+            visit(child)
+        digest.update(b")")
+
+    visit(root)
+    return digest.hexdigest()
+
+
+def count_operators(root: PlanNode) -> dict[str, int]:
+    """Histogram of operator labels in the plan (Table II characterization)."""
+    counts: dict[str, int] = {}
+
+    def visit(node: PlanNode) -> None:
+        label = node.describe()
+        if label.startswith("scan("):
+            label = "scan"
+        elif label.startswith(("topn", "limit")):
+            label = "limit"
+        counts[label] = counts.get(label, 0) + 1
+        for child in node.children():
+            visit(child)
+
+    visit(root)
+    return counts
+
+
+def referenced_tables(root: PlanNode) -> set[str]:
+    """Names of base tables the plan reads."""
+    tables: set[str] = set()
+
+    def visit(node: PlanNode) -> None:
+        if isinstance(node, TableScan):
+            tables.add(node.table)
+        for child in node.children():
+            visit(child)
+
+    visit(root)
+    return tables

@@ -1,0 +1,62 @@
+"""Execution statistics collected by the executor.
+
+Algorithm 1 needs the running time of completed pipelines (``T_sum`` /
+``N_ppl``) to extrapolate when future pipelines will finish; the harness
+needs per-pipeline timings for the time-lag experiment (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PipelineStats", "QueryStats"]
+
+
+@dataclass
+class PipelineStats:
+    """Timing and volume for one executed pipeline."""
+
+    pipeline_id: int
+    description: str
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    rows_processed: int = 0
+    morsels_processed: int = 0
+    global_state_bytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class QueryStats:
+    """Aggregated statistics for one query execution."""
+
+    query_name: str = ""
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    pipelines: list[PipelineStats] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def completed_pipeline_count(self) -> int:
+        return len(self.pipelines)
+
+    @property
+    def total_pipeline_time(self) -> float:
+        """``T_sum`` in Algorithm 1."""
+        return sum(p.duration for p in self.pipelines)
+
+    @property
+    def mean_pipeline_time(self) -> float:
+        """``T_sum / N_ppl`` in Algorithm 1 (0.0 before any pipeline ends)."""
+        if not self.pipelines:
+            return 0.0
+        return self.total_pipeline_time / len(self.pipelines)
+
+    def record_pipeline(self, stats: PipelineStats) -> None:
+        self.pipelines.append(stats)

@@ -1,0 +1,162 @@
+"""Logical data types shared by the storage layer and the query engine.
+
+The engine is vectorized over NumPy arrays; each logical :class:`DataType`
+maps to a canonical NumPy representation.  ``DATE`` values are stored as
+``int32`` days since the Unix epoch, which keeps date arithmetic and
+comparisons vectorized while remaining trivially serializable.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "DataType",
+    "Field",
+    "Schema",
+    "date_to_days",
+    "days_to_date",
+    "parse_date",
+]
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+class DataType(enum.Enum):
+    """Logical column type supported by the engine."""
+
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    DATE = "date"
+    STRING = "string"
+    BOOL = "bool"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """Canonical NumPy dtype for this logical type.
+
+        ``STRING`` has no fixed-width canonical dtype; callers should keep
+        whatever ``<U`` width the data arrived with.  We return a zero-width
+        unicode dtype as a marker.
+        """
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def fixed_width(self) -> int | None:
+        """Bytes per value for fixed-width types, ``None`` for strings."""
+        if self is DataType.STRING:
+            return None
+        return int(np.dtype(_NUMPY_DTYPES[self]).itemsize)
+
+    def validate_array(self, array: np.ndarray) -> None:
+        """Raise ``TypeError`` if *array* is not a valid physical carrier."""
+        kind = array.dtype.kind
+        if self is DataType.STRING:
+            if kind not in ("U", "O"):
+                raise TypeError(f"STRING column requires unicode array, got {array.dtype}")
+        elif self is DataType.BOOL:
+            if kind != "b":
+                raise TypeError(f"BOOL column requires bool array, got {array.dtype}")
+        elif self in (DataType.INT32, DataType.INT64, DataType.DATE):
+            if kind != "i":
+                raise TypeError(f"{self.name} column requires integer array, got {array.dtype}")
+        elif self is DataType.FLOAT64:
+            if kind != "f":
+                raise TypeError(f"FLOAT64 column requires float array, got {array.dtype}")
+
+
+_NUMPY_DTYPES = {
+    DataType.INT32: np.dtype(np.int32),
+    DataType.INT64: np.dtype(np.int64),
+    DataType.FLOAT64: np.dtype(np.float64),
+    DataType.DATE: np.dtype(np.int32),
+    DataType.STRING: np.dtype("U0"),
+    DataType.BOOL: np.dtype(np.bool_),
+}
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, typed column in a schema."""
+
+    name: str
+    dtype: DataType
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered collection of fields describing a table or chunk layout."""
+
+    fields: tuple[Field, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, hash=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in schema: {names}")
+        object.__setattr__(self, "_index", {f.name: i for i, f in enumerate(self.fields)})
+
+    @classmethod
+    def of(cls, *pairs: tuple[str, DataType]) -> "Schema":
+        """Build a schema from ``(name, type)`` pairs."""
+        return cls(tuple(Field(name, dtype) for name, dtype in pairs))
+
+    @property
+    def names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    @property
+    def types(self) -> list[DataType]:
+        return [f.dtype for f in self.fields]
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self.fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def index_of(self, name: str) -> int:
+        """Position of column *name*; raises ``KeyError`` if absent."""
+        return self._index[name]
+
+    def field(self, name: str) -> Field:
+        return self.fields[self._index[name]]
+
+    def type_of(self, name: str) -> DataType:
+        return self.fields[self._index[name]].dtype
+
+    def select(self, names: list[str]) -> "Schema":
+        """Schema projected to *names*, in the given order."""
+        return Schema(tuple(self.field(n) for n in names))
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Schema with columns renamed through *mapping* (missing keys kept)."""
+        return Schema(tuple(Field(mapping.get(f.name, f.name), f.dtype) for f in self.fields))
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema with *other*'s fields appended."""
+        return Schema(self.fields + other.fields)
+
+
+def date_to_days(value: datetime.date) -> int:
+    """Days since 1970-01-01 for *value*."""
+    return (value - _EPOCH).days
+
+
+def days_to_date(days: int) -> datetime.date:
+    """Inverse of :func:`date_to_days`."""
+    return _EPOCH + datetime.timedelta(days=int(days))
+
+
+def parse_date(text: str) -> int:
+    """Parse ``YYYY-MM-DD`` into engine date representation (days)."""
+    return date_to_days(datetime.date.fromisoformat(text))

@@ -1,0 +1,42 @@
+"""Experiment harness reproducing the paper's figures and tables."""
+
+from repro.harness.experiments import (
+    FIG10_WINDOWS,
+    HIGHLIGHT_QUERIES,
+    ExperimentConfig,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    train_regression_estimator,
+)
+from repro.harness.report import format_bytes, format_table, print_table, summarize_distribution
+
+__all__ = [
+    "FIG10_WINDOWS",
+    "HIGHLIGHT_QUERIES",
+    "ExperimentConfig",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "train_regression_estimator",
+    "format_bytes",
+    "format_table",
+    "print_table",
+    "summarize_distribution",
+]

@@ -1,0 +1,285 @@
+"""Command-line entry point: ``python -m repro.harness <experiment>``.
+
+Examples::
+
+    python -m repro.harness fig8
+    python -m repro.harness fig10 --runs 5 --scale-ratio 0.0005
+    python -m repro.harness all --queries Q1 Q3 Q17 Q21
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.harness import experiments as exp
+from repro.harness.report import format_bytes, print_table, summarize_distribution
+from repro.tpch.queries import QUERY_NAMES
+from repro.tpch.scale import ScalePolicy
+
+EXPERIMENTS = [
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "table2", "table3", "table4", "table5",
+]
+
+
+def _config(args: argparse.Namespace) -> exp.ExperimentConfig:
+    return exp.ExperimentConfig(
+        scale_policy=ScalePolicy(ratio=args.scale_ratio),
+        queries=args.queries,
+        runs=args.runs,
+        seed=args.seed,
+    )
+
+
+def _print_fig6(config: exp.ExperimentConfig) -> None:
+    data = exp.run_fig6(config)
+    rows = [
+        [query] + [format_bytes(data[sf][query]) for sf in config.sf_labels]
+        for query in config.queries
+    ]
+    print_table("Fig.6 — process-level image size @50%", ["query"] + config.sf_labels, rows)
+
+
+def _print_fig7(config: exp.ExperimentConfig) -> None:
+    data = exp.run_fig7(config)
+    fractions = sorted(next(iter(data.values())).keys()) if data else []
+    rows = [
+        [query] + [format_bytes(data[query][f]) for f in fractions] for query in data
+    ]
+    headers = ["query"] + [f"{int(f * 100)}%" for f in fractions]
+    print_table("Fig.7 — process-level image size vs suspension point (SF-100)", headers, rows)
+
+
+def _print_fig8(config: exp.ExperimentConfig) -> None:
+    data = exp.run_fig8(config)
+    rows = []
+    for query in config.queries:
+        cells = []
+        for sf in config.sf_labels:
+            cell = data[sf][query]
+            marker = "*" if cell.get("join_ending") else ""
+            cells.append(format_bytes(cell["bytes"]) + marker)
+        rows.append([query] + cells)
+    print_table(
+        "Fig.8 — pipeline-level persisted size @50% (* = join-ending pipeline)",
+        ["query"] + config.sf_labels,
+        rows,
+    )
+
+
+def _print_fig9(config: exp.ExperimentConfig) -> None:
+    data = exp.run_fig9(config)
+    queries = sorted({q for sf in data.values() for q in sf}, key=lambda q: int(q[1:]))
+    rows = [
+        [query] + [f"{data[sf][query]:.2f}s" for sf in config.sf_labels] for query in queries
+    ]
+    print_table("Fig.9 — suspension time lag (pipeline-level)", ["query"] + config.sf_labels, rows)
+
+
+def _print_fig10(config: exp.ExperimentConfig) -> None:
+    data = exp.run_fig10(config)
+    rows = []
+    for window, strategies in data.items():
+        label = f"{int(window[0] * 100)}-{int(window[1] * 100)}%"
+        for strategy, overheads in strategies.items():
+            stats = summarize_distribution(overheads)
+            rows.append(
+                [
+                    label,
+                    strategy,
+                    f"{stats['min']:.1f}",
+                    f"{stats['q1']:.1f}",
+                    f"{stats['median']:.1f}",
+                    f"{stats['q3']:.1f}",
+                    f"{stats['max']:.1f}",
+                    f"{stats['mean']:.1f}",
+                ]
+            )
+    print_table(
+        "Fig.10 — overhead distribution across queries (seconds, P=100%)",
+        ["window", "strategy", "min", "q1", "median", "q3", "max", "mean"],
+        rows,
+    )
+
+
+def _print_fig11(config: exp.ExperimentConfig) -> None:
+    data = exp.run_fig11(config)
+    rows = [
+        [f"{int(w[0] * 100)}-{int(w[1] * 100)}%", f"{v['rate'] * 100:.0f}%", v["total"]]
+        for w, v in data.items()
+    ]
+    print_table("Fig.11 — adaptive selection success rate", ["window", "success", "runs"], rows)
+
+
+def _print_fig12(config: exp.ExperimentConfig) -> None:
+    data = exp.run_fig12(config)
+    rows = []
+    for index, run in enumerate(data["runs"]):
+        for estimator in ("optimizer", "regression"):
+            cell = run[estimator]
+            rows.append(
+                [
+                    index,
+                    estimator,
+                    cell["chosen"],
+                    f"{cell['busy_time']:.1f}s",
+                    cell["terminated"],
+                    cell["suspension_failed"],
+                ]
+            )
+    print_table(
+        f"Fig.12 — {data['query']} selection under optimizer vs regression estimation",
+        ["run", "estimator", "chosen", "busy", "terminated", "susp-failed"],
+        rows,
+    )
+
+
+def _print_table2(config: exp.ExperimentConfig) -> None:
+    data = exp.run_table2(config)
+    rows = [
+        [query, ", ".join(f"{count} {op}" for op, count in info["core_operators"].items()), info["tables"]]
+        for query, info in data.items()
+    ]
+    print_table("Table II — query characterization", ["query", "core operators", "tables"], rows)
+
+
+def _print_table3(config: exp.ExperimentConfig) -> None:
+    data = exp.run_table3(config)
+    rows = [
+        [
+            query,
+            f"P={int(info['probability'] * 100)}%, {int(info['window'][0] * 100)}-{int(info['window'][1] * 100)}%",
+            info["selected"],
+            f"{info['normal_time']:.1f}s",
+            f"{info['with_suspension']:.1f}s",
+            info["terminations"],
+        ]
+        for query, info in data.items()
+    ]
+    print_table(
+        "Table III — adaptive selection per configuration",
+        ["query", "config", "selected", "normal", "with suspension", "terminations"],
+        rows,
+    )
+
+
+def _print_table4(config: exp.ExperimentConfig) -> None:
+    rows = [
+        [
+            row["query"],
+            row["dataset"],
+            format_bytes(row["regression"]),
+            format_bytes(row["optimizer"]),
+            format_bytes(row["ground_truth"]),
+        ]
+        for row in exp.run_table4(config)
+    ]
+    print_table(
+        "Table IV — estimation accuracy (process-level, @50%)",
+        ["query", "dataset", "regression", "optimizer", "ground truth"],
+        rows,
+    )
+
+
+def _print_table5(config: exp.ExperimentConfig) -> None:
+    data = exp.run_table5(config)
+    rows = [
+        [query, f"{info['cost_model_runtime'] * 1000:.2f}ms", f"{info['normal_time']:.1f}s"]
+        for query, info in data.items()
+    ]
+    print_table(
+        "Table V — cost model running time",
+        ["query", "cost model runtime", "overall execution (no suspension)"],
+        rows,
+    )
+
+
+_RUNNERS = {
+    "fig6": exp.run_fig6,
+    "fig7": exp.run_fig7,
+    "fig8": exp.run_fig8,
+    "fig9": exp.run_fig9,
+    "fig10": exp.run_fig10,
+    "fig11": exp.run_fig11,
+    "fig12": exp.run_fig12,
+    "table2": exp.run_table2,
+    "table3": exp.run_table3,
+    "table4": exp.run_table4,
+    "table5": exp.run_table5,
+}
+
+
+def _to_jsonable(value):
+    """Recursively convert experiment results into JSON-compatible data."""
+    if isinstance(value, dict):
+        return {
+            (",".join(map(str, key)) if isinstance(key, tuple) else str(key)):
+                _to_jsonable(item)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, float) and value != value:  # NaN
+        return None
+    if hasattr(value, "item"):  # NumPy scalars
+        return value.item()
+    return value
+
+
+_PRINTERS = {
+    "fig6": _print_fig6,
+    "fig7": _print_fig7,
+    "fig8": _print_fig8,
+    "fig9": _print_fig9,
+    "fig10": _print_fig10,
+    "fig11": _print_fig11,
+    "fig12": _print_fig12,
+    "table2": _print_table2,
+    "table3": _print_table3,
+    "table4": _print_table4,
+    "table5": _print_table5,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the Riveter paper's figures and tables.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS + ["all"])
+    parser.add_argument("--runs", type=int, default=3, help="independent runs to average")
+    parser.add_argument(
+        "--scale-ratio",
+        type=float,
+        default=1.0 / 1000.0,
+        help="paper-SF → local-SF ratio (default 1/1000: SF-100 → 0.1)",
+    )
+    parser.add_argument("--queries", nargs="+", default=list(QUERY_NAMES))
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="table: human-readable; json: raw result data on stdout",
+    )
+    args = parser.parse_args(argv)
+
+    invalid = [q for q in args.queries if q not in QUERY_NAMES]
+    if invalid:
+        parser.error(f"unknown queries: {invalid}")
+
+    config = _config(args)
+    targets = EXPERIMENTS if args.experiment == "all" else [args.experiment]
+    if args.format == "json":
+        payload = {target: _to_jsonable(_RUNNERS[target](config)) for target in targets}
+        print(json.dumps(payload, indent=2))
+        return 0
+    for target in targets:
+        _PRINTERS[target](config)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

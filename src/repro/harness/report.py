@@ -1,0 +1,66 @@
+"""Plain-text reporting of experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_bytes", "print_table", "summarize_distribution"]
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count (matches the paper's GB/MB/KB style)."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB", "EB"):
+        if abs(value) < 1024.0 or unit == "EB":
+            if unit == "B":
+                return f"{value:.0f}{unit}"
+            return f"{value:.2f}{unit}"
+        value /= 1024.0
+    return f"{value:.2f}EB"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print a titled table to stdout."""
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))
+
+
+def summarize_distribution(values: Sequence[float]) -> dict[str, float]:
+    """Box-plot statistics (used for Fig. 10's distributions)."""
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return {"min": 0.0, "q1": 0.0, "median": 0.0, "q3": 0.0, "max": 0.0, "mean": 0.0}
+
+    def quantile(fraction: float) -> float:
+        if len(ordered) == 1:
+            return ordered[0]
+        position = fraction * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        weight = position - low
+        return ordered[low] * (1 - weight) + ordered[high] * weight
+
+    return {
+        "min": ordered[0],
+        "q1": quantile(0.25),
+        "median": quantile(0.5),
+        "q3": quantile(0.75),
+        "max": ordered[-1],
+        "mean": sum(ordered) / len(ordered),
+    }

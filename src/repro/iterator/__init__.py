@@ -1,0 +1,39 @@
+"""Pull-based (iterator) execution with operator-level suspension.
+
+The comparison substrate for the paper's Table VI: a single-threaded
+Volcano-style executor whose suspension operates at operator boundaries
+(Chandramouli et al., SIGMOD'07), contrasted with the push-based
+pipeline-level strategy of :mod:`repro.suspend`.
+"""
+
+from repro.iterator.executor import (
+    IteratorExecutor,
+    IteratorRun,
+    IteratorSnapshot,
+    compile_plan,
+)
+from repro.iterator.operators import (
+    IterAggregate,
+    IterFilter,
+    IterHashJoin,
+    IterLimit,
+    IterProject,
+    IterScan,
+    IterSort,
+    Iterator,
+)
+
+__all__ = [
+    "IteratorExecutor",
+    "IteratorRun",
+    "IteratorSnapshot",
+    "compile_plan",
+    "IterAggregate",
+    "IterFilter",
+    "IterHashJoin",
+    "IterLimit",
+    "IterProject",
+    "IterScan",
+    "IterSort",
+    "Iterator",
+]

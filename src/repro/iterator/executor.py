@@ -1,0 +1,285 @@
+"""Pull-based execution with operator-level suspension.
+
+Compiles a (supported subset of the) physical plan into an iterator tree
+and drives it single-threaded, checking a suspension request between
+pulls — the execution model of Chandramouli et al. (SIGMOD'07) that the
+paper's Table VI compares the pipeline-level strategy against.
+
+Suspension policies:
+
+* ``"immediate"`` — suspend at the first pull boundary after the request;
+* ``"low-memory"`` — keep pulling until the operator tree's state size
+  stops improving on the best seen since the request (bounded by a
+  patience window), then suspend — the reference's "suspend at points of
+  minimized memory usage".
+
+A suspension serializes every operator's state plus the emitted-result
+prefix; resumption rebuilds the tree from the same plan and restores it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine import plan as planmod
+from repro.engine.chunk import DataChunk, concat_chunks
+from repro.engine.clock import Clock, SimulatedClock
+from repro.engine.errors import EngineError
+from repro.engine.operators.base import chunks_from_bytes, chunks_to_bytes
+from repro.engine.plan import PlanNode, plan_fingerprint
+from repro.engine.profile import HardwareProfile
+from repro.engine.types import Schema
+from repro.iterator.operators import (
+    IterAggregate,
+    IterFilter,
+    IterHashJoin,
+    IterLimit,
+    IterProject,
+    IterScan,
+    IterSort,
+    Iterator,
+    PullContext,
+    SuspendPull,
+)
+from repro.storage import serialize
+from repro.storage.catalog import Catalog
+
+__all__ = ["compile_plan", "IteratorSnapshot", "IteratorRun", "IteratorExecutor"]
+
+_MAGIC = b"RIVITER1"
+
+
+def compile_plan(catalog: Catalog, node: PlanNode, batch_size: int = 16384) -> Iterator:
+    """Compile a plan subtree into a pull-based iterator tree.
+
+    Supports the operators the iterator model needs for the Table VI
+    comparison: scan, filter, project, rename, hash join (all types),
+    aggregate, sort, and limit.  Union is not supported.
+    """
+    if isinstance(node, planmod.TableScan):
+        scan: Iterator = IterScan(catalog.get(node.table), node.columns, batch_size)
+        if node.predicate is not None:
+            scan = IterFilter(scan, node.predicate)
+        return scan
+    if isinstance(node, planmod.Filter):
+        return IterFilter(compile_plan(catalog, node.child, batch_size), node.predicate)
+    if isinstance(node, planmod.Project):
+        child = compile_plan(catalog, node.child, batch_size)
+        return IterProject(
+            child, node.output_schema(catalog), [expr for _, expr in node.outputs]
+        )
+    if isinstance(node, planmod.Rename):
+        child = compile_plan(catalog, node.child, batch_size)
+        renamed = node.output_schema(catalog)
+
+        class _Relabel(IterProject):
+            def __init__(self, inner: Iterator, schema: Schema):
+                self.child = inner
+                self.output_schema = schema
+                self.expressions = []
+
+            def next(self) -> DataChunk | None:  # type: ignore[override]
+                chunk = self.child.next()
+                return None if chunk is None else chunk.with_schema(self.output_schema)
+
+        return _Relabel(child, renamed)
+    if isinstance(node, planmod.HashJoin):
+        if node.residual is not None:
+            raise EngineError("iterator joins do not support residual predicates")
+        return IterHashJoin(
+            probe=compile_plan(catalog, node.probe, batch_size),
+            build=compile_plan(catalog, node.build, batch_size),
+            probe_keys=node.probe_keys,
+            build_keys=node.build_keys,
+            join_type=node.join_type,
+            payload=node.payload_columns(catalog),
+            default_row=node.default_row,
+        )
+    if isinstance(node, planmod.Aggregate):
+        return IterAggregate(
+            compile_plan(catalog, node.child, batch_size), node.group_keys, node.aggregates
+        )
+    if isinstance(node, planmod.Sort):
+        return IterSort(compile_plan(catalog, node.child, batch_size), node.keys, node.limit)
+    if isinstance(node, planmod.Limit):
+        return IterLimit(compile_plan(catalog, node.child, batch_size), node.count)
+    raise EngineError(f"iterator model does not support {type(node).__name__}")
+
+
+@dataclass
+class IteratorSnapshot:
+    """Serialized suspension state of an iterator execution."""
+
+    plan_fingerprint: str
+    query_name: str
+    clock_time: float
+    operator_states: list[bytes]
+    emitted_chunks: list[DataChunk]
+
+    @property
+    def intermediate_bytes(self) -> int:
+        return sum(len(b) for b in self.operator_states) + sum(
+            c.nbytes for c in self.emitted_chunks
+        )
+
+    def write(self, path: str | os.PathLike) -> int:
+        with open(path, "wb") as stream:
+            stream.write(_MAGIC)
+            serialize.write_json(
+                stream,
+                {
+                    "plan_fingerprint": self.plan_fingerprint,
+                    "query_name": self.query_name,
+                    "clock_time": self.clock_time,
+                    "num_states": len(self.operator_states),
+                },
+            )
+            for blob in self.operator_states:
+                serialize.write_json(stream, len(blob))
+                stream.write(blob)
+            emitted = chunks_to_bytes(self.emitted_chunks)
+            serialize.write_json(stream, len(emitted))
+            stream.write(emitted)
+        return Path(path).stat().st_size
+
+    @classmethod
+    def read(cls, path: str | os.PathLike) -> "IteratorSnapshot":
+        with open(path, "rb") as stream:
+            magic = stream.read(len(_MAGIC))
+            if magic != _MAGIC:
+                raise EngineError(f"not an iterator snapshot: bad magic {magic!r}")
+            header = serialize.read_json(stream)
+            states = []
+            for _ in range(int(header["num_states"])):
+                size = int(serialize.read_json(stream))
+                states.append(stream.read(size))
+            emitted_size = int(serialize.read_json(stream))
+            emitted = chunks_from_bytes(stream.read(emitted_size))
+        return cls(
+            plan_fingerprint=header["plan_fingerprint"],
+            query_name=header["query_name"],
+            clock_time=float(header["clock_time"]),
+            operator_states=states,
+            emitted_chunks=emitted,
+        )
+
+
+@dataclass
+class IteratorRun:
+    """Outcome of one (possibly suspended) iterator execution."""
+
+    result: DataChunk | None
+    snapshot: IteratorSnapshot | None
+    suspended_at: float | None
+    clock_time: float
+    pulls: int
+
+
+def _flatten(root: Iterator) -> list[Iterator]:
+    """Operators in a deterministic pre-order (stable across rebuilds)."""
+    out: list[Iterator] = []
+
+    def visit(op: Iterator) -> None:
+        out.append(op)
+        for child in op.children():
+            visit(child)
+
+    visit(root)
+    return out
+
+
+class IteratorExecutor:
+    """Drives a pull-based plan with operator-level suspension."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        plan: PlanNode,
+        profile: HardwareProfile | None = None,
+        batch_size: int = 16384,
+        query_name: str = "query",
+    ):
+        self.catalog = catalog
+        self.plan = plan
+        self.profile = profile if profile is not None else HardwareProfile()
+        self.batch_size = batch_size
+        self.query_name = query_name
+        self.plan_fingerprint = plan_fingerprint(plan)
+
+    def run(
+        self,
+        clock: Clock | None = None,
+        request_time: float | None = None,
+        policy: str = "immediate",
+        patience: int = 8,
+        resume_from: IteratorSnapshot | None = None,
+    ) -> IteratorRun:
+        """Pull to completion, or suspend per *policy* after *request_time*.
+
+        ``policy``: ``"immediate"`` or ``"low-memory"`` (wait up to
+        *patience* pulls for the tree state to shrink below the best seen
+        since the request).
+        """
+        clock = clock if clock is not None else SimulatedClock()
+        root = compile_plan(self.catalog, self.plan, self.batch_size)
+        operators = _flatten(root)
+        context = PullContext(
+            clock,
+            self.profile,
+            request_time=request_time,
+            policy=policy,
+            patience=patience,
+            state_probe=root.tree_state_bytes,
+        )
+        for operator in operators:
+            operator.context = context
+        emitted: list[DataChunk] = []
+        if resume_from is not None:
+            if resume_from.plan_fingerprint != self.plan_fingerprint:
+                raise EngineError("iterator snapshot from a different plan")
+            if len(resume_from.operator_states) != len(operators):
+                raise EngineError("iterator snapshot has a different operator count")
+            for operator, blob in zip(operators, resume_from.operator_states):
+                operator.restore_state(blob)
+            emitted = list(resume_from.emitted_chunks)
+
+        pulls = 0
+        try:
+            while True:
+                chunk = root.next()
+                if chunk is None:
+                    break
+                emitted.append(chunk)
+                pulls += 1
+                # Root boundary: emitted output recorded, tree consistent.
+                context.checkpoint()
+        except SuspendPull:
+            return self._suspend(clock, operators, emitted, pulls)
+        result = concat_chunks(root.output_schema, emitted)
+        return IteratorRun(
+            result=result, snapshot=None, suspended_at=None, clock_time=clock.now(), pulls=pulls
+        )
+
+    def _suspend(
+        self,
+        clock: Clock,
+        operators: list[Iterator],
+        emitted: list[DataChunk],
+        pulls: int,
+    ) -> IteratorRun:
+        snapshot = IteratorSnapshot(
+            plan_fingerprint=self.plan_fingerprint,
+            query_name=self.query_name,
+            clock_time=clock.now(),
+            operator_states=[op.capture_state() for op in operators],
+            emitted_chunks=emitted,
+        )
+        return IteratorRun(
+            result=None,
+            snapshot=snapshot,
+            suspended_at=clock.now(),
+            clock_time=clock.now(),
+            pulls=pulls,
+        )

@@ -1,0 +1,534 @@
+"""Pull-based (Volcano/iterator) operators with suspendable state.
+
+The paper's Table VI contrasts its push-based pipeline-level strategy with
+the query suspend/resume approach of Chandramouli et al. (SIGMOD'07),
+which operates on the classic *pull-based* execution model: single-thread,
+``open()/next()/close()`` iterators, suspension at operator boundaries —
+preferably at points of minimal memory usage.
+
+This module provides that comparison substrate.  Operators pull chunks
+(vectorized Volcano) and expose their in-flight state for serialization:
+
+* ``state_bytes()`` — current memory footprint of the operator's state;
+* ``capture_state()`` / ``restore_state()`` — byte-exact suspension.
+
+The tree is rebuilt from the same plan on resume and each operator's
+state is restored, after which ``next()`` continues where it left off.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.engine.chunk import DataChunk, concat_chunks
+from repro.engine.expressions import Expression
+from repro.engine.keys import combine_int_keys
+from repro.engine.operators.aggregate import AggSpec, HashAggregateSink
+from repro.engine.operators.base import (
+    chunk_from_stream,
+    chunk_to_stream,
+    chunks_from_bytes,
+    chunks_to_bytes,
+)
+from repro.engine.operators.hash_join import JoinType
+from repro.engine.operators.sort import sort_indices
+from repro.engine.types import DataType, Schema
+from repro.storage import serialize
+from repro.storage.table import Table
+
+__all__ = [
+    "Iterator",
+    "PullContext",
+    "SuspendPull",
+    "IterScan",
+    "IterFilter",
+    "IterProject",
+    "IterHashJoin",
+    "IterAggregate",
+    "IterSort",
+    "IterLimit",
+]
+
+
+class SuspendPull(Exception):
+    """Raised at a safe checkpoint to suspend the pull execution."""
+
+
+class PullContext:
+    """Shared execution context: clock charging and suspension decisions.
+
+    Operators call :meth:`tick` to charge work against the clock and
+    :meth:`checkpoint` at points where the *whole tree's* state is
+    consistent (no in-flight output): there the context may raise
+    :class:`SuspendPull` according to the active policy.
+    """
+
+    def __init__(
+        self,
+        clock,
+        profile,
+        request_time: float | None = None,
+        policy: str = "immediate",
+        patience: int = 8,
+        state_probe=None,
+    ):
+        if policy not in ("immediate", "low-memory"):
+            raise ValueError(f"unknown suspension policy {policy!r}")
+        self.clock = clock
+        self.profile = profile
+        self.request_time = request_time
+        self.policy = policy
+        self.patience = patience
+        self.state_probe = state_probe
+        self._best_state: int | None = None
+        self._waited = 0
+
+    def tick(self, operator_kind: str, rows: int) -> None:
+        self.clock.advance(self.profile.tuple_cost(operator_kind, rows))
+
+    def checkpoint(self) -> None:
+        if self.request_time is None or self.clock.now() < self.request_time:
+            return
+        if self.policy == "immediate":
+            raise SuspendPull
+        state = self.state_probe() if self.state_probe is not None else 0
+        if self._best_state is None or state < self._best_state:
+            self._best_state = state
+            self._waited = 0
+            if state == 0:
+                raise SuspendPull
+        else:
+            self._waited += 1
+        if self._waited >= self.patience:
+            raise SuspendPull
+
+
+class Iterator:
+    """Base pull operator."""
+
+    output_schema: Schema
+    context: PullContext | None = None
+
+    def next(self) -> DataChunk | None:
+        """The next chunk, or ``None`` when exhausted."""
+        raise NotImplementedError
+
+    def children(self) -> list["Iterator"]:
+        return []
+
+    def _tick(self, operator_kind: str, rows: int) -> None:
+        """Charge work against the shared clock (never suspends)."""
+        if self.context is not None:
+            self.context.tick(operator_kind, rows)
+
+    def _checkpoint(self) -> None:
+        """Offer a suspension point (may raise :class:`SuspendPull`)."""
+        if self.context is not None:
+            self.context.checkpoint()
+
+    # -- suspension support ---------------------------------------------------
+    def state_bytes(self) -> int:
+        """Bytes of operator-local state that a suspension must persist."""
+        return 0
+
+    def capture_state(self) -> bytes:
+        """Serialized operator-local state."""
+        return b""
+
+    def restore_state(self, blob: bytes) -> None:
+        """Inverse of :meth:`capture_state`."""
+        if blob:
+            raise ValueError(f"{type(self).__name__} expected empty state")
+
+    def tree_state_bytes(self) -> int:
+        """State bytes of this operator and all its children."""
+        return self.state_bytes() + sum(c.tree_state_bytes() for c in self.children())
+
+
+class IterScan(Iterator):
+    """Table scan with a resumable cursor."""
+
+    def __init__(self, table: Table, columns: list[str], batch_size: int = 16384):
+        self.table = table
+        self.columns = list(columns)
+        self.batch_size = batch_size
+        self.output_schema = table.schema.select(self.columns)
+        self.cursor = 0
+
+    def next(self) -> DataChunk | None:
+        if self.cursor >= self.table.num_rows:
+            return None
+        stop = min(self.cursor + self.batch_size, self.table.num_rows)
+        chunk = DataChunk(
+            self.output_schema,
+            [self.table.array(name)[self.cursor : stop] for name in self.columns],
+        )
+        self.cursor = stop
+        self._tick("scan", chunk.num_rows)
+        return chunk
+
+    def state_bytes(self) -> int:
+        return 8  # just the cursor
+
+    def capture_state(self) -> bytes:
+        return serialize.serialize_array(np.array([self.cursor], dtype=np.int64))
+
+    def restore_state(self, blob: bytes) -> None:
+        self.cursor = int(serialize.deserialize_array(blob)[0])
+
+
+class IterFilter(Iterator):
+    """Stateless row filter."""
+
+    def __init__(self, child: Iterator, predicate: Expression):
+        self.child = child
+        self.predicate = predicate
+        self.output_schema = child.output_schema
+
+    def children(self) -> list[Iterator]:
+        return [self.child]
+
+    def next(self) -> DataChunk | None:
+        while True:
+            chunk = self.child.next()
+            if chunk is None:
+                return None
+            filtered = chunk.filter(self.predicate.evaluate(chunk))
+            self._tick("filter", filtered.num_rows)
+            if filtered.num_rows:
+                return filtered
+
+
+class IterProject(Iterator):
+    """Stateless projection."""
+
+    def __init__(self, child: Iterator, output_schema: Schema, expressions: list[Expression]):
+        self.child = child
+        self.output_schema = output_schema
+        self.expressions = expressions
+
+    def children(self) -> list[Iterator]:
+        return [self.child]
+
+    def next(self) -> DataChunk | None:
+        chunk = self.child.next()
+        if chunk is None:
+            return None
+        self._tick("project", chunk.num_rows)
+        return DataChunk(
+            self.output_schema, [expr.evaluate(chunk) for expr in self.expressions]
+        )
+
+
+class IterHashJoin(Iterator):
+    """Hash join: drains the build child on first pull, then streams.
+
+    The built hash table (key codes + payload rows) *is* the operator
+    state — the reason Chandramouli et al. prefer suspension points where
+    such state is minimal.
+    """
+
+    def __init__(
+        self,
+        probe: Iterator,
+        build: Iterator,
+        probe_keys: list[str],
+        build_keys: list[str],
+        join_type: JoinType = JoinType.INNER,
+        payload: list[str] | None = None,
+        default_row: dict[str, object] | None = None,
+    ):
+        self.probe = probe
+        self.build = build
+        self.probe_keys = list(probe_keys)
+        self.build_keys = list(build_keys)
+        self.join_type = join_type
+        build_schema = build.output_schema
+        self.payload_columns = (
+            [n for n in build_schema.names if n not in build_keys]
+            if payload is None
+            else list(payload)
+        )
+        self.payload_schema = build_schema.select(self.payload_columns)
+        if join_type in (JoinType.SEMI, JoinType.ANTI):
+            self.output_schema = probe.output_schema
+        else:
+            self.output_schema = probe.output_schema.concat(self.payload_schema)
+        self.default_row = dict(default_row) if default_row else None
+        if join_type is JoinType.LEFT_OUTER and self.default_row is None:
+            raise ValueError("LEFT OUTER join requires default_row")
+        self._built = False
+        self._pending_build: list[DataChunk] = []
+        self._codes_sorted: np.ndarray | None = None
+        self._order: np.ndarray | None = None
+        self._payload: DataChunk | None = None
+
+    def children(self) -> list[Iterator]:
+        return [self.probe, self.build]
+
+    def _ensure_built(self) -> None:
+        if self._built:
+            return
+        while True:
+            chunk = self.build.next()
+            if chunk is None:
+                break
+            self._pending_build.append(chunk)
+            self._tick("join_build", chunk.num_rows)
+            self._checkpoint()
+        merged = concat_chunks(self.build.output_schema, self._pending_build)
+        self._pending_build = []
+        codes = combine_int_keys([merged.column(name) for name in self.build_keys])
+        order = np.argsort(codes, kind="stable").astype(np.int64)
+        self._codes_sorted = codes[order]
+        self._order = order
+        self._payload = merged
+        self._built = True
+
+    def next(self) -> DataChunk | None:
+        self._ensure_built()
+        while True:
+            chunk = self.probe.next()
+            if chunk is None:
+                return None
+            result = self._probe_chunk(chunk)
+            self._tick("join_probe", result.num_rows)
+            if result.num_rows:
+                return result
+
+    def _probe_chunk(self, chunk: DataChunk) -> DataChunk:
+        codes = combine_int_keys([chunk.column(name) for name in self.probe_keys])
+        left = np.searchsorted(self._codes_sorted, codes, side="left")
+        right = np.searchsorted(self._codes_sorted, codes, side="right")
+        counts = (right - left).astype(np.int64)
+        if self.join_type is JoinType.SEMI:
+            return chunk.filter(counts > 0)
+        if self.join_type is JoinType.ANTI:
+            return chunk.filter(counts == 0)
+        total = int(counts.sum())
+        probe_idx = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+        starts = np.repeat(left.astype(np.int64), counts)
+        run_starts = np.repeat(np.cumsum(counts) - counts, counts)
+        build_idx = self._order[starts + (np.arange(total, dtype=np.int64) - run_starts)]
+        probe_rows = chunk.take(probe_idx)
+        payload_cols = [
+            self._payload.column(name)[build_idx] for name in self.payload_columns
+        ]
+        matched = DataChunk(
+            self.output_schema, list(probe_rows.columns) + payload_cols
+        )
+        if self.join_type is JoinType.INNER:
+            return matched
+        # LEFT OUTER: append unmatched probe rows with defaults.
+        unmatched = chunk.filter(counts == 0)
+        if unmatched.num_rows == 0:
+            return matched
+        columns = list(unmatched.columns)
+        for field in self.payload_schema:
+            value = self.default_row[field.name]
+            dtype = field.dtype.numpy_dtype
+            if field.dtype is DataType.STRING:
+                dtype = np.dtype(f"U{max(1, len(str(value)))}")
+            columns.append(np.full(unmatched.num_rows, value, dtype=dtype))
+        return concat_chunks(
+            self.output_schema, [matched, DataChunk(self.output_schema, columns)]
+        )
+
+    def state_bytes(self) -> int:
+        total = sum(c.nbytes for c in self._pending_build)
+        if self._built:
+            total += (
+                self._codes_sorted.nbytes + self._order.nbytes + self._payload.nbytes
+            )
+        return int(total)
+
+    def capture_state(self) -> bytes:
+        buffer = io.BytesIO()
+        serialize.write_json(buffer, {"built": self._built})
+        pending = chunks_to_bytes(self._pending_build)
+        serialize.write_json(buffer, len(pending))
+        buffer.write(pending)
+        if self._built:
+            serialize.write_named_arrays(
+                buffer, {"codes": self._codes_sorted, "order": self._order}
+            )
+            chunk_to_stream(buffer, self._payload)
+        return buffer.getvalue()
+
+    def restore_state(self, blob: bytes) -> None:
+        buffer = io.BytesIO(blob)
+        header = serialize.read_json(buffer)
+        self._built = bool(header["built"])
+        size = int(serialize.read_json(buffer))
+        self._pending_build = chunks_from_bytes(buffer.read(size))
+        if self._built:
+            arrays = serialize.read_named_arrays(buffer)
+            self._codes_sorted = arrays["codes"]
+            self._order = arrays["order"]
+            self._payload = chunk_from_stream(buffer)
+
+
+class IterAggregate(Iterator):
+    """Incremental grouped aggregation.
+
+    Consumes one child chunk per ``next()`` call while accumulating
+    partial aggregates (so the operator is suspendable mid-aggregation
+    with only the partials as state); once the child is exhausted it
+    finalizes and emits the result.
+    """
+
+    def __init__(self, child: Iterator, group_keys: list[str], aggregates: list[AggSpec]):
+        self.child = child
+        self._sink = HashAggregateSink(child.output_schema, group_keys, aggregates)
+        self.output_schema = self._sink.output_schema
+        self._local = self._sink.make_local_state()
+        self._result: DataChunk | None = None
+        self._emitted = False
+
+    def children(self) -> list[Iterator]:
+        return [self.child]
+
+    def next(self) -> DataChunk | None:
+        while self._result is None:
+            chunk = self.child.next()
+            if chunk is None:
+                state = self._sink.make_global_state()
+                self._sink.combine(state, self._local)
+                self._sink.finalize(state)
+                self._result = self._sink.result_chunk(state)
+                break
+            self._sink.sink(self._local, chunk)
+            self._tick("aggregate", chunk.num_rows)
+            self._checkpoint()
+        if self._emitted:
+            return None
+        self._emitted = True
+        return self._result
+
+    def state_bytes(self) -> int:
+        total = self._local.nbytes
+        if self._result is not None:
+            total += self._result.nbytes
+        return int(total)
+
+    def capture_state(self) -> bytes:
+        buffer = io.BytesIO()
+        serialize.write_json(
+            buffer, {"emitted": self._emitted, "has_result": self._result is not None}
+        )
+        local_blob = self._local.serialize()
+        serialize.write_json(buffer, len(local_blob))
+        buffer.write(local_blob)
+        if self._result is not None:
+            chunk_to_stream(buffer, self._result)
+        return buffer.getvalue()
+
+    def restore_state(self, blob: bytes) -> None:
+        buffer = io.BytesIO(blob)
+        header = serialize.read_json(buffer)
+        size = int(serialize.read_json(buffer))
+        self._local = self._sink.deserialize_local_state(buffer.read(size))
+        self._emitted = bool(header["emitted"])
+        self._result = chunk_from_stream(buffer) if header["has_result"] else None
+
+
+class IterSort(Iterator):
+    """Blocking sort (with optional limit); buffers then emits once."""
+
+    def __init__(self, child: Iterator, keys: list[tuple[str, bool]], limit: int | None = None):
+        self.child = child
+        self.keys = list(keys)
+        self.limit = limit
+        self.output_schema = child.output_schema
+        self._buffered: list[DataChunk] = []
+        self._result: DataChunk | None = None
+        self._emitted = False
+
+    def children(self) -> list[Iterator]:
+        return [self.child]
+
+    def next(self) -> DataChunk | None:
+        while self._result is None:
+            chunk = self.child.next()
+            if chunk is None:
+                merged = concat_chunks(self.output_schema, self._buffered)
+                self._buffered = []
+                if self.keys and merged.num_rows:
+                    order = sort_indices(
+                        [merged.column(name) for name, _ in self.keys],
+                        [asc for _, asc in self.keys],
+                    )
+                    merged = merged.take(order)
+                if self.limit is not None:
+                    merged = merged.slice(0, min(self.limit, merged.num_rows))
+                self._result = merged
+                break
+            self._buffered.append(chunk)
+            self._tick("sort", chunk.num_rows)
+            self._checkpoint()
+        if self._emitted:
+            return None
+        self._emitted = True
+        return self._result
+
+    def state_bytes(self) -> int:
+        total = sum(c.nbytes for c in self._buffered)
+        if self._result is not None:
+            total += self._result.nbytes
+        return int(total)
+
+    def capture_state(self) -> bytes:
+        buffer = io.BytesIO()
+        serialize.write_json(
+            buffer, {"emitted": self._emitted, "has_result": self._result is not None}
+        )
+        blob = chunks_to_bytes(self._buffered)
+        serialize.write_json(buffer, len(blob))
+        buffer.write(blob)
+        if self._result is not None:
+            chunk_to_stream(buffer, self._result)
+        return buffer.getvalue()
+
+    def restore_state(self, blob: bytes) -> None:
+        buffer = io.BytesIO(blob)
+        header = serialize.read_json(buffer)
+        size = int(serialize.read_json(buffer))
+        self._buffered = chunks_from_bytes(buffer.read(size))
+        self._emitted = bool(header["emitted"])
+        self._result = chunk_from_stream(buffer) if header["has_result"] else None
+
+
+class IterLimit(Iterator):
+    """Streaming limit with a resumable row counter."""
+
+    def __init__(self, child: Iterator, count: int):
+        self.child = child
+        self.count = count
+        self.output_schema = child.output_schema
+        self.produced = 0
+
+    def children(self) -> list[Iterator]:
+        return [self.child]
+
+    def next(self) -> DataChunk | None:
+        if self.produced >= self.count:
+            return None
+        chunk = self.child.next()
+        if chunk is None:
+            return None
+        remaining = self.count - self.produced
+        if chunk.num_rows > remaining:
+            chunk = chunk.slice(0, remaining)
+        self.produced += chunk.num_rows
+        return chunk
+
+    def state_bytes(self) -> int:
+        return 8
+
+    def capture_state(self) -> bytes:
+        return serialize.serialize_array(np.array([self.produced], dtype=np.int64))
+
+    def restore_state(self, blob: bytes) -> None:
+        self.produced = int(serialize.deserialize_array(blob)[0])

@@ -1,0 +1,42 @@
+"""SQL front-end: parse single-block SELECT statements into physical plans.
+
+Usage::
+
+    from repro.sql import execute_sql
+    from repro.tpch import generate_catalog
+
+    catalog = generate_catalog(0.01)
+    result = execute_sql(catalog, '''
+        SELECT l_returnflag, sum(l_extendedprice) AS total
+        FROM lineitem
+        WHERE l_shipdate <= DATE '1998-09-02'
+        GROUP BY l_returnflag
+        ORDER BY l_returnflag
+    ''')
+
+The produced plans are ordinary :mod:`repro.engine.plan` trees, so every
+suspension strategy, the cost model, and the cloud runners apply to SQL
+queries unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.engine.executor import QueryExecutor, QueryResult
+from repro.engine.plan import PlanNode
+from repro.sql.lexer import SqlError
+from repro.sql.parser import parse
+from repro.sql.planner import plan_statement
+from repro.storage.catalog import Catalog
+
+__all__ = ["SqlError", "parse", "plan_sql", "execute_sql"]
+
+
+def plan_sql(catalog: Catalog, sql: str) -> PlanNode:
+    """Parse *sql* and translate it into a physical plan over *catalog*."""
+    return plan_statement(catalog, parse(sql))
+
+
+def execute_sql(catalog: Catalog, sql: str, **executor_kwargs) -> QueryResult:
+    """Plan and run *sql*; keyword arguments pass through to the executor."""
+    plan = plan_sql(catalog, sql)
+    return QueryExecutor(catalog, plan, **executor_kwargs).run()

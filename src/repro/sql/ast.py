@@ -1,0 +1,135 @@
+"""Abstract syntax tree for the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SqlExpr", "ColumnRefExpr", "LiteralExpr", "DateExpr", "BinaryExpr",
+    "NotExpr", "InExpr", "BetweenExpr", "LikeExpr", "CaseExpr", "FuncExpr",
+    "AggregateExpr", "SelectItem", "TableRef", "JoinClause", "OrderItem",
+    "SelectStatement",
+]
+
+
+class SqlExpr:
+    """Base class of SQL expressions."""
+
+
+@dataclass(frozen=True)
+class ColumnRefExpr(SqlExpr):
+    """Possibly-qualified column reference (``t.col`` or ``col``)."""
+
+    name: str
+    qualifier: str | None = None
+
+
+@dataclass(frozen=True)
+class LiteralExpr(SqlExpr):
+    value: object  # int, float, or str
+
+
+@dataclass(frozen=True)
+class DateExpr(SqlExpr):
+    """``DATE 'yyyy-mm-dd'`` optionally shifted by an interval."""
+
+    text: str
+    shift_days: int = 0
+    shift_months: int = 0
+    shift_years: int = 0
+
+
+@dataclass(frozen=True)
+class BinaryExpr(SqlExpr):
+    op: str  # = <> < <= > >= + - * / AND OR
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class NotExpr(SqlExpr):
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class InExpr(SqlExpr):
+    operand: SqlExpr
+    values: tuple[object, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BetweenExpr(SqlExpr):
+    operand: SqlExpr
+    low: SqlExpr
+    high: SqlExpr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class LikeExpr(SqlExpr):
+    operand: SqlExpr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class CaseExpr(SqlExpr):
+    branches: tuple[tuple[SqlExpr, SqlExpr], ...]
+    default: SqlExpr
+
+
+@dataclass(frozen=True)
+class FuncExpr(SqlExpr):
+    """Scalar function: EXTRACT(YEAR FROM x) / SUBSTRING(x, a, b)."""
+
+    name: str  # "year" | "substring"
+    args: tuple = ()
+
+
+@dataclass(frozen=True)
+class AggregateExpr(SqlExpr):
+    """SUM/COUNT/AVG/MIN/MAX(expr), COUNT(*), COUNT(DISTINCT col)."""
+
+    func: str  # sum, count, avg, min, max
+    argument: SqlExpr | None  # None = COUNT(*)
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class SelectItem(SqlExpr):
+    expression: SqlExpr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """Explicit ``JOIN table ON condition`` (INNER or LEFT OUTER)."""
+
+    table: TableRef
+    condition: SqlExpr
+    outer: bool = False
+
+
+@dataclass
+class SelectStatement:
+    items: list[SelectItem]
+    tables: list[TableRef]
+    joins: list[JoinClause] = field(default_factory=list)
+    where: SqlExpr | None = None
+    group_by: list[SqlExpr] = field(default_factory=list)
+    having: SqlExpr | None = None
+    order_by: list["OrderItem"] = field(default_factory=list)
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: SqlExpr
+    ascending: bool = True

@@ -1,0 +1,117 @@
+"""SQL tokenizer for the query front-end."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TokenType", "Token", "SqlError", "tokenize"]
+
+
+class SqlError(ValueError):
+    """Raised for malformed SQL (lexing, parsing, or planning)."""
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    END = "end"
+
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL",
+    "JOIN", "INNER", "LEFT", "OUTER", "ON", "ASC", "DESC",
+    "CASE", "WHEN", "THEN", "ELSE", "END",
+    "SUM", "COUNT", "AVG", "MIN", "MAX", "DISTINCT",
+    "DATE", "EXTRACT", "YEAR", "SUBSTRING", "INTERVAL",
+}
+
+_OPERATORS = ["<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/", "||"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*; always ends with an END token."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if text.startswith("--", index):
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if char == "'":
+            end = index + 1
+            parts = []
+            while True:
+                if end >= length:
+                    raise SqlError(f"unterminated string literal at offset {index}")
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        parts.append("'")
+                        end += 2
+                        continue
+                    break
+                parts.append(text[end])
+                end += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), index))
+            index = end + 1
+            continue
+        if char.isdigit() or (char == "." and index + 1 < length and text[index + 1].isdigit()):
+            end = index
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, text[index:end], index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] in "_."):
+                end += 1
+            word = text[index:end]
+            upper = word.upper()
+            if upper in KEYWORDS and "." not in word:
+                tokens.append(Token(TokenType.KEYWORD, upper, index))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word.lower(), index))
+            index = end
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if text.startswith(operator, index):
+                tokens.append(Token(TokenType.OPERATOR, operator, index))
+                index += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in "(),;":
+            tokens.append(Token(TokenType.PUNCT, char, index))
+            index += 1
+            continue
+        raise SqlError(f"unexpected character {char!r} at offset {index}")
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,363 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (simplified)::
+
+    select    := SELECT item (',' item)* FROM tables joins* [WHERE expr]
+                 [GROUP BY expr (',' expr)*] [HAVING expr]
+                 [ORDER BY order (',' order)*] [LIMIT n] [';']
+    tables    := table (',' table)*
+    table     := identifier [AS? identifier]
+    joins     := (INNER | LEFT OUTER?)? JOIN table ON expr
+    expr      := or-chain of AND-chains of predicates
+    predicate := comparison | IN | BETWEEN | LIKE | NOT pred | '(' expr ')'
+    value     := arithmetic over columns, literals, DATE literals,
+                 CASE WHEN, EXTRACT(YEAR FROM x), SUBSTRING(x, a, b),
+                 aggregate functions
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+from repro.sql.lexer import SqlError, Token, TokenType, tokenize
+
+__all__ = ["parse", "SqlError"]
+
+
+def parse(sql: str) -> ast.SelectStatement:
+    """Parse one SELECT statement."""
+    return _Parser(tokenize(sql)).parse_select()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect_keyword(self, *names: str) -> Token:
+        if not self.current.is_keyword(*names):
+            raise SqlError(
+                f"expected {'/'.join(names)} at offset {self.current.position}, "
+                f"got {self.current.value!r}"
+            )
+        return self.advance()
+
+    def expect_punct(self, char: str) -> Token:
+        if self.current.type is not TokenType.PUNCT or self.current.value != char:
+            raise SqlError(
+                f"expected {char!r} at offset {self.current.position}, "
+                f"got {self.current.value!r}"
+            )
+        return self.advance()
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.current.is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def accept_punct(self, char: str) -> bool:
+        if self.current.type is TokenType.PUNCT and self.current.value == char:
+            self.advance()
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------------
+    def parse_select(self) -> ast.SelectStatement:
+        self.expect_keyword("SELECT")
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        tables = [self.parse_table_ref()]
+        joins: list[ast.JoinClause] = []
+        while True:
+            if self.accept_punct(","):
+                tables.append(self.parse_table_ref())
+                continue
+            join = self.parse_optional_join()
+            if join is None:
+                break
+            joins.append(join)
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        group_by: list[ast.SqlExpr] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_value())
+            while self.accept_punct(","):
+                group_by.append(self.parse_value())
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_expr()
+        order_by: list[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self.parse_order_item())
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.advance()
+            if token.type is not TokenType.NUMBER:
+                raise SqlError(f"LIMIT expects a number, got {token.value!r}")
+            limit = int(token.value)
+        self.accept_punct(";")
+        if self.current.type is not TokenType.END:
+            raise SqlError(
+                f"unexpected trailing input at offset {self.current.position}: "
+                f"{self.current.value!r}"
+            )
+        return ast.SelectStatement(
+            items=items, tables=tables, joins=joins, where=where,
+            group_by=group_by, having=having, order_by=order_by, limit=limit,
+        )
+
+    def parse_select_item(self) -> ast.SelectItem:
+        expression = self.parse_value()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self._identifier("alias")
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self._identifier("alias")
+        return ast.SelectItem(expression, alias)
+
+    def parse_table_ref(self) -> ast.TableRef:
+        name = self._identifier("table name")
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self._identifier("table alias")
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self._identifier("table alias")
+        return ast.TableRef(name, alias)
+
+    def parse_optional_join(self) -> ast.JoinClause | None:
+        outer = False
+        if self.current.is_keyword("LEFT"):
+            self.advance()
+            self.accept_keyword("OUTER")
+            outer = True
+            self.expect_keyword("JOIN")
+        elif self.current.is_keyword("INNER"):
+            self.advance()
+            self.expect_keyword("JOIN")
+        elif self.current.is_keyword("JOIN"):
+            self.advance()
+        else:
+            return None
+        table = self.parse_table_ref()
+        self.expect_keyword("ON")
+        condition = self.parse_expr()
+        return ast.JoinClause(table, condition, outer)
+
+    def parse_order_item(self) -> ast.OrderItem:
+        expression = self.parse_value()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expression, ascending)
+
+    # -- expressions -------------------------------------------------------------
+    def parse_expr(self) -> ast.SqlExpr:
+        left = self.parse_and()
+        while self.current.is_keyword("OR"):
+            self.advance()
+            left = ast.BinaryExpr("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.SqlExpr:
+        left = self.parse_predicate()
+        while self.current.is_keyword("AND"):
+            self.advance()
+            left = ast.BinaryExpr("AND", left, self.parse_predicate())
+        return left
+
+    def parse_predicate(self) -> ast.SqlExpr:
+        if self.accept_keyword("NOT"):
+            return ast.NotExpr(self.parse_predicate())
+        value = self.parse_value()
+        negated = self.accept_keyword("NOT")
+        if self.accept_keyword("IN"):
+            self.expect_punct("(")
+            values = [self._literal_value()]
+            while self.accept_punct(","):
+                values.append(self._literal_value())
+            self.expect_punct(")")
+            return ast.InExpr(value, tuple(values), negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_value()
+            self.expect_keyword("AND")
+            high = self.parse_value()
+            return ast.BetweenExpr(value, low, high, negated)
+        if self.accept_keyword("LIKE"):
+            token = self.advance()
+            if token.type is not TokenType.STRING:
+                raise SqlError("LIKE expects a string pattern")
+            return ast.LikeExpr(value, token.value, negated)
+        if negated:
+            raise SqlError("NOT must be followed by IN, BETWEEN, or LIKE here")
+        if self.current.type is TokenType.OPERATOR and self.current.value in (
+            "=", "<>", "!=", "<", "<=", ">", ">=",
+        ):
+            op = self.advance().value
+            right = self.parse_value()
+            return ast.BinaryExpr("<>" if op == "!=" else op, value, right)
+        return value
+
+    def parse_value(self) -> ast.SqlExpr:
+        left = self.parse_term()
+        while self.current.type is TokenType.OPERATOR and self.current.value in ("+", "-"):
+            op = self.advance().value
+            left = ast.BinaryExpr(op, left, self.parse_term())
+        return left
+
+    def parse_term(self) -> ast.SqlExpr:
+        left = self.parse_factor()
+        while self.current.type is TokenType.OPERATOR and self.current.value in ("*", "/"):
+            op = self.advance().value
+            left = ast.BinaryExpr(op, left, self.parse_factor())
+        return left
+
+    def parse_factor(self) -> ast.SqlExpr:
+        token = self.current
+        if self.accept_punct("("):
+            inner = self.parse_expr()
+            self.expect_punct(")")
+            return inner
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self.advance()
+            operand = self.parse_factor()
+            return ast.BinaryExpr("-", ast.LiteralExpr(0), operand)
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            text = token.value
+            return ast.LiteralExpr(float(text) if "." in text else int(text))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.LiteralExpr(token.value)
+        if token.is_keyword("DATE"):
+            return self.parse_date()
+        if token.is_keyword("CASE"):
+            return self.parse_case()
+        if token.is_keyword("EXTRACT"):
+            self.advance()
+            self.expect_punct("(")
+            self.expect_keyword("YEAR")
+            from_token = self.advance()  # FROM is lexed as a keyword
+            if not from_token.is_keyword("FROM"):
+                raise SqlError("EXTRACT supports only EXTRACT(YEAR FROM expr)")
+            operand = self.parse_value()
+            self.expect_punct(")")
+            return ast.FuncExpr("year", (operand,))
+        if token.is_keyword("SUBSTRING"):
+            self.advance()
+            self.expect_punct("(")
+            operand = self.parse_value()
+            self.expect_punct(",")
+            start = self._int_literal()
+            self.expect_punct(",")
+            length = self._int_literal()
+            self.expect_punct(")")
+            return ast.FuncExpr("substring", (operand, start, length))
+        if token.is_keyword("SUM", "COUNT", "AVG", "MIN", "MAX"):
+            return self.parse_aggregate()
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            name = token.value
+            if "." in name:
+                qualifier, _, column = name.partition(".")
+                return ast.ColumnRefExpr(column, qualifier)
+            return ast.ColumnRefExpr(name)
+        raise SqlError(f"unexpected token {token.value!r} at offset {token.position}")
+
+    def parse_date(self) -> ast.SqlExpr:
+        self.expect_keyword("DATE")
+        token = self.advance()
+        if token.type is not TokenType.STRING:
+            raise SqlError("DATE expects a 'yyyy-mm-dd' string")
+        date = ast.DateExpr(token.value)
+        # DATE '...' ± INTERVAL 'n' UNIT
+        while self.current.type is TokenType.OPERATOR and self.current.value in ("+", "-"):
+            sign = 1 if self.current.value == "+" else -1
+            save = self.index
+            self.advance()
+            if not self.accept_keyword("INTERVAL"):
+                self.index = save
+                break
+            amount_token = self.advance()
+            if amount_token.type not in (TokenType.STRING, TokenType.NUMBER):
+                raise SqlError("INTERVAL expects a quantity")
+            amount = sign * int(str(amount_token.value).strip("'"))
+            unit = self.advance().value.lower().rstrip("s")
+            if unit == "day":
+                date = ast.DateExpr(date.text, date.shift_days + amount, date.shift_months, date.shift_years)
+            elif unit == "month":
+                date = ast.DateExpr(date.text, date.shift_days, date.shift_months + amount, date.shift_years)
+            elif unit == "year":
+                date = ast.DateExpr(date.text, date.shift_days, date.shift_months, date.shift_years + amount)
+            else:
+                raise SqlError(f"unsupported interval unit {unit!r}")
+        return date
+
+    def parse_case(self) -> ast.SqlExpr:
+        self.expect_keyword("CASE")
+        branches = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expr()
+            self.expect_keyword("THEN")
+            branches.append((condition, self.parse_value()))
+        if self.accept_keyword("ELSE"):
+            default = self.parse_value()
+        else:
+            default = ast.LiteralExpr(0)
+        self.expect_keyword("END")
+        if not branches:
+            raise SqlError("CASE requires at least one WHEN branch")
+        return ast.CaseExpr(tuple(branches), default)
+
+    def parse_aggregate(self) -> ast.SqlExpr:
+        func = self.advance().value.lower()
+        self.expect_punct("(")
+        distinct = self.accept_keyword("DISTINCT")
+        if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+            self.advance()
+            self.expect_punct(")")
+            if func != "count":
+                raise SqlError(f"{func.upper()}(*) is not valid SQL")
+            return ast.AggregateExpr("count", None, False)
+        argument = self.parse_value()
+        self.expect_punct(")")
+        return ast.AggregateExpr(func, argument, distinct)
+
+    # -- small helpers -----------------------------------------------------------
+    def _identifier(self, what: str) -> str:
+        token = self.advance()
+        if token.type is not TokenType.IDENTIFIER:
+            raise SqlError(f"expected {what} at offset {token.position}, got {token.value!r}")
+        return token.value
+
+    def _literal_value(self) -> object:
+        token = self.advance()
+        if token.type is TokenType.NUMBER:
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.type is TokenType.STRING:
+            return token.value
+        raise SqlError(f"expected a literal at offset {token.position}")
+
+    def _int_literal(self) -> int:
+        token = self.advance()
+        if token.type is not TokenType.NUMBER or "." in token.value:
+            raise SqlError(f"expected an integer at offset {token.position}")
+        return int(token.value)

@@ -1,0 +1,543 @@
+"""SQL → physical plan translation.
+
+Supports single-block SELECT statements (no subqueries — TPC-H's nested
+blocks are provided pre-decorrelated in :mod:`repro.tpch.queries`):
+
+* implicit (comma) joins with equi-predicates in WHERE, and explicit
+  ``JOIN … ON`` / ``LEFT JOIN … ON``;
+* predicate pushdown of single-table conjuncts into scans;
+* grouped and global aggregation with HAVING and post-aggregate
+  expressions (``100 * sum(a) / sum(b)``);
+* ORDER BY on output columns or select-item expressions, and LIMIT.
+
+Joins are built left-deep in FROM order with the accumulated plan as the
+probe side.  LEFT JOIN fills unmatched rows with type defaults (0 / 0.0 /
+empty string) since the engine is NULL-free; see the module docs.
+"""
+
+from __future__ import annotations
+
+import calendar
+import datetime
+from dataclasses import dataclass, field
+
+from repro.engine import expressions as engine_expr
+from repro.engine import plan as planmod
+from repro.engine.operators.aggregate import AggFunc, AggSpec
+from repro.engine.operators.hash_join import JoinType
+from repro.engine.types import DataType, parse_date
+from repro.sql import ast
+from repro.sql.lexer import SqlError
+from repro.storage.catalog import Catalog
+
+__all__ = ["plan_statement"]
+
+_AGG_FUNCS = {
+    ("sum", False): AggFunc.SUM,
+    ("count", False): AggFunc.COUNT,
+    ("count", True): AggFunc.COUNT_DISTINCT,
+    ("avg", False): AggFunc.AVG,
+    ("min", False): AggFunc.MIN,
+    ("max", False): AggFunc.MAX,
+}
+
+_OUTER_DEFAULTS = {
+    DataType.INT32: 0,
+    DataType.INT64: 0,
+    DataType.FLOAT64: 0.0,
+    DataType.DATE: 0,
+    DataType.STRING: "",
+    DataType.BOOL: False,
+}
+
+
+def plan_statement(catalog: Catalog, statement: ast.SelectStatement) -> planmod.PlanNode:
+    """Translate a parsed statement into a physical plan over *catalog*."""
+    return _Planner(catalog, statement).build()
+
+
+@dataclass
+class _Scope:
+    """Column resolution over the FROM clause."""
+
+    catalog: Catalog
+    tables: list[ast.TableRef]
+    by_alias: dict[str, str] = field(default_factory=dict)  # alias → table
+    column_home: dict[str, str] = field(default_factory=dict)  # column → alias
+    ambiguous: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        for ref in self.tables:
+            alias = ref.alias or ref.name
+            if alias in self.by_alias:
+                raise SqlError(f"duplicate table alias {alias!r}")
+            self.by_alias[alias] = ref.name
+            for column in self.catalog.get(ref.name).schema.names:
+                if column in self.column_home and self.column_home[column] != alias:
+                    self.ambiguous.add(column)
+                self.column_home[column] = alias
+
+    def resolve(self, ref: ast.ColumnRefExpr) -> tuple[str, str]:
+        """Resolve to ``(alias, physical column name)``."""
+        if ref.qualifier is not None:
+            if ref.qualifier not in self.by_alias:
+                raise SqlError(f"unknown table alias {ref.qualifier!r}")
+            table = self.by_alias[ref.qualifier]
+            if ref.name not in self.catalog.get(table).schema:
+                raise SqlError(f"{ref.qualifier}.{ref.name} does not exist")
+            return ref.qualifier, ref.name
+        if ref.name in self.ambiguous:
+            raise SqlError(f"column {ref.name!r} is ambiguous; qualify it")
+        if ref.name not in self.column_home:
+            raise SqlError(f"unknown column {ref.name!r}")
+        return self.column_home[ref.name], ref.name
+
+
+def _shift_date(text: str, days: int, months: int, years: int) -> int:
+    value = datetime.date.fromisoformat(text)
+    month_index = value.year * 12 + (value.month - 1) + months + years * 12
+    year, month = divmod(month_index, 12)
+    month += 1
+    day = min(value.day, calendar.monthrange(year, month)[1])
+    shifted = datetime.date(year, month, day) + datetime.timedelta(days=days)
+    return parse_date(shifted.isoformat())
+
+
+class _Planner:
+    def __init__(self, catalog: Catalog, statement: ast.SelectStatement):
+        self.catalog = catalog
+        self.statement = statement
+        self.scope = _Scope(catalog, statement.tables + [j.table for j in statement.joins])
+
+    # -- expression translation ---------------------------------------------------
+    def to_expression(self, node: ast.SqlExpr) -> engine_expr.Expression:
+        """Translate a scalar SQL expression (no aggregates allowed)."""
+        if isinstance(node, ast.ColumnRefExpr):
+            _, name = self.scope.resolve(node)
+            return engine_expr.col(name)
+        if isinstance(node, ast.LiteralExpr):
+            return engine_expr.lit(node.value)
+        if isinstance(node, ast.DateExpr):
+            days = _shift_date(node.text, node.shift_days, node.shift_months, node.shift_years)
+            return engine_expr.lit(days, DataType.DATE)
+        if isinstance(node, ast.BinaryExpr):
+            left = self.to_expression(node.left)
+            right = self.to_expression(node.right)
+            op = node.op
+            if op == "AND":
+                return left & right
+            if op == "OR":
+                return left | right
+            if op == "=":
+                return left == right
+            if op == "<>":
+                return left != right
+            if op in ("<", "<=", ">", ">="):
+                return engine_expr.Comparison(op, left, right)
+            if op in ("+", "-", "*", "/"):
+                return engine_expr.Arithmetic(op, left, right)
+            raise SqlError(f"unsupported operator {op!r}")
+        if isinstance(node, ast.NotExpr):
+            return ~self.to_expression(node.operand)
+        if isinstance(node, ast.InExpr):
+            expression = self.to_expression(node.operand).isin(list(node.values))
+            return ~expression if node.negated else expression
+        if isinstance(node, ast.BetweenExpr):
+            low = self.to_expression(node.low)
+            high = self.to_expression(node.high)
+            operand = self.to_expression(node.operand)
+            expression = engine_expr.BooleanOp(
+                "and",
+                [engine_expr.Comparison(">=", operand, low),
+                 engine_expr.Comparison("<=", operand, high)],
+            )
+            return ~expression if node.negated else expression
+        if isinstance(node, ast.LikeExpr):
+            operand = self.to_expression(node.operand)
+            return operand.not_like(node.pattern) if node.negated else operand.like(node.pattern)
+        if isinstance(node, ast.CaseExpr):
+            branches = [
+                (self.to_expression(cond), self.to_expression(value))
+                for cond, value in node.branches
+            ]
+            return engine_expr.CaseWhen(branches, self.to_expression(node.default))
+        if isinstance(node, ast.FuncExpr):
+            if node.name == "year":
+                return self.to_expression(node.args[0]).year()
+            if node.name == "substring":
+                operand, start, length = node.args
+                return self.to_expression(operand).substring(start, length)
+            raise SqlError(f"unsupported function {node.name!r}")
+        if isinstance(node, ast.AggregateExpr):
+            raise SqlError("aggregate used where a scalar expression is required")
+        raise SqlError(f"unsupported expression {type(node).__name__}")
+
+    # -- helpers over the AST -------------------------------------------------------
+    def columns_of(self, node: ast.SqlExpr, into: dict[str, set[str]]) -> None:
+        """Accumulate referenced physical columns per table alias."""
+        if isinstance(node, ast.ColumnRefExpr):
+            alias, name = self.scope.resolve(node)
+            into.setdefault(alias, set()).add(name)
+        elif isinstance(node, ast.BinaryExpr):
+            self.columns_of(node.left, into)
+            self.columns_of(node.right, into)
+        elif isinstance(node, (ast.NotExpr,)):
+            self.columns_of(node.operand, into)
+        elif isinstance(node, (ast.InExpr, ast.LikeExpr)):
+            self.columns_of(node.operand, into)
+        elif isinstance(node, ast.BetweenExpr):
+            self.columns_of(node.operand, into)
+            self.columns_of(node.low, into)
+            self.columns_of(node.high, into)
+        elif isinstance(node, ast.CaseExpr):
+            for condition, value in node.branches:
+                self.columns_of(condition, into)
+                self.columns_of(value, into)
+            self.columns_of(node.default, into)
+        elif isinstance(node, ast.FuncExpr):
+            for arg in node.args:
+                if isinstance(arg, ast.SqlExpr):
+                    self.columns_of(arg, into)
+        elif isinstance(node, ast.AggregateExpr):
+            if node.argument is not None:
+                self.columns_of(node.argument, into)
+        elif isinstance(node, ast.SelectItem):
+            self.columns_of(node.expression, into)
+
+    def aliases_in(self, node: ast.SqlExpr) -> set[str]:
+        columns: dict[str, set[str]] = {}
+        self.columns_of(node, columns)
+        return set(columns)
+
+    @staticmethod
+    def split_conjuncts(node: ast.SqlExpr | None) -> list[ast.SqlExpr]:
+        if node is None:
+            return []
+        if isinstance(node, ast.BinaryExpr) and node.op == "AND":
+            return _Planner.split_conjuncts(node.left) + _Planner.split_conjuncts(node.right)
+        return [node]
+
+    def find_aggregates(self, node: ast.SqlExpr, out: list[ast.AggregateExpr]) -> None:
+        if isinstance(node, ast.AggregateExpr):
+            if node not in out:
+                out.append(node)
+        elif isinstance(node, ast.BinaryExpr):
+            self.find_aggregates(node.left, out)
+            self.find_aggregates(node.right, out)
+        elif isinstance(node, ast.NotExpr):
+            self.find_aggregates(node.operand, out)
+        elif isinstance(node, ast.CaseExpr):
+            for condition, value in node.branches:
+                self.find_aggregates(condition, out)
+                self.find_aggregates(value, out)
+            self.find_aggregates(node.default, out)
+
+    # -- planning ----------------------------------------------------------------
+    def build(self) -> planmod.PlanNode:
+        statement = self.statement
+        conjuncts = self.split_conjuncts(statement.where)
+        single_table: dict[str, list[ast.SqlExpr]] = {}
+        join_predicates: list[ast.SqlExpr] = []
+        residual: list[ast.SqlExpr] = []
+        for conjunct in conjuncts:
+            aliases = self.aliases_in(conjunct)
+            if len(aliases) <= 1:
+                alias = next(iter(aliases), None)
+                if alias is None:
+                    residual.append(conjunct)
+                else:
+                    single_table.setdefault(alias, []).append(conjunct)
+            elif self._equi_pair(conjunct) is not None:
+                join_predicates.append(conjunct)
+            else:
+                residual.append(conjunct)
+
+        needed = self._needed_columns(conjuncts)
+        plan, joined = self._build_join_tree(single_table, join_predicates, needed)
+        for conjunct in join_predicates:
+            if id(conjunct) not in joined:
+                residual.append(conjunct)
+        if residual:
+            predicate = self.to_expression(residual[0])
+            for extra in residual[1:]:
+                predicate = predicate & self.to_expression(extra)
+            plan = planmod.Filter(plan, predicate)
+        plan = self._apply_aggregation_and_projection(plan)
+        plan = self._apply_order_and_limit(plan)
+        return plan
+
+    def _equi_pair(self, node: ast.SqlExpr):
+        """``(left_ref, right_ref)`` when *node* is ``t1.a = t2.b``."""
+        if (
+            isinstance(node, ast.BinaryExpr)
+            and node.op == "="
+            and isinstance(node.left, ast.ColumnRefExpr)
+            and isinstance(node.right, ast.ColumnRefExpr)
+        ):
+            left = self.scope.resolve(node.left)
+            right = self.scope.resolve(node.right)
+            if left[0] != right[0]:
+                return left, right
+        return None
+
+    def _needed_columns(self, where_conjuncts) -> dict[str, set[str]]:
+        needed: dict[str, set[str]] = {}
+        for item in self.statement.items:
+            self.columns_of(item, needed)
+        for conjunct in where_conjuncts:
+            self.columns_of(conjunct, needed)
+        for expr in self.statement.group_by:
+            self.columns_of(expr, needed)
+        if self.statement.having is not None:
+            self.columns_of(self.statement.having, needed)
+        for order in self.statement.order_by:
+            try:
+                self.columns_of(order.expression, needed)
+            except SqlError:
+                pass  # ORDER BY may reference output aliases
+        for join in self.statement.joins:
+            self.columns_of(join.condition, needed)
+        return needed
+
+    def _scan(self, ref: ast.TableRef, single_table, needed) -> planmod.PlanNode:
+        alias = ref.alias or ref.name
+        columns = sorted(needed.get(alias, set()))
+        if not columns:
+            # Always scan at least one column so row counts survive.
+            columns = [self.catalog.get(ref.name).schema.names[0]]
+        predicate = None
+        for conjunct in single_table.get(alias, []):
+            translated = self.to_expression(conjunct)
+            predicate = translated if predicate is None else predicate & translated
+        return planmod.TableScan(ref.name, columns, predicate)
+
+    def _build_join_tree(self, single_table, join_predicates, needed):
+        statement = self.statement
+        plan = self._scan(statement.tables[0], single_table, needed)
+        available = {statement.tables[0].alias or statement.tables[0].name}
+        consumed: set[int] = set()
+
+        for ref in statement.tables[1:]:
+            alias = ref.alias or ref.name
+            build = self._scan(ref, single_table, needed)
+            keys = self._matching_keys(join_predicates, consumed, available, alias)
+            if not keys:
+                raise SqlError(
+                    f"no equi-join predicate connects {alias!r}; "
+                    "cross products are not supported"
+                )
+            probe_keys = [k[0] for k in keys]
+            build_keys = [k[1] for k in keys]
+            # Build keys stay in the payload when later expressions (GROUP
+            # BY, SELECT) reference them by their build-side name.
+            plan = planmod.HashJoin(
+                probe=plan,
+                build=build,
+                probe_keys=probe_keys,
+                build_keys=build_keys,
+                payload=sorted(needed.get(alias, set())),
+            )
+            available.add(alias)
+
+        for join in statement.joins:
+            alias = join.table.alias or join.table.name
+            build = self._scan(join.table, single_table, needed)
+            equi: list[tuple[str, str]] = []
+            extras: list[ast.SqlExpr] = []
+            for conjunct in self.split_conjuncts(join.condition):
+                pair = self._equi_pair(conjunct)
+                if pair is not None:
+                    (left_alias, left_col), (right_alias, right_col) = pair
+                    if right_alias == alias and left_alias in available:
+                        equi.append((left_col, right_col))
+                        continue
+                    if left_alias == alias and right_alias in available:
+                        equi.append((right_col, left_col))
+                        continue
+                extras.append(conjunct)
+            if not equi:
+                raise SqlError(f"JOIN ON for {alias!r} needs at least one equi condition")
+            payload = sorted(needed.get(alias, set()))
+            if join.outer:
+                if extras:
+                    raise SqlError("LEFT JOIN supports only equi conditions")
+                build_schema = build.output_schema(self.catalog)
+                defaults = {
+                    name: _OUTER_DEFAULTS[build_schema.type_of(name)] for name in payload
+                }
+                plan = planmod.HashJoin(
+                    probe=plan,
+                    build=build,
+                    probe_keys=[k[0] for k in equi],
+                    build_keys=[k[1] for k in equi],
+                    join_type=JoinType.LEFT_OUTER,
+                    payload=payload,
+                    default_row=defaults,
+                )
+            else:
+                plan = planmod.HashJoin(
+                    probe=plan,
+                    build=build,
+                    probe_keys=[k[0] for k in equi],
+                    build_keys=[k[1] for k in equi],
+                    payload=payload,
+                )
+                for extra in extras:
+                    plan = planmod.Filter(plan, self.to_expression(extra))
+            available.add(alias)
+        return plan, consumed
+
+    def _matching_keys(self, join_predicates, consumed, available, new_alias):
+        keys = []
+        for conjunct in join_predicates:
+            if id(conjunct) in consumed:
+                continue
+            pair = self._equi_pair(conjunct)
+            (left_alias, left_col), (right_alias, right_col) = pair
+            if left_alias in available and right_alias == new_alias:
+                keys.append((left_col, right_col))
+                consumed.add(id(conjunct))
+            elif right_alias in available and left_alias == new_alias:
+                keys.append((right_col, left_col))
+                consumed.add(id(conjunct))
+        return keys[:2]  # the engine combines at most two integer key columns
+
+    # -- aggregation / projection ---------------------------------------------------
+    def _apply_aggregation_and_projection(self, plan: planmod.PlanNode) -> planmod.PlanNode:
+        statement = self.statement
+        aggregates: list[ast.AggregateExpr] = []
+        for item in statement.items:
+            self.find_aggregates(item.expression, aggregates)
+        if statement.having is not None:
+            self.find_aggregates(statement.having, aggregates)
+        for order in statement.order_by:
+            self.find_aggregates(order.expression, aggregates)
+
+        if not aggregates and not statement.group_by:
+            outputs = [
+                (self._output_name(item, index), self.to_expression(item.expression))
+                for index, item in enumerate(statement.items)
+            ]
+            return planmod.Project(plan, outputs)
+
+        # Pre-projection: group keys + aggregate arguments as plain columns.
+        pre_outputs: list[tuple[str, engine_expr.Expression]] = []
+        key_names: dict[ast.SqlExpr, str] = {}
+        for index, expr in enumerate(statement.group_by):
+            name = (
+                expr.name
+                if isinstance(expr, ast.ColumnRefExpr)
+                else f"__gk{index}"
+            )
+            key_names[expr] = name
+            pre_outputs.append((name, self.to_expression(expr)))
+        agg_names: dict[ast.AggregateExpr, str] = {}
+        specs: list[AggSpec] = []
+        for index, aggregate in enumerate(aggregates):
+            name = f"__agg{index}"
+            agg_names[aggregate] = name
+            key = (aggregate.func, aggregate.distinct)
+            if key not in _AGG_FUNCS:
+                raise SqlError(f"unsupported aggregate {aggregate.func.upper()}"
+                               + (" DISTINCT" if aggregate.distinct else ""))
+            func = _AGG_FUNCS[key]
+            if aggregate.argument is None:
+                specs.append(AggSpec(name, AggFunc.COUNT_STAR))
+            else:
+                column = f"__arg{index}"
+                pre_outputs.append((column, self.to_expression(aggregate.argument)))
+                specs.append(AggSpec(name, func, column))
+        if not pre_outputs:
+            # A zero-column projection would lose the row count (e.g. a
+            # global COUNT(*)); carry a constant instead.
+            pre_outputs.append(("__one", engine_expr.lit(1)))
+        plan = planmod.Project(plan, pre_outputs)
+        plan = planmod.Aggregate(plan, [name for name in (key_names[e] for e in statement.group_by)], specs)
+
+        rewriter = _PostAggregate(self, key_names, agg_names)
+        if statement.having is not None:
+            plan = planmod.Filter(plan, rewriter.translate(statement.having))
+        outputs = [
+            (self._output_name(item, index), rewriter.translate(item.expression))
+            for index, item in enumerate(statement.items)
+        ]
+        return planmod.Project(plan, outputs)
+
+    def _output_name(self, item: ast.SelectItem, index: int) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expression, ast.ColumnRefExpr):
+            return item.expression.name
+        return f"col_{index}"
+
+    # -- order / limit ---------------------------------------------------------------
+    def _apply_order_and_limit(self, plan: planmod.PlanNode) -> planmod.PlanNode:
+        statement = self.statement
+        output_names = [
+            self._output_name(item, index) for index, item in enumerate(statement.items)
+        ]
+        by_expression = {
+            repr(item.expression): name
+            for item, name in zip(statement.items, output_names)
+        }
+        keys: list[tuple[str, bool]] = []
+        for order in statement.order_by:
+            expression = order.expression
+            if isinstance(expression, ast.ColumnRefExpr) and expression.name in output_names:
+                keys.append((expression.name, order.ascending))
+            elif isinstance(expression, ast.LiteralExpr) and isinstance(expression.value, int):
+                position = expression.value
+                if not 1 <= position <= len(output_names):
+                    raise SqlError(f"ORDER BY position {position} out of range")
+                keys.append((output_names[position - 1], order.ascending))
+            elif repr(expression) in by_expression:
+                keys.append((by_expression[repr(expression)], order.ascending))
+            else:
+                raise SqlError(
+                    "ORDER BY must reference an output column, alias, position, "
+                    "or a select-item expression"
+                )
+        if keys:
+            return planmod.Sort(plan, keys, statement.limit)
+        if statement.limit is not None:
+            return planmod.Limit(plan, statement.limit)
+        return plan
+
+
+class _PostAggregate:
+    """Rewrites select/having expressions over the aggregate's output."""
+
+    def __init__(self, planner: _Planner, key_names, agg_names):
+        self.planner = planner
+        self.key_names = key_names
+        self.agg_names = agg_names
+
+    def translate(self, node: ast.SqlExpr) -> engine_expr.Expression:
+        if node in self.key_names:
+            return engine_expr.col(self.key_names[node])
+        if isinstance(node, ast.AggregateExpr):
+            return engine_expr.col(self.agg_names[node])
+        if isinstance(node, ast.BinaryExpr):
+            left = self.translate(node.left)
+            right = self.translate(node.right)
+            op = node.op
+            if op == "AND":
+                return left & right
+            if op == "OR":
+                return left | right
+            if op == "=":
+                return left == right
+            if op == "<>":
+                return left != right
+            if op in ("<", "<=", ">", ">="):
+                return engine_expr.Comparison(op, left, right)
+            return engine_expr.Arithmetic(op, left, right)
+        if isinstance(node, ast.NotExpr):
+            return ~self.translate(node.operand)
+        if isinstance(node, (ast.LiteralExpr, ast.DateExpr)):
+            return self.planner.to_expression(node)
+        if isinstance(node, ast.ColumnRefExpr):
+            raise SqlError(
+                f"column {node.name!r} must appear in GROUP BY or inside an aggregate"
+            )
+        raise SqlError(f"unsupported post-aggregate expression {type(node).__name__}")

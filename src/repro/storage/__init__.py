@@ -1,0 +1,7 @@
+"""Columnar storage substrate: typed columns, tables, catalog, file format."""
+
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+__all__ = ["Catalog", "Column", "Table"]

@@ -1,0 +1,71 @@
+"""Catalog of ingested tables available for query processing."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.storage import rcol
+from repro.storage.table import Table
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Maps table names to in-memory :class:`Table` objects.
+
+    Mirrors the paper's setup in which data is ingested (from Parquet, here
+    from ``.rcol`` files or built in memory) before queries run.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across all registered tables."""
+        return sum(t.nbytes for t in self._tables.values())
+
+    def register(self, table: Table, replace: bool = False) -> None:
+        """Add *table* under its own name; refuses silent overwrite."""
+        if table.name in self._tables and not replace:
+            raise ValueError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+
+    def drop(self, name: str) -> None:
+        """Remove table *name*; raises ``KeyError`` if absent."""
+        del self._tables[name]
+
+    def get(self, name: str) -> Table:
+        """The table called *name*; raises ``KeyError`` if absent."""
+        if name not in self._tables:
+            raise KeyError(f"unknown table {name!r}; have {self.table_names}")
+        return self._tables[name]
+
+    def ingest_directory(self, directory: str | os.PathLike, replace: bool = False) -> list[str]:
+        """Load every ``.rcol`` file in *directory*; returns loaded names."""
+        loaded = []
+        for path in sorted(Path(directory).glob("*.rcol")):
+            table = rcol.read_table(path)
+            self.register(table, replace=replace)
+            loaded.append(table.name)
+        return loaded
+
+    def persist_directory(self, directory: str | os.PathLike) -> dict[str, int]:
+        """Write every table to ``<directory>/<name>.rcol``; returns sizes."""
+        out_dir = Path(directory)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        return {
+            name: rcol.write_table(table, out_dir / f"{name}.rcol")
+            for name, table in self._tables.items()
+        }

@@ -1,0 +1,46 @@
+"""Typed column: a logical :class:`~repro.engine.types.DataType` over NumPy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.types import DataType
+
+__all__ = ["Column"]
+
+
+@dataclass
+class Column:
+    """An immutable-by-convention typed column of values.
+
+    The engine never mutates column data in place; operators allocate new
+    arrays.  The class exists to pair a NumPy array with its logical type
+    and to centralize validation and size accounting.
+    """
+
+    name: str
+    dtype: DataType
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.dtype.validate_array(self.data)
+        if self.data.ndim != 1:
+            raise ValueError(f"column {self.name!r} must be 1-D, got shape {self.data.shape}")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        """Physical size of the column payload in bytes."""
+        return int(self.data.nbytes)
+
+    def slice(self, start: int, stop: int) -> "Column":
+        """Zero-copy view of rows ``[start, stop)``."""
+        return Column(self.name, self.dtype, self.data[start:stop])
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Column gathered at *indices* (copies)."""
+        return Column(self.name, self.dtype, self.data[indices])

@@ -1,0 +1,152 @@
+"""Binary (de)serialization for NumPy arrays and simple Python values.
+
+This module is the persistence backbone used by the ``.rcol`` columnar file
+format and by suspension snapshots.  The format is deliberately simple and
+self-describing:
+
+* an array record is ``[dtype-str-len u32][dtype-str][shape-len u32]
+  [shape i64 * n][payload-len u64][payload bytes]``;
+* a mapping of named arrays is a count followed by ``(name, array)`` records.
+
+Unicode (``<U``) arrays round-trip exactly; object arrays are rejected so
+that snapshot sizes remain meaningful byte counts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from typing import BinaryIO
+
+import numpy as np
+
+__all__ = [
+    "write_array",
+    "read_array",
+    "serialize_array",
+    "deserialize_array",
+    "write_named_arrays",
+    "read_named_arrays",
+    "serialize_named_arrays",
+    "deserialize_named_arrays",
+    "write_json",
+    "read_json",
+    "array_nbytes",
+]
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+
+
+class SerializationError(ValueError):
+    """Raised when a payload cannot be serialized or parsed."""
+
+
+def array_nbytes(array: np.ndarray) -> int:
+    """Payload size in bytes that :func:`write_array` will emit for data."""
+    return int(array.nbytes)
+
+
+def write_array(stream: BinaryIO, array: np.ndarray) -> int:
+    """Write *array* to *stream*; returns the number of bytes written."""
+    if array.dtype.kind == "O":
+        raise SerializationError("object arrays are not serializable; use unicode dtype")
+    contiguous = np.ascontiguousarray(array)
+    dtype_str = contiguous.dtype.str.encode("ascii")
+    payload = contiguous.tobytes()
+    written = 0
+    for blob in (_U32.pack(len(dtype_str)), dtype_str):
+        stream.write(blob)
+        written += len(blob)
+    stream.write(_U32.pack(contiguous.ndim))
+    written += _U32.size
+    for dim in contiguous.shape:
+        stream.write(_I64.pack(dim))
+        written += _I64.size
+    stream.write(_U64.pack(len(payload)))
+    stream.write(payload)
+    written += _U64.size + len(payload)
+    return written
+
+
+def read_array(stream: BinaryIO) -> np.ndarray:
+    """Read one array record previously written by :func:`write_array`."""
+    dtype_len = _U32.unpack(_read_exact(stream, _U32.size))[0]
+    dtype = np.dtype(_read_exact(stream, dtype_len).decode("ascii"))
+    ndim = _U32.unpack(_read_exact(stream, _U32.size))[0]
+    shape = tuple(_I64.unpack(_read_exact(stream, _I64.size))[0] for _ in range(ndim))
+    payload_len = _U64.unpack(_read_exact(stream, _U64.size))[0]
+    payload = _read_exact(stream, payload_len)
+    return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+
+
+def serialize_array(array: np.ndarray) -> bytes:
+    """Return the byte encoding of a single array."""
+    buffer = io.BytesIO()
+    write_array(buffer, array)
+    return buffer.getvalue()
+
+
+def deserialize_array(blob: bytes) -> np.ndarray:
+    """Inverse of :func:`serialize_array`."""
+    return read_array(io.BytesIO(blob))
+
+
+def write_named_arrays(stream: BinaryIO, arrays: dict[str, np.ndarray]) -> int:
+    """Write a name→array mapping; returns total bytes written."""
+    written = 0
+    stream.write(_U32.pack(len(arrays)))
+    written += _U32.size
+    for name, array in arrays.items():
+        encoded = name.encode("utf-8")
+        stream.write(_U32.pack(len(encoded)))
+        stream.write(encoded)
+        written += _U32.size + len(encoded)
+        written += write_array(stream, array)
+    return written
+
+
+def read_named_arrays(stream: BinaryIO) -> dict[str, np.ndarray]:
+    """Inverse of :func:`write_named_arrays`."""
+    count = _U32.unpack(_read_exact(stream, _U32.size))[0]
+    result: dict[str, np.ndarray] = {}
+    for _ in range(count):
+        name_len = _U32.unpack(_read_exact(stream, _U32.size))[0]
+        name = _read_exact(stream, name_len).decode("utf-8")
+        result[name] = read_array(stream)
+    return result
+
+
+def serialize_named_arrays(arrays: dict[str, np.ndarray]) -> bytes:
+    """Byte encoding of a name→array mapping."""
+    buffer = io.BytesIO()
+    write_named_arrays(buffer, arrays)
+    return buffer.getvalue()
+
+
+def deserialize_named_arrays(blob: bytes) -> dict[str, np.ndarray]:
+    """Inverse of :func:`serialize_named_arrays`."""
+    return read_named_arrays(io.BytesIO(blob))
+
+
+def write_json(stream: BinaryIO, value: object) -> int:
+    """Write a length-prefixed JSON document."""
+    payload = json.dumps(value, separators=(",", ":")).encode("utf-8")
+    stream.write(_U64.pack(len(payload)))
+    stream.write(payload)
+    return _U64.size + len(payload)
+
+
+def read_json(stream: BinaryIO) -> object:
+    """Inverse of :func:`write_json`."""
+    payload_len = _U64.unpack(_read_exact(stream, _U64.size))[0]
+    return json.loads(_read_exact(stream, payload_len).decode("utf-8"))
+
+
+def _read_exact(stream: BinaryIO, size: int) -> bytes:
+    data = stream.read(size)
+    if len(data) != size:
+        raise SerializationError(f"truncated stream: wanted {size} bytes, got {len(data)}")
+    return data

@@ -1,0 +1,86 @@
+"""In-memory columnar table."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.engine.types import DataType, Schema
+from repro.storage.column import Column
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A named, schema-validated collection of equal-length columns.
+
+    Tables are the unit of ingestion (from ``.rcol`` files or the TPC-H
+    generator) and the source that table scans read from.
+    """
+
+    def __init__(self, name: str, schema: Schema, columns: Mapping[str, np.ndarray]):
+        if set(columns) != set(schema.names):
+            missing = set(schema.names) - set(columns)
+            extra = set(columns) - set(schema.names)
+            raise ValueError(f"columns do not match schema (missing={missing}, extra={extra})")
+        lengths = {len(arr) for arr in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns in table {name!r}: lengths {sorted(lengths)}")
+        self.name = name
+        self.schema = schema
+        self._columns = {
+            field.name: Column(field.name, field.dtype, np.asarray(columns[field.name]))
+            for field in schema
+        }
+        self._num_rows = lengths.pop() if lengths else 0
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.num_rows}, cols={len(self.schema)})"
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def nbytes(self) -> int:
+        """Total physical payload size of all columns."""
+        return sum(col.nbytes for col in self._columns.values())
+
+    def column(self, name: str) -> Column:
+        """The :class:`Column` called *name*."""
+        return self._columns[name]
+
+    def array(self, name: str) -> np.ndarray:
+        """Raw NumPy data of column *name*."""
+        return self._columns[name].data
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """All column arrays keyed by name (schema order)."""
+        return {name: self._columns[name].data for name in self.schema.names}
+
+    def select(self, names: list[str]) -> "Table":
+        """New table with only *names*, preserving their given order."""
+        return Table(self.name, self.schema.select(names), {n: self.array(n) for n in names})
+
+    def head(self, count: int) -> "Table":
+        """First *count* rows (for inspection and tests)."""
+        return Table(
+            self.name,
+            self.schema,
+            {n: self.array(n)[:count] for n in self.schema.names},
+        )
+
+    def row(self, index: int) -> dict[str, object]:
+        """Row *index* as a plain dict (scalar Python values)."""
+        out: dict[str, object] = {}
+        for name in self.schema.names:
+            value = self.array(name)[index]
+            out[name] = value.item() if hasattr(value, "item") else value
+        return out
+
+    @classmethod
+    def from_pairs(cls, name: str, pairs: list[tuple[str, DataType, np.ndarray]]) -> "Table":
+        """Convenience constructor from ``(name, type, data)`` triples."""
+        schema = Schema.of(*[(col, dtype) for col, dtype, _ in pairs])
+        return cls(name, schema, {col: data for col, _, data in pairs})

@@ -1,0 +1,36 @@
+"""Suspension strategies, snapshots, and the simulated CRIU."""
+
+from repro.suspend.controller import (
+    CompositeController,
+    SuspensionRequestController,
+    TerminationController,
+)
+from repro.suspend.criu import CriuError, SimulatedCriu
+from repro.suspend.data_level import DataLevelExecutor, DataLevelSnapshot
+from repro.suspend.pipeline_level import PipelineLevelStrategy
+from repro.suspend.process_level import ProcessLevelStrategy
+from repro.suspend.redo import RedoStrategy
+from repro.suspend.snapshot import PipelineSnapshot, ProcessImage, SnapshotError
+from repro.suspend.store import SnapshotRecord, SnapshotStore
+from repro.suspend.strategy import ResumeOutcome, SuspendOutcome, SuspensionStrategy
+
+__all__ = [
+    "CompositeController",
+    "SuspensionRequestController",
+    "TerminationController",
+    "CriuError",
+    "SimulatedCriu",
+    "DataLevelExecutor",
+    "DataLevelSnapshot",
+    "PipelineLevelStrategy",
+    "ProcessLevelStrategy",
+    "RedoStrategy",
+    "PipelineSnapshot",
+    "ProcessImage",
+    "SnapshotError",
+    "SnapshotRecord",
+    "SnapshotStore",
+    "ResumeOutcome",
+    "SuspendOutcome",
+    "SuspensionStrategy",
+]

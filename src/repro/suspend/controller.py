@@ -1,0 +1,132 @@
+"""Controllers that trigger suspensions and simulate terminations."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.controller import Action, BoundaryContext, ExecutionController
+from repro.engine.errors import QueryTerminated
+
+__all__ = [
+    "SuspensionRequestController",
+    "TerminationController",
+    "CompositeController",
+    "CallbackController",
+]
+
+
+class SuspensionRequestController(ExecutionController):
+    """Suspends once the clock passes *request_time*.
+
+    ``mode`` selects the granularity: ``"process"`` suspends at the first
+    morsel boundary at/after the request, ``"pipeline"`` at the first
+    pipeline breaker.  The controller records the times of the request and
+    of the actual suspension, which the harness uses for the time-lag
+    experiment (Fig. 9).
+    """
+
+    def __init__(self, request_time: float, mode: str):
+        if mode not in ("process", "pipeline"):
+            raise ValueError(f"mode must be 'process' or 'pipeline', got {mode!r}")
+        self.request_time = request_time
+        self.mode = mode
+        self.suspended_at: float | None = None
+
+    def on_morsel_boundary(self, context: BoundaryContext) -> Action:
+        if self.mode == "process" and context.clock_now >= self.request_time:
+            self.suspended_at = context.clock_now
+            return Action.SUSPEND_PROCESS
+        return Action.CONTINUE
+
+    def on_pipeline_breaker(self, context: BoundaryContext) -> Action:
+        if context.clock_now < self.request_time:
+            return Action.CONTINUE
+        if context.pipeline_pos == context.total_pipelines - 1:
+            # The final (result) pipeline just finished: nothing to suspend.
+            return Action.CONTINUE
+        self.suspended_at = context.clock_now
+        if self.mode == "pipeline":
+            return Action.SUSPEND_PIPELINE
+        return Action.SUSPEND_PROCESS
+
+    @property
+    def lag(self) -> float | None:
+        """Delay between the request and the actual suspension, if any."""
+        if self.suspended_at is None:
+            return None
+        return max(0.0, self.suspended_at - self.request_time)
+
+
+class TerminationController(ExecutionController):
+    """Kills the query when the clock reaches *termination_time*.
+
+    Models the asynchronous revocation of a spot instance: with a
+    simulated clock the kill lands on the first boundary at/after the
+    termination point, losing all in-memory progress.
+    """
+
+    def __init__(self, termination_time: float | None):
+        self.termination_time = termination_time
+
+    def _check(self, context: BoundaryContext) -> None:
+        if self.termination_time is not None and context.clock_now >= self.termination_time:
+            raise QueryTerminated(self.termination_time)
+
+    def on_morsel_boundary(self, context: BoundaryContext) -> Action:
+        self._check(context)
+        return Action.CONTINUE
+
+    def on_pipeline_breaker(self, context: BoundaryContext) -> Action:
+        self._check(context)
+        return Action.CONTINUE
+
+
+class CompositeController(ExecutionController):
+    """Chains controllers; the first non-CONTINUE action wins.
+
+    Termination controllers raise, so placing them first reproduces the
+    race between an incoming kill and a pending suspension.
+    """
+
+    def __init__(self, controllers: list[ExecutionController]):
+        self.controllers = list(controllers)
+
+    def on_query_start(self, executor) -> None:
+        for controller in self.controllers:
+            controller.on_query_start(executor)
+
+    def on_morsel_boundary(self, context: BoundaryContext) -> Action:
+        for controller in self.controllers:
+            action = controller.on_morsel_boundary(context)
+            if action is not Action.CONTINUE:
+                return action
+        return Action.CONTINUE
+
+    def on_pipeline_breaker(self, context: BoundaryContext) -> Action:
+        for controller in self.controllers:
+            action = controller.on_pipeline_breaker(context)
+            if action is not Action.CONTINUE:
+                return action
+        return Action.CONTINUE
+
+
+class CallbackController(ExecutionController):
+    """Adapts plain callables into a controller (used by the selector)."""
+
+    def __init__(
+        self,
+        on_morsel: Callable[[BoundaryContext], Action] | None = None,
+        on_breaker: Callable[[BoundaryContext], Action] | None = None,
+    ):
+        self._on_morsel = on_morsel
+        self._on_breaker = on_breaker
+
+    def on_morsel_boundary(self, context: BoundaryContext) -> Action:
+        if self._on_morsel is None:
+            return Action.CONTINUE
+        return self._on_morsel(context)
+
+    def on_pipeline_breaker(self, context: BoundaryContext) -> Action:
+        if self._on_breaker is None:
+            return Action.CONTINUE
+        return self._on_breaker(context)

@@ -1,0 +1,195 @@
+"""Data-level suspension strategy (paper §VI, "More Strategies").
+
+The discussion section proposes partitioning the *input* and executing the
+query in batch mode so that every batch boundary is a suspension point —
+useful when building a suspension-aware engine is not an option.  This
+module implements that idea for distributive queries:
+
+* the caller provides ``plan_for(lo, hi)`` building the query restricted
+  to a key range of the partitioned fact table, and a *merge plan* that
+  combines the per-batch results (registered as a temporary table);
+* execution proceeds batch by batch; after each batch the accumulated
+  batch results form the suspension snapshot;
+* resumption replays only the remaining batches.
+
+The strategy is only correct for queries that distribute over the chosen
+partitioning (e.g. additive aggregates such as SUM/COUNT, or disjoint
+selections); it is exercised by the ablation benchmark against the
+pipeline-level strategy.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.chunk import DataChunk, concat_chunks
+from repro.engine.clock import Clock, SimulatedClock
+from repro.engine.executor import QueryExecutor
+from repro.engine.operators.base import chunk_from_stream, chunk_to_stream
+from repro.engine.plan import PlanNode
+from repro.engine.profile import HardwareProfile
+from repro.storage import serialize
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+__all__ = ["DataLevelSnapshot", "DataLevelExecutor", "key_range_partitions"]
+
+_MAGIC = b"RIVDATA1"
+
+
+def key_range_partitions(
+    catalog: Catalog, table: str, column: str, num_partitions: int
+) -> list[tuple[int, int]]:
+    """Split *column*'s value domain into contiguous inclusive ranges."""
+    if num_partitions <= 0:
+        raise ValueError("need at least one partition")
+    values = catalog.get(table).array(column)
+    if len(values) == 0:
+        return [(0, 0)]
+    lo, hi = int(values.min()), int(values.max())
+    edges = np.linspace(lo, hi + 1, num_partitions + 1).astype(np.int64)
+    return [(int(edges[i]), int(edges[i + 1] - 1)) for i in range(num_partitions)]
+
+
+@dataclass
+class DataLevelSnapshot:
+    """Completed batch results plus the batch cursor."""
+
+    query_name: str
+    completed_batches: int
+    total_batches: int
+    batch_chunks: list[DataChunk] = field(default_factory=list)
+
+    @property
+    def intermediate_bytes(self) -> int:
+        return sum(chunk.nbytes for chunk in self.batch_chunks)
+
+    def write(self, path: str | os.PathLike) -> int:
+        with open(path, "wb") as stream:
+            stream.write(_MAGIC)
+            serialize.write_json(
+                stream,
+                {
+                    "query_name": self.query_name,
+                    "completed_batches": self.completed_batches,
+                    "total_batches": self.total_batches,
+                    "num_chunks": len(self.batch_chunks),
+                },
+            )
+            buffer = io.BytesIO()
+            for chunk in self.batch_chunks:
+                chunk_to_stream(buffer, chunk)
+            stream.write(buffer.getvalue())
+        return Path(path).stat().st_size
+
+    @classmethod
+    def read(cls, path: str | os.PathLike) -> "DataLevelSnapshot":
+        with open(path, "rb") as stream:
+            magic = stream.read(len(_MAGIC))
+            if magic != _MAGIC:
+                raise ValueError(f"not a data-level snapshot: bad magic {magic!r}")
+            header = serialize.read_json(stream)
+            chunks = [chunk_from_stream(stream) for _ in range(int(header["num_chunks"]))]
+        return cls(
+            query_name=header["query_name"],
+            completed_batches=int(header["completed_batches"]),
+            total_batches=int(header["total_batches"]),
+            batch_chunks=chunks,
+        )
+
+
+@dataclass
+class DataLevelRun:
+    """Outcome of a (possibly partial) data-level execution."""
+
+    result: DataChunk | None
+    snapshot: DataLevelSnapshot | None
+    suspended_at: float | None
+    clock_time: float
+
+
+class DataLevelExecutor:
+    """Executes a query in key-range batches with per-batch suspension."""
+
+    name = "data"
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        plan_for: Callable[[int, int], PlanNode],
+        merge_plan_for: Callable[[str], PlanNode],
+        partitions: list[tuple[int, int]],
+        profile: HardwareProfile | None = None,
+        query_name: str = "query",
+        batch_table_name: str = "__batches",
+    ):
+        self.catalog = catalog
+        self.plan_for = plan_for
+        self.merge_plan_for = merge_plan_for
+        self.partitions = list(partitions)
+        self.profile = profile if profile is not None else HardwareProfile()
+        self.query_name = query_name
+        self.batch_table_name = batch_table_name
+
+    def run(
+        self,
+        clock: Clock | None = None,
+        request_time: float | None = None,
+        resume_from: DataLevelSnapshot | None = None,
+    ) -> DataLevelRun:
+        """Run batches; suspend after the current batch once past *request_time*."""
+        clock = clock if clock is not None else SimulatedClock()
+        chunks = list(resume_from.batch_chunks) if resume_from else []
+        start_batch = resume_from.completed_batches if resume_from else 0
+        for index in range(start_batch, len(self.partitions)):
+            lo, hi = self.partitions[index]
+            executor = QueryExecutor(
+                self.catalog,
+                self.plan_for(lo, hi),
+                profile=self.profile,
+                clock=clock,
+                query_name=f"{self.query_name}[batch{index}]",
+            )
+            chunks.append(executor.run().chunk)
+            if request_time is not None and clock.now() >= request_time and index + 1 < len(self.partitions):
+                snapshot = DataLevelSnapshot(
+                    query_name=self.query_name,
+                    completed_batches=index + 1,
+                    total_batches=len(self.partitions),
+                    batch_chunks=chunks,
+                )
+                return DataLevelRun(
+                    result=None,
+                    snapshot=snapshot,
+                    suspended_at=clock.now(),
+                    clock_time=clock.now(),
+                )
+        return DataLevelRun(
+            result=self._merge(chunks, clock),
+            snapshot=None,
+            suspended_at=None,
+            clock_time=clock.now(),
+        )
+
+    def _merge(self, chunks: list[DataChunk], clock: Clock) -> DataChunk:
+        merged = concat_chunks(chunks[0].schema, chunks)
+        columns = {name: merged.column(name) for name in merged.schema.names}
+        table = Table(self.batch_table_name, merged.schema, columns)
+        self.catalog.register(table, replace=True)
+        try:
+            executor = QueryExecutor(
+                self.catalog,
+                self.merge_plan_for(self.batch_table_name),
+                profile=self.profile,
+                clock=clock,
+                query_name=f"{self.query_name}[merge]",
+            )
+            return executor.run().chunk
+        finally:
+            self.catalog.drop(self.batch_table_name)

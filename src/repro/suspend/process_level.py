@@ -1,0 +1,63 @@
+"""Process-level suspension and resumption over the simulated CRIU.
+
+The query can be suspended at *any* morsel boundary; the whole execution
+process (every completed global state, the in-flight pipeline's worker
+local states and morsel cursor, and the memory-accountant balance) is
+dumped as an image.  The image size is the process's allocated memory plus
+a fixed context overhead, so it grows with scan progress (Fig. 6/7) —
+and resumption demands an identical resource configuration (§III-A).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.engine.executor import ExecutionCapture
+from repro.engine.pipeline import Pipeline
+from repro.engine.profile import HardwareProfile
+from repro.suspend.controller import SuspensionRequestController
+from repro.suspend.criu import SimulatedCriu
+from repro.suspend.strategy import ResumeOutcome, SuspendOutcome, SuspensionStrategy
+
+__all__ = ["ProcessLevelStrategy"]
+
+
+class ProcessLevelStrategy(SuspensionStrategy):
+    """Suspend anytime; dump and restore full process images via CRIU."""
+
+    name = "process"
+
+    def __init__(self, profile: HardwareProfile):
+        super().__init__(profile)
+        self.criu = SimulatedCriu(profile)
+
+    def make_request_controller(self, request_time: float) -> SuspensionRequestController:
+        return SuspensionRequestController(request_time, mode="process")
+
+    def persist(self, capture: ExecutionCapture, directory: str | os.PathLike) -> SuspendOutcome:
+        path = Path(directory) / f"{capture.query_name}.process.image"
+        image = self.criu.dump(capture, path)
+        nbytes = image.intermediate_bytes
+        return SuspendOutcome(
+            strategy=self.name,
+            snapshot_path=path,
+            intermediate_bytes=nbytes,
+            persist_latency=self.profile.persist_latency(nbytes),
+            suspended_at=capture.clock_time,
+        )
+
+    def prepare_resume(
+        self,
+        snapshot_path: str | os.PathLike,
+        pipelines: list[Pipeline],
+        plan_fingerprint: str,
+        profile: HardwareProfile | None = None,
+    ) -> ResumeOutcome:
+        image = SimulatedCriu.read_image(snapshot_path)
+        target_profile = profile or self.profile
+        resume = self.criu.restore(image, pipelines, target_profile, plan_fingerprint)
+        reload_latency = target_profile.reload_latency(image.intermediate_bytes)
+        return ResumeOutcome(
+            strategy=self.name, resume_state=resume, reload_latency=reload_latency
+        )

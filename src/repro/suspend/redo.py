@@ -1,0 +1,51 @@
+"""Redo strategy: terminate at any time, re-run from scratch.
+
+No intermediate data is persisted and all progress is lost; the only cost
+is the wasted execution time before the termination point (paper Eq. 1).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine.executor import ExecutionCapture, ResumeState
+from repro.engine.pipeline import Pipeline
+from repro.engine.profile import HardwareProfile
+from repro.engine.stats import QueryStats
+from repro.suspend.controller import SuspensionRequestController
+from repro.suspend.strategy import ResumeOutcome, SuspendOutcome, SuspensionStrategy
+
+__all__ = ["RedoStrategy"]
+
+
+class RedoStrategy(SuspensionStrategy):
+    """Suspension by termination; resumption by full re-execution."""
+
+    name = "redo"
+    persists_data = False
+
+    def make_request_controller(self, request_time: float) -> SuspensionRequestController | None:
+        return None  # never suspends; the environment simply kills the query
+
+    def persist(self, capture: ExecutionCapture, directory: str | os.PathLike) -> SuspendOutcome:
+        return SuspendOutcome(
+            strategy=self.name,
+            snapshot_path=None,
+            intermediate_bytes=0,
+            persist_latency=0.0,
+            suspended_at=capture.clock_time,
+        )
+
+    def prepare_resume(
+        self,
+        snapshot_path: str | os.PathLike,
+        pipelines: list[Pipeline],
+        plan_fingerprint: str,
+        profile: HardwareProfile | None = None,
+    ) -> ResumeOutcome:
+        # Re-execution from scratch: an empty resume state and no reload.
+        return ResumeOutcome(
+            strategy=self.name,
+            resume_state=ResumeState(completed_states={}, stats=QueryStats()),
+            reload_latency=0.0,
+        )

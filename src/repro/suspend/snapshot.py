@@ -1,0 +1,296 @@
+"""Persisted suspension snapshots.
+
+Two on-disk artifacts exist, mirroring the paper's two persisting
+strategies:
+
+* :class:`PipelineSnapshot` — written at a pipeline breaker; contains the
+  *live* global states (those still needed by unfinished pipelines), the
+  set of completed pipeline ids, and execution statistics.
+* :class:`ProcessImage` — written by the simulated CRIU at any morsel
+  boundary; contains *everything*: all completed global states, the
+  in-flight pipeline's worker-local states and morsel cursor, the memory
+  accountant balance, and the resource configuration that must match on
+  restore.
+
+Both embed the plan fingerprint; resuming against a different plan is
+rejected (the paper assumes plans are unchanged across suspension, §VI).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.executor import ExecutionCapture
+from repro.engine.stats import PipelineStats, QueryStats
+from repro.storage import serialize
+
+__all__ = ["SnapshotError", "SnapshotMeta", "PipelineSnapshot", "ProcessImage"]
+
+_MAGIC_PIPELINE = b"RIVSNAP1"
+_MAGIC_PROCESS = b"RIVPROC1"
+
+
+class SnapshotError(ValueError):
+    """Raised for malformed or incompatible snapshots."""
+
+
+@dataclass
+class SnapshotMeta:
+    """Common snapshot header."""
+
+    strategy: str
+    query_name: str
+    plan_fingerprint: str
+    clock_time: float
+    num_threads: int
+    morsel_size: int
+    memory_bytes: int
+
+    def to_json(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "query_name": self.query_name,
+            "plan_fingerprint": self.plan_fingerprint,
+            "clock_time": self.clock_time,
+            "num_threads": self.num_threads,
+            "morsel_size": self.morsel_size,
+            "memory_bytes": self.memory_bytes,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SnapshotMeta":
+        return cls(
+            strategy=payload["strategy"],
+            query_name=payload["query_name"],
+            plan_fingerprint=payload["plan_fingerprint"],
+            clock_time=float(payload["clock_time"]),
+            num_threads=int(payload["num_threads"]),
+            morsel_size=int(payload["morsel_size"]),
+            memory_bytes=int(payload["memory_bytes"]),
+        )
+
+
+def _stats_to_json(stats: QueryStats) -> dict:
+    return {
+        "query_name": stats.query_name,
+        "started_at": stats.started_at,
+        "finished_at": stats.finished_at,
+        "pipelines": [
+            {
+                "pipeline_id": p.pipeline_id,
+                "description": p.description,
+                "started_at": p.started_at,
+                "finished_at": p.finished_at,
+                "rows_processed": p.rows_processed,
+                "morsels_processed": p.morsels_processed,
+                "global_state_bytes": p.global_state_bytes,
+            }
+            for p in stats.pipelines
+        ],
+    }
+
+
+def _stats_from_json(payload: dict) -> QueryStats:
+    stats = QueryStats(
+        query_name=payload["query_name"],
+        started_at=float(payload["started_at"]),
+        finished_at=float(payload["finished_at"]),
+    )
+    for entry in payload["pipelines"]:
+        stats.record_pipeline(
+            PipelineStats(
+                pipeline_id=int(entry["pipeline_id"]),
+                description=entry["description"],
+                started_at=float(entry["started_at"]),
+                finished_at=float(entry["finished_at"]),
+                rows_processed=int(entry["rows_processed"]),
+                morsels_processed=int(entry["morsels_processed"]),
+                global_state_bytes=int(entry["global_state_bytes"]),
+            )
+        )
+    return stats
+
+
+@dataclass
+class PipelineSnapshot:
+    """Serialized pipeline-level suspension state."""
+
+    meta: SnapshotMeta
+    completed_pipelines: list[int]
+    state_blobs: dict[int, bytes]
+    stats: QueryStats
+
+    @property
+    def intermediate_bytes(self) -> int:
+        """Size of the persisted intermediate data (live global states)."""
+        return sum(len(blob) for blob in self.state_blobs.values())
+
+    @classmethod
+    def from_capture(cls, capture: ExecutionCapture) -> "PipelineSnapshot":
+        if capture.kind != "pipeline":
+            raise SnapshotError(f"expected a pipeline capture, got {capture.kind!r}")
+        meta = SnapshotMeta(
+            strategy="pipeline",
+            query_name=capture.query_name,
+            plan_fingerprint=capture.plan_fingerprint,
+            clock_time=capture.clock_time,
+            num_threads=capture.num_threads,
+            morsel_size=capture.morsel_size,
+            memory_bytes=capture.memory_bytes,
+        )
+        blobs = {
+            pid: state.serialize() for pid, state in capture.live_states().items()
+        }
+        return cls(
+            meta=meta,
+            completed_pipelines=sorted(capture.completed_states),
+            state_blobs=blobs,
+            stats=capture.stats,
+        )
+
+    def write(self, path: str | os.PathLike) -> int:
+        """Persist to *path*; returns bytes written."""
+        with open(path, "wb") as stream:
+            stream.write(_MAGIC_PIPELINE)
+            serialize.write_json(
+                stream,
+                {
+                    "meta": self.meta.to_json(),
+                    "completed": self.completed_pipelines,
+                    "stats": _stats_to_json(self.stats),
+                    "state_ids": sorted(self.state_blobs),
+                },
+            )
+            for pid in sorted(self.state_blobs):
+                blob = self.state_blobs[pid]
+                serialize.write_json(stream, len(blob))
+                stream.write(blob)
+        return Path(path).stat().st_size
+
+    @classmethod
+    def read(cls, path: str | os.PathLike) -> "PipelineSnapshot":
+        with open(path, "rb") as stream:
+            magic = stream.read(len(_MAGIC_PIPELINE))
+            if magic != _MAGIC_PIPELINE:
+                raise SnapshotError(f"not a pipeline snapshot: bad magic {magic!r}")
+            header = serialize.read_json(stream)
+            blobs: dict[int, bytes] = {}
+            for pid in header["state_ids"]:
+                size = int(serialize.read_json(stream))
+                blobs[int(pid)] = stream.read(size)
+        return cls(
+            meta=SnapshotMeta.from_json(header["meta"]),
+            completed_pipelines=[int(p) for p in header["completed"]],
+            state_blobs=blobs,
+            stats=_stats_from_json(header["stats"]),
+        )
+
+
+@dataclass
+class ProcessImage:
+    """Serialized process-level image (simulated CRIU dump)."""
+
+    meta: SnapshotMeta
+    state_blobs: dict[int, bytes]
+    memory_charges: dict[str, int]
+    stats: QueryStats
+    image_bytes: int = 0
+    current_pipeline: int | None = None
+    next_morsel: int = 0
+    rows_in_pipeline: int = 0
+    local_state_blobs: list[bytes] = field(default_factory=list)
+
+    @property
+    def intermediate_bytes(self) -> int:
+        """Modelled image size (allocated memory + process context)."""
+        return self.image_bytes
+
+    @classmethod
+    def from_capture(
+        cls, capture: ExecutionCapture, process_context_bytes: int
+    ) -> "ProcessImage":
+        if capture.kind != "process":
+            raise SnapshotError(f"expected a process capture, got {capture.kind!r}")
+        meta = SnapshotMeta(
+            strategy="process",
+            query_name=capture.query_name,
+            plan_fingerprint=capture.plan_fingerprint,
+            clock_time=capture.clock_time,
+            num_threads=capture.num_threads,
+            morsel_size=capture.morsel_size,
+            memory_bytes=capture.memory_bytes,
+        )
+        blobs = {pid: state.serialize() for pid, state in capture.completed_states.items()}
+        locals_blobs = (
+            [state.serialize() for state in capture.local_states]
+            if capture.local_states is not None
+            else []
+        )
+        return cls(
+            meta=meta,
+            state_blobs=blobs,
+            memory_charges={},
+            stats=capture.stats,
+            image_bytes=capture.memory_bytes + process_context_bytes,
+            current_pipeline=capture.current_pipeline,
+            next_morsel=capture.next_morsel,
+            rows_in_pipeline=capture.rows_in_pipeline,
+            local_state_blobs=locals_blobs,
+        )
+
+    def write(self, path: str | os.PathLike) -> int:
+        """Persist to *path*; returns bytes written."""
+        with open(path, "wb") as stream:
+            stream.write(_MAGIC_PROCESS)
+            serialize.write_json(
+                stream,
+                {
+                    "meta": self.meta.to_json(),
+                    "stats": _stats_to_json(self.stats),
+                    "state_ids": sorted(self.state_blobs),
+                    "memory_charges": self.memory_charges,
+                    "image_bytes": self.image_bytes,
+                    "current_pipeline": self.current_pipeline,
+                    "next_morsel": self.next_morsel,
+                    "rows_in_pipeline": self.rows_in_pipeline,
+                    "num_locals": len(self.local_state_blobs),
+                },
+            )
+            for pid in sorted(self.state_blobs):
+                blob = self.state_blobs[pid]
+                serialize.write_json(stream, len(blob))
+                stream.write(blob)
+            for blob in self.local_state_blobs:
+                serialize.write_json(stream, len(blob))
+                stream.write(blob)
+        return Path(path).stat().st_size
+
+    @classmethod
+    def read(cls, path: str | os.PathLike) -> "ProcessImage":
+        with open(path, "rb") as stream:
+            magic = stream.read(len(_MAGIC_PROCESS))
+            if magic != _MAGIC_PROCESS:
+                raise SnapshotError(f"not a process image: bad magic {magic!r}")
+            header = serialize.read_json(stream)
+            blobs: dict[int, bytes] = {}
+            for pid in header["state_ids"]:
+                size = int(serialize.read_json(stream))
+                blobs[int(pid)] = stream.read(size)
+            locals_blobs = []
+            for _ in range(int(header["num_locals"])):
+                size = int(serialize.read_json(stream))
+                locals_blobs.append(stream.read(size))
+        current = header["current_pipeline"]
+        return cls(
+            meta=SnapshotMeta.from_json(header["meta"]),
+            state_blobs=blobs,
+            memory_charges={k: int(v) for k, v in header["memory_charges"].items()},
+            stats=_stats_from_json(header["stats"]),
+            image_bytes=int(header["image_bytes"]),
+            current_pipeline=None if current is None else int(current),
+            next_morsel=int(header["next_morsel"]),
+            rows_in_pipeline=int(header.get("rows_in_pipeline", 0)),
+            local_state_blobs=locals_blobs,
+        )

@@ -1,0 +1,163 @@
+"""Snapshot store: durable management of suspension artifacts.
+
+Long-lived deployments accumulate snapshots across many suspensions; this
+store gives them a home with the bookkeeping a service needs:
+
+* content-addressed file names (query, strategy, monotonically increasing
+  sequence) under one directory;
+* a JSON manifest recording metadata (strategy, sizes, timestamps on the
+  simulated timeline) without loading snapshot payloads;
+* retention: keep the newest N snapshots per query, prune the rest;
+* integrity: a size check on registration and lookup of the latest
+  resumable snapshot per query.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.suspend.strategy import SuspendOutcome
+
+__all__ = ["SnapshotRecord", "SnapshotStore"]
+
+_MANIFEST = "manifest.json"
+
+
+@dataclass(frozen=True)
+class SnapshotRecord:
+    """One registered snapshot."""
+
+    query_name: str
+    strategy: str
+    sequence: int
+    file_name: str
+    intermediate_bytes: int
+    file_bytes: int
+    suspended_at: float
+
+    def to_json(self) -> dict:
+        return {
+            "query_name": self.query_name,
+            "strategy": self.strategy,
+            "sequence": self.sequence,
+            "file_name": self.file_name,
+            "intermediate_bytes": self.intermediate_bytes,
+            "file_bytes": self.file_bytes,
+            "suspended_at": self.suspended_at,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SnapshotRecord":
+        return cls(
+            query_name=payload["query_name"],
+            strategy=payload["strategy"],
+            sequence=int(payload["sequence"]),
+            file_name=payload["file_name"],
+            intermediate_bytes=int(payload["intermediate_bytes"]),
+            file_bytes=int(payload["file_bytes"]),
+            suspended_at=float(payload["suspended_at"]),
+        )
+
+
+@dataclass
+class SnapshotStore:
+    """Directory-backed snapshot registry with retention."""
+
+    directory: str | os.PathLike
+    keep_per_query: int = 3
+    _records: list[SnapshotRecord] = field(default_factory=list)
+    _next_sequence: int = 0
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest = self.directory / _MANIFEST
+        if manifest.exists():
+            payload = json.loads(manifest.read_text())
+            self._records = [SnapshotRecord.from_json(r) for r in payload["records"]]
+            self._next_sequence = int(payload["next_sequence"])
+
+    # -- registration ------------------------------------------------------------
+    def register(self, outcome: SuspendOutcome, query_name: str) -> SnapshotRecord:
+        """Move a freshly persisted snapshot into the store.
+
+        Raises ``ValueError`` when the outcome carries no snapshot file
+        (the redo strategy) or the file is missing/empty.
+        """
+        if outcome.snapshot_path is None:
+            raise ValueError(f"{outcome.strategy!r} persisted no snapshot to store")
+        source = Path(outcome.snapshot_path)
+        if not source.exists() or source.stat().st_size == 0:
+            raise ValueError(f"snapshot file missing or empty: {source}")
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        file_name = f"{query_name}.{outcome.strategy}.{sequence:06d}.snapshot"
+        target = self.directory / file_name
+        source.replace(target)
+        record = SnapshotRecord(
+            query_name=query_name,
+            strategy=outcome.strategy,
+            sequence=sequence,
+            file_name=file_name,
+            intermediate_bytes=outcome.intermediate_bytes,
+            file_bytes=target.stat().st_size,
+            suspended_at=outcome.suspended_at,
+        )
+        self._records.append(record)
+        self._prune(query_name)
+        self._save()
+        return record
+
+    # -- queries -----------------------------------------------------------------
+    def records(self, query_name: str | None = None) -> list[SnapshotRecord]:
+        """Records, newest first, optionally filtered by query."""
+        chosen = [
+            r for r in self._records if query_name is None or r.query_name == query_name
+        ]
+        return sorted(chosen, key=lambda r: -r.sequence)
+
+    def latest(self, query_name: str) -> SnapshotRecord | None:
+        """The newest snapshot of *query_name*, or ``None``."""
+        matching = self.records(query_name)
+        return matching[0] if matching else None
+
+    def path_of(self, record: SnapshotRecord) -> Path:
+        """Absolute path of a record's snapshot file."""
+        return Path(self.directory) / record.file_name
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently held by the store's snapshot files."""
+        return sum(r.file_bytes for r in self._records)
+
+    # -- maintenance ------------------------------------------------------------
+    def prune_query(self, query_name: str, keep: int = 0) -> int:
+        """Drop all but the newest *keep* snapshots of one query."""
+        removed = 0
+        keepers = self.records(query_name)[:keep]
+        keep_names = {r.file_name for r in keepers}
+        for record in self.records(query_name):
+            if record.file_name not in keep_names:
+                self.path_of(record).unlink(missing_ok=True)
+                self._records.remove(record)
+                removed += 1
+        self._save()
+        return removed
+
+    def _prune(self, query_name: str) -> None:
+        self.prune_query(query_name, keep=self.keep_per_query)
+
+    def _save(self) -> None:
+        manifest = Path(self.directory) / _MANIFEST
+        manifest.write_text(
+            json.dumps(
+                {
+                    "next_sequence": self._next_sequence,
+                    "records": [r.to_json() for r in self._records],
+                },
+                indent=2,
+            )
+        )

@@ -1,0 +1,86 @@
+"""Suspension strategy interface.
+
+A strategy decides *how* a query is suspended and resumed (paper §II-A,
+Table I):
+
+================  ====================  ======================  =====================
+Strategy          Suspension point      Persisted data          Progress preserved
+================  ====================  ======================  =====================
+redo              terminate anytime     nothing                 none
+process-level     any morsel boundary   whole process image     all
+pipeline-level    pipeline breakers     live global states      completed pipelines
+data-level (ext)  partition boundaries  partition results       completed partitions
+================  ====================  ======================  =====================
+
+Strategies are glue between the executor's capture mechanism and the
+snapshot formats; the environment runner drives them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.executor import ExecutionCapture, ResumeState
+from repro.engine.pipeline import Pipeline
+from repro.engine.profile import HardwareProfile
+from repro.suspend.controller import SuspensionRequestController
+
+__all__ = ["SuspendOutcome", "ResumeOutcome", "SuspensionStrategy"]
+
+
+@dataclass
+class SuspendOutcome:
+    """Result of persisting a suspension."""
+
+    strategy: str
+    snapshot_path: Path | None
+    intermediate_bytes: int
+    persist_latency: float
+    suspended_at: float
+
+
+@dataclass
+class ResumeOutcome:
+    """Result of preparing resumption from a snapshot."""
+
+    strategy: str
+    resume_state: ResumeState | None
+    reload_latency: float
+
+
+class SuspensionStrategy:
+    """Base class; concrete strategies live in sibling modules."""
+
+    #: strategy identifier used in snapshots and reports
+    name: str = "abstract"
+    #: whether suspension persists any intermediate data
+    persists_data: bool = True
+
+    def __init__(self, profile: HardwareProfile):
+        self.profile = profile
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+    def make_request_controller(self, request_time: float) -> SuspensionRequestController | None:
+        """Controller that triggers this strategy's suspension.
+
+        Returns ``None`` for strategies that never suspend (redo).
+        """
+        raise NotImplementedError
+
+    def persist(self, capture: ExecutionCapture, directory: str | os.PathLike) -> SuspendOutcome:
+        """Serialize *capture* under *directory*; returns the outcome."""
+        raise NotImplementedError
+
+    def prepare_resume(
+        self,
+        snapshot_path: str | os.PathLike,
+        pipelines: list[Pipeline],
+        plan_fingerprint: str,
+        profile: HardwareProfile | None = None,
+    ) -> ResumeOutcome:
+        """Load a snapshot and build the executor resume state."""
+        raise NotImplementedError

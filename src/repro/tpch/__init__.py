@@ -1,0 +1,21 @@
+"""TPC-H substrate: generator, schemas, and all 22 query plans."""
+
+from repro.tpch.dbgen import TpchGenerator, generate_catalog
+from repro.tpch.queries import QUERIES, QUERY_NAMES, build_query
+from repro.tpch.scale import DEFAULT_SCALE_POLICY, PAPER_SF_LABELS, ScalePolicy
+from repro.tpch.schema import TPCH_SCHEMAS
+from repro.tpch.sql_texts import SQL_TEXTS, sql_text
+
+__all__ = [
+    "TpchGenerator",
+    "generate_catalog",
+    "QUERIES",
+    "QUERY_NAMES",
+    "build_query",
+    "DEFAULT_SCALE_POLICY",
+    "PAPER_SF_LABELS",
+    "ScalePolicy",
+    "TPCH_SCHEMAS",
+    "SQL_TEXTS",
+    "sql_text",
+]

@@ -1,0 +1,356 @@
+"""Deterministic, NumPy-based TPC-H data generator.
+
+Substitutes the official ``dbgen`` tool: row counts, key relationships,
+and the value distributions the 22 queries depend on are reproduced; text
+columns carry the exact token patterns the query predicates test for
+(``%BRASS``, ``forest%``, ``%special%requests%``, ``%Customer%Complaints%``,
+promotional part types, phone country codes, and so on).  Generation is
+fully deterministic for a given scale factor.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.engine.types import parse_date
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.tpch.schema import TPCH_SCHEMAS
+
+__all__ = ["generate_catalog", "TpchGenerator", "NATIONS", "REGIONS"]
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+# (name, regionkey) — the official TPC-H nation→region mapping.
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "AIR REG"]
+_SHIP_INSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+_TYPE_S1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPE_S2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_S3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_CONTAINER_S1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+_CONTAINER_S2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+_COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight",
+    "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid",
+    "pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff", "purple",
+    "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell",
+    "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan", "thistle",
+    "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+]
+_WORDS = [
+    "furiously", "quickly", "slyly", "blithely", "carefully", "express", "regular",
+    "final", "bold", "pending", "ironic", "even", "silent", "unusual", "daring",
+    "deposits", "requests", "accounts", "packages", "theodolites", "instructions",
+    "platelets", "pinto", "beans", "foxes", "ideas",
+]
+
+_CURRENT_DATE = parse_date("1995-06-17")
+_ORDER_DATE_MIN = parse_date("1992-01-01")
+_ORDER_DATE_MAX = parse_date("1998-08-02")
+
+
+class TpchGenerator:
+    """Generates the eight TPC-H tables at a given local scale factor."""
+
+    def __init__(self, scale_factor: float, seed: int = 19940701):
+        if scale_factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {scale_factor}")
+        self.scale_factor = scale_factor
+        self.seed = seed
+        self.num_suppliers = max(10, int(10_000 * scale_factor))
+        self.num_parts = max(20, int(200_000 * scale_factor))
+        self.num_customers = max(15, int(150_000 * scale_factor))
+        self.num_orders = max(150, int(1_500_000 * scale_factor))
+        self._part_retail_price: np.ndarray | None = None
+
+    def _rng(self, table: str) -> np.random.Generator:
+        # zlib.crc32 is stable across processes (unlike ``hash`` of str).
+        table_tag = zlib.crc32(table.encode("ascii"))
+        return np.random.default_rng(np.random.SeedSequence([self.seed, table_tag]))
+
+    # -- small dimension tables ---------------------------------------------
+    def region(self) -> Table:
+        rng = self._rng("region")
+        return Table(
+            "region",
+            TPCH_SCHEMAS["region"],
+            {
+                "r_regionkey": np.arange(len(REGIONS), dtype=np.int64),
+                "r_name": np.array(REGIONS, dtype="U11"),
+                "r_comment": self._comments(rng, len(REGIONS)),
+            },
+        )
+
+    def nation(self) -> Table:
+        rng = self._rng("nation")
+        return Table(
+            "nation",
+            TPCH_SCHEMAS["nation"],
+            {
+                "n_nationkey": np.arange(len(NATIONS), dtype=np.int64),
+                "n_name": np.array([name for name, _ in NATIONS], dtype="U25"),
+                "n_regionkey": np.array([region for _, region in NATIONS], dtype=np.int64),
+                "n_comment": self._comments(rng, len(NATIONS)),
+            },
+        )
+
+    def supplier(self) -> Table:
+        rng = self._rng("supplier")
+        count = self.num_suppliers
+        nationkey = rng.integers(0, len(NATIONS), count)
+        comments = self._comments(rng, count)
+        # BNC/complaints suppliers for Q16's NOT-IN subquery (~0.1%, at least 1).
+        complainers = rng.random(count) < 0.001
+        if not complainers.any():
+            complainers[rng.integers(0, count)] = True
+        comments = comments.astype("U44")
+        comments[complainers] = "slyly Customer even Complaints sleep"
+        return Table(
+            "supplier",
+            TPCH_SCHEMAS["supplier"],
+            {
+                "s_suppkey": np.arange(1, count + 1, dtype=np.int64),
+                "s_name": _numbered("Supplier#", count),
+                "s_address": self._addresses(rng, count),
+                "s_nationkey": nationkey,
+                "s_phone": self._phones(rng, nationkey),
+                "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, count), 2),
+                "s_comment": comments,
+            },
+        )
+
+    def customer(self) -> Table:
+        rng = self._rng("customer")
+        count = self.num_customers
+        nationkey = rng.integers(0, len(NATIONS), count)
+        return Table(
+            "customer",
+            TPCH_SCHEMAS["customer"],
+            {
+                "c_custkey": np.arange(1, count + 1, dtype=np.int64),
+                "c_name": _numbered("Customer#", count),
+                "c_address": self._addresses(rng, count),
+                "c_nationkey": nationkey,
+                "c_phone": self._phones(rng, nationkey),
+                "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, count), 2),
+                "c_mktsegment": _pick(rng, _SEGMENTS, count),
+                "c_comment": self._comments(rng, count),
+            },
+        )
+
+    def part(self) -> Table:
+        rng = self._rng("part")
+        count = self.num_parts
+        names = _join_words(_pick(rng, _COLORS, count), _pick(rng, _COLORS, count))
+        types = _join_words(
+            _pick(rng, _TYPE_S1, count), _pick(rng, _TYPE_S2, count), _pick(rng, _TYPE_S3, count)
+        )
+        containers = _join_words(_pick(rng, _CONTAINER_S1, count), _pick(rng, _CONTAINER_S2, count))
+        brand_m = rng.integers(1, 6, count)
+        brand_n = rng.integers(1, 6, count)
+        brands = np.char.add(
+            np.char.add("Brand#", brand_m.astype("U1")), brand_n.astype("U1")
+        )
+        partkey = np.arange(1, count + 1, dtype=np.int64)
+        retail = np.round(900.0 + (partkey % 1000) / 10.0 + 100.0 * (partkey % 10), 2)
+        self._part_retail_price = retail
+        return Table(
+            "part",
+            TPCH_SCHEMAS["part"],
+            {
+                "p_partkey": partkey,
+                "p_name": names,
+                "p_mfgr": _numbered("Manufacturer#", count, modulo=5),
+                "p_brand": brands,
+                "p_type": types,
+                "p_size": rng.integers(1, 51, count),
+                "p_container": containers,
+                "p_retailprice": retail,
+                "p_comment": self._comments(rng, count),
+            },
+        )
+
+    def partsupp(self) -> Table:
+        rng = self._rng("partsupp")
+        per_part = 4
+        partkey = np.repeat(np.arange(1, self.num_parts + 1, dtype=np.int64), per_part)
+        count = len(partkey)
+        # dbgen's supplier spread: each part is supplied by 4 distinct suppliers
+        offsets = np.tile(np.arange(per_part, dtype=np.int64), self.num_parts)
+        suppkey = (
+            (partkey + offsets * (self.num_suppliers // per_part + 1)) % self.num_suppliers
+        ) + 1
+        return Table(
+            "partsupp",
+            TPCH_SCHEMAS["partsupp"],
+            {
+                "ps_partkey": partkey,
+                "ps_suppkey": suppkey,
+                "ps_availqty": rng.integers(1, 10_000, count),
+                "ps_supplycost": np.round(rng.uniform(1.0, 1000.0, count), 2),
+                "ps_comment": self._comments(rng, count),
+            },
+        )
+
+    # -- fact tables ---------------------------------------------------------
+    def orders_and_lineitem(self) -> tuple[Table, Table]:
+        rng = self._rng("orders")
+        count = self.num_orders
+        orderkey = np.arange(1, count + 1, dtype=np.int64)
+        # Only 2/3 of customers place orders (dbgen skips custkey % 3 == 0),
+        # which Q13 and Q22 rely on.
+        candidates = np.arange(1, self.num_customers + 1, dtype=np.int64)
+        candidates = candidates[candidates % 3 != 0]
+        custkey = rng.choice(candidates, size=count)
+        orderdate = rng.integers(_ORDER_DATE_MIN, _ORDER_DATE_MAX - 121, count).astype(np.int32)
+
+        comments = self._comments(rng, count)
+        special = rng.random(count) < 0.01  # Q13's anti-pattern
+        comments = comments.astype("U44")
+        comments[special] = "carefully special packages requests haggle"
+
+        lines_per_order = rng.integers(1, 8, count)
+        line_order = np.repeat(orderkey, lines_per_order)
+        line_orderdate = np.repeat(orderdate, lines_per_order)
+        num_lines = len(line_order)
+
+        lrng = self._rng("lineitem")
+        partkey = lrng.integers(1, self.num_parts + 1, num_lines)
+        suppkey = (
+            (partkey + lrng.integers(0, 4, num_lines) * (self.num_suppliers // 4 + 1))
+            % self.num_suppliers
+        ) + 1
+        starts = np.cumsum(lines_per_order) - lines_per_order
+        linenumber = np.arange(num_lines, dtype=np.int64) - np.repeat(starts, lines_per_order) + 1
+        quantity = lrng.integers(1, 51, num_lines).astype(np.float64)
+        if self._part_retail_price is None:
+            self.part()
+        extendedprice = np.round(quantity * self._part_retail_price[partkey - 1] / 10.0, 2)
+        discount = np.round(lrng.integers(0, 11, num_lines) / 100.0, 2)
+        tax = np.round(lrng.integers(0, 9, num_lines) / 100.0, 2)
+        shipdate = (line_orderdate + lrng.integers(1, 122, num_lines)).astype(np.int32)
+        commitdate = (line_orderdate + lrng.integers(30, 91, num_lines)).astype(np.int32)
+        receiptdate = (shipdate + lrng.integers(1, 31, num_lines)).astype(np.int32)
+        linestatus = np.where(shipdate > _CURRENT_DATE, "O", "F").astype("U1")
+        returnflag = np.where(
+            receiptdate <= _CURRENT_DATE,
+            np.where(lrng.random(num_lines) < 0.5, "R", "A"),
+            "N",
+        ).astype("U1")
+
+        lineitem = Table(
+            "lineitem",
+            TPCH_SCHEMAS["lineitem"],
+            {
+                "l_orderkey": line_order,
+                "l_partkey": partkey,
+                "l_suppkey": suppkey,
+                "l_linenumber": linenumber,
+                "l_quantity": quantity,
+                "l_extendedprice": extendedprice,
+                "l_discount": discount,
+                "l_tax": tax,
+                "l_returnflag": returnflag,
+                "l_linestatus": linestatus,
+                "l_shipdate": shipdate,
+                "l_commitdate": commitdate,
+                "l_receiptdate": receiptdate,
+                "l_shipinstruct": _pick(lrng, _SHIP_INSTRUCTS, num_lines),
+                "l_shipmode": _pick(lrng, _SHIP_MODES, num_lines),
+                "l_comment": self._comments(lrng, num_lines),
+            },
+        )
+
+        # Order status follows line status: F if all F, O if all O, else P.
+        all_f = np.logical_and.reduceat(linestatus == "F", starts)
+        all_o = np.logical_and.reduceat(linestatus == "O", starts)
+        status = np.where(all_f, "F", np.where(all_o, "O", "P")).astype("U1")
+        totalprice = np.add.reduceat(extendedprice * (1 + tax) * (1 - discount), starts)
+
+        orders = Table(
+            "orders",
+            TPCH_SCHEMAS["orders"],
+            {
+                "o_orderkey": orderkey,
+                "o_custkey": custkey,
+                "o_orderstatus": status,
+                "o_totalprice": np.round(totalprice, 2),
+                "o_orderdate": orderdate,
+                "o_orderpriority": _pick(rng, _PRIORITIES, count),
+                "o_clerk": _numbered("Clerk#", count, modulo=max(1, int(1000 * self.scale_factor))),
+                "o_shippriority": np.zeros(count, dtype=np.int64),
+                "o_comment": comments,
+            },
+        )
+        return orders, lineitem
+
+    # -- text helpers ----------------------------------------------------------
+    def _comments(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return _join_words(_pick(rng, _WORDS, count), _pick(rng, _WORDS, count), _pick(rng, _WORDS, count))
+
+    def _addresses(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        numbers = rng.integers(1, 10_000, count).astype("U4")
+        return np.char.add(np.char.add(numbers, " "), _pick(rng, _WORDS, count))
+
+    def _phones(self, rng: np.random.Generator, nationkey: np.ndarray) -> np.ndarray:
+        country = (nationkey + 10).astype("U2")
+        local = rng.integers(100, 1000, (3, len(nationkey))).astype("U3")
+        phone = np.char.add(country, "-")
+        for segment in local:
+            phone = np.char.add(np.char.add(phone, segment), "-")
+        return np.char.rstrip(phone, "-")
+
+
+def _pick(rng: np.random.Generator, values: list[str], count: int) -> np.ndarray:
+    pool = np.array(values)
+    return pool[rng.integers(0, len(values), count)]
+
+
+def _join_words(*parts: np.ndarray) -> np.ndarray:
+    result = parts[0]
+    for part in parts[1:]:
+        result = np.char.add(np.char.add(result, " "), part)
+    return result
+
+
+def _numbered(prefix: str, count: int, modulo: int | None = None) -> np.ndarray:
+    numbers = np.arange(1, count + 1, dtype=np.int64)
+    if modulo is not None:
+        numbers = (numbers % modulo) + 1
+    return np.char.add(prefix, np.char.zfill(numbers.astype("U9"), 9))
+
+
+def generate_catalog(scale_factor: float, seed: int = 19940701) -> Catalog:
+    """Build a catalog holding all eight TPC-H tables at *scale_factor*."""
+    generator = TpchGenerator(scale_factor, seed=seed)
+    catalog = Catalog()
+    catalog.register(generator.region())
+    catalog.register(generator.nation())
+    catalog.register(generator.supplier())
+    catalog.register(generator.customer())
+    catalog.register(generator.part())
+    catalog.register(generator.partsupp())
+    orders, lineitem = generator.orders_and_lineitem()
+    catalog.register(orders)
+    catalog.register(lineitem)
+    return catalog

@@ -1,0 +1,1163 @@
+"""Physical plans for all 22 TPC-H queries.
+
+Each ``qN()`` function builds a plan tree against the schemas produced by
+:mod:`repro.tpch.dbgen`, using the standard TPC-H validation parameters.
+Correlated subqueries are decorrelated the way an optimizer would:
+per-group aggregates become aggregate subplans joined back on the
+correlation keys; scalar subqueries (Q11, Q15, Q22) become single-row
+builds joined on a constant key.
+
+The registry :data:`QUERIES` maps ``"Q1"``–``"Q22"`` to plan builders.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.expressions import CaseWhen, Expression, col, date_lit, lit
+from repro.engine.operators.aggregate import AggFunc, AggSpec
+from repro.engine.operators.hash_join import JoinType
+from repro.engine.plan import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    PlanNode,
+    Project,
+    Rename,
+    Sort,
+    TableScan,
+)
+
+__all__ = ["QUERIES", "build_query", "QUERY_NAMES"]
+
+
+def _revenue() -> Expression:
+    return col("l_extendedprice") * (lit(1.0) - col("l_discount"))
+
+
+def q1() -> PlanNode:
+    """Pricing summary report."""
+    scan = TableScan(
+        "lineitem",
+        [
+            "l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+            "l_discount", "l_tax", "l_shipdate",
+        ],
+        predicate=col("l_shipdate") <= date_lit("1998-09-02"),
+    )
+    projected = Project(
+        scan,
+        [
+            ("l_returnflag", col("l_returnflag")),
+            ("l_linestatus", col("l_linestatus")),
+            ("l_quantity", col("l_quantity")),
+            ("l_extendedprice", col("l_extendedprice")),
+            ("disc_price", _revenue()),
+            ("charge", _revenue() * (lit(1.0) + col("l_tax"))),
+            ("l_discount", col("l_discount")),
+        ],
+    )
+    aggregated = Aggregate(
+        projected,
+        ["l_returnflag", "l_linestatus"],
+        [
+            AggSpec("sum_qty", AggFunc.SUM, "l_quantity"),
+            AggSpec("sum_base_price", AggFunc.SUM, "l_extendedprice"),
+            AggSpec("sum_disc_price", AggFunc.SUM, "disc_price"),
+            AggSpec("sum_charge", AggFunc.SUM, "charge"),
+            AggSpec("avg_qty", AggFunc.AVG, "l_quantity"),
+            AggSpec("avg_price", AggFunc.AVG, "l_extendedprice"),
+            AggSpec("avg_disc", AggFunc.AVG, "l_discount"),
+            AggSpec("count_order", AggFunc.COUNT_STAR),
+        ],
+    )
+    return Sort(aggregated, [("l_returnflag", True), ("l_linestatus", True)])
+
+
+def q2() -> PlanNode:
+    """Minimum cost supplier (region EUROPE, size 15, type %BRASS)."""
+    europe_nations = HashJoin(
+        probe=TableScan("nation", ["n_nationkey", "n_name", "n_regionkey"]),
+        build=TableScan(
+            "region", ["r_regionkey", "r_name"], predicate=col("r_name") == lit("EUROPE")
+        ),
+        probe_keys=["n_regionkey"],
+        build_keys=["r_regionkey"],
+        payload=[],
+    )
+    europe_suppliers = HashJoin(
+        probe=TableScan(
+            "supplier",
+            ["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"],
+        ),
+        build=europe_nations,
+        probe_keys=["s_nationkey"],
+        build_keys=["n_nationkey"],
+        payload=["n_name"],
+    )
+    europe_partsupp = HashJoin(
+        probe=TableScan("partsupp", ["ps_partkey", "ps_suppkey", "ps_supplycost"]),
+        build=europe_suppliers,
+        probe_keys=["ps_suppkey"],
+        build_keys=["s_suppkey"],
+        payload=["s_name", "s_address", "s_phone", "s_acctbal", "s_comment", "n_name"],
+    )
+    brass_parts = TableScan(
+        "part",
+        ["p_partkey", "p_mfgr", "p_size", "p_type"],
+        predicate=(col("p_size") == lit(15)) & col("p_type").like("%BRASS"),
+    )
+    joined = HashJoin(
+        probe=europe_partsupp,
+        build=brass_parts,
+        probe_keys=["ps_partkey"],
+        build_keys=["p_partkey"],
+        payload=["p_mfgr"],
+    )
+    min_cost = Rename(
+        Aggregate(joined, ["ps_partkey"], [AggSpec("min_cost", AggFunc.MIN, "ps_supplycost")]),
+        {"ps_partkey": "mc_partkey"},
+    )
+    with_min = HashJoin(
+        probe=joined,
+        build=min_cost,
+        probe_keys=["ps_partkey"],
+        build_keys=["mc_partkey"],
+        payload=["min_cost"],
+    )
+    best = Filter(with_min, col("ps_supplycost") == col("min_cost"))
+    output = Project(
+        best,
+        [
+            ("s_acctbal", col("s_acctbal")),
+            ("s_name", col("s_name")),
+            ("n_name", col("n_name")),
+            ("p_partkey", col("ps_partkey")),
+            ("p_mfgr", col("p_mfgr")),
+            ("s_address", col("s_address")),
+            ("s_phone", col("s_phone")),
+            ("s_comment", col("s_comment")),
+        ],
+    )
+    return Sort(
+        output,
+        [("s_acctbal", False), ("n_name", True), ("s_name", True), ("p_partkey", True)],
+        limit=100,
+    )
+
+
+def q3() -> PlanNode:
+    """Shipping priority (segment BUILDING, date 1995-03-15)."""
+    building_customers = TableScan(
+        "customer",
+        ["c_custkey", "c_mktsegment"],
+        predicate=col("c_mktsegment") == lit("BUILDING"),
+    )
+    open_orders = TableScan(
+        "orders",
+        ["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+        predicate=col("o_orderdate") < date_lit("1995-03-15"),
+    )
+    customer_orders = HashJoin(
+        probe=open_orders,
+        build=building_customers,
+        probe_keys=["o_custkey"],
+        build_keys=["c_custkey"],
+        payload=[],
+    )
+    late_lineitems = TableScan(
+        "lineitem",
+        ["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"],
+        predicate=col("l_shipdate") > date_lit("1995-03-15"),
+    )
+    joined = HashJoin(
+        probe=late_lineitems,
+        build=customer_orders,
+        probe_keys=["l_orderkey"],
+        build_keys=["o_orderkey"],
+        payload=["o_orderdate", "o_shippriority"],
+    )
+    projected = Project(
+        joined,
+        [
+            ("l_orderkey", col("l_orderkey")),
+            ("revenue_part", _revenue()),
+            ("o_orderdate", col("o_orderdate")),
+            ("o_shippriority", col("o_shippriority")),
+        ],
+    )
+    aggregated = Aggregate(
+        projected,
+        ["l_orderkey", "o_orderdate", "o_shippriority"],
+        [AggSpec("revenue", AggFunc.SUM, "revenue_part")],
+    )
+    return Sort(aggregated, [("revenue", False), ("o_orderdate", True)], limit=10)
+
+
+def q4() -> PlanNode:
+    """Order priority checking (quarter starting 1993-07-01)."""
+    quarter_orders = TableScan(
+        "orders",
+        ["o_orderkey", "o_orderdate", "o_orderpriority"],
+        predicate=(col("o_orderdate") >= date_lit("1993-07-01"))
+        & (col("o_orderdate") < date_lit("1993-10-01")),
+    )
+    late_lines = TableScan(
+        "lineitem",
+        ["l_orderkey", "l_commitdate", "l_receiptdate"],
+        predicate=col("l_commitdate") < col("l_receiptdate"),
+    )
+    with_late = HashJoin(
+        probe=quarter_orders,
+        build=late_lines,
+        probe_keys=["o_orderkey"],
+        build_keys=["l_orderkey"],
+        join_type=JoinType.SEMI,
+    )
+    aggregated = Aggregate(
+        with_late, ["o_orderpriority"], [AggSpec("order_count", AggFunc.COUNT_STAR)]
+    )
+    return Sort(aggregated, [("o_orderpriority", True)])
+
+
+def q5() -> PlanNode:
+    """Local supplier volume (region ASIA, 1994)."""
+    asia_nations = HashJoin(
+        probe=TableScan("nation", ["n_nationkey", "n_name", "n_regionkey"]),
+        build=TableScan(
+            "region", ["r_regionkey", "r_name"], predicate=col("r_name") == lit("ASIA")
+        ),
+        probe_keys=["n_regionkey"],
+        build_keys=["r_regionkey"],
+        payload=[],
+    )
+    customers = TableScan("customer", ["c_custkey", "c_nationkey"])
+    orders_1994 = TableScan(
+        "orders",
+        ["o_orderkey", "o_custkey", "o_orderdate"],
+        predicate=(col("o_orderdate") >= date_lit("1994-01-01"))
+        & (col("o_orderdate") < date_lit("1995-01-01")),
+    )
+    customer_orders = HashJoin(
+        probe=orders_1994,
+        build=customers,
+        probe_keys=["o_custkey"],
+        build_keys=["c_custkey"],
+        payload=["c_nationkey"],
+    )
+    lineitems = TableScan(
+        "lineitem", ["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"]
+    )
+    with_orders = HashJoin(
+        probe=lineitems,
+        build=customer_orders,
+        probe_keys=["l_orderkey"],
+        build_keys=["o_orderkey"],
+        payload=["c_nationkey"],
+    )
+    with_suppliers = HashJoin(
+        probe=with_orders,
+        build=TableScan("supplier", ["s_suppkey", "s_nationkey"]),
+        probe_keys=["l_suppkey"],
+        build_keys=["s_suppkey"],
+        payload=["s_nationkey"],
+    )
+    local = Filter(with_suppliers, col("c_nationkey") == col("s_nationkey"))
+    with_nation = HashJoin(
+        probe=local,
+        build=asia_nations,
+        probe_keys=["s_nationkey"],
+        build_keys=["n_nationkey"],
+        payload=["n_name"],
+    )
+    projected = Project(
+        with_nation, [("n_name", col("n_name")), ("revenue_part", _revenue())]
+    )
+    aggregated = Aggregate(projected, ["n_name"], [AggSpec("revenue", AggFunc.SUM, "revenue_part")])
+    return Sort(aggregated, [("revenue", False)])
+
+
+def q6() -> PlanNode:
+    """Forecasting revenue change (1994, discount 0.06±0.01, qty < 24)."""
+    scan = TableScan(
+        "lineitem",
+        ["l_extendedprice", "l_discount", "l_shipdate", "l_quantity"],
+        predicate=(col("l_shipdate") >= date_lit("1994-01-01"))
+        & (col("l_shipdate") < date_lit("1995-01-01"))
+        & col("l_discount").between(0.05, 0.07)
+        & (col("l_quantity") < lit(24.0)),
+    )
+    projected = Project(scan, [("rev", col("l_extendedprice") * col("l_discount"))])
+    return Aggregate(projected, [], [AggSpec("revenue", AggFunc.SUM, "rev")])
+
+
+def q7() -> PlanNode:
+    """Volume shipping between FRANCE and GERMANY (1995–1996)."""
+    supplier_nations = Rename(
+        Filter(
+            TableScan("nation", ["n_nationkey", "n_name"]),
+            col("n_name").isin(["FRANCE", "GERMANY"]),
+        ),
+        {"n_nationkey": "supp_nationkey", "n_name": "supp_nation"},
+    )
+    customer_nations = Rename(
+        Filter(
+            TableScan("nation", ["n_nationkey", "n_name"]),
+            col("n_name").isin(["FRANCE", "GERMANY"]),
+        ),
+        {"n_nationkey": "cust_nationkey", "n_name": "cust_nation"},
+    )
+    suppliers = HashJoin(
+        probe=TableScan("supplier", ["s_suppkey", "s_nationkey"]),
+        build=supplier_nations,
+        probe_keys=["s_nationkey"],
+        build_keys=["supp_nationkey"],
+        payload=["supp_nation"],
+    )
+    customers = HashJoin(
+        probe=TableScan("customer", ["c_custkey", "c_nationkey"]),
+        build=customer_nations,
+        probe_keys=["c_nationkey"],
+        build_keys=["cust_nationkey"],
+        payload=["cust_nation"],
+    )
+    orders = HashJoin(
+        probe=TableScan("orders", ["o_orderkey", "o_custkey"]),
+        build=customers,
+        probe_keys=["o_custkey"],
+        build_keys=["c_custkey"],
+        payload=["cust_nation"],
+    )
+    lines = TableScan(
+        "lineitem",
+        ["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"],
+        predicate=(col("l_shipdate") >= date_lit("1995-01-01"))
+        & (col("l_shipdate") <= date_lit("1996-12-31")),
+    )
+    with_supplier = HashJoin(
+        probe=lines,
+        build=suppliers,
+        probe_keys=["l_suppkey"],
+        build_keys=["s_suppkey"],
+        payload=["supp_nation"],
+    )
+    with_customer = HashJoin(
+        probe=with_supplier,
+        build=orders,
+        probe_keys=["l_orderkey"],
+        build_keys=["o_orderkey"],
+        payload=["cust_nation"],
+    )
+    cross_border = Filter(
+        with_customer,
+        ((col("supp_nation") == lit("FRANCE")) & (col("cust_nation") == lit("GERMANY")))
+        | ((col("supp_nation") == lit("GERMANY")) & (col("cust_nation") == lit("FRANCE"))),
+    )
+    projected = Project(
+        cross_border,
+        [
+            ("supp_nation", col("supp_nation")),
+            ("cust_nation", col("cust_nation")),
+            ("l_year", col("l_shipdate").year()),
+            ("volume", _revenue()),
+        ],
+    )
+    aggregated = Aggregate(
+        projected,
+        ["supp_nation", "cust_nation", "l_year"],
+        [AggSpec("revenue", AggFunc.SUM, "volume")],
+    )
+    return Sort(
+        aggregated, [("supp_nation", True), ("cust_nation", True), ("l_year", True)]
+    )
+
+
+def q8() -> PlanNode:
+    """National market share (BRAZIL, AMERICA, ECONOMY ANODIZED STEEL)."""
+    steel_parts = TableScan(
+        "part",
+        ["p_partkey", "p_type"],
+        predicate=col("p_type") == lit("ECONOMY ANODIZED STEEL"),
+    )
+    lines = TableScan(
+        "lineitem",
+        ["l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"],
+    )
+    with_part = HashJoin(
+        probe=lines,
+        build=steel_parts,
+        probe_keys=["l_partkey"],
+        build_keys=["p_partkey"],
+        payload=[],
+    )
+    with_supplier = HashJoin(
+        probe=with_part,
+        build=TableScan("supplier", ["s_suppkey", "s_nationkey"]),
+        probe_keys=["l_suppkey"],
+        build_keys=["s_suppkey"],
+        payload=["s_nationkey"],
+    )
+    orders_window = TableScan(
+        "orders",
+        ["o_orderkey", "o_custkey", "o_orderdate"],
+        predicate=(col("o_orderdate") >= date_lit("1995-01-01"))
+        & (col("o_orderdate") <= date_lit("1996-12-31")),
+    )
+    with_orders = HashJoin(
+        probe=with_supplier,
+        build=orders_window,
+        probe_keys=["l_orderkey"],
+        build_keys=["o_orderkey"],
+        payload=["o_custkey", "o_orderdate"],
+    )
+    with_customer = HashJoin(
+        probe=with_orders,
+        build=TableScan("customer", ["c_custkey", "c_nationkey"]),
+        probe_keys=["o_custkey"],
+        build_keys=["c_custkey"],
+        payload=["c_nationkey"],
+    )
+    america_nations = HashJoin(
+        probe=TableScan("nation", ["n_nationkey", "n_regionkey"]),
+        build=TableScan(
+            "region", ["r_regionkey", "r_name"], predicate=col("r_name") == lit("AMERICA")
+        ),
+        probe_keys=["n_regionkey"],
+        build_keys=["r_regionkey"],
+        payload=[],
+    )
+    in_america = HashJoin(
+        probe=with_customer,
+        build=america_nations,
+        probe_keys=["c_nationkey"],
+        build_keys=["n_nationkey"],
+        join_type=JoinType.SEMI,
+    )
+    supplier_nation = Rename(
+        TableScan("nation", ["n_nationkey", "n_name"]), {"n_name": "supp_nation"}
+    )
+    named = HashJoin(
+        probe=in_america,
+        build=supplier_nation,
+        probe_keys=["s_nationkey"],
+        build_keys=["n_nationkey"],
+        payload=["supp_nation"],
+    )
+    projected = Project(
+        named,
+        [
+            ("o_year", col("o_orderdate").year()),
+            ("volume", _revenue()),
+            (
+                "brazil_volume",
+                CaseWhen(
+                    [(col("supp_nation") == lit("BRAZIL"), _revenue())], lit(0.0)
+                ),
+            ),
+        ],
+    )
+    aggregated = Aggregate(
+        projected,
+        ["o_year"],
+        [
+            AggSpec("brazil", AggFunc.SUM, "brazil_volume"),
+            AggSpec("total", AggFunc.SUM, "volume"),
+        ],
+    )
+    shares = Project(
+        aggregated,
+        [("o_year", col("o_year")), ("mkt_share", col("brazil") / col("total"))],
+    )
+    return Sort(shares, [("o_year", True)])
+
+
+def q9() -> PlanNode:
+    """Product type profit measure (parts containing 'green')."""
+    green_parts = TableScan(
+        "part", ["p_partkey", "p_name"], predicate=col("p_name").like("%green%")
+    )
+    lines = TableScan(
+        "lineitem",
+        [
+            "l_orderkey", "l_partkey", "l_suppkey", "l_quantity",
+            "l_extendedprice", "l_discount",
+        ],
+    )
+    with_part = HashJoin(
+        probe=lines,
+        build=green_parts,
+        probe_keys=["l_partkey"],
+        build_keys=["p_partkey"],
+        payload=[],
+    )
+    with_supplier = HashJoin(
+        probe=with_part,
+        build=TableScan("supplier", ["s_suppkey", "s_nationkey"]),
+        probe_keys=["l_suppkey"],
+        build_keys=["s_suppkey"],
+        payload=["s_nationkey"],
+    )
+    with_partsupp = HashJoin(
+        probe=with_supplier,
+        build=TableScan("partsupp", ["ps_partkey", "ps_suppkey", "ps_supplycost"]),
+        probe_keys=["l_partkey", "l_suppkey"],
+        build_keys=["ps_partkey", "ps_suppkey"],
+        payload=["ps_supplycost"],
+    )
+    with_orders = HashJoin(
+        probe=with_partsupp,
+        build=TableScan("orders", ["o_orderkey", "o_orderdate"]),
+        probe_keys=["l_orderkey"],
+        build_keys=["o_orderkey"],
+        payload=["o_orderdate"],
+    )
+    with_nation = HashJoin(
+        probe=with_orders,
+        build=TableScan("nation", ["n_nationkey", "n_name"]),
+        probe_keys=["s_nationkey"],
+        build_keys=["n_nationkey"],
+        payload=["n_name"],
+    )
+    projected = Project(
+        with_nation,
+        [
+            ("nation", col("n_name")),
+            ("o_year", col("o_orderdate").year()),
+            ("amount", _revenue() - col("ps_supplycost") * col("l_quantity")),
+        ],
+    )
+    aggregated = Aggregate(
+        projected, ["nation", "o_year"], [AggSpec("sum_profit", AggFunc.SUM, "amount")]
+    )
+    return Sort(aggregated, [("nation", True), ("o_year", False)])
+
+
+def q10() -> PlanNode:
+    """Returned item reporting (quarter starting 1993-10-01)."""
+    returned = TableScan(
+        "lineitem",
+        ["l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"],
+        predicate=col("l_returnflag") == lit("R"),
+    )
+    quarter_orders = TableScan(
+        "orders",
+        ["o_orderkey", "o_custkey", "o_orderdate"],
+        predicate=(col("o_orderdate") >= date_lit("1993-10-01"))
+        & (col("o_orderdate") < date_lit("1994-01-01")),
+    )
+    with_orders = HashJoin(
+        probe=returned,
+        build=quarter_orders,
+        probe_keys=["l_orderkey"],
+        build_keys=["o_orderkey"],
+        payload=["o_custkey"],
+    )
+    with_customer = HashJoin(
+        probe=with_orders,
+        build=TableScan(
+            "customer",
+            ["c_custkey", "c_name", "c_acctbal", "c_phone", "c_address", "c_comment", "c_nationkey"],
+        ),
+        probe_keys=["o_custkey"],
+        build_keys=["c_custkey"],
+        payload=["c_name", "c_acctbal", "c_phone", "c_address", "c_comment", "c_nationkey"],
+    )
+    with_nation = HashJoin(
+        probe=with_customer,
+        build=TableScan("nation", ["n_nationkey", "n_name"]),
+        probe_keys=["c_nationkey"],
+        build_keys=["n_nationkey"],
+        payload=["n_name"],
+    )
+    projected = Project(
+        with_nation,
+        [
+            ("c_custkey", col("o_custkey")),
+            ("c_name", col("c_name")),
+            ("revenue_part", _revenue()),
+            ("c_acctbal", col("c_acctbal")),
+            ("n_name", col("n_name")),
+            ("c_address", col("c_address")),
+            ("c_phone", col("c_phone")),
+            ("c_comment", col("c_comment")),
+        ],
+    )
+    aggregated = Aggregate(
+        projected,
+        ["c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address", "c_comment"],
+        [AggSpec("revenue", AggFunc.SUM, "revenue_part")],
+    )
+    return Sort(aggregated, [("revenue", False)], limit=20)
+
+
+def q11() -> PlanNode:
+    """Important stock identification (GERMANY, fraction 0.0001)."""
+
+    def german_partsupp() -> PlanNode:
+        german_suppliers = HashJoin(
+            probe=TableScan("supplier", ["s_suppkey", "s_nationkey"]),
+            build=TableScan(
+                "nation",
+                ["n_nationkey", "n_name"],
+                predicate=col("n_name") == lit("GERMANY"),
+            ),
+            probe_keys=["s_nationkey"],
+            build_keys=["n_nationkey"],
+            payload=[],
+        )
+        joined = HashJoin(
+            probe=TableScan("partsupp", ["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"]),
+            build=german_suppliers,
+            probe_keys=["ps_suppkey"],
+            build_keys=["s_suppkey"],
+            payload=[],
+        )
+        return Project(
+            joined,
+            [
+                ("ps_partkey", col("ps_partkey")),
+                ("value_part", col("ps_supplycost") * col("ps_availqty")),
+            ],
+        )
+
+    per_part = Aggregate(
+        german_partsupp(), ["ps_partkey"], [AggSpec("value", AggFunc.SUM, "value_part")]
+    )
+    total = Project(
+        Aggregate(german_partsupp(), [], [AggSpec("total_value", AggFunc.SUM, "value_part")]),
+        [("join_key", lit(1)), ("threshold", col("total_value") * lit(0.0001))],
+    )
+    keyed = Project(
+        per_part,
+        [
+            ("ps_partkey", col("ps_partkey")),
+            ("value", col("value")),
+            ("join_key", lit(1)),
+        ],
+    )
+    with_threshold = HashJoin(
+        probe=keyed,
+        build=total,
+        probe_keys=["join_key"],
+        build_keys=["join_key"],
+        payload=["threshold"],
+    )
+    filtered = Project(
+        Filter(with_threshold, col("value") > col("threshold")),
+        [("ps_partkey", col("ps_partkey")), ("value", col("value"))],
+    )
+    return Sort(filtered, [("value", False)])
+
+
+def q12() -> PlanNode:
+    """Shipping modes and order priority (MAIL/SHIP, 1994)."""
+    lines = TableScan(
+        "lineitem",
+        ["l_orderkey", "l_shipmode", "l_commitdate", "l_receiptdate", "l_shipdate"],
+        predicate=col("l_shipmode").isin(["MAIL", "SHIP"])
+        & (col("l_commitdate") < col("l_receiptdate"))
+        & (col("l_shipdate") < col("l_commitdate"))
+        & (col("l_receiptdate") >= date_lit("1994-01-01"))
+        & (col("l_receiptdate") < date_lit("1995-01-01")),
+    )
+    joined = HashJoin(
+        probe=TableScan("orders", ["o_orderkey", "o_orderpriority"]),
+        build=lines,
+        probe_keys=["o_orderkey"],
+        build_keys=["l_orderkey"],
+        payload=["l_shipmode"],
+    )
+    urgent = col("o_orderpriority").isin(["1-URGENT", "2-HIGH"])
+    projected = Project(
+        joined,
+        [
+            ("l_shipmode", col("l_shipmode")),
+            ("high_line", CaseWhen([(urgent, lit(1.0))], lit(0.0))),
+            ("low_line", CaseWhen([(urgent, lit(0.0))], lit(1.0))),
+        ],
+    )
+    aggregated = Aggregate(
+        projected,
+        ["l_shipmode"],
+        [
+            AggSpec("high_line_count", AggFunc.SUM, "high_line"),
+            AggSpec("low_line_count", AggFunc.SUM, "low_line"),
+        ],
+    )
+    return Sort(aggregated, [("l_shipmode", True)])
+
+
+def q13() -> PlanNode:
+    """Customer distribution (excluding special-request orders)."""
+    counted = Rename(
+        Aggregate(
+            TableScan(
+                "orders",
+                ["o_orderkey", "o_custkey", "o_comment"],
+                predicate=col("o_comment").not_like("%special%requests%"),
+            ),
+            ["o_custkey"],
+            [AggSpec("c_count", AggFunc.COUNT_STAR)],
+        ),
+        {"o_custkey": "oc_custkey"},
+    )
+    with_counts = HashJoin(
+        probe=TableScan("customer", ["c_custkey"]),
+        build=counted,
+        probe_keys=["c_custkey"],
+        build_keys=["oc_custkey"],
+        join_type=JoinType.LEFT_OUTER,
+        payload=["c_count"],
+        default_row={"c_count": 0},
+    )
+    distribution = Aggregate(
+        with_counts, ["c_count"], [AggSpec("custdist", AggFunc.COUNT_STAR)]
+    )
+    return Sort(distribution, [("custdist", False), ("c_count", False)])
+
+
+def q14() -> PlanNode:
+    """Promotion effect (September 1995)."""
+    lines = TableScan(
+        "lineitem",
+        ["l_partkey", "l_extendedprice", "l_discount", "l_shipdate"],
+        predicate=(col("l_shipdate") >= date_lit("1995-09-01"))
+        & (col("l_shipdate") < date_lit("1995-10-01")),
+    )
+    joined = HashJoin(
+        probe=lines,
+        build=TableScan("part", ["p_partkey", "p_type"]),
+        probe_keys=["l_partkey"],
+        build_keys=["p_partkey"],
+        payload=["p_type"],
+    )
+    projected = Project(
+        joined,
+        [
+            ("promo", CaseWhen([(col("p_type").like("PROMO%"), _revenue())], lit(0.0))),
+            ("total", _revenue()),
+        ],
+    )
+    aggregated = Aggregate(
+        projected,
+        [],
+        [AggSpec("promo_sum", AggFunc.SUM, "promo"), AggSpec("total_sum", AggFunc.SUM, "total")],
+    )
+    return Project(
+        aggregated,
+        [("promo_revenue", lit(100.0) * col("promo_sum") / col("total_sum"))],
+    )
+
+
+def q15() -> PlanNode:
+    """Top supplier (quarter starting 1996-01-01)."""
+
+    def revenue_view() -> PlanNode:
+        lines = TableScan(
+            "lineitem",
+            ["l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"],
+            predicate=(col("l_shipdate") >= date_lit("1996-01-01"))
+            & (col("l_shipdate") < date_lit("1996-04-01")),
+        )
+        projected = Project(
+            lines, [("supplier_no", col("l_suppkey")), ("rev_part", _revenue())]
+        )
+        return Aggregate(
+            projected, ["supplier_no"], [AggSpec("total_revenue", AggFunc.SUM, "rev_part")]
+        )
+
+    keyed_view = Project(
+        revenue_view(),
+        [
+            ("supplier_no", col("supplier_no")),
+            ("total_revenue", col("total_revenue")),
+            ("join_key", lit(1)),
+        ],
+    )
+    max_revenue = Project(
+        Aggregate(revenue_view(), [], [AggSpec("max_revenue", AggFunc.MAX, "total_revenue")]),
+        [("join_key", lit(1)), ("max_revenue", col("max_revenue"))],
+    )
+    top = Filter(
+        HashJoin(
+            probe=keyed_view,
+            build=max_revenue,
+            probe_keys=["join_key"],
+            build_keys=["join_key"],
+            payload=["max_revenue"],
+        ),
+        col("total_revenue") == col("max_revenue"),
+    )
+    joined = HashJoin(
+        probe=TableScan("supplier", ["s_suppkey", "s_name", "s_address", "s_phone"]),
+        build=top,
+        probe_keys=["s_suppkey"],
+        build_keys=["supplier_no"],
+        payload=["total_revenue"],
+    )
+    return Sort(joined, [("s_suppkey", True)])
+
+
+def q16() -> PlanNode:
+    """Parts/supplier relationship (Brand#45 exclusion)."""
+    parts = TableScan(
+        "part",
+        ["p_partkey", "p_brand", "p_type", "p_size"],
+        predicate=(col("p_brand") != lit("Brand#45"))
+        & col("p_type").not_like("MEDIUM POLISHED%")
+        & col("p_size").isin([49, 14, 23, 45, 19, 3, 36, 9]),
+    )
+    with_part = HashJoin(
+        probe=TableScan("partsupp", ["ps_partkey", "ps_suppkey"]),
+        build=parts,
+        probe_keys=["ps_partkey"],
+        build_keys=["p_partkey"],
+        payload=["p_brand", "p_type", "p_size"],
+    )
+    complainers = TableScan(
+        "supplier",
+        ["s_suppkey", "s_comment"],
+        predicate=col("s_comment").like("%Customer%Complaints%"),
+    )
+    clean = HashJoin(
+        probe=with_part,
+        build=complainers,
+        probe_keys=["ps_suppkey"],
+        build_keys=["s_suppkey"],
+        join_type=JoinType.ANTI,
+    )
+    aggregated = Aggregate(
+        clean,
+        ["p_brand", "p_type", "p_size"],
+        [AggSpec("supplier_cnt", AggFunc.COUNT_DISTINCT, "ps_suppkey")],
+    )
+    return Sort(
+        aggregated,
+        [("supplier_cnt", False), ("p_brand", True), ("p_type", True), ("p_size", True)],
+    )
+
+
+def q17() -> PlanNode:
+    """Small-quantity-order revenue (Brand#23, MED BOX)."""
+
+    def brand_lineitems() -> PlanNode:
+        brand_parts = TableScan(
+            "part",
+            ["p_partkey", "p_brand", "p_container"],
+            predicate=(col("p_brand") == lit("Brand#23"))
+            & (col("p_container") == lit("MED BOX")),
+        )
+        return HashJoin(
+            probe=TableScan("lineitem", ["l_partkey", "l_quantity", "l_extendedprice"]),
+            build=brand_parts,
+            probe_keys=["l_partkey"],
+            build_keys=["p_partkey"],
+            payload=[],
+        )
+
+    thresholds = Project(
+        Aggregate(
+            brand_lineitems(), ["l_partkey"], [AggSpec("avg_qty", AggFunc.AVG, "l_quantity")]
+        ),
+        [("t_partkey", col("l_partkey")), ("qty_limit", lit(0.2) * col("avg_qty"))],
+    )
+    small = Filter(
+        HashJoin(
+            probe=brand_lineitems(),
+            build=thresholds,
+            probe_keys=["l_partkey"],
+            build_keys=["t_partkey"],
+            payload=["qty_limit"],
+        ),
+        col("l_quantity") < col("qty_limit"),
+    )
+    total = Aggregate(small, [], [AggSpec("sum_price", AggFunc.SUM, "l_extendedprice")])
+    return Project(total, [("avg_yearly", col("sum_price") / lit(7.0))])
+
+
+def q18() -> PlanNode:
+    """Large volume customers (quantity sum > 300)."""
+    big_orders = Rename(
+        Filter(
+            Aggregate(
+                TableScan("lineitem", ["l_orderkey", "l_quantity"]),
+                ["l_orderkey"],
+                [AggSpec("sum_qty", AggFunc.SUM, "l_quantity")],
+            ),
+            col("sum_qty") > lit(300.0),
+        ),
+        {"l_orderkey": "big_orderkey"},
+    )
+    qualifying = HashJoin(
+        probe=TableScan("orders", ["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"]),
+        build=big_orders,
+        probe_keys=["o_orderkey"],
+        build_keys=["big_orderkey"],
+        join_type=JoinType.SEMI,
+    )
+    with_customer = HashJoin(
+        probe=qualifying,
+        build=TableScan("customer", ["c_custkey", "c_name"]),
+        probe_keys=["o_custkey"],
+        build_keys=["c_custkey"],
+        payload=["c_name"],
+    )
+    with_lines = HashJoin(
+        probe=TableScan("lineitem", ["l_orderkey", "l_quantity"]),
+        build=with_customer,
+        probe_keys=["l_orderkey"],
+        build_keys=["o_orderkey"],
+        payload=["o_custkey", "o_orderdate", "o_totalprice", "c_name"],
+    )
+    aggregated = Aggregate(
+        with_lines,
+        ["c_name", "o_custkey", "l_orderkey", "o_orderdate", "o_totalprice"],
+        [AggSpec("sum_qty", AggFunc.SUM, "l_quantity")],
+    )
+    return Sort(aggregated, [("o_totalprice", False), ("o_orderdate", True)], limit=100)
+
+
+def q19() -> PlanNode:
+    """Discounted revenue (three brand/container/quantity branches)."""
+    lines = TableScan(
+        "lineitem",
+        [
+            "l_partkey", "l_quantity", "l_extendedprice", "l_discount",
+            "l_shipinstruct", "l_shipmode",
+        ],
+        predicate=(col("l_shipinstruct") == lit("DELIVER IN PERSON"))
+        & col("l_shipmode").isin(["AIR", "AIR REG"]),
+    )
+    joined = HashJoin(
+        probe=lines,
+        build=TableScan("part", ["p_partkey", "p_brand", "p_container", "p_size"]),
+        probe_keys=["l_partkey"],
+        build_keys=["p_partkey"],
+        payload=["p_brand", "p_container", "p_size"],
+    )
+    branch1 = (
+        (col("p_brand") == lit("Brand#12"))
+        & col("p_container").isin(["SM CASE", "SM BOX", "SM PACK", "SM PKG"])
+        & col("l_quantity").between(1.0, 11.0)
+        & col("p_size").between(1, 5)
+    )
+    branch2 = (
+        (col("p_brand") == lit("Brand#23"))
+        & col("p_container").isin(["MED BAG", "MED BOX", "MED PKG", "MED PACK"])
+        & col("l_quantity").between(10.0, 20.0)
+        & col("p_size").between(1, 10)
+    )
+    branch3 = (
+        (col("p_brand") == lit("Brand#34"))
+        & col("p_container").isin(["LG CASE", "LG BOX", "LG PACK", "LG PKG"])
+        & col("l_quantity").between(20.0, 30.0)
+        & col("p_size").between(1, 15)
+    )
+    matched = Filter(joined, branch1 | branch2 | branch3)
+    projected = Project(matched, [("rev", _revenue())])
+    return Aggregate(projected, [], [AggSpec("revenue", AggFunc.SUM, "rev")])
+
+
+def q20() -> PlanNode:
+    """Potential part promotion (forest parts, CANADA, 1994)."""
+    forest_parts = TableScan(
+        "part", ["p_partkey", "p_name"], predicate=col("p_name").like("forest%")
+    )
+    shipped = Project(
+        Aggregate(
+            TableScan(
+                "lineitem",
+                ["l_partkey", "l_suppkey", "l_quantity", "l_shipdate"],
+                predicate=(col("l_shipdate") >= date_lit("1994-01-01"))
+                & (col("l_shipdate") < date_lit("1995-01-01")),
+            ),
+            ["l_partkey", "l_suppkey"],
+            [AggSpec("qty_sum", AggFunc.SUM, "l_quantity")],
+        ),
+        [
+            ("sq_partkey", col("l_partkey")),
+            ("sq_suppkey", col("l_suppkey")),
+            ("half_qty", lit(0.5) * col("qty_sum")),
+        ],
+    )
+    forest_partsupp = HashJoin(
+        probe=TableScan("partsupp", ["ps_partkey", "ps_suppkey", "ps_availqty"]),
+        build=forest_parts,
+        probe_keys=["ps_partkey"],
+        build_keys=["p_partkey"],
+        join_type=JoinType.SEMI,
+    )
+    with_shipped = HashJoin(
+        probe=forest_partsupp,
+        build=shipped,
+        probe_keys=["ps_partkey", "ps_suppkey"],
+        build_keys=["sq_partkey", "sq_suppkey"],
+        payload=["half_qty"],
+    )
+    surplus = Filter(with_shipped, col("ps_availqty") > col("half_qty"))
+    canadian_suppliers = HashJoin(
+        probe=TableScan("supplier", ["s_suppkey", "s_name", "s_address", "s_nationkey"]),
+        build=TableScan(
+            "nation", ["n_nationkey", "n_name"], predicate=col("n_name") == lit("CANADA")
+        ),
+        probe_keys=["s_nationkey"],
+        build_keys=["n_nationkey"],
+        payload=[],
+    )
+    qualified = HashJoin(
+        probe=canadian_suppliers,
+        build=surplus,
+        probe_keys=["s_suppkey"],
+        build_keys=["ps_suppkey"],
+        join_type=JoinType.SEMI,
+    )
+    projected = Project(
+        qualified, [("s_name", col("s_name")), ("s_address", col("s_address"))]
+    )
+    return Sort(projected, [("s_name", True)])
+
+
+def q21() -> PlanNode:
+    """Suppliers who kept orders waiting (SAUDI ARABIA)."""
+    saudi_suppliers = HashJoin(
+        probe=TableScan("supplier", ["s_suppkey", "s_name", "s_nationkey"]),
+        build=TableScan(
+            "nation",
+            ["n_nationkey", "n_name"],
+            predicate=col("n_name") == lit("SAUDI ARABIA"),
+        ),
+        probe_keys=["s_nationkey"],
+        build_keys=["n_nationkey"],
+        payload=[],
+    )
+    late_lines = TableScan(
+        "lineitem",
+        ["l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"],
+        predicate=col("l_receiptdate") > col("l_commitdate"),
+    )
+    saudi_late = HashJoin(
+        probe=late_lines,
+        build=saudi_suppliers,
+        probe_keys=["l_suppkey"],
+        build_keys=["s_suppkey"],
+        payload=["s_name"],
+    )
+    final_orders = TableScan(
+        "orders",
+        ["o_orderkey", "o_orderstatus"],
+        predicate=col("o_orderstatus") == lit("F"),
+    )
+    on_final = HashJoin(
+        probe=saudi_late,
+        build=final_orders,
+        probe_keys=["l_orderkey"],
+        build_keys=["o_orderkey"],
+        payload=[],
+    )
+    other_lines = Rename(
+        TableScan("lineitem", ["l_orderkey", "l_suppkey"]),
+        {"l_orderkey": "l2_orderkey", "l_suppkey": "l2_suppkey"},
+    )
+    with_other = HashJoin(
+        probe=on_final,
+        build=other_lines,
+        probe_keys=["l_orderkey"],
+        build_keys=["l2_orderkey"],
+        join_type=JoinType.SEMI,
+        payload=["l2_suppkey"],
+        residual=col("l2_suppkey") != col("l_suppkey"),
+    )
+    other_late = Rename(
+        TableScan(
+            "lineitem",
+            ["l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"],
+            predicate=col("l_receiptdate") > col("l_commitdate"),
+        ),
+        {"l_orderkey": "l3_orderkey", "l_suppkey": "l3_suppkey"},
+    )
+    sole_blame = HashJoin(
+        probe=with_other,
+        build=other_late,
+        probe_keys=["l_orderkey"],
+        build_keys=["l3_orderkey"],
+        join_type=JoinType.ANTI,
+        payload=["l3_suppkey"],
+        residual=col("l3_suppkey") != col("l_suppkey"),
+    )
+    aggregated = Aggregate(sole_blame, ["s_name"], [AggSpec("numwait", AggFunc.COUNT_STAR)])
+    return Sort(aggregated, [("numwait", False), ("s_name", True)], limit=100)
+
+
+def q22() -> PlanNode:
+    """Global sales opportunity (seven phone country codes)."""
+    codes = ["13", "31", "23", "29", "30", "18", "17"]
+
+    def candidates() -> PlanNode:
+        scan = TableScan("customer", ["c_custkey", "c_phone", "c_acctbal"])
+        with_code = Project(
+            scan,
+            [
+                ("c_custkey", col("c_custkey")),
+                ("cntrycode", col("c_phone").substring(1, 2)),
+                ("c_acctbal", col("c_acctbal")),
+            ],
+        )
+        return Filter(with_code, col("cntrycode").isin(codes))
+
+    average = Project(
+        Aggregate(
+            Filter(candidates(), col("c_acctbal") > lit(0.0)),
+            [],
+            [AggSpec("avg_bal", AggFunc.AVG, "c_acctbal")],
+        ),
+        [("join_key", lit(1)), ("avg_bal", col("avg_bal"))],
+    )
+    keyed = Project(
+        candidates(),
+        [
+            ("c_custkey", col("c_custkey")),
+            ("cntrycode", col("cntrycode")),
+            ("c_acctbal", col("c_acctbal")),
+            ("join_key", lit(1)),
+        ],
+    )
+    rich = Filter(
+        HashJoin(
+            probe=keyed,
+            build=average,
+            probe_keys=["join_key"],
+            build_keys=["join_key"],
+            payload=["avg_bal"],
+        ),
+        col("c_acctbal") > col("avg_bal"),
+    )
+    no_orders = HashJoin(
+        probe=rich,
+        build=TableScan("orders", ["o_custkey"]),
+        probe_keys=["c_custkey"],
+        build_keys=["o_custkey"],
+        join_type=JoinType.ANTI,
+    )
+    aggregated = Aggregate(
+        no_orders,
+        ["cntrycode"],
+        [AggSpec("numcust", AggFunc.COUNT_STAR), AggSpec("totacctbal", AggFunc.SUM, "c_acctbal")],
+    )
+    return Sort(aggregated, [("cntrycode", True)])
+
+
+QUERIES: dict[str, Callable[[], PlanNode]] = {
+    "Q1": q1, "Q2": q2, "Q3": q3, "Q4": q4, "Q5": q5, "Q6": q6, "Q7": q7,
+    "Q8": q8, "Q9": q9, "Q10": q10, "Q11": q11, "Q12": q12, "Q13": q13,
+    "Q14": q14, "Q15": q15, "Q16": q16, "Q17": q17, "Q18": q18, "Q19": q19,
+    "Q20": q20, "Q21": q21, "Q22": q22,
+}
+
+QUERY_NAMES = list(QUERIES)
+
+
+def build_query(name: str) -> PlanNode:
+    """Plan for query *name* (``"Q1"``–``"Q22"``)."""
+    if name not in QUERIES:
+        raise KeyError(f"unknown TPC-H query {name!r}; expected one of {QUERY_NAMES}")
+    return QUERIES[name]()

@@ -1,0 +1,363 @@
+"""NumPy reference implementations of selected TPC-H queries.
+
+These are independent, direct computations over the generated tables used
+as correctness oracles for the query engine: no chunks, no pipelines, no
+operators — just whole-array NumPy (and plain Python loops where clarity
+beats speed).  Covered queries exercise every engine feature: plain
+aggregation (Q1), join chains (Q3), EXISTS (Q4), selection aggregates
+(Q6), HAVING-style thresholds (Q11), left-outer counting (Q13), CASE
+ratios (Q14), argmax subqueries (Q15), correlated averages (Q17),
+per-group threshold joins (Q18), EXISTS/NOT-EXISTS with inequalities
+(Q21), and anti joins with scalar subqueries (Q22).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.types import parse_date
+from repro.storage.catalog import Catalog
+
+__all__ = [
+    "reference_q1",
+    "reference_q3",
+    "reference_q4",
+    "reference_q6",
+    "reference_q11",
+    "reference_q13",
+    "reference_q14",
+    "reference_q15",
+    "reference_q17",
+    "reference_q18",
+    "reference_q21",
+    "reference_q22",
+    "REFERENCES",
+]
+
+
+def reference_q1(catalog: Catalog) -> dict[str, np.ndarray]:
+    """Pricing summary: grouped sums/averages over filtered lineitem."""
+    li = catalog.get("lineitem")
+    mask = li.array("l_shipdate") <= parse_date("1998-09-02")
+    flag = li.array("l_returnflag")[mask]
+    status = li.array("l_linestatus")[mask]
+    qty = li.array("l_quantity")[mask]
+    price = li.array("l_extendedprice")[mask]
+    disc = li.array("l_discount")[mask]
+    tax = li.array("l_tax")[mask]
+    keys = np.char.add(flag, status)
+    uniques = np.unique(keys)
+    rows = {
+        "l_returnflag": [], "l_linestatus": [], "sum_qty": [], "sum_base_price": [],
+        "sum_disc_price": [], "sum_charge": [], "avg_qty": [], "avg_price": [],
+        "avg_disc": [], "count_order": [],
+    }
+    for key in uniques:
+        group = keys == key
+        rows["l_returnflag"].append(key[0])
+        rows["l_linestatus"].append(key[1])
+        rows["sum_qty"].append(qty[group].sum())
+        rows["sum_base_price"].append(price[group].sum())
+        disc_price = price[group] * (1 - disc[group])
+        rows["sum_disc_price"].append(disc_price.sum())
+        rows["sum_charge"].append((disc_price * (1 + tax[group])).sum())
+        rows["avg_qty"].append(qty[group].mean())
+        rows["avg_price"].append(price[group].mean())
+        rows["avg_disc"].append(disc[group].mean())
+        rows["count_order"].append(int(group.sum()))
+    return {name: np.asarray(values) for name, values in rows.items()}
+
+
+def reference_q3(catalog: Catalog, limit: int = 10) -> dict[str, np.ndarray]:
+    """Shipping priority: top revenue orders for BUILDING customers."""
+    cust = catalog.get("customer")
+    orders = catalog.get("orders")
+    li = catalog.get("lineitem")
+    cutoff = parse_date("1995-03-15")
+    building = set(cust.array("c_custkey")[cust.array("c_mktsegment") == "BUILDING"].tolist())
+    omask = orders.array("o_orderdate") < cutoff
+    okey = orders.array("o_orderkey")[omask]
+    ocust = orders.array("o_custkey")[omask]
+    odate = orders.array("o_orderdate")[omask]
+    oprio = orders.array("o_shippriority")[omask]
+    keep = np.fromiter((c in building for c in ocust), dtype=bool, count=len(ocust))
+    order_info = {
+        int(k): (int(d), int(p)) for k, d, p in zip(okey[keep], odate[keep], oprio[keep])
+    }
+    lmask = li.array("l_shipdate") > cutoff
+    lkey = li.array("l_orderkey")[lmask]
+    revenue = (li.array("l_extendedprice") * (1 - li.array("l_discount")))[lmask]
+    totals: dict[int, float] = {}
+    for key, value in zip(lkey.tolist(), revenue.tolist()):
+        if key in order_info:
+            totals[key] = totals.get(key, 0.0) + value
+    ranked = sorted(
+        totals.items(), key=lambda item: (-item[1], order_info[item[0]][0])
+    )[:limit]
+    return {
+        "l_orderkey": np.array([k for k, _ in ranked], dtype=np.int64),
+        "revenue": np.array([v for _, v in ranked]),
+        "o_orderdate": np.array([order_info[k][0] for k, _ in ranked], dtype=np.int32),
+        "o_shippriority": np.array([order_info[k][1] for k, _ in ranked], dtype=np.int64),
+    }
+
+
+def reference_q4(catalog: Catalog) -> dict[str, np.ndarray]:
+    """Order priority checking: EXISTS(lineitem late) per priority."""
+    orders = catalog.get("orders")
+    li = catalog.get("lineitem")
+    lo = parse_date("1993-07-01")
+    hi = parse_date("1993-10-01")
+    omask = (orders.array("o_orderdate") >= lo) & (orders.array("o_orderdate") < hi)
+    late_orders = set(
+        li.array("l_orderkey")[li.array("l_commitdate") < li.array("l_receiptdate")].tolist()
+    )
+    keys = orders.array("o_orderkey")[omask]
+    priorities = orders.array("o_orderpriority")[omask]
+    keep = np.fromiter((k in late_orders for k in keys), dtype=bool, count=len(keys))
+    uniques, counts = np.unique(priorities[keep], return_counts=True)
+    return {"o_orderpriority": uniques, "order_count": counts.astype(np.int64)}
+
+
+def reference_q6(catalog: Catalog) -> float:
+    """Forecasting revenue change: one filtered global sum."""
+    li = catalog.get("lineitem")
+    ship = li.array("l_shipdate")
+    disc = li.array("l_discount")
+    qty = li.array("l_quantity")
+    mask = (
+        (ship >= parse_date("1994-01-01"))
+        & (ship < parse_date("1995-01-01"))
+        & (disc >= 0.05)
+        & (disc <= 0.07)
+        & (qty < 24)
+    )
+    return float((li.array("l_extendedprice")[mask] * disc[mask]).sum())
+
+
+def reference_q13(catalog: Catalog) -> dict[str, np.ndarray]:
+    """Customer distribution over per-customer order counts."""
+    orders = catalog.get("orders")
+    cust = catalog.get("customer")
+    comment = orders.array("o_comment")
+    special = np.zeros(len(comment), dtype=bool)
+    for index, text in enumerate(comment):
+        first = text.find("special")
+        special[index] = first >= 0 and text.find("requests", first + len("special")) >= 0
+    counts: dict[int, int] = {}
+    for key in orders.array("o_custkey")[~special].tolist():
+        counts[key] = counts.get(key, 0) + 1
+    per_customer = np.array(
+        [counts.get(int(k), 0) for k in cust.array("c_custkey")], dtype=np.int64
+    )
+    uniques, custdist = np.unique(per_customer, return_counts=True)
+    order = np.lexsort((-uniques, -custdist))
+    return {
+        "c_count": uniques[order].astype(np.int64),
+        "custdist": custdist[order].astype(np.int64),
+    }
+
+
+def reference_q14(catalog: Catalog) -> float:
+    """Promotion effect: 100 * promo revenue / total revenue."""
+    li = catalog.get("lineitem")
+    part = catalog.get("part")
+    ship = li.array("l_shipdate")
+    mask = (ship >= parse_date("1995-09-01")) & (ship < parse_date("1995-10-01"))
+    partkey = li.array("l_partkey")[mask]
+    revenue = (li.array("l_extendedprice") * (1 - li.array("l_discount")))[mask]
+    promo_parts = np.char.startswith(part.array("p_type"), "PROMO")
+    is_promo = promo_parts[partkey - 1]
+    total = revenue.sum()
+    return float(100.0 * revenue[is_promo].sum() / total) if total else 0.0
+
+
+def reference_q17(catalog: Catalog) -> float:
+    """Small-quantity-order revenue for Brand#23 / MED BOX parts."""
+    li = catalog.get("lineitem")
+    part = catalog.get("part")
+    chosen = (part.array("p_brand") == "Brand#23") & (part.array("p_container") == "MED BOX")
+    chosen_keys = set(part.array("p_partkey")[chosen].tolist())
+    partkey = li.array("l_partkey")
+    keep = np.fromiter((k in chosen_keys for k in partkey), dtype=bool, count=len(partkey))
+    qty = li.array("l_quantity")[keep]
+    price = li.array("l_extendedprice")[keep]
+    keys = partkey[keep]
+    total = 0.0
+    for key in chosen_keys:
+        group = keys == key
+        if not group.any():
+            continue
+        threshold = 0.2 * qty[group].mean()
+        total += price[group][qty[group] < threshold].sum()
+    return float(total / 7.0)
+
+
+def reference_q22(catalog: Catalog) -> dict[str, np.ndarray]:
+    """Global sales opportunity over seven phone country codes."""
+    cust = catalog.get("customer")
+    orders = catalog.get("orders")
+    codes = {"13", "31", "23", "29", "30", "18", "17"}
+    phone_codes = np.array([p[:2] for p in cust.array("c_phone")])
+    in_codes = np.isin(phone_codes, sorted(codes))
+    acctbal = cust.array("c_acctbal")
+    positive = in_codes & (acctbal > 0.0)
+    avg_bal = acctbal[positive].mean()
+    with_orders = set(orders.array("o_custkey").tolist())
+    keys = cust.array("c_custkey")
+    eligible = (
+        in_codes
+        & (acctbal > avg_bal)
+        & np.fromiter((k not in with_orders for k in keys), dtype=bool, count=len(keys))
+    )
+    selected_codes = phone_codes[eligible]
+    selected_bal = acctbal[eligible]
+    uniques = np.unique(selected_codes)
+    return {
+        "cntrycode": uniques,
+        "numcust": np.array(
+            [int((selected_codes == c).sum()) for c in uniques], dtype=np.int64
+        ),
+        "totacctbal": np.array([selected_bal[selected_codes == c].sum() for c in uniques]),
+    }
+
+
+def reference_q11(catalog: Catalog) -> dict[str, np.ndarray]:
+    """Important stock: per-part value above 0.0001 of the German total."""
+    supplier = catalog.get("supplier")
+    nation = catalog.get("nation")
+    ps = catalog.get("partsupp")
+    german_key = int(
+        nation.array("n_nationkey")[nation.array("n_name") == "GERMANY"][0]
+    )
+    german_suppliers = set(
+        supplier.array("s_suppkey")[supplier.array("s_nationkey") == german_key].tolist()
+    )
+    suppkey = ps.array("ps_suppkey")
+    keep = np.fromiter(
+        (k in german_suppliers for k in suppkey), dtype=bool, count=len(suppkey)
+    )
+    value = (ps.array("ps_supplycost") * ps.array("ps_availqty"))[keep]
+    partkey = ps.array("ps_partkey")[keep]
+    totals: dict[int, float] = {}
+    for key, v in zip(partkey.tolist(), value.tolist()):
+        totals[key] = totals.get(key, 0.0) + v
+    threshold = sum(totals.values()) * 0.0001
+    chosen = sorted(
+        ((k, v) for k, v in totals.items() if v > threshold), key=lambda kv: -kv[1]
+    )
+    return {
+        "ps_partkey": np.array([k for k, _ in chosen], dtype=np.int64),
+        "value": np.array([v for _, v in chosen]),
+    }
+
+
+def reference_q15(catalog: Catalog) -> dict[str, np.ndarray]:
+    """Top supplier(s) by Q1-1996 revenue."""
+    li = catalog.get("lineitem")
+    supplier = catalog.get("supplier")
+    ship = li.array("l_shipdate")
+    mask = (ship >= parse_date("1996-01-01")) & (ship < parse_date("1996-04-01"))
+    revenue = (li.array("l_extendedprice") * (1 - li.array("l_discount")))[mask]
+    suppkey = li.array("l_suppkey")[mask]
+    totals: dict[int, float] = {}
+    for key, v in zip(suppkey.tolist(), revenue.tolist()):
+        totals[key] = totals.get(key, 0.0) + v
+    top = max(totals.values())
+    winners = sorted(k for k, v in totals.items() if v == top)
+    names = {
+        int(k): str(n)
+        for k, n in zip(supplier.array("s_suppkey"), supplier.array("s_name"))
+    }
+    return {
+        "s_suppkey": np.array(winners, dtype=np.int64),
+        "s_name": np.array([names[k] for k in winners]),
+        "total_revenue": np.array([top] * len(winners)),
+    }
+
+
+def reference_q18(catalog: Catalog, threshold: float = 300.0) -> dict[str, np.ndarray]:
+    """Large-volume customers: per-order quantity sums above *threshold*."""
+    li = catalog.get("lineitem")
+    orders = catalog.get("orders")
+    sums = np.bincount(
+        li.array("l_orderkey"),
+        weights=li.array("l_quantity"),
+        minlength=orders.num_rows + 1,
+    )
+    big = np.flatnonzero(sums > threshold)
+    odate = orders.array("o_orderdate")
+    oprice = orders.array("o_totalprice")
+    rows = sorted(
+        ((int(k), float(oprice[k - 1]), int(odate[k - 1]), float(sums[k])) for k in big),
+        key=lambda r: (-r[1], r[2]),
+    )[:100]
+    return {
+        "l_orderkey": np.array([r[0] for r in rows], dtype=np.int64),
+        "o_totalprice": np.array([r[1] for r in rows]),
+        "o_orderdate": np.array([r[2] for r in rows], dtype=np.int32),
+        "sum_qty": np.array([r[3] for r in rows]),
+    }
+
+
+def reference_q21(catalog: Catalog) -> dict[str, np.ndarray]:
+    """Suppliers who kept orders waiting (SAUDI ARABIA), by brute force."""
+    li = catalog.get("lineitem")
+    orders = catalog.get("orders")
+    supplier = catalog.get("supplier")
+    nation = catalog.get("nation")
+    saudi_key = int(
+        nation.array("n_nationkey")[nation.array("n_name") == "SAUDI ARABIA"][0]
+    )
+    saudi = set(
+        supplier.array("s_suppkey")[supplier.array("s_nationkey") == saudi_key].tolist()
+    )
+    names = {
+        int(k): str(n)
+        for k, n in zip(supplier.array("s_suppkey"), supplier.array("s_name"))
+    }
+    final_orders = set(
+        orders.array("o_orderkey")[orders.array("o_orderstatus") == "F"].tolist()
+    )
+    okey = li.array("l_orderkey").tolist()
+    skey = li.array("l_suppkey").tolist()
+    late = (li.array("l_receiptdate") > li.array("l_commitdate")).tolist()
+    suppliers_by_order: dict[int, set[int]] = {}
+    late_by_order: dict[int, set[int]] = {}
+    for o, s, is_late in zip(okey, skey, late):
+        suppliers_by_order.setdefault(o, set()).add(s)
+        if is_late:
+            late_by_order.setdefault(o, set()).add(s)
+    counts: dict[str, int] = {}
+    for o, s, is_late in zip(okey, skey, late):
+        if not is_late or s not in saudi or o not in final_orders:
+            continue
+        others = suppliers_by_order[o] - {s}
+        if not others:
+            continue  # EXISTS other supplier fails
+        other_late = late_by_order.get(o, set()) - {s}
+        if other_late:
+            continue  # NOT EXISTS other late supplier fails
+        name = names[s]
+        counts[name] = counts.get(name, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:100]
+    return {
+        "s_name": np.array([name for name, _ in ranked]),
+        "numwait": np.array([count for _, count in ranked], dtype=np.int64),
+    }
+
+
+REFERENCES = {
+    "Q1": reference_q1,
+    "Q3": reference_q3,
+    "Q4": reference_q4,
+    "Q6": reference_q6,
+    "Q11": reference_q11,
+    "Q13": reference_q13,
+    "Q14": reference_q14,
+    "Q15": reference_q15,
+    "Q17": reference_q17,
+    "Q18": reference_q18,
+    "Q21": reference_q21,
+    "Q22": reference_q22,
+}

@@ -1,0 +1,38 @@
+"""Scale-factor policy mapping the paper's datasets to laptop scale.
+
+The paper evaluates on TPC-H SF-10/50/100 (up to ~600M lineitem rows).
+A pure-Python reproduction runs the same pipelines at linearly scaled-down
+sizes; by default the paper's labels map to local scale factors 1000×
+smaller, so "SF-100" is local SF 0.1 (~600k lineitem rows).  All size and
+time *trends* (growth across SFs, per-query differences) are preserved
+under the linear scaling; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ScalePolicy", "DEFAULT_SCALE_POLICY", "PAPER_SF_LABELS"]
+
+PAPER_SF_LABELS = ["SF-10", "SF-50", "SF-100"]
+
+
+@dataclass(frozen=True)
+class ScalePolicy:
+    """Maps paper scale-factor labels to local generator scale factors."""
+
+    ratio: float = 1.0 / 1000.0
+
+    def local_scale(self, paper_label: str) -> float:
+        """Local scale factor for a paper label such as ``"SF-100"``."""
+        if not paper_label.startswith("SF-"):
+            raise ValueError(f"expected a label like 'SF-100', got {paper_label!r}")
+        paper_sf = float(paper_label[3:])
+        return paper_sf * self.ratio
+
+    def all_scales(self) -> dict[str, float]:
+        """Local scale factors for the three paper datasets."""
+        return {label: self.local_scale(label) for label in PAPER_SF_LABELS}
+
+
+DEFAULT_SCALE_POLICY = ScalePolicy()

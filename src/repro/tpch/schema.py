@@ -1,0 +1,91 @@
+"""TPC-H table schemas (decimals as FLOAT64, dates as engine DATE)."""
+
+from __future__ import annotations
+
+from repro.engine.types import DataType, Schema
+
+__all__ = ["TPCH_SCHEMAS", "TABLE_NAMES"]
+
+_D = DataType
+
+TPCH_SCHEMAS: dict[str, Schema] = {
+    "region": Schema.of(
+        ("r_regionkey", _D.INT64),
+        ("r_name", _D.STRING),
+        ("r_comment", _D.STRING),
+    ),
+    "nation": Schema.of(
+        ("n_nationkey", _D.INT64),
+        ("n_name", _D.STRING),
+        ("n_regionkey", _D.INT64),
+        ("n_comment", _D.STRING),
+    ),
+    "supplier": Schema.of(
+        ("s_suppkey", _D.INT64),
+        ("s_name", _D.STRING),
+        ("s_address", _D.STRING),
+        ("s_nationkey", _D.INT64),
+        ("s_phone", _D.STRING),
+        ("s_acctbal", _D.FLOAT64),
+        ("s_comment", _D.STRING),
+    ),
+    "customer": Schema.of(
+        ("c_custkey", _D.INT64),
+        ("c_name", _D.STRING),
+        ("c_address", _D.STRING),
+        ("c_nationkey", _D.INT64),
+        ("c_phone", _D.STRING),
+        ("c_acctbal", _D.FLOAT64),
+        ("c_mktsegment", _D.STRING),
+        ("c_comment", _D.STRING),
+    ),
+    "part": Schema.of(
+        ("p_partkey", _D.INT64),
+        ("p_name", _D.STRING),
+        ("p_mfgr", _D.STRING),
+        ("p_brand", _D.STRING),
+        ("p_type", _D.STRING),
+        ("p_size", _D.INT64),
+        ("p_container", _D.STRING),
+        ("p_retailprice", _D.FLOAT64),
+        ("p_comment", _D.STRING),
+    ),
+    "partsupp": Schema.of(
+        ("ps_partkey", _D.INT64),
+        ("ps_suppkey", _D.INT64),
+        ("ps_availqty", _D.INT64),
+        ("ps_supplycost", _D.FLOAT64),
+        ("ps_comment", _D.STRING),
+    ),
+    "orders": Schema.of(
+        ("o_orderkey", _D.INT64),
+        ("o_custkey", _D.INT64),
+        ("o_orderstatus", _D.STRING),
+        ("o_totalprice", _D.FLOAT64),
+        ("o_orderdate", _D.DATE),
+        ("o_orderpriority", _D.STRING),
+        ("o_clerk", _D.STRING),
+        ("o_shippriority", _D.INT64),
+        ("o_comment", _D.STRING),
+    ),
+    "lineitem": Schema.of(
+        ("l_orderkey", _D.INT64),
+        ("l_partkey", _D.INT64),
+        ("l_suppkey", _D.INT64),
+        ("l_linenumber", _D.INT64),
+        ("l_quantity", _D.FLOAT64),
+        ("l_extendedprice", _D.FLOAT64),
+        ("l_discount", _D.FLOAT64),
+        ("l_tax", _D.FLOAT64),
+        ("l_returnflag", _D.STRING),
+        ("l_linestatus", _D.STRING),
+        ("l_shipdate", _D.DATE),
+        ("l_commitdate", _D.DATE),
+        ("l_receiptdate", _D.DATE),
+        ("l_shipinstruct", _D.STRING),
+        ("l_shipmode", _D.STRING),
+        ("l_comment", _D.STRING),
+    ),
+}
+
+TABLE_NAMES = list(TPCH_SCHEMAS)

@@ -1,0 +1,134 @@
+"""Canonical TPC-H SQL texts for the single-block queries.
+
+The SQL front-end (:mod:`repro.sql`) handles single SELECT blocks; the
+TPC-H queries without nested subqueries are provided here verbatim (with
+the standard validation parameters), so they can be run straight from
+text.  The remaining queries need decorrelation and are available as
+hand-built plans via :func:`repro.tpch.build_query`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SQL_TEXTS", "sql_text"]
+
+SQL_TEXTS: dict[str, str] = {
+    "Q1": """
+        SELECT l_returnflag, l_linestatus,
+               sum(l_quantity) AS sum_qty,
+               sum(l_extendedprice) AS sum_base_price,
+               sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+               sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+               avg(l_quantity) AS avg_qty,
+               avg(l_extendedprice) AS avg_price,
+               avg(l_discount) AS avg_disc,
+               count(*) AS count_order
+        FROM lineitem
+        WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY l_returnflag, l_linestatus
+    """,
+    "Q3": """
+        SELECT l_orderkey,
+               sum(l_extendedprice * (1 - l_discount)) AS revenue,
+               o_orderdate, o_shippriority
+        FROM customer, orders, lineitem
+        WHERE c_mktsegment = 'BUILDING'
+          AND c_custkey = o_custkey
+          AND l_orderkey = o_orderkey
+          AND o_orderdate < DATE '1995-03-15'
+          AND l_shipdate > DATE '1995-03-15'
+        GROUP BY l_orderkey, o_orderdate, o_shippriority
+        ORDER BY revenue DESC, o_orderdate
+        LIMIT 10
+    """,
+    "Q5": """
+        SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM customer, orders, lineitem, supplier, nation, region
+        WHERE c_custkey = o_custkey
+          AND l_orderkey = o_orderkey
+          AND l_suppkey = s_suppkey
+          AND c_nationkey = s_nationkey
+          AND s_nationkey = n_nationkey
+          AND n_regionkey = r_regionkey
+          AND r_name = 'ASIA'
+          AND o_orderdate >= DATE '1994-01-01'
+          AND o_orderdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+        GROUP BY n_name
+        ORDER BY revenue DESC
+    """,
+    "Q6": """
+        SELECT sum(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_shipdate >= DATE '1994-01-01'
+          AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+          AND l_discount BETWEEN 0.05 AND 0.07
+          AND l_quantity < 24
+    """,
+    "Q10": """
+        SELECT c_custkey, c_name,
+               sum(l_extendedprice * (1 - l_discount)) AS revenue,
+               c_acctbal, n_name, c_address, c_phone, c_comment
+        FROM customer, orders, lineitem, nation
+        WHERE c_custkey = o_custkey
+          AND l_orderkey = o_orderkey
+          AND o_orderdate >= DATE '1993-10-01'
+          AND o_orderdate < DATE '1993-10-01' + INTERVAL '3' MONTH
+          AND l_returnflag = 'R'
+          AND c_nationkey = n_nationkey
+        GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+        ORDER BY revenue DESC
+        LIMIT 20
+    """,
+    "Q12": """
+        SELECT l_shipmode,
+               sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                        THEN 1 ELSE 0 END) AS high_line_count,
+               sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+                        THEN 1 ELSE 0 END) AS low_line_count
+        FROM orders, lineitem
+        WHERE o_orderkey = l_orderkey
+          AND l_shipmode IN ('MAIL', 'SHIP')
+          AND l_commitdate < l_receiptdate
+          AND l_shipdate < l_commitdate
+          AND l_receiptdate >= DATE '1994-01-01'
+          AND l_receiptdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+        GROUP BY l_shipmode
+        ORDER BY l_shipmode
+    """,
+    "Q14": """
+        SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                                 THEN l_extendedprice * (1 - l_discount)
+                                 ELSE 0 END)
+               / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+        FROM lineitem, part
+        WHERE l_partkey = p_partkey
+          AND l_shipdate >= DATE '1995-09-01'
+          AND l_shipdate < DATE '1995-09-01' + INTERVAL '1' MONTH
+    """,
+    "Q19": """
+        SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM lineitem, part
+        WHERE p_partkey = l_partkey
+          AND l_shipmode IN ('AIR', 'AIR REG')
+          AND l_shipinstruct = 'DELIVER IN PERSON'
+          AND ((p_brand = 'Brand#12'
+                AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+                AND l_quantity BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5)
+            OR (p_brand = 'Brand#23'
+                AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+                AND l_quantity BETWEEN 10 AND 20 AND p_size BETWEEN 1 AND 10)
+            OR (p_brand = 'Brand#34'
+                AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+                AND l_quantity BETWEEN 20 AND 30 AND p_size BETWEEN 1 AND 15))
+    """,
+}
+
+
+def sql_text(name: str) -> str:
+    """SQL text for query *name*; raises ``KeyError`` for nested queries."""
+    if name not in SQL_TEXTS:
+        raise KeyError(
+            f"{name} has no single-block SQL text (nested subqueries); "
+            f"available: {sorted(SQL_TEXTS)} — use repro.tpch.build_query instead"
+        )
+    return SQL_TEXTS[name]

@@ -1,0 +1,237 @@
+"""Hash aggregate correctness vs NumPy oracles, incl. distributed merging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.chunk import DataChunk
+from repro.engine.operators.aggregate import AggFunc, AggSpec, HashAggregateSink
+from repro.engine.types import DataType, Schema
+
+SCHEMA = Schema.of(
+    ("g", DataType.INT64),
+    ("h", DataType.STRING),
+    ("x", DataType.FLOAT64),
+)
+
+
+def run_aggregate(sink, chunks, workers=2):
+    locals_ = [sink.make_local_state() for _ in range(workers)]
+    for index, chunk in enumerate(chunks):
+        sink.sink(locals_[index % workers], chunk)
+    state = sink.make_global_state()
+    for local in locals_:
+        sink.combine(state, local)
+    sink.finalize(state)
+    return sink.result_chunk(state), state
+
+
+def chunk_of(groups, labels, values):
+    return DataChunk(
+        SCHEMA,
+        [
+            np.asarray(groups, dtype=np.int64),
+            np.asarray(labels, dtype="U2"),
+            np.asarray(values, dtype=np.float64),
+        ],
+    )
+
+
+class TestGroupedAggregates:
+    def test_sum_count_avg_min_max(self):
+        sink = HashAggregateSink(
+            SCHEMA,
+            ["g"],
+            [
+                AggSpec("total", AggFunc.SUM, "x"),
+                AggSpec("n", AggFunc.COUNT_STAR),
+                AggSpec("mean", AggFunc.AVG, "x"),
+                AggSpec("lo", AggFunc.MIN, "x"),
+                AggSpec("hi", AggFunc.MAX, "x"),
+            ],
+        )
+        result, _ = run_aggregate(
+            sink,
+            [
+                chunk_of([1, 2, 1], ["a", "a", "a"], [1.0, 2.0, 3.0]),
+                chunk_of([2, 1], ["a", "a"], [4.0, 5.0]),
+            ],
+        )
+        by_group = {
+            int(g): i for i, g in enumerate(result.column("g"))
+        }
+        assert result.num_rows == 2
+        g1, g2 = by_group[1], by_group[2]
+        assert result.column("total")[g1] == pytest.approx(9.0)
+        assert result.column("total")[g2] == pytest.approx(6.0)
+        assert result.column("n")[g1] == 3
+        assert result.column("mean")[g2] == pytest.approx(3.0)
+        assert result.column("lo")[g1] == 1.0
+        assert result.column("hi")[g1] == 5.0
+
+    def test_multi_key_grouping(self):
+        sink = HashAggregateSink(SCHEMA, ["g", "h"], [AggSpec("n", AggFunc.COUNT_STAR)])
+        result, _ = run_aggregate(
+            sink, [chunk_of([1, 1, 2], ["a", "b", "a"], [0, 0, 0])]
+        )
+        assert result.num_rows == 3
+
+    def test_count_distinct(self):
+        sink = HashAggregateSink(
+            SCHEMA, ["g"], [AggSpec("nd", AggFunc.COUNT_DISTINCT, "h")]
+        )
+        result, _ = run_aggregate(
+            sink,
+            [
+                chunk_of([1, 1, 1], ["a", "a", "b"], [0, 0, 0]),
+                chunk_of([1, 2], ["b", "a"], [0, 0]),
+            ],
+        )
+        by_group = {int(g): i for i, g in enumerate(result.column("g"))}
+        assert result.column("nd")[by_group[1]] == 2
+        assert result.column("nd")[by_group[2]] == 1
+
+    def test_count_distinct_alongside_other_aggs(self):
+        sink = HashAggregateSink(
+            SCHEMA,
+            ["g"],
+            [
+                AggSpec("nd", AggFunc.COUNT_DISTINCT, "h"),
+                AggSpec("total", AggFunc.SUM, "x"),
+            ],
+        )
+        result, _ = run_aggregate(
+            sink, [chunk_of([5, 5], ["a", "b"], [1.0, 2.0])]
+        )
+        assert result.column("nd")[0] == 2
+        assert result.column("total")[0] == pytest.approx(3.0)
+
+    def test_empty_input_grouped(self):
+        sink = HashAggregateSink(SCHEMA, ["g"], [AggSpec("n", AggFunc.COUNT_STAR)])
+        result, _ = run_aggregate(sink, [])
+        assert result.num_rows == 0
+
+    def test_merge_order_invariance(self):
+        """Worker partitioning must not change the result."""
+        chunks = [
+            chunk_of([1, 2, 3], ["a", "b", "c"], [1, 2, 3]),
+            chunk_of([3, 2, 1], ["c", "b", "a"], [4, 5, 6]),
+            chunk_of([2], ["b"], [7]),
+        ]
+        results = []
+        for workers in (1, 2, 3):
+            sink = HashAggregateSink(SCHEMA, ["g"], [AggSpec("s", AggFunc.SUM, "x")])
+            result, _ = run_aggregate(sink, chunks, workers=workers)
+            results.append(result)
+        for other in results[1:]:
+            np.testing.assert_array_equal(results[0].column("g"), other.column("g"))
+            np.testing.assert_allclose(results[0].column("s"), other.column("s"))
+
+
+class TestGlobalAggregates:
+    def test_no_group_keys(self):
+        sink = HashAggregateSink(
+            SCHEMA, [], [AggSpec("s", AggFunc.SUM, "x"), AggSpec("n", AggFunc.COUNT, "x")]
+        )
+        result, _ = run_aggregate(sink, [chunk_of([1, 2], ["a", "b"], [1.5, 2.5])])
+        assert result.num_rows == 1
+        assert result.column("s")[0] == pytest.approx(4.0)
+        assert result.column("n")[0] == 2
+
+    def test_global_over_empty_input_yields_one_row(self):
+        sink = HashAggregateSink(SCHEMA, [], [AggSpec("n", AggFunc.COUNT_STAR)])
+        result, _ = run_aggregate(sink, [])
+        assert result.num_rows == 1
+        assert result.column("n")[0] == 0
+
+    def test_global_count_distinct(self):
+        sink = HashAggregateSink(SCHEMA, [], [AggSpec("nd", AggFunc.COUNT_DISTINCT, "h")])
+        result, _ = run_aggregate(
+            sink, [chunk_of([1, 2, 3], ["a", "b", "a"], [0, 0, 0])]
+        )
+        assert result.column("nd")[0] == 2
+
+
+class TestValidationAndState:
+    def test_unknown_group_key(self):
+        with pytest.raises(KeyError):
+            HashAggregateSink(SCHEMA, ["missing"], [AggSpec("n", AggFunc.COUNT_STAR)])
+
+    def test_unknown_agg_column(self):
+        with pytest.raises(KeyError):
+            HashAggregateSink(SCHEMA, ["g"], [AggSpec("s", AggFunc.SUM, "missing")])
+
+    def test_min_over_strings_rejected(self):
+        with pytest.raises(NotImplementedError):
+            HashAggregateSink(SCHEMA, ["g"], [AggSpec("m", AggFunc.MIN, "h")])
+
+    def test_count_star_takes_no_column(self):
+        with pytest.raises(ValueError):
+            AggSpec("n", AggFunc.COUNT_STAR, "x")
+
+    def test_sum_requires_column(self):
+        with pytest.raises(ValueError):
+            AggSpec("s", AggFunc.SUM)
+
+    def test_global_state_round_trip(self):
+        sink = HashAggregateSink(SCHEMA, ["g"], [AggSpec("s", AggFunc.SUM, "x")])
+        _, state = run_aggregate(sink, [chunk_of([1, 2], ["a", "b"], [3.0, 4.0])])
+        restored = sink.deserialize_global_state(state.serialize())
+        result = sink.result_chunk(restored)
+        np.testing.assert_allclose(sorted(result.column("s")), [3.0, 4.0])
+
+    def test_local_state_round_trip(self):
+        sink = HashAggregateSink(SCHEMA, ["g"], [AggSpec("s", AggFunc.SUM, "x")])
+        local = sink.make_local_state()
+        sink.sink(local, chunk_of([1, 1], ["a", "a"], [2.0, 3.0]))
+        restored = sink.deserialize_local_state(local.serialize())
+        state = sink.make_global_state()
+        sink.combine(state, restored)
+        sink.finalize(state)
+        assert sink.result_chunk(state).column("s")[0] == pytest.approx(5.0)
+
+    def test_partial_states_are_small(self):
+        """Partial aggregation keeps local states near group-count size."""
+        sink = HashAggregateSink(SCHEMA, ["g"], [AggSpec("s", AggFunc.SUM, "x")])
+        local = sink.make_local_state()
+        big = chunk_of(
+            np.zeros(10_000, dtype=np.int64),
+            np.full(10_000, "a"),
+            np.ones(10_000),
+        )
+        sink.sink(local, big)
+        assert local.nbytes < big.nbytes / 100
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.floats(-100, 100, allow_nan=False)),
+        min_size=1,
+        max_size=120,
+    ),
+    st.integers(1, 4),
+)
+def test_grouped_sum_matches_python(rows, workers):
+    sink = HashAggregateSink(
+        SCHEMA, ["g"], [AggSpec("s", AggFunc.SUM, "x"), AggSpec("n", AggFunc.COUNT_STAR)]
+    )
+    third = max(1, len(rows) // 3)
+    chunks = [
+        chunk_of(
+            [r[0] for r in batch], ["a"] * len(batch), [r[1] for r in batch]
+        )
+        for batch in (rows[:third], rows[third : 2 * third], rows[2 * third :])
+        if batch
+    ]
+    result, _ = run_aggregate(sink, chunks, workers=workers)
+    oracle_sum: dict[int, float] = {}
+    oracle_count: dict[int, int] = {}
+    for group, value in rows:
+        oracle_sum[group] = oracle_sum.get(group, 0.0) + value
+        oracle_count[group] = oracle_count.get(group, 0) + 1
+    assert result.num_rows == len(oracle_sum)
+    for i, group in enumerate(result.column("g").tolist()):
+        assert result.column("s")[i] == pytest.approx(oracle_sum[group], abs=1e-6)
+        assert result.column("n")[i] == oracle_count[group]

@@ -1,0 +1,130 @@
+"""DataChunk behaviour, including property-based slicing/concat tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.chunk import DataChunk, concat_chunks
+from repro.engine.types import DataType, Schema
+
+SCHEMA = Schema.of(("a", DataType.INT64), ("b", DataType.FLOAT64))
+
+
+def make_chunk(n=10):
+    return DataChunk(SCHEMA, [np.arange(n, dtype=np.int64), np.linspace(0, 1, n)])
+
+
+class TestDataChunk:
+    def test_basics(self):
+        chunk = make_chunk(5)
+        assert chunk.num_rows == 5
+        assert len(chunk) == 5
+        assert chunk.nbytes == 5 * 16
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError, match="fields"):
+            DataChunk(SCHEMA, [np.arange(3)])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            DataChunk(SCHEMA, [np.arange(3), np.zeros(4)])
+
+    def test_column_lookup(self):
+        chunk = make_chunk(4)
+        np.testing.assert_array_equal(chunk.column("a"), np.arange(4))
+        with pytest.raises(KeyError):
+            chunk.column("zzz")
+
+    def test_filter(self):
+        chunk = make_chunk(6)
+        mask = chunk.column("a") % 2 == 0
+        filtered = chunk.filter(mask)
+        np.testing.assert_array_equal(filtered.column("a"), [0, 2, 4])
+
+    def test_filter_validates_mask(self):
+        chunk = make_chunk(6)
+        with pytest.raises(ValueError):
+            chunk.filter(np.ones(5, dtype=bool))
+        with pytest.raises(ValueError):
+            chunk.filter(np.ones(6, dtype=np.int64))
+
+    def test_take_repeats(self):
+        chunk = make_chunk(5)
+        taken = chunk.take(np.array([4, 4, 0]))
+        np.testing.assert_array_equal(taken.column("a"), [4, 4, 0])
+
+    def test_slice(self):
+        chunk = make_chunk(10)
+        sliced = chunk.slice(3, 7)
+        np.testing.assert_array_equal(sliced.column("a"), [3, 4, 5, 6])
+
+    def test_select(self):
+        chunk = make_chunk(3)
+        assert chunk.select(["b"]).schema.names == ["b"]
+
+    def test_with_schema(self):
+        other = Schema.of(("x", DataType.INT64), ("y", DataType.FLOAT64))
+        relabelled = make_chunk(3).with_schema(other)
+        np.testing.assert_array_equal(relabelled.column("x"), [0, 1, 2])
+
+    def test_empty(self):
+        empty = DataChunk.empty(SCHEMA)
+        assert empty.num_rows == 0
+        assert empty.column("a").dtype == np.int64
+
+    def test_empty_string_schema(self):
+        schema = Schema.of(("s", DataType.STRING))
+        empty = DataChunk.empty(schema)
+        assert empty.column("s").dtype.kind == "U"
+
+    def test_to_dict(self):
+        assert set(make_chunk(2).to_dict()) == {"a", "b"}
+
+
+class TestConcat:
+    def test_concat_multiple(self):
+        merged = concat_chunks(SCHEMA, [make_chunk(3), make_chunk(2)])
+        assert merged.num_rows == 5
+        np.testing.assert_array_equal(merged.column("a"), [0, 1, 2, 0, 1])
+
+    def test_concat_empty_list(self):
+        assert concat_chunks(SCHEMA, []).num_rows == 0
+
+    def test_concat_skips_empty_chunks(self):
+        merged = concat_chunks(SCHEMA, [DataChunk.empty(SCHEMA), make_chunk(2)])
+        assert merged.num_rows == 2
+
+    def test_concat_single_is_identity(self):
+        chunk = make_chunk(4)
+        assert concat_chunks(SCHEMA, [chunk]) is chunk
+
+    def test_concat_string_width_promotion(self):
+        schema = Schema.of(("s", DataType.STRING))
+        short = DataChunk(schema, [np.array(["a"], dtype="U1")])
+        long = DataChunk(schema, [np.array(["abcdef"], dtype="U6")])
+        merged = concat_chunks(schema, [short, long])
+        assert merged.column("s")[1] == "abcdef"
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=8))
+def test_concat_then_slice_round_trip(sizes):
+    chunks = [make_chunk(n) for n in sizes]
+    merged = concat_chunks(SCHEMA, chunks)
+    assert merged.num_rows == sum(sizes)
+    offset = 0
+    for chunk in chunks:
+        part = merged.slice(offset, offset + chunk.num_rows)
+        np.testing.assert_array_equal(part.column("a"), chunk.column("a"))
+        offset += chunk.num_rows
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=64))
+def test_filter_matches_python(mask_bits):
+    chunk = make_chunk(len(mask_bits))
+    mask = np.array(mask_bits)
+    filtered = chunk.filter(mask)
+    expected = [i for i, keep in enumerate(mask_bits) if keep]
+    np.testing.assert_array_equal(filtered.column("a"), expected)

@@ -1,0 +1,62 @@
+"""Command-line interface of the experiment harness."""
+
+import pytest
+
+from repro.harness.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--queries", "Q99"])
+
+    def test_experiment_list_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "table2", "table3", "table4", "table5",
+        }
+
+    def test_table2_runs(self, capsys):
+        code = main(["table2", "--scale-ratio", "0.00005", "--queries", "Q1", "Q3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Table II" in output
+        assert "Q1" in output and "Q3" in output
+
+    def test_fig8_runs(self, capsys):
+        code = main(
+            ["fig8", "--scale-ratio", "0.00005", "--queries", "Q6", "--runs", "1"]
+        )
+        assert code == 0
+        assert "Fig.8" in capsys.readouterr().out
+
+    def test_fig9_runs(self, capsys):
+        code = main(
+            ["fig9", "--scale-ratio", "0.00005", "--queries", "Q1", "Q3", "--runs", "1"]
+        )
+        assert code == 0
+        assert "Fig.9" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        import json
+
+        code = main(
+            ["table2", "--scale-ratio", "0.00005", "--queries", "Q1", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["table2"]["Q1"]["tables"] == 1
+
+    def test_json_format_tuple_keys(self, capsys):
+        import json
+
+        code = main(
+            ["fig8", "--scale-ratio", "0.00005", "--queries", "Q6", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fig8"]["SF-100"]["Q6"]["bytes"] > 0

@@ -1,0 +1,209 @@
+"""Algorithm 1 cost functions, termination maths, IO model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.io_model import IOModel
+from repro.costmodel.model import (
+    CostInputs,
+    cost_est_ppl,
+    cost_est_proc,
+    cost_est_redo,
+    estimate_all,
+)
+from repro.costmodel.termination import TerminationProfile
+from repro.engine.profile import HardwareProfile
+
+
+IO = IOModel(write_bandwidth=100.0, read_bandwidth=200.0, fixed_overhead=0.0)
+
+
+def inputs(
+    current=10.0,
+    memory=10**9,
+    t_sum=20.0,
+    n_ppl=4,
+    window=(30.0, 60.0, 1.0),
+    ppl_bytes=1000,
+    proc_bytes=2000.0,
+    probe_step=1.0,
+    breaker_delay=0.0,
+    proactive=False,
+):
+    return CostInputs(
+        current_time=current,
+        available_memory=memory,
+        pipeline_time_sum=t_sum,
+        pipeline_count=n_ppl,
+        termination=TerminationProfile(window[0], window[1], window[2]),
+        pipeline_state_bytes=ppl_bytes,
+        process_size_estimator=lambda at: proc_bytes,
+        io=IO,
+        probe_step=probe_step,
+        breaker_delay=breaker_delay,
+        proactive=proactive,
+    )
+
+
+class TestTerminationProfile:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            TerminationProfile(10.0, 5.0, 0.5)
+        with pytest.raises(ValueError):
+            TerminationProfile(0.0, 1.0, 1.5)
+
+    def test_from_fractions(self):
+        window = TerminationProfile.from_fractions(100.0, 0.25, 0.5, 0.7)
+        assert window.t_start == 25.0
+        assert window.t_end == 50.0
+        assert window.probability == 0.7
+
+    def test_overlap_probability(self):
+        window = TerminationProfile(10.0, 20.0, 0.8)
+        assert window.overlap_probability(5.0) == 0.0
+        assert window.overlap_probability(15.0) == pytest.approx(0.4)
+        assert window.overlap_probability(25.0) == pytest.approx(0.8)
+
+    def test_zero_width_window(self):
+        window = TerminationProfile(10.0, 10.0, 1.0)
+        assert window.overlap_probability(10.0) == 1.0
+        assert window.overlap_probability(9.0) == 0.0
+
+    def test_sampling_respects_probability(self):
+        window = TerminationProfile(0.0, 10.0, 0.0)
+        rng = np.random.default_rng(0)
+        assert all(window.sample(rng) is None for _ in range(20))
+        certain = TerminationProfile(5.0, 10.0, 1.0)
+        samples = [certain.sample(np.random.default_rng(i)) for i in range(50)]
+        assert all(5.0 <= s <= 10.0 for s in samples)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False))
+    def test_overlap_monotone(self, a, b):
+        window = TerminationProfile(20.0, 80.0, 1.0)
+        lo, hi = min(a, b), max(a, b)
+        assert window.overlap_probability(lo) <= window.overlap_probability(hi) + 1e-12
+
+
+class TestIOModel:
+    def test_latencies(self):
+        assert IO.persist_latency(1000) == pytest.approx(10.0)
+        assert IO.reload_latency(1000) == pytest.approx(5.0)
+
+    def test_from_profile_uses_effective_bandwidth(self):
+        profile = HardwareProfile(
+            disk_write_bandwidth=100.0, disk_read_bandwidth=100.0, io_time_scale=0.5
+        )
+        model = IOModel.from_profile(profile)
+        assert model.write_bandwidth == 50.0
+
+
+class TestCostEstRedo:
+    def test_before_window_is_free(self):
+        cost = cost_est_redo(inputs(current=5.0, t_sum=4.0, n_ppl=4))
+        assert cost.cost == 0.0
+        assert cost.termination_probability == 0.0
+
+    def test_inside_window_full_probability(self):
+        cost = cost_est_redo(inputs(current=40.0))
+        assert cost.termination_probability == 1.0
+        assert cost.cost == pytest.approx(40.0)
+
+    def test_partial_overlap(self):
+        # next breaker at 10+35=45, window [30,60] → overlap (45-30)/30 = 0.5
+        cost = cost_est_redo(inputs(current=10.0, t_sum=140.0, n_ppl=4))
+        assert cost.termination_probability == pytest.approx(0.5)
+        assert cost.cost == pytest.approx(5.0)
+
+    def test_scaled_by_window_probability(self):
+        cost = cost_est_redo(inputs(current=40.0, window=(30.0, 60.0, 0.4)))
+        assert cost.termination_probability == pytest.approx(0.4)
+
+    def test_proactive_adds_deferral_cost(self):
+        lazy = cost_est_redo(inputs(current=5.0, t_sum=4.0, n_ppl=4, proactive=True))
+        assert lazy.cost > 0.0  # deferred process suspension is not free
+        assert "deferred_cost" in lazy.details
+
+
+class TestCostEstPpl:
+    def test_includes_persist_and_reload(self):
+        cost = cost_est_ppl(inputs(current=5.0, ppl_bytes=1000))
+        assert cost.persist_latency == pytest.approx(10.0)
+        assert cost.reload_latency == pytest.approx(5.0)
+        # done at 15 < window start 30 → no termination risk
+        assert cost.cost == pytest.approx(15.0)
+
+    def test_memory_exceeded_is_infinite(self):
+        cost = cost_est_ppl(inputs(ppl_bytes=10**12, memory=10))
+        assert math.isinf(cost.cost)
+
+    def test_overlap_raises_cost(self):
+        risky = cost_est_ppl(inputs(current=29.0, ppl_bytes=1000))
+        safe = cost_est_ppl(inputs(current=5.0, ppl_bytes=1000))
+        assert risky.cost > safe.cost
+
+    def test_breaker_delay_shifts_completion(self):
+        near = cost_est_ppl(inputs(current=25.0, breaker_delay=0.0))
+        far = cost_est_ppl(inputs(current=25.0, breaker_delay=30.0, proactive=True))
+        assert far.termination_probability >= near.termination_probability
+
+
+class TestCostEstProc:
+    def test_probes_report_best_point(self):
+        cost = cost_est_proc(inputs(current=10.0))
+        assert cost.planned_suspension_time is not None
+        assert cost.planned_suspension_time >= 10.0
+
+    def test_growing_size_prefers_early_point(self):
+        grows = CostInputs(
+            current_time=10.0,
+            available_memory=10**9,
+            pipeline_time_sum=40.0,
+            pipeline_count=4,
+            termination=TerminationProfile(30.0, 60.0, 1.0),
+            pipeline_state_bytes=0,
+            process_size_estimator=lambda at: at * 1000.0,
+            io=IO,
+            probe_step=1.0,
+        )
+        cost = cost_est_proc(grows)
+        assert cost.planned_suspension_time == pytest.approx(10.0)
+
+    def test_memory_pressure_all_infinite(self):
+        cost = cost_est_proc(inputs(proc_bytes=1e15, memory=10))
+        assert math.isinf(cost.cost)
+
+
+class TestEstimateAll:
+    def test_returns_three_strategies(self):
+        costs = estimate_all(inputs())
+        assert set(costs) == {"redo", "pipeline", "process"}
+
+    def test_redo_wins_when_window_far(self):
+        costs = estimate_all(inputs(current=2.0, t_sum=4.0, n_ppl=4))
+        assert min(costs, key=lambda k: costs[k].cost) == "redo"
+
+    def test_suspension_wins_under_certain_late_termination(self):
+        costs = estimate_all(
+            inputs(current=29.0, ppl_bytes=10, proc_bytes=10.0, window=(30.0, 31.0, 1.0))
+        )
+        best = min(costs, key=lambda k: costs[k].cost)
+        assert best in ("pipeline", "process")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(0.0, 100.0, allow_nan=False),
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.integers(0, 10**7),
+    )
+    def test_costs_non_negative(self, current, probability, ppl_bytes):
+        costs = estimate_all(
+            inputs(current=current, window=(30.0, 60.0, probability), ppl_bytes=ppl_bytes)
+        )
+        for cost in costs.values():
+            assert cost.cost >= 0.0
+            assert 0.0 <= cost.termination_probability <= 1.0

@@ -1,0 +1,119 @@
+"""Data-level (batch-mode) suspension strategy — the §VI extension."""
+
+import numpy as np
+import pytest
+
+from repro.engine.clock import SimulatedClock
+from repro.engine.executor import QueryExecutor
+from repro.engine.expressions import col, lit
+from repro.engine.operators.aggregate import AggFunc, AggSpec
+from repro.engine.plan import Aggregate, Project, TableScan
+from repro.suspend.data_level import (
+    DataLevelExecutor,
+    DataLevelSnapshot,
+    key_range_partitions,
+)
+from repro.tpch import build_query
+
+
+def q6_style_plan(lo=None, hi=None):
+    """A distributive global SUM over lineitem, optionally key-restricted."""
+    predicate = None
+    if lo is not None:
+        predicate = col("l_orderkey").between(lo, hi)
+    scan = TableScan(
+        "lineitem", ["l_orderkey", "l_extendedprice", "l_discount"], predicate=predicate
+    )
+    projected = Project(scan, [("rev", col("l_extendedprice") * col("l_discount"))])
+    return Aggregate(projected, [], [AggSpec("revenue", AggFunc.SUM, "rev")])
+
+
+def merge_plan(batch_table):
+    return Aggregate(
+        TableScan(batch_table, ["revenue"]),
+        [],
+        [AggSpec("revenue", AggFunc.SUM, "revenue")],
+    )
+
+
+@pytest.fixture()
+def data_executor(tpch_tiny):
+    partitions = key_range_partitions(tpch_tiny, "lineitem", "l_orderkey", 4)
+    return DataLevelExecutor(
+        tpch_tiny,
+        plan_for=lambda lo, hi: q6_style_plan(lo, hi),
+        merge_plan_for=merge_plan,
+        partitions=partitions,
+        query_name="q6-style",
+    )
+
+
+class TestPartitions:
+    def test_ranges_cover_domain(self, tpch_tiny):
+        partitions = key_range_partitions(tpch_tiny, "lineitem", "l_orderkey", 5)
+        keys = tpch_tiny.get("lineitem").array("l_orderkey")
+        assert partitions[0][0] <= keys.min()
+        assert partitions[-1][1] >= keys.max()
+        for (_, hi), (lo, _) in zip(partitions, partitions[1:]):
+            assert lo == hi + 1
+
+    def test_invalid_partition_count(self, tpch_tiny):
+        with pytest.raises(ValueError):
+            key_range_partitions(tpch_tiny, "lineitem", "l_orderkey", 0)
+
+
+class TestDataLevelExecution:
+    def _oracle(self, catalog):
+        result = QueryExecutor(catalog, q6_style_plan()).run()
+        return float(result.chunk.column("revenue")[0])
+
+    def test_full_run_matches_single_execution(self, tpch_tiny, data_executor):
+        run = data_executor.run()
+        assert run.result is not None
+        assert run.result.column("revenue")[0] == pytest.approx(self._oracle(tpch_tiny))
+
+    def test_suspension_between_batches(self, tpch_tiny, data_executor):
+        run = data_executor.run(request_time=0.01)
+        assert run.snapshot is not None
+        assert 0 < run.snapshot.completed_batches < run.snapshot.total_batches
+        assert run.snapshot.intermediate_bytes > 0
+
+    def test_resume_completes_correctly(self, tpch_tiny, data_executor):
+        suspended = data_executor.run(request_time=0.01)
+        resumed = data_executor.run(resume_from=suspended.snapshot)
+        assert resumed.result is not None
+        assert resumed.result.column("revenue")[0] == pytest.approx(
+            self._oracle(tpch_tiny)
+        )
+
+    def test_snapshot_round_trip(self, tmp_path, data_executor):
+        suspended = data_executor.run(request_time=0.01)
+        path = tmp_path / "data.snapshot"
+        suspended.snapshot.write(path)
+        restored = DataLevelSnapshot.read(path)
+        assert restored.completed_batches == suspended.snapshot.completed_batches
+        assert restored.total_batches == suspended.snapshot.total_batches
+        resumed = data_executor.run(resume_from=restored)
+        assert resumed.result is not None
+
+    def test_snapshot_is_small_for_aggregates(self, data_executor, tpch_tiny):
+        suspended = data_executor.run(request_time=0.01)
+        # Each batch result is a single aggregated row — far below input size.
+        assert suspended.snapshot.intermediate_bytes < tpch_tiny.get("lineitem").nbytes / 1000
+
+    def test_clock_carries_across_batches(self, data_executor):
+        clock = SimulatedClock()
+        data_executor.run(clock=clock)
+        assert clock.now() > 0.0
+
+    def test_no_suspension_on_last_batch(self, data_executor):
+        """A request landing within the final batch completes instead."""
+        run = data_executor.run(request_time=1e12)
+        assert run.snapshot is None
+        assert run.result is not None
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_bytes(b"nope")
+        with pytest.raises(ValueError):
+            DataLevelSnapshot.read(path)

@@ -1,0 +1,144 @@
+"""Engine infrastructure units: clocks, profiles, memory accounting, stats."""
+
+import time
+
+import pytest
+
+from repro.engine.clock import SimulatedClock, WallClock
+from repro.engine.memory import MemoryAccountant
+from repro.engine.profile import PAPER_SERVER, SMALL_INSTANCE, HardwareProfile
+from repro.engine.stats import PipelineStats, QueryStats
+
+
+class TestSimulatedClock:
+    def test_starts_at_origin(self):
+        assert SimulatedClock().now() == 0.0
+        assert SimulatedClock(5.0).now() == 5.0
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now() == pytest.approx(4.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.advance(10.0)
+        clock.reset()
+        assert clock.now() == 0.0
+
+
+class TestWallClock:
+    def test_monotone(self):
+        clock = WallClock()
+        first = clock.now()
+        time.sleep(0.01)
+        assert clock.now() > first
+
+    def test_advance_is_noop(self):
+        clock = WallClock()
+        before = clock.now()
+        clock.advance(1000.0)
+        assert clock.now() < before + 1.0
+
+
+class TestHardwareProfile:
+    def test_tuple_cost_uses_factors(self):
+        profile = HardwareProfile()
+        scan = profile.tuple_cost("scan", 1000)
+        probe = profile.tuple_cost("join_probe", 1000)
+        assert probe > scan  # probing is costlier per row than scanning
+
+    def test_unknown_kind_gets_unit_factor(self):
+        profile = HardwareProfile()
+        assert profile.tuple_cost("mystery", 10) == pytest.approx(
+            profile.tuple_cost_seconds * 10
+        )
+
+    def test_persist_reload_latency(self):
+        profile = HardwareProfile(
+            disk_write_bandwidth=100.0, disk_read_bandwidth=200.0, io_time_scale=1.0
+        )
+        assert profile.persist_latency(1000) == pytest.approx(10.0)
+        assert profile.reload_latency(1000) == pytest.approx(5.0)
+
+    def test_io_time_scale_stretches(self):
+        base = HardwareProfile(disk_write_bandwidth=100.0, io_time_scale=1.0)
+        slow = HardwareProfile(disk_write_bandwidth=100.0, io_time_scale=0.1)
+        assert slow.persist_latency(1000) == pytest.approx(base.persist_latency(1000) * 10)
+
+    def test_compatibility_checks_threads_and_memory(self):
+        a = HardwareProfile(num_threads=4, memory_bytes=1 << 30)
+        same = HardwareProfile(num_threads=4, memory_bytes=1 << 30, name="other")
+        fewer = HardwareProfile(num_threads=2, memory_bytes=1 << 30)
+        assert a.compatible_with(same)
+        assert not a.compatible_with(fewer)
+
+    def test_named_profiles(self):
+        assert PAPER_SERVER.num_threads != SMALL_INSTANCE.num_threads
+        assert PAPER_SERVER.memory_bytes > SMALL_INSTANCE.memory_bytes
+
+
+class TestMemoryAccountant:
+    def test_charge_accumulates(self):
+        accountant = MemoryAccountant()
+        accountant.charge("a", 100)
+        accountant.charge("a", 50)
+        assert accountant.total_bytes == 150
+
+    def test_set_charge_replaces(self):
+        accountant = MemoryAccountant()
+        accountant.charge("a", 100)
+        accountant.set_charge("a", 30)
+        assert accountant.total_bytes == 30
+
+    def test_release_returns_amount(self):
+        accountant = MemoryAccountant()
+        accountant.charge("a", 100)
+        assert accountant.release("a") == 100
+        assert accountant.release("a") == 0
+
+    def test_release_all(self):
+        accountant = MemoryAccountant()
+        accountant.charge("a", 1)
+        accountant.charge("b", 2)
+        assert accountant.release_all() == 3
+        assert accountant.total_bytes == 0
+
+    def test_negative_rejected(self):
+        accountant = MemoryAccountant()
+        with pytest.raises(ValueError):
+            accountant.charge("a", -1)
+        with pytest.raises(ValueError):
+            accountant.set_charge("a", -1)
+
+    def test_snapshot_restore_round_trip(self):
+        accountant = MemoryAccountant()
+        accountant.charge("a", 10)
+        accountant.charge("b", 20)
+        saved = accountant.snapshot()
+        fresh = MemoryAccountant()
+        fresh.restore(saved)
+        assert fresh.total_bytes == 30
+        assert fresh.breakdown() == {"a": 10, "b": 20}
+
+
+class TestStats:
+    def test_pipeline_duration(self):
+        stats = PipelineStats(0, "scan→agg", started_at=1.0, finished_at=3.5)
+        assert stats.duration == pytest.approx(2.5)
+
+    def test_query_stats_aggregation(self):
+        stats = QueryStats("Q")
+        stats.record_pipeline(PipelineStats(0, "a", 0.0, 2.0))
+        stats.record_pipeline(PipelineStats(1, "b", 2.0, 3.0))
+        assert stats.completed_pipeline_count == 2
+        assert stats.total_pipeline_time == pytest.approx(3.0)
+        assert stats.mean_pipeline_time == pytest.approx(1.5)
+
+    def test_mean_with_no_pipelines(self):
+        assert QueryStats("Q").mean_pipeline_time == 0.0

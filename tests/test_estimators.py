@@ -1,0 +1,168 @@
+"""Regression and optimizer-based size estimators, and the selector."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.optimizer_est import OptimizerSizeEstimator
+from repro.costmodel.regression import (
+    RegressionFeatures,
+    RegressionSizeEstimator,
+    TrainingSample,
+    extract_features,
+)
+from repro.costmodel.selector import AdaptiveStrategySelector
+from repro.costmodel.termination import TerminationProfile
+from repro.engine.controller import Action, ExecutionController
+from repro.engine.executor import QueryExecutor
+from repro.engine.profile import HardwareProfile
+from repro.tpch import build_query
+
+
+def features(input_bytes, fraction, joins=1):
+    return RegressionFeatures(
+        input_bytes=input_bytes,
+        input_rows=input_bytes / 50.0,
+        fraction=fraction,
+        num_joins=joins,
+        num_groupbys=1,
+        num_scans=2,
+    )
+
+
+class TestRegression:
+    def test_underdetermined_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            RegressionSizeEstimator().fit(
+                [TrainingSample(features(100, 0.5), 42.0)] * 3
+            )
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            RegressionSizeEstimator().predict(features(100, 0.5))
+
+    def test_recovers_linear_law(self):
+        """If image = 0.3 * bytes * fraction + 1000, the fit recovers it."""
+        rng = np.random.default_rng(3)
+        samples = []
+        for _ in range(60):
+            size = float(rng.uniform(1e5, 1e7))
+            fraction = float(rng.uniform(0.1, 1.0))
+            truth = 0.3 * size * fraction + 1000.0
+            samples.append(TrainingSample(features(size, fraction), truth))
+        estimator = RegressionSizeEstimator().fit(samples)
+        probe = features(5e6, 0.5)
+        expected = 0.3 * 5e6 * 0.5 + 1000.0
+        assert estimator.predict(probe) == pytest.approx(expected, rel=0.05)
+
+    def test_prediction_clamped_non_negative(self):
+        samples = [
+            TrainingSample(features(1e6, f), 10.0) for f in np.linspace(0.1, 1, 12)
+        ]
+        estimator = RegressionSizeEstimator().fit(samples)
+        assert estimator.predict(features(0.0, 0.0)) >= 0.0
+
+    def test_coefficients_exposed(self):
+        samples = [
+            TrainingSample(features(1e6 * (i + 1), 0.5), 1e5 * (i + 1))
+            for i in range(12)
+        ]
+        estimator = RegressionSizeEstimator().fit(samples)
+        assert "input_bytes" in estimator.coefficients
+
+    def test_extract_features(self, tpch_tiny):
+        plan = build_query("Q3")
+        extracted = extract_features(tpch_tiny, plan, 0.5)
+        assert extracted.fraction == 0.5
+        assert extracted.input_bytes > 0
+        assert extracted.num_joins >= 2
+
+
+class TestOptimizerEstimator:
+    def test_scan_cardinality(self, tpch_tiny):
+        estimator = OptimizerSizeEstimator(tpch_tiny)
+        from repro.engine.plan import TableScan
+
+        card = estimator.estimate_cardinality(TableScan("lineitem", ["l_orderkey"]))
+        assert card == tpch_tiny.get("lineitem").num_rows
+
+    def test_filter_reduces_cardinality(self, tpch_tiny):
+        from repro.engine.expressions import col, lit
+        from repro.engine.plan import Filter, TableScan
+
+        estimator = OptimizerSizeEstimator(tpch_tiny)
+        scan = TableScan("lineitem", ["l_orderkey"])
+        filtered = Filter(scan, col("l_orderkey") == lit(1))
+        assert estimator.estimate_cardinality(filtered) < estimator.estimate_cardinality(scan)
+
+    def test_join_blows_up_multiplicatively(self, tpch_tiny):
+        estimator = OptimizerSizeEstimator(tpch_tiny)
+        q21_bytes = estimator.estimate_bytes(build_query("Q21"), 0.5)
+        q1_bytes = estimator.estimate_bytes(build_query("Q1"), 0.5)
+        # Join-heavy plans compound the independence error (Table IV).  The
+        # blowup grows with table sizes; even at this tiny test scale the
+        # gap is over an order of magnitude, and several orders at SF-100.
+        assert q21_bytes > q1_bytes * 10
+
+    def test_fraction_scales_estimate(self, tpch_tiny):
+        estimator = OptimizerSizeEstimator(tpch_tiny)
+        plan = build_query("Q3")
+        assert estimator.estimate_bytes(plan, 0.25) < estimator.estimate_bytes(plan, 0.75)
+
+    def test_all_queries_estimable(self, tpch_tiny):
+        from repro.tpch import QUERY_NAMES
+
+        estimator = OptimizerSizeEstimator(tpch_tiny)
+        for name in QUERY_NAMES:
+            assert estimator.estimate_bytes(build_query(name), 0.5) >= 0.0
+
+
+class TestSelector:
+    def _run_with_selector(self, catalog, query, selector):
+        decisions = []
+
+        class DecideAtBreakers(ExecutionController):
+            def on_pipeline_breaker(self, context):
+                if context.pipeline_pos < context.total_pipelines - 1:
+                    decisions.append(selector.decide(context))
+                return Action.CONTINUE
+
+        QueryExecutor(catalog, build_query(query), controller=DecideAtBreakers()).run()
+        return decisions
+
+    def test_decisions_recorded_with_runtime(self, tpch_tiny):
+        normal = QueryExecutor(tpch_tiny, build_query("Q3")).run()
+        selector = AdaptiveStrategySelector(
+            profile=HardwareProfile(),
+            termination=TerminationProfile.from_fractions(normal.stats.duration, 0.5, 0.75, 1.0),
+            process_size_estimator=lambda f: 1e6 * f,
+            estimated_total_time=normal.stats.duration,
+        )
+        decisions = self._run_with_selector(tpch_tiny, "Q3", selector)
+        assert decisions
+        for decision in decisions:
+            assert decision.chosen in ("redo", "pipeline", "process")
+            assert decision.runtime_seconds >= 0.0
+            assert decision.chosen == min(
+                decision.costs, key=lambda k: decision.costs[k].cost
+            )
+        assert selector.decisions == decisions
+
+    def test_measured_state_bytes_grow_with_live_states(self, tpch_tiny):
+        normal = QueryExecutor(tpch_tiny, build_query("Q9")).run()
+        selector = AdaptiveStrategySelector(
+            profile=HardwareProfile(),
+            termination=TerminationProfile.from_fractions(normal.stats.duration, 0.9, 1.0, 1.0),
+            process_size_estimator=lambda f: 0.0,
+            estimated_total_time=normal.stats.duration,
+        )
+        decisions = self._run_with_selector(tpch_tiny, "Q9", selector)
+        assert any(d.measured_state_bytes > 0 for d in decisions)
+
+    def test_decision_lead_positive(self):
+        selector = AdaptiveStrategySelector(
+            profile=HardwareProfile(),
+            termination=TerminationProfile(10.0, 20.0, 1.0),
+            process_size_estimator=lambda f: 1e6,
+            estimated_total_time=40.0,
+        )
+        assert selector.decision_lead() > 0.0

@@ -1,0 +1,172 @@
+"""Executor end-to-end behaviour: results, invariances, stats, memory."""
+
+import numpy as np
+import pytest
+
+from repro.engine.clock import SimulatedClock, WallClock
+from repro.engine.executor import QueryExecutor
+from repro.engine.expressions import col, lit
+from repro.engine.operators.aggregate import AggFunc, AggSpec
+from repro.engine.operators.hash_join import JoinType
+from repro.engine.plan import Aggregate, Filter, HashJoin, Limit, Project, Sort, TableScan, UnionAll
+from repro.engine.profile import HardwareProfile
+
+from tests.conftest import assert_chunks_equal
+
+
+def agg_plan():
+    return Sort(
+        Aggregate(
+            Filter(TableScan("facts", ["key", "value"]), col("value") > lit(0.25)),
+            ["key"],
+            [AggSpec("total", AggFunc.SUM, "value"), AggSpec("n", AggFunc.COUNT_STAR)],
+        ),
+        [("key", True)],
+    )
+
+
+def join_plan():
+    return Sort(
+        Aggregate(
+            HashJoin(
+                probe=TableScan("facts", ["key", "value"]),
+                build=TableScan("dims", ["key", "name"]),
+                probe_keys=["key"],
+                build_keys=["key"],
+                payload=["name"],
+            ),
+            ["name"],
+            [AggSpec("total", AggFunc.SUM, "value")],
+        ),
+        [("name", True)],
+    )
+
+
+class TestExecution:
+    def test_aggregate_matches_numpy(self, synthetic_catalog):
+        result = QueryExecutor(synthetic_catalog, agg_plan()).run()
+        facts = synthetic_catalog.get("facts")
+        mask = facts.array("value") > 0.25
+        keys = facts.array("key")[mask]
+        values = facts.array("value")[mask]
+        for i, key in enumerate(result.chunk.column("key").tolist()):
+            group = keys == key
+            assert result.chunk.column("total")[i] == pytest.approx(values[group].sum())
+            assert result.chunk.column("n")[i] == group.sum()
+
+    def test_join_matches_numpy(self, synthetic_catalog):
+        result = QueryExecutor(synthetic_catalog, join_plan()).run()
+        facts = synthetic_catalog.get("facts")
+        dims = synthetic_catalog.get("dims")
+        names = dims.array("name")[facts.array("key")]
+        for i, name in enumerate(result.chunk.column("name").tolist()):
+            expected = facts.array("value")[names == name].sum()
+            assert result.chunk.column("total")[i] == pytest.approx(expected)
+
+    def test_morsel_size_invariance(self, synthetic_catalog):
+        baseline = QueryExecutor(synthetic_catalog, join_plan(), morsel_size=4096).run()
+        for morsel_size in (100, 999, 50_000):
+            other = QueryExecutor(
+                synthetic_catalog, join_plan(), morsel_size=morsel_size
+            ).run()
+            assert_chunks_equal(baseline.chunk, other.chunk)
+
+    def test_worker_count_invariance(self, synthetic_catalog):
+        results = []
+        for threads in (1, 2, 7):
+            profile = HardwareProfile(num_threads=threads)
+            results.append(
+                QueryExecutor(synthetic_catalog, agg_plan(), profile=profile).run()
+            )
+        for other in results[1:]:
+            assert_chunks_equal(results[0].chunk, other.chunk)
+
+    def test_limit_plan(self, synthetic_catalog):
+        plan = Limit(TableScan("facts", ["key"]), 17)
+        result = QueryExecutor(synthetic_catalog, plan).run()
+        assert result.chunk.num_rows == 17
+
+    def test_union_all_plan(self, synthetic_catalog):
+        plan = UnionAll(
+            [TableScan("dims", ["key"]), TableScan("dims", ["key"])]
+        )
+        result = QueryExecutor(synthetic_catalog, plan).run()
+        assert result.chunk.num_rows == 100
+
+    def test_project_expression(self, synthetic_catalog):
+        plan = Limit(
+            Project(TableScan("facts", ["value"]), [("scaled", col("value") * lit(10.0))]),
+            5,
+        )
+        result = QueryExecutor(synthetic_catalog, plan).run()
+        assert (result.chunk.column("scaled") <= 10.0).all()
+
+    def test_empty_result(self, synthetic_catalog):
+        plan = Filter(TableScan("facts", ["value"]), col("value") > lit(2.0))
+        result = QueryExecutor(synthetic_catalog, plan).run()
+        assert result.chunk.num_rows == 0
+
+    def test_wall_clock_supported(self, synthetic_catalog):
+        result = QueryExecutor(synthetic_catalog, agg_plan(), clock=WallClock()).run()
+        assert result.stats.duration >= 0.0
+
+
+class TestStatsAndMemory:
+    def test_clock_advances_per_work(self, synthetic_catalog):
+        clock = SimulatedClock()
+        QueryExecutor(synthetic_catalog, agg_plan(), clock=clock).run()
+        assert clock.now() > 0.0
+
+    def test_pipeline_stats_recorded(self, synthetic_catalog):
+        result = QueryExecutor(synthetic_catalog, agg_plan()).run()
+        assert result.stats.completed_pipeline_count == 3  # agg, sort, result
+        for stats in result.stats.pipelines:
+            assert stats.finished_at >= stats.started_at
+        assert result.stats.mean_pipeline_time > 0.0
+
+    def test_more_rows_take_longer(self, synthetic_catalog):
+        small_clock = SimulatedClock()
+        QueryExecutor(
+            synthetic_catalog,
+            Limit(TableScan("dims", ["key"]), 1000),
+            clock=small_clock,
+        ).run()
+        big_clock = SimulatedClock()
+        QueryExecutor(
+            synthetic_catalog,
+            Limit(TableScan("facts", ["key"]), 1_000_000),
+            clock=big_clock,
+        ).run()
+        assert big_clock.now() > small_clock.now()
+
+    def test_peak_memory_positive_and_released(self, synthetic_catalog):
+        executor = QueryExecutor(synthetic_catalog, join_plan())
+        result = executor.run()
+        assert result.peak_memory_bytes > 0
+        assert executor.memory.total_bytes == 0  # released at completion
+
+    def test_memory_grows_with_progress(self, synthetic_catalog):
+        """The lazy-deallocation model: charges accumulate during the scan."""
+        from repro.engine.controller import Action, ExecutionController
+
+        samples = []
+
+        class Sampler(ExecutionController):
+            def on_morsel_boundary(self, context):
+                samples.append(context.memory_bytes)
+                return Action.CONTINUE
+
+        QueryExecutor(
+            synthetic_catalog, agg_plan(), controller=Sampler(), morsel_size=500
+        ).run()
+        assert len(samples) > 3
+        assert samples[-1] > samples[0]
+
+    def test_live_pipeline_ids_drop_consumed_builds(self, tpch_tiny):
+        """After the probe consuming a build finishes, the build is dead."""
+        from repro.tpch import build_query
+
+        executor = QueryExecutor(tpch_tiny, build_query("Q3"))
+        executor.run()
+        # After full completion every completed state is dead.
+        assert executor.live_pipeline_ids() == set()

@@ -1,0 +1,63 @@
+"""EXPLAIN output for plans and pipeline decompositions."""
+
+import pytest
+
+from repro.engine.explain import explain, explain_pipelines, explain_plan
+from repro.tpch import QUERY_NAMES, build_query
+
+
+class TestExplainPlan:
+    def test_q3_tree_structure(self, tpch_tiny):
+        text = explain_plan(build_query("Q3"))
+        assert text.startswith("Sort revenue DESC")
+        assert "HashJoin INNER on l_orderkey=o_orderkey" in text
+        assert "Scan customer" in text
+        assert text.count("Scan ") == 3
+
+    def test_semi_anti_labels(self):
+        text = explain_plan(build_query("Q21"))
+        assert "HashJoin SEMI" in text
+        assert "HashJoin ANTI" in text
+        assert "residual=" in text
+
+    def test_aggregate_label(self):
+        text = explain_plan(build_query("Q1"))
+        assert "Aggregate by l_returnflag, l_linestatus" in text
+        assert "count_order=count_star(*)" in text
+
+    def test_global_aggregate_label(self):
+        text = explain_plan(build_query("Q6"))
+        assert "<global>" in text
+
+    @pytest.mark.parametrize("name", QUERY_NAMES)
+    def test_every_query_explainable(self, name):
+        assert explain_plan(build_query(name))
+
+
+class TestExplainPipelines:
+    def test_q3_decomposition(self, tpch_tiny):
+        text = explain_pipelines(tpch_tiny, build_query("Q3"))
+        assert "5 pipelines" in text
+        assert "[sink=join_build]" in text
+        assert "[sink=result]" in text
+        assert "needs [" in text
+
+    def test_single_pipeline_query(self, tpch_tiny):
+        from repro.engine.plan import TableScan
+
+        text = explain_pipelines(tpch_tiny, TableScan("region", ["r_name"]))
+        assert "1 pipelines (0 intermediate breakers)" in text
+
+    def test_combined_explain(self, tpch_tiny):
+        text = explain(tpch_tiny, build_query("Q6"))
+        assert "Aggregate" in text and "pipelines" in text
+
+
+class TestCliExplain:
+    def test_explain_flag(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["query", "--scale", "0.002", "--name", "Q3", "--explain"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "HashJoin" in output and "pipelines" in output

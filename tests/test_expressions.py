@@ -1,0 +1,244 @@
+"""Expression evaluation vs NumPy/Python oracles, incl. LIKE vs re."""
+
+import re
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.chunk import DataChunk
+from repro.engine.expressions import (
+    CaseWhen,
+    ExpressionError,
+    Like,
+    col,
+    date_lit,
+    lit,
+)
+from repro.engine.types import DataType, Schema, parse_date
+
+SCHEMA = Schema.of(
+    ("i", DataType.INT64),
+    ("f", DataType.FLOAT64),
+    ("s", DataType.STRING),
+    ("d", DataType.DATE),
+)
+
+
+def make_chunk():
+    return DataChunk(
+        SCHEMA,
+        [
+            np.array([1, 2, 3, 4], dtype=np.int64),
+            np.array([0.5, 1.5, -2.0, 4.0]),
+            np.array(["apple", "banana", "cherry", "date"], dtype="U6"),
+            np.array(
+                [parse_date("1995-01-15"), parse_date("1996-06-01"), parse_date("1994-12-31"), parse_date("1995-06-17")],
+                dtype=np.int32,
+            ),
+        ],
+    )
+
+
+class TestColumnAndLiteral:
+    def test_column_ref(self):
+        np.testing.assert_array_equal(col("i").evaluate(make_chunk()), [1, 2, 3, 4])
+
+    def test_column_type(self):
+        assert col("s").output_type(SCHEMA) is DataType.STRING
+
+    def test_literal_broadcast(self):
+        np.testing.assert_array_equal(lit(7).evaluate(make_chunk()), [7, 7, 7, 7])
+
+    def test_string_literal(self):
+        values = lit("xyz").evaluate(make_chunk())
+        assert values[0] == "xyz"
+
+    def test_literal_type_inference(self):
+        assert lit(1).output_type(SCHEMA) is DataType.INT64
+        assert lit(1.5).output_type(SCHEMA) is DataType.FLOAT64
+        assert lit("a").output_type(SCHEMA) is DataType.STRING
+        assert lit(True).output_type(SCHEMA) is DataType.BOOL
+
+    def test_date_literal(self):
+        assert date_lit("1970-01-02").value == 1
+
+    def test_uninferable_literal_rejected(self):
+        with pytest.raises(ExpressionError):
+            lit(object())
+
+    def test_referenced_columns(self):
+        expr = (col("i") + col("f")) > lit(0)
+        assert expr.referenced_columns() == {"i", "f"}
+
+
+class TestArithmetic:
+    def test_operations(self):
+        chunk = make_chunk()
+        np.testing.assert_allclose((col("i") + col("f")).evaluate(chunk), [1.5, 3.5, 1.0, 8.0])
+        np.testing.assert_allclose((col("i") - lit(1)).evaluate(chunk), [0, 1, 2, 3])
+        np.testing.assert_allclose((col("f") * lit(2.0)).evaluate(chunk), [1.0, 3.0, -4.0, 8.0])
+        np.testing.assert_allclose((col("i") / lit(2)).evaluate(chunk), [0.5, 1.0, 1.5, 2.0])
+
+    def test_reflected_ops(self):
+        chunk = make_chunk()
+        np.testing.assert_allclose((1 - col("f")).evaluate(chunk), [0.5, -0.5, 3.0, -3.0])
+        np.testing.assert_allclose((2 * col("i")).evaluate(chunk), [2, 4, 6, 8])
+
+    def test_division_type(self):
+        assert (col("i") / lit(2)).output_type(SCHEMA) is DataType.FLOAT64
+
+    def test_int_type_preserved(self):
+        assert (col("i") + lit(1)).output_type(SCHEMA) is DataType.INT64
+
+    def test_promotion_to_float(self):
+        assert (col("i") + col("f")).output_type(SCHEMA) is DataType.FLOAT64
+
+
+class TestComparisonsAndBoolean:
+    def test_comparisons(self):
+        chunk = make_chunk()
+        np.testing.assert_array_equal((col("i") > lit(2)).evaluate(chunk), [False, False, True, True])
+        np.testing.assert_array_equal((col("s") == lit("date")).evaluate(chunk), [False, False, False, True])
+        np.testing.assert_array_equal((col("i") != lit(2)).evaluate(chunk), [True, False, True, True])
+
+    def test_date_comparison(self):
+        chunk = make_chunk()
+        expr = col("d") < date_lit("1995-06-17")
+        np.testing.assert_array_equal(expr.evaluate(chunk), [True, False, True, False])
+
+    def test_and_or_not(self):
+        chunk = make_chunk()
+        both = (col("i") > lit(1)) & (col("f") > lit(0.0))
+        np.testing.assert_array_equal(both.evaluate(chunk), [False, True, False, True])
+        either = (col("i") == lit(1)) | (col("f") > lit(3.0))
+        np.testing.assert_array_equal(either.evaluate(chunk), [True, False, False, True])
+        np.testing.assert_array_equal((~(col("i") > lit(2))).evaluate(chunk), [True, True, False, False])
+
+    def test_between(self):
+        chunk = make_chunk()
+        np.testing.assert_array_equal(
+            col("i").between(2, 3).evaluate(chunk), [False, True, True, False]
+        )
+
+    def test_isin(self):
+        chunk = make_chunk()
+        np.testing.assert_array_equal(
+            col("s").isin(["apple", "date"]).evaluate(chunk), [True, False, False, True]
+        )
+
+    def test_empty_in_list_rejected(self):
+        with pytest.raises(ExpressionError):
+            col("s").isin([])
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ("apple", [True, False, False, False]),
+            ("a%", [True, False, False, False]),
+            ("%e", [True, False, False, True]),
+            ("%an%", [False, True, False, False]),
+            ("%a%e%", [True, False, False, True]),
+            ("d_te", [False, False, False, True]),
+            ("%", [True, True, True, True]),
+        ],
+    )
+    def test_patterns(self, pattern, expected):
+        chunk = make_chunk()
+        np.testing.assert_array_equal(col("s").like(pattern).evaluate(chunk), expected)
+
+    def test_not_like(self):
+        chunk = make_chunk()
+        np.testing.assert_array_equal(
+            col("s").not_like("a%").evaluate(chunk), [False, True, True, True]
+        )
+
+    def test_two_infix_requires_order(self):
+        data = np.array(["xay", "yax", "ab"], dtype="U3")
+        chunk = DataChunk(Schema.of(("t", DataType.STRING)), [data])
+        result = Like(col("t"), "%a%y%").evaluate(chunk)
+        np.testing.assert_array_equal(result, [True, False, False])
+
+
+class TestSubstringAndYear:
+    def test_substring(self):
+        chunk = make_chunk()
+        np.testing.assert_array_equal(
+            col("s").substring(1, 3).evaluate(chunk), ["app", "ban", "che", "dat"]
+        )
+
+    def test_substring_mid(self):
+        chunk = make_chunk()
+        np.testing.assert_array_equal(
+            col("s").substring(2, 2).evaluate(chunk), ["pp", "an", "he", "at"]
+        )
+
+    def test_substring_beyond_width(self):
+        data = np.array(["ab", "c"], dtype="U2")
+        chunk = DataChunk(Schema.of(("t", DataType.STRING)), [data])
+        result = col("t").substring(1, 5).evaluate(chunk)
+        np.testing.assert_array_equal(result, ["ab", "c"])
+
+    def test_substring_empty_input(self):
+        chunk = DataChunk(Schema.of(("t", DataType.STRING)), [np.empty(0, dtype="U4")])
+        assert len(col("t").substring(1, 2).evaluate(chunk)) == 0
+
+    def test_substring_validation(self):
+        with pytest.raises(ExpressionError):
+            col("s").substring(0, 2)
+
+    def test_extract_year(self):
+        chunk = make_chunk()
+        np.testing.assert_array_equal(
+            col("d").year().evaluate(chunk), [1995, 1996, 1994, 1995]
+        )
+
+
+class TestCaseWhen:
+    def test_two_branches(self):
+        chunk = make_chunk()
+        expr = CaseWhen(
+            [
+                (col("i") <= lit(1), lit(10.0)),
+                (col("i") <= lit(3), lit(20.0)),
+            ],
+            lit(0.0),
+        )
+        np.testing.assert_allclose(expr.evaluate(chunk), [10.0, 20.0, 20.0, 0.0])
+
+    def test_first_match_wins(self):
+        chunk = make_chunk()
+        expr = CaseWhen(
+            [
+                (col("i") > lit(0), col("f")),
+                (col("i") > lit(2), lit(99.0)),
+            ],
+            lit(-1.0),
+        )
+        np.testing.assert_allclose(expr.evaluate(chunk), [0.5, 1.5, -2.0, 4.0])
+
+    def test_requires_branch(self):
+        with pytest.raises(ExpressionError):
+            CaseWhen([], lit(0.0))
+
+    def test_output_type_numeric(self):
+        expr = CaseWhen([(col("i") > lit(0), lit(1))], lit(0))
+        assert expr.output_type(SCHEMA) is DataType.FLOAT64
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.text(alphabet="abc%_x", min_size=0, max_size=8), min_size=1, max_size=20),
+    st.text(alphabet="abc%_", min_size=1, max_size=6),
+)
+def test_like_matches_regex_oracle(strings, pattern):
+    width = max(1, max((len(s) for s in strings), default=1))
+    data = np.array(strings, dtype=f"U{width}")
+    chunk = DataChunk(Schema.of(("t", DataType.STRING)), [data])
+    result = Like(col("t"), pattern).evaluate(chunk)
+    regex = re.compile("^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$", re.DOTALL)
+    expected = [regex.match(s) is not None for s in strings]
+    np.testing.assert_array_equal(result, expected)

@@ -1,0 +1,157 @@
+"""Experiment harness: tiny-config runs of every figure/table driver."""
+
+import pytest
+
+from repro.harness import experiments as exp
+from repro.harness.report import format_bytes, format_table, summarize_distribution
+from repro.tpch.scale import ScalePolicy
+
+
+@pytest.fixture(scope="module")
+def config():
+    """A deliberately tiny configuration so every driver runs in seconds."""
+    return exp.ExperimentConfig(
+        scale_policy=ScalePolicy(ratio=0.00005),
+        sf_labels=["SF-10", "SF-50", "SF-100"],
+        queries=["Q1", "Q3", "Q6", "Q17"],
+        runs=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def estimator(config):
+    return exp.train_regression_estimator(config, fractions=(0.3, 0.5, 0.7))
+
+
+class TestConfig:
+    def test_profile_gets_io_scale(self, config):
+        assert config.profile.io_time_scale == exp.IO_TIME_SCALE
+        assert config.profile.process_context_bytes >= 64 * 1024
+
+    def test_catalog_cached(self, config):
+        assert config.catalog("SF-10") is config.catalog("SF-10")
+
+    def test_normal_time_cached_and_positive(self, config):
+        first = config.normal_time("SF-10", "Q6")
+        assert first > 0
+        assert config.normal_time("SF-10", "Q6") == first
+
+
+class TestSizeExperiments:
+    def test_fig6_sizes_grow_with_sf(self, config):
+        sizes = exp.run_fig6(config)
+        assert set(sizes) == {"SF-10", "SF-50", "SF-100"}
+        for query in config.queries:
+            assert sizes["SF-100"][query] >= sizes["SF-10"][query]
+            assert sizes["SF-10"][query] > 0
+
+    def test_fig7_sizes_grow_with_suspension_point(self, config):
+        sizes = exp.run_fig7(config, fractions=(0.3, 0.6, 0.9))
+        for query, by_fraction in sizes.items():
+            values = [by_fraction[f] for f in (0.3, 0.6, 0.9) if by_fraction[f] > 0]
+            # The trend is growth; tiny dips can occur right after a breaker
+            # releases worker-local buffers into a smaller global state.
+            for earlier, later in zip(values, values[1:]):
+                assert later >= earlier * 0.95, f"{query}: {by_fraction}"
+
+    def test_fig8_pipeline_sizes(self, config):
+        sizes = exp.run_fig8(config)
+        # Q1/Q6 suspend in aggregation pipelines: size SF-invariant and small.
+        q6 = [sizes[sf]["Q6"]["bytes"] for sf in config.sf_labels]
+        assert max(q6) == min(q6)
+        assert max(q6) < 1024
+
+    def test_fig8_much_smaller_than_fig6_for_aggregates(self, config):
+        fig6 = exp.run_fig6(config)
+        fig8 = exp.run_fig8(config)
+        for query in ("Q1", "Q6"):
+            assert fig8["SF-100"][query]["bytes"] * 100 < fig6["SF-100"][query]
+
+    def test_fig9_lags_non_negative(self, config):
+        lags = exp.run_fig9(config)
+        for by_query in lags.values():
+            for lag in by_query.values():
+                assert lag >= 0.0 or lag != lag  # NaN allowed when unsuspended
+
+
+class TestBehaviourExperiments:
+    def test_fig10_redo_overhead_monotone(self, config):
+        data = exp.run_fig10(config)
+        means = [
+            sum(data[w]["redo"]) / len(data[w]["redo"]) for w in exp.FIG10_WINDOWS
+        ]
+        assert means == sorted(means)
+
+    def test_fig10_all_overheads_non_negative(self, config):
+        data = exp.run_fig10(config)
+        for strategies in data.values():
+            for overheads in strategies.values():
+                assert all(o >= -1e-6 for o in overheads)
+
+    def test_fig11_rates_in_unit_interval(self, config, estimator):
+        rates = exp.run_fig11(config, estimator=estimator)
+        for value in rates.values():
+            assert 0.0 <= value["rate"] <= 1.0
+            assert value["total"] == len(config.queries) * config.runs
+
+    def test_fig12_reports_both_estimators(self, config, estimator):
+        report = exp.run_fig12(config, estimator=estimator)
+        assert report["query"] == "Q17"
+        assert len(report["runs"]) == config.runs
+        for run in report["runs"]:
+            assert run["optimizer"]["chosen"] in ("redo", "pipeline", "process", "adaptive")
+            assert run["regression"]["chosen"] in ("redo", "pipeline", "process", "adaptive")
+
+    def test_table2_characterization(self, config):
+        rows = exp.run_table2(config)
+        assert rows["Q1"]["core_operators"] == {"groupby": 1}
+        assert rows["Q1"]["tables"] == 1
+        assert rows["Q3"]["tables"] == 3
+        assert rows["Q3"]["core_operators"]["join"] == 2
+
+    def test_table3_rows(self, config, estimator):
+        rows = exp.run_table3(config, estimator=estimator)
+        for query, row in rows.items():
+            assert row["selected"] in ("redo", "pipeline", "process", "none", "adaptive")
+            assert row["with_suspension"] >= 0.0
+            assert row["normal_time"] > 0.0
+
+    def test_table4_structure(self, config, estimator):
+        rows = exp.run_table4(config, estimator=estimator)
+        assert {r["dataset"] for r in rows} == {"SF-50", "SF-100"}
+        for row in rows:
+            assert row["ground_truth"] > 0
+            assert row["regression"] >= 0
+
+    def test_table5_runtime_tiny_relative_to_query(self, config, estimator):
+        rows = exp.run_table5(config, estimator=estimator)
+        for row in rows.values():
+            assert row["cost_model_runtime"] < row["normal_time"]
+
+
+class TestReport:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.00KB"
+        assert format_bytes(3 * 1024**3) == "3.00GB"
+        assert "EB" in format_bytes(1e30)
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_summarize_distribution(self):
+        stats = summarize_distribution([1.0, 2.0, 3.0, 4.0])
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["median"] == pytest.approx(2.5)
+        assert stats["mean"] == pytest.approx(2.5)
+
+    def test_summarize_empty(self):
+        assert summarize_distribution([])["mean"] == 0.0
+
+    def test_summarize_single(self):
+        stats = summarize_distribution([7.0])
+        assert stats["q1"] == stats["q3"] == 7.0

@@ -1,0 +1,232 @@
+"""Hash join semantics vs brute-force Python oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.chunk import DataChunk
+from repro.engine.expressions import col, lit
+from repro.engine.operators.hash_join import (
+    HashJoinBuildSink,
+    HashJoinProbeOperator,
+    JoinBuildGlobalState,
+    JoinType,
+)
+from repro.engine.types import DataType, Schema
+
+BUILD_SCHEMA = Schema.of(("bk", DataType.INT64), ("bv", DataType.STRING))
+PROBE_SCHEMA = Schema.of(("pk", DataType.INT64), ("pv", DataType.FLOAT64))
+
+
+def build_state(keys, values):
+    sink = HashJoinBuildSink(BUILD_SCHEMA, ["bk"])
+    local = sink.make_local_state()
+    sink.sink(
+        local,
+        DataChunk(
+            BUILD_SCHEMA,
+            [np.asarray(keys, dtype=np.int64), np.asarray(values, dtype="U4")],
+        ),
+    )
+    state = sink.make_global_state()
+    sink.combine(state, local)
+    sink.finalize(state)
+    return sink, state
+
+
+def probe_operator(state, join_type, payload=("bv",), residual=None, default_row=None):
+    operator = HashJoinProbeOperator(
+        probe_schema=PROBE_SCHEMA,
+        probe_keys=["pk"],
+        build_pipeline_id=0,
+        join_type=join_type,
+        payload_columns=list(payload),
+        payload_schema=BUILD_SCHEMA.select(list(payload)),
+        residual=residual,
+        default_row=default_row,
+    )
+    operator.bind_state({0: state})
+    return operator
+
+
+def probe_chunk(keys, values=None):
+    keys = np.asarray(keys, dtype=np.int64)
+    values = np.asarray(values if values is not None else np.zeros(len(keys)))
+    return DataChunk(PROBE_SCHEMA, [keys, values])
+
+
+class TestInnerJoin:
+    def test_basic_match(self):
+        _, state = build_state([1, 2, 3], ["a", "b", "c"])
+        out = probe_operator(state, JoinType.INNER).execute(probe_chunk([2, 4, 1]))
+        np.testing.assert_array_equal(out.column("pk"), [2, 1])
+        np.testing.assert_array_equal(out.column("bv"), ["b", "a"])
+
+    def test_duplicate_build_keys_expand(self):
+        _, state = build_state([1, 1, 2], ["a", "b", "c"])
+        out = probe_operator(state, JoinType.INNER).execute(probe_chunk([1]))
+        assert out.num_rows == 2
+        assert set(out.column("bv").tolist()) == {"a", "b"}
+
+    def test_duplicate_probe_keys_expand(self):
+        _, state = build_state([1], ["a"])
+        out = probe_operator(state, JoinType.INNER).execute(probe_chunk([1, 1, 1]))
+        assert out.num_rows == 3
+
+    def test_empty_probe(self):
+        _, state = build_state([1], ["a"])
+        out = probe_operator(state, JoinType.INNER).execute(probe_chunk([]))
+        assert out.num_rows == 0
+
+    def test_empty_build(self):
+        _, state = build_state([], [])
+        out = probe_operator(state, JoinType.INNER).execute(probe_chunk([1, 2]))
+        assert out.num_rows == 0
+
+    def test_residual_filters_pairs(self):
+        _, state = build_state([1, 1], ["aa", "bb"])
+        operator = probe_operator(
+            state, JoinType.INNER, residual=col("bv") == lit("bb")
+        )
+        out = operator.execute(probe_chunk([1]))
+        np.testing.assert_array_equal(out.column("bv"), ["bb"])
+
+    def test_output_schema_collision_rejected(self):
+        with pytest.raises(ValueError, match="collision"):
+            HashJoinProbeOperator(
+                probe_schema=Schema.of(("bv", DataType.STRING), ("pk", DataType.INT64)),
+                probe_keys=["pk"],
+                build_pipeline_id=0,
+                join_type=JoinType.INNER,
+                payload_columns=["bv"],
+                payload_schema=BUILD_SCHEMA.select(["bv"]),
+            )
+
+
+class TestSemiAnti:
+    def test_semi(self):
+        _, state = build_state([1, 2, 2], ["a", "b", "c"])
+        out = probe_operator(state, JoinType.SEMI, payload=[]).execute(probe_chunk([2, 3, 1, 2]))
+        np.testing.assert_array_equal(out.column("pk"), [2, 1, 2])
+
+    def test_anti(self):
+        _, state = build_state([1, 2], ["a", "b"])
+        out = probe_operator(state, JoinType.ANTI, payload=[]).execute(probe_chunk([2, 3, 4, 1]))
+        np.testing.assert_array_equal(out.column("pk"), [3, 4])
+
+    def test_semi_output_schema_is_probe(self):
+        _, state = build_state([1], ["a"])
+        operator = probe_operator(state, JoinType.SEMI, payload=[])
+        assert operator.output_schema.names == PROBE_SCHEMA.names
+
+    def test_semi_with_residual(self):
+        # EXISTS (… AND bv != 'a'): only build rows with bv != 'a' count.
+        _, state = build_state([1, 1, 2], ["a", "b", "a"])
+        operator = probe_operator(
+            state, JoinType.SEMI, payload=["bv"], residual=col("bv") != lit("a")
+        )
+        out = operator.execute(probe_chunk([1, 2]))
+        np.testing.assert_array_equal(out.column("pk"), [1])
+
+    def test_anti_with_residual_keeps_no_candidates(self):
+        _, state = build_state([1], ["a"])
+        operator = probe_operator(
+            state, JoinType.ANTI, payload=["bv"], residual=col("bv") != lit("a")
+        )
+        # key 1 has candidates but none pass residual -> kept; key 9 has none -> kept.
+        out = operator.execute(probe_chunk([1, 9]))
+        np.testing.assert_array_equal(out.column("pk"), [1, 9])
+
+
+class TestLeftOuter:
+    def test_unmatched_get_defaults(self):
+        _, state = build_state([1], ["a"])
+        operator = probe_operator(
+            state, JoinType.LEFT_OUTER, default_row={"bv": "none"}
+        )
+        out = operator.execute(probe_chunk([1, 5]))
+        assert out.num_rows == 2
+        by_key = dict(zip(out.column("pk").tolist(), out.column("bv").tolist()))
+        assert by_key == {1: "a", 5: "none"}
+
+    def test_requires_complete_default_row(self):
+        _, state = build_state([1], ["a"])
+        with pytest.raises(ValueError, match="default value"):
+            probe_operator(state, JoinType.LEFT_OUTER, default_row={})
+
+    def test_residual_rejected(self):
+        _, state = build_state([1], ["a"])
+        with pytest.raises(ValueError, match="residual"):
+            probe_operator(
+                state,
+                JoinType.LEFT_OUTER,
+                default_row={"bv": "x"},
+                residual=col("bv") == lit("a"),
+            )
+
+
+class TestBuildState:
+    def test_serialization_round_trip(self):
+        sink, state = build_state([3, 1, 2], ["c", "a", "b"])
+        restored = sink.deserialize_global_state(state.serialize())
+        out = probe_operator(restored, JoinType.INNER).execute(probe_chunk([2]))
+        np.testing.assert_array_equal(out.column("bv"), ["b"])
+
+    def test_unfinalized_serialize_rejected(self):
+        state = JoinBuildGlobalState()
+        with pytest.raises(ValueError):
+            state.serialize()
+
+    def test_unbound_probe_raises(self):
+        _, state = build_state([1], ["a"])
+        operator = HashJoinProbeOperator(
+            probe_schema=PROBE_SCHEMA,
+            probe_keys=["pk"],
+            build_pipeline_id=0,
+            join_type=JoinType.INNER,
+            payload_columns=["bv"],
+            payload_schema=BUILD_SCHEMA.select(["bv"]),
+        )
+        with pytest.raises(RuntimeError):
+            operator.execute(probe_chunk([1]))
+
+    def test_multi_worker_combine(self):
+        sink = HashJoinBuildSink(BUILD_SCHEMA, ["bk"])
+        locals_ = [sink.make_local_state() for _ in range(3)]
+        for worker, key in enumerate([10, 20, 30]):
+            sink.sink(
+                locals_[worker],
+                DataChunk(
+                    BUILD_SCHEMA,
+                    [np.array([key], dtype=np.int64), np.array(["v"], dtype="U4")],
+                ),
+            )
+        state = sink.make_global_state()
+        for local in locals_:
+            sink.combine(state, local)
+        sink.finalize(state)
+        out = probe_operator(state, JoinType.INNER).execute(probe_chunk([10, 20, 30]))
+        assert out.num_rows == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 8), min_size=0, max_size=30),
+    st.lists(st.integers(0, 8), min_size=0, max_size=30),
+    st.sampled_from([JoinType.INNER, JoinType.SEMI, JoinType.ANTI]),
+)
+def test_join_matches_nested_loop_oracle(build_keys, probe_keys, join_type):
+    _, state = build_state(build_keys, ["v"] * len(build_keys))
+    operator = probe_operator(
+        state, join_type, payload=[] if join_type is not JoinType.INNER else ("bv",)
+    )
+    out = operator.execute(probe_chunk(probe_keys))
+    build_set = set(build_keys)
+    if join_type is JoinType.INNER:
+        expected = sum(build_keys.count(p) for p in probe_keys)
+    elif join_type is JoinType.SEMI:
+        expected = sum(1 for p in probe_keys if p in build_set)
+    else:
+        expected = sum(1 for p in probe_keys if p not in build_set)
+    assert out.num_rows == expected

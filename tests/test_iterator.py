@@ -1,0 +1,171 @@
+"""Iterator (pull-based) executor and operator-level suspension (Table VI)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.clock import SimulatedClock
+from repro.engine.errors import EngineError
+from repro.engine.executor import QueryExecutor
+from repro.engine.expressions import col, lit
+from repro.engine.operators.aggregate import AggFunc, AggSpec
+from repro.engine.operators.hash_join import JoinType
+from repro.engine.plan import Aggregate, HashJoin, Limit, Sort, TableScan, UnionAll
+from repro.iterator import IteratorExecutor, IteratorSnapshot, compile_plan
+from repro.tpch import build_query
+
+from tests.conftest import assert_chunks_equal
+
+ITERATOR_FRIENDLY = ["Q1", "Q3", "Q4", "Q5", "Q6", "Q10", "Q12", "Q14", "Q19"]
+
+
+class TestCompile:
+    def test_scan_filter_project(self, synthetic_catalog):
+        from repro.engine.plan import Filter, Project
+
+        plan = Project(
+            Filter(TableScan("facts", ["key", "value"]), col("value") > lit(0.5)),
+            [("k2", col("key") * lit(2))],
+        )
+        root = compile_plan(synthetic_catalog, plan, batch_size=999)
+        chunks = []
+        while True:
+            chunk = root.next()
+            if chunk is None:
+                break
+            chunks.append(chunk)
+        total = sum(c.num_rows for c in chunks)
+        facts = synthetic_catalog.get("facts")
+        assert total == (facts.array("value") > 0.5).sum()
+
+    def test_union_unsupported(self, synthetic_catalog):
+        plan = UnionAll([TableScan("facts", ["key"]), TableScan("facts", ["key"])])
+        with pytest.raises(EngineError, match="not support"):
+            compile_plan(synthetic_catalog, plan)
+
+    def test_residual_join_unsupported(self, synthetic_catalog):
+        plan = HashJoin(
+            probe=TableScan("facts", ["key"]),
+            build=TableScan("dims", ["key"]),
+            probe_keys=["key"],
+            build_keys=["key"],
+            join_type=JoinType.SEMI,
+            residual=col("key") > lit(0),
+        )
+        with pytest.raises(EngineError, match="residual"):
+            compile_plan(synthetic_catalog, plan)
+
+
+@pytest.mark.parametrize("query", ITERATOR_FRIENDLY)
+def test_iterator_matches_push_engine(tpch_tiny, query):
+    """Both execution models compute identical results."""
+    plan = build_query(query)
+    push = QueryExecutor(tpch_tiny, plan, query_name=query).run()
+    pull = IteratorExecutor(tpch_tiny, plan, query_name=query).run()
+    assert pull.result is not None
+    assert_chunks_equal(push.chunk, pull.result)
+
+
+class TestSuspension:
+    def _plan(self):
+        return Sort(
+            Aggregate(
+                TableScan("facts", ["key", "value"]),
+                ["key"],
+                [AggSpec("s", AggFunc.SUM, "value")],
+            ),
+            [("key", True)],
+        )
+
+    def test_immediate_suspend_and_resume(self, synthetic_catalog):
+        executor = IteratorExecutor(synthetic_catalog, self._plan(), batch_size=500)
+        oracle = executor.run()
+        suspended = executor.run(request_time=oracle.clock_time * 0.4)
+        assert suspended.snapshot is not None
+        resumed = executor.run(resume_from=suspended.snapshot)
+        assert resumed.result is not None
+        assert_chunks_equal(oracle.result, resumed.result)
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.5, 0.9])
+    def test_resume_equivalence_many_points(self, tpch_tiny, fraction):
+        plan = build_query("Q3")
+        executor = IteratorExecutor(tpch_tiny, plan, batch_size=2000, query_name="Q3")
+        oracle = executor.run()
+        suspended = executor.run(request_time=oracle.clock_time * fraction)
+        if suspended.snapshot is None:
+            pytest.skip("finished before request")
+        resumed = executor.run(resume_from=suspended.snapshot)
+        assert_chunks_equal(oracle.result, resumed.result)
+
+    def test_low_memory_policy_waits_for_small_state(self, tpch_tiny):
+        plan = build_query("Q3")
+        executor = IteratorExecutor(tpch_tiny, plan, batch_size=1000, query_name="Q3")
+        oracle = executor.run()
+        immediate = executor.run(request_time=oracle.clock_time * 0.2, policy="immediate")
+        low_memory = executor.run(
+            request_time=oracle.clock_time * 0.2, policy="low-memory", patience=4
+        )
+        if immediate.snapshot is None or low_memory.snapshot is None:
+            pytest.skip("finished before request")
+        # Low-memory suspension defers past the request looking for a
+        # smaller-state point; immediate fires at the first checkpoint.
+        assert low_memory.suspended_at >= immediate.suspended_at
+        resumed = executor.run(resume_from=low_memory.snapshot)
+        assert_chunks_equal(oracle.result, resumed.result)
+
+    def test_unknown_policy_rejected(self, synthetic_catalog):
+        executor = IteratorExecutor(synthetic_catalog, self._plan())
+        with pytest.raises(ValueError):
+            executor.run(request_time=1.0, policy="bogus")
+
+    def test_snapshot_round_trip_via_file(self, tpch_tiny, tmp_path):
+        plan = build_query("Q6")
+        executor = IteratorExecutor(tpch_tiny, plan, batch_size=300, query_name="Q6")
+        oracle = executor.run()
+        suspended = executor.run(request_time=oracle.clock_time * 0.5)
+        if suspended.snapshot is None:
+            pytest.skip("finished before request")
+        path = tmp_path / "iter.snapshot"
+        suspended.snapshot.write(path)
+        restored = IteratorSnapshot.read(path)
+        assert restored.plan_fingerprint == executor.plan_fingerprint
+        resumed = executor.run(resume_from=restored)
+        assert_chunks_equal(oracle.result, resumed.result)
+
+    def test_plan_mismatch_rejected(self, tpch_tiny):
+        q6 = IteratorExecutor(tpch_tiny, build_query("Q6"), batch_size=300)
+        oracle = q6.run()
+        suspended = q6.run(request_time=oracle.clock_time * 0.5)
+        other = IteratorExecutor(tpch_tiny, build_query("Q1"), batch_size=300)
+        with pytest.raises(EngineError, match="different plan"):
+            other.run(resume_from=suspended.snapshot)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"garbage!")
+        with pytest.raises(EngineError):
+            IteratorSnapshot.read(path)
+
+    def test_limit_state_round_trip(self, synthetic_catalog):
+        plan = Limit(TableScan("facts", ["key"]), 1234)
+        executor = IteratorExecutor(synthetic_catalog, plan, batch_size=100)
+        oracle = executor.run()
+        suspended = executor.run(request_time=oracle.clock_time * 0.3)
+        if suspended.snapshot is None:
+            pytest.skip("finished before request")
+        resumed = executor.run(resume_from=suspended.snapshot)
+        assert resumed.result.num_rows == 1234
+
+
+class TestStateBytes:
+    def test_join_state_appears_after_build(self, tpch_tiny):
+        plan = build_query("Q3")
+        root = compile_plan(tpch_tiny, plan, batch_size=2000)
+        before = root.tree_state_bytes()
+        root.next()  # first pull triggers the builds
+        after = root.tree_state_bytes()
+        assert after > before
+
+    def test_scan_state_is_cursor_only(self, synthetic_catalog):
+        root = compile_plan(synthetic_catalog, TableScan("facts", ["key"]), batch_size=100)
+        root.next()
+        assert root.state_bytes() == 8

@@ -1,0 +1,155 @@
+"""Key packing/grouping/alignment — exactness vs pure-Python oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.keys import align_rows, combine_int_keys, group_rows, pack_rows
+
+
+class TestPackRows:
+    def test_single_int_column(self):
+        packed = pack_rows([np.array([1, 2, 1], dtype=np.int64)])
+        assert packed[0] == packed[2]
+        assert packed[0] != packed[1]
+
+    def test_multi_column_equality(self):
+        a = np.array([1, 1, 2], dtype=np.int64)
+        b = np.array(["x", "y", "x"], dtype="U2")
+        packed = pack_rows([a, b])
+        assert packed[0] != packed[1]
+        assert packed[0] != packed[2]
+
+    def test_mixed_widths_normalized(self):
+        narrow = pack_rows([np.array([5], dtype=np.int32), np.array([7], dtype=np.int64)])
+        wide = pack_rows([np.array([5], dtype=np.int64), np.array([7], dtype=np.int32)])
+        assert narrow.tobytes() == wide.tobytes()
+
+    def test_bool_column(self):
+        packed = pack_rows([np.array([True, False, True])])
+        assert packed[0] == packed[2]
+
+    def test_empty_column_list_rejected(self):
+        with pytest.raises(ValueError):
+            pack_rows([])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pack_rows([np.arange(3), np.arange(4)])
+
+
+class TestCombineIntKeys:
+    def test_single_column_passthrough(self):
+        keys = combine_int_keys([np.array([10, 20], dtype=np.int32)])
+        assert keys.dtype == np.int64
+        np.testing.assert_array_equal(keys, [10, 20])
+
+    def test_two_columns_injective(self):
+        a = np.array([1, 1, 2], dtype=np.int64)
+        b = np.array([2, 3, 2], dtype=np.int64)
+        keys = combine_int_keys([a, b])
+        assert len(set(keys.tolist())) == 3
+
+    def test_cross_array_comparability(self):
+        build = combine_int_keys([np.array([7]), np.array([9])])
+        probe = combine_int_keys([np.array([7]), np.array([9])])
+        assert build[0] == probe[0]
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            combine_int_keys([np.zeros(2)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            combine_int_keys([np.array([1 << 40]), np.array([0])])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            combine_int_keys([np.array([-1]), np.array([0])])
+
+    def test_rejects_three_columns(self):
+        with pytest.raises(ValueError):
+            combine_int_keys([np.arange(2)] * 3)
+
+
+class TestGroupRows:
+    def test_simple_grouping(self):
+        ids, first, count = group_rows([np.array([3, 1, 3, 1, 2])])
+        assert count == 3
+        assert ids[0] == ids[2]
+        assert ids[1] == ids[3]
+        assert len(first) == 3
+
+    def test_first_occurrence_indexes_representative(self):
+        values = np.array(["b", "a", "b"])
+        ids, first, count = group_rows([values])
+        representatives = set(values[first].tolist())
+        assert representatives == {"a", "b"}
+
+    def test_multi_key(self):
+        a = np.array([1, 1, 2, 2])
+        b = np.array(["x", "y", "x", "x"])
+        _, _, count = group_rows([a, b])
+        assert count == 3
+
+    def test_empty(self):
+        ids, first, count = group_rows([np.empty(0, dtype=np.int64)])
+        assert count == 0
+        assert len(ids) == 0
+
+
+class TestAlignRows:
+    def test_alignment(self):
+        base = [np.array([10, 20, 30], dtype=np.int64)]
+        other = [np.array([30, 10, 99], dtype=np.int64)]
+        positions = align_rows(base, other)
+        np.testing.assert_array_equal(positions, [2, 0, -1])
+
+    def test_multi_column_alignment(self):
+        base = [np.array([1, 1]), np.array(["a", "b"], dtype="U1")]
+        other = [np.array([1, 1]), np.array(["b", "c"], dtype="U1")]
+        positions = align_rows(base, other)
+        np.testing.assert_array_equal(positions, [1, -1])
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError):
+            align_rows([np.arange(2)], [np.arange(2), np.arange(2)])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.sampled_from(["a", "b", "c"])),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_group_rows_matches_python_dict(rows):
+    ints = np.array([r[0] for r in rows], dtype=np.int64)
+    strs = np.array([r[1] for r in rows], dtype="U1")
+    ids, first, count = group_rows([ints, strs])
+    # Oracle: dense group ids via a python dict.
+    mapping: dict[tuple, int] = {}
+    oracle = []
+    for row in rows:
+        mapping.setdefault(row, len(mapping))
+        oracle.append(mapping[row])
+    assert count == len(mapping)
+    # Same partition: rows share an engine group id iff they share an oracle id.
+    for i in range(len(rows)):
+        for j in range(i + 1, min(i + 10, len(rows))):
+            assert (ids[i] == ids[j]) == (oracle[i] == oracle[j])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 1000)), min_size=1, max_size=60)
+)
+def test_combine_int_keys_injective_property(pairs):
+    a = np.array([p[0] for p in pairs], dtype=np.int64)
+    b = np.array([p[1] for p in pairs], dtype=np.int64)
+    keys = combine_int_keys([a, b])
+    for i in range(len(pairs)):
+        for j in range(i + 1, min(i + 10, len(pairs))):
+            assert (keys[i] == keys[j]) == (pairs[i] == pairs[j])

@@ -1,0 +1,206 @@
+"""Plan node schema resolution, fingerprints, and pipeline decomposition."""
+
+import pytest
+
+from repro.engine.expressions import col, lit
+from repro.engine.operators.aggregate import AggFunc, AggSpec
+from repro.engine.operators.hash_join import JoinType
+from repro.engine.pipeline import build_pipelines
+from repro.engine.plan import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    Limit,
+    Project,
+    Rename,
+    Sort,
+    TableScan,
+    UnionAll,
+    count_operators,
+    plan_fingerprint,
+    referenced_tables,
+)
+from repro.engine.types import DataType
+
+
+@pytest.fixture()
+def catalog(synthetic_catalog):
+    return synthetic_catalog
+
+
+class TestSchemas:
+    def test_scan_schema(self, catalog):
+        scan = TableScan("facts", ["key", "value"])
+        assert scan.output_schema(catalog).names == ["key", "value"]
+
+    def test_project_schema_types(self, catalog):
+        plan = Project(
+            TableScan("facts", ["key", "value"]),
+            [("double", col("value") * lit(2.0)), ("key", col("key"))],
+        )
+        schema = plan.output_schema(catalog)
+        assert schema.names == ["double", "key"]
+        assert schema.type_of("double") is DataType.FLOAT64
+        assert schema.type_of("key") is DataType.INT64
+
+    def test_rename_schema(self, catalog):
+        plan = Rename(TableScan("dims", ["key", "name"]), {"key": "dim_key"})
+        assert plan.output_schema(catalog).names == ["dim_key", "name"]
+
+    def test_join_schema_concat(self, catalog):
+        plan = HashJoin(
+            probe=TableScan("facts", ["key", "value"]),
+            build=TableScan("dims", ["key", "name"]),
+            probe_keys=["key"],
+            build_keys=["key"],
+            payload=["name"],
+        )
+        assert plan.output_schema(catalog).names == ["key", "value", "name"]
+
+    def test_semi_join_schema_is_probe(self, catalog):
+        plan = HashJoin(
+            probe=TableScan("facts", ["key"]),
+            build=TableScan("dims", ["key"]),
+            probe_keys=["key"],
+            build_keys=["key"],
+            join_type=JoinType.SEMI,
+        )
+        assert plan.output_schema(catalog).names == ["key"]
+
+    def test_default_payload_excludes_build_keys(self, catalog):
+        plan = HashJoin(
+            probe=TableScan("facts", ["value"]),
+            build=TableScan("dims", ["key", "name", "weight"]),
+            probe_keys=["value"],
+            build_keys=["key"],
+        )
+        assert plan.payload_columns(catalog) == ["name", "weight"]
+
+    def test_aggregate_schema(self, catalog):
+        plan = Aggregate(
+            TableScan("facts", ["key", "value"]),
+            ["key"],
+            [AggSpec("total", AggFunc.SUM, "value"), AggSpec("n", AggFunc.COUNT_STAR)],
+        )
+        schema = plan.output_schema(catalog)
+        assert schema.names == ["key", "total", "n"]
+        assert schema.type_of("n") is DataType.INT64
+
+    def test_union_schema_mismatch_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            UnionAll(
+                [TableScan("facts", ["key"]), TableScan("dims", ["name"])]
+            ).output_schema(catalog)
+
+
+class TestIntrospection:
+    def test_count_operators(self):
+        plan = Sort(
+            Aggregate(
+                HashJoin(
+                    probe=TableScan("facts", ["key"]),
+                    build=TableScan("dims", ["key"]),
+                    probe_keys=["key"],
+                    build_keys=["key"],
+                    payload=[],
+                ),
+                ["key"],
+                [AggSpec("n", AggFunc.COUNT_STAR)],
+            ),
+            [("n", False)],
+        )
+        counts = count_operators(plan)
+        assert counts["scan"] == 2
+        assert counts["join"] == 1
+        assert counts["groupby"] == 1
+        assert counts["sort"] == 1
+
+    def test_referenced_tables(self):
+        plan = HashJoin(
+            probe=TableScan("facts", ["key"]),
+            build=TableScan("dims", ["key"]),
+            probe_keys=["key"],
+            build_keys=["key"],
+        )
+        assert referenced_tables(plan) == {"facts", "dims"}
+
+    def test_fingerprint_stability_and_sensitivity(self):
+        def make(limit):
+            return Limit(TableScan("facts", ["key"]), limit)
+
+        assert plan_fingerprint(make(5)) == plan_fingerprint(make(5))
+        assert plan_fingerprint(make(5)) != plan_fingerprint(make(6))
+
+    def test_fingerprint_distinguishes_predicates(self):
+        a = TableScan("facts", ["key"], predicate=col("key") > lit(1))
+        b = TableScan("facts", ["key"], predicate=col("key") > lit(2))
+        assert plan_fingerprint(a) != plan_fingerprint(b)
+
+
+class TestPipelineDecomposition:
+    def test_scan_only_one_pipeline(self, catalog):
+        pipelines = build_pipelines(catalog, TableScan("facts", ["key"]))
+        assert len(pipelines) == 1
+        assert pipelines[0].source.kind == "table"
+
+    def test_join_produces_build_pipeline(self, catalog):
+        plan = HashJoin(
+            probe=TableScan("facts", ["key"]),
+            build=TableScan("dims", ["key", "name"]),
+            probe_keys=["key"],
+            build_keys=["key"],
+        )
+        pipelines = build_pipelines(catalog, plan)
+        assert len(pipelines) == 2
+        build, probe = pipelines
+        assert build.sink.kind == "join_build"
+        assert build.pipeline_id in probe.dependencies
+
+    def test_aggregate_then_sort_pipeline_chain(self, catalog):
+        plan = Sort(
+            Aggregate(
+                TableScan("facts", ["key", "value"]),
+                ["key"],
+                [AggSpec("s", AggFunc.SUM, "value")],
+            ),
+            [("s", False)],
+        )
+        pipelines = build_pipelines(catalog, plan)
+        kinds = [p.sink.kind for p in pipelines]
+        assert kinds == ["aggregate", "sort", "result"]
+        # State scans depend on their producer.
+        assert pipelines[1].dependencies == {0}
+        assert pipelines[2].dependencies == {1}
+
+    def test_dependencies_precede_dependents(self, catalog):
+        from repro.tpch import build_query
+        from repro.tpch.dbgen import generate_catalog
+
+        tpch = generate_catalog(0.002)
+        for name in ("Q3", "Q9", "Q21"):
+            pipelines = build_pipelines(tpch, build_query(name))
+            for pipeline in pipelines:
+                assert all(dep < pipeline.pipeline_id for dep in pipeline.dependencies)
+
+    def test_union_branches(self, catalog):
+        plan = UnionAll([TableScan("facts", ["key"]), TableScan("facts", ["key"])])
+        pipelines = build_pipelines(catalog, plan)
+        kinds = [p.sink.kind for p in pipelines]
+        assert kinds == ["union_all", "union_all", "result"]
+        assert pipelines[2].source.state_pipelines == (0, 1)
+
+    def test_deterministic_ids(self, catalog):
+        plan = lambda: Aggregate(  # noqa: E731 - tiny local factory
+            TableScan("facts", ["key", "value"]),
+            ["key"],
+            [AggSpec("s", AggFunc.SUM, "value")],
+        )
+        first = [p.description for p in build_pipelines(catalog, plan())]
+        second = [p.description for p in build_pipelines(catalog, plan())]
+        assert first == second
+
+    def test_filter_stays_in_pipeline(self, catalog):
+        plan = Filter(TableScan("facts", ["key"]), col("key") > lit(5))
+        pipelines = build_pipelines(catalog, plan)
+        assert len(pipelines) == 1
+        assert any(type(op).__name__ == "FilterOperator" for op in pipelines[0].operators)

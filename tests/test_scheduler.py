@@ -1,0 +1,90 @@
+"""Suspension-aware workload scheduler (motivational Case 1)."""
+
+import pytest
+
+from repro.cloud.scheduler import QueryRequest, SuspensionScheduler
+from repro.tpch import build_query
+
+
+@pytest.fixture()
+def scheduler(tpch_tiny, tmp_path):
+    return SuspensionScheduler(tpch_tiny, snapshot_dir=tmp_path)
+
+
+def workload(long_query="Q9", short_query="Q6", arrivals=(1.0, 2.0)):
+    requests = [QueryRequest("long", build_query(long_query), 0.0)]
+    for index, arrival in enumerate(arrivals):
+        requests.append(
+            QueryRequest(
+                f"short{index}", build_query(short_query), arrival, interactive=True
+            )
+        )
+    return requests
+
+
+class TestFifo:
+    def test_all_queries_complete(self, scheduler):
+        report = scheduler.run_fifo(workload())
+        assert len(report.completions) == 3
+
+    def test_short_queries_wait_behind_long(self, scheduler):
+        report = scheduler.run_fifo(workload())
+        long_done = report.completion("long").finished_at
+        for name in ("short0", "short1"):
+            assert report.completion(name).finished_at > long_done
+
+    def test_latency_accounts_arrival(self, scheduler):
+        report = scheduler.run_fifo(workload())
+        completion = report.completion("short1")
+        assert completion.latency == completion.finished_at - 2.0
+
+
+class TestPreemptive:
+    def test_all_queries_complete(self, scheduler):
+        report = scheduler.run_preemptive(workload())
+        assert len(report.completions) == 3
+
+    def test_interactive_latency_improves(self, scheduler):
+        requests = workload()
+        fifo = scheduler.run_fifo(list(requests))
+        preemptive = scheduler.run_preemptive(list(requests))
+        names = {"short0", "short1"}
+        assert preemptive.mean_latency(names=names) < fifo.mean_latency(names=names)
+
+    def test_long_query_pays_overhead(self, scheduler):
+        requests = workload()
+        fifo = scheduler.run_fifo(list(requests))
+        preemptive = scheduler.run_preemptive(list(requests))
+        assert (
+            preemptive.completion("long").latency
+            >= fifo.completion("long").latency - 1e-9
+        )
+
+    def test_long_query_records_suspensions(self, scheduler):
+        report = scheduler.run_preemptive(workload())
+        assert report.completion("long").suspensions >= 1
+
+    def test_no_interactive_queries_behaves_like_fifo(self, scheduler):
+        requests = [QueryRequest("only", build_query("Q6"), 0.0)]
+        fifo = scheduler.run_fifo(list(requests))
+        preemptive = scheduler.run_preemptive(list(requests))
+        assert fifo.completion("only").latency == pytest.approx(
+            preemptive.completion("only").latency
+        )
+
+    def test_interactive_arriving_before_long_runs_first(self, scheduler):
+        requests = [
+            QueryRequest("long", build_query("Q9"), 1.0),
+            QueryRequest("short", build_query("Q6"), 0.0, interactive=True),
+        ]
+        report = scheduler.run_preemptive(requests)
+        assert report.completion("short").finished_at < report.completion("long").finished_at
+
+    def test_unknown_completion_raises(self, scheduler):
+        report = scheduler.run_fifo([QueryRequest("x", build_query("Q6"), 0.0)])
+        with pytest.raises(KeyError):
+            report.completion("nope")
+
+    def test_mean_latency_empty_selection(self, scheduler):
+        report = scheduler.run_fifo([QueryRequest("x", build_query("Q6"), 0.0)])
+        assert report.mean_latency(names={"zzz"}) == 0.0

@@ -1,0 +1,101 @@
+"""Array/JSON serialization round-trips, including property-based tests."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.storage import serialize
+
+
+class TestArrayRoundTrip:
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.arange(10, dtype=np.int64),
+            np.arange(5, dtype=np.int32),
+            np.linspace(0, 1, 7),
+            np.array([True, False, True]),
+            np.array(["alpha", "beta", ""], dtype="U8"),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype="U1"),
+        ],
+    )
+    def test_round_trip(self, array):
+        restored = serialize.deserialize_array(serialize.serialize_array(array))
+        assert restored.dtype == np.ascontiguousarray(array).dtype
+        np.testing.assert_array_equal(restored, array)
+
+    def test_2d_round_trip(self):
+        array = np.arange(12, dtype=np.int64).reshape(3, 4)
+        restored = serialize.deserialize_array(serialize.serialize_array(array))
+        np.testing.assert_array_equal(restored, array)
+
+    def test_object_arrays_rejected(self):
+        with pytest.raises(serialize.SerializationError):
+            serialize.serialize_array(np.array([object()], dtype=object))
+
+    def test_truncated_stream_raises(self):
+        blob = serialize.serialize_array(np.arange(100))
+        with pytest.raises(serialize.SerializationError, match="truncated"):
+            serialize.deserialize_array(blob[: len(blob) // 2])
+
+    def test_write_returns_byte_count(self):
+        buffer = io.BytesIO()
+        written = serialize.write_array(buffer, np.arange(10, dtype=np.int64))
+        assert written == len(buffer.getvalue())
+
+
+class TestNamedArrays:
+    def test_round_trip(self):
+        arrays = {
+            "ints": np.arange(5, dtype=np.int64),
+            "strs": np.array(["x", "yy"], dtype="U4"),
+        }
+        restored = serialize.deserialize_named_arrays(
+            serialize.serialize_named_arrays(arrays)
+        )
+        assert set(restored) == set(arrays)
+        for name in arrays:
+            np.testing.assert_array_equal(restored[name], arrays[name])
+
+    def test_empty_mapping(self):
+        assert serialize.deserialize_named_arrays(serialize.serialize_named_arrays({})) == {}
+
+    def test_unicode_names(self):
+        arrays = {"col·µ": np.arange(3)}
+        restored = serialize.deserialize_named_arrays(
+            serialize.serialize_named_arrays(arrays)
+        )
+        assert "col·µ" in restored
+
+
+class TestJson:
+    def test_round_trip(self):
+        buffer = io.BytesIO()
+        serialize.write_json(buffer, {"a": [1, 2], "b": "x"})
+        buffer.seek(0)
+        assert serialize.read_json(buffer) == {"a": [1, 2], "b": "x"}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=st.sampled_from([np.int64, np.int32, np.float64, np.bool_]),
+        shape=hnp.array_shapes(max_dims=1, max_side=200),
+    )
+)
+def test_numeric_round_trip_property(array):
+    restored = serialize.deserialize_array(serialize.serialize_array(array))
+    np.testing.assert_array_equal(restored, array)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.text(min_size=0, max_size=12), min_size=0, max_size=50))
+def test_string_round_trip_property(strings):
+    array = np.array(strings, dtype=f"U{max(1, max((len(s) for s in strings), default=1))}")
+    restored = serialize.deserialize_array(serialize.serialize_array(array))
+    np.testing.assert_array_equal(restored, array)

@@ -1,0 +1,162 @@
+"""Sort / top-N / limit / union-all / result sinks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.chunk import DataChunk
+from repro.engine.operators.limit import LimitSink
+from repro.engine.operators.result import ResultSink
+from repro.engine.operators.sort import SortSink, sort_indices
+from repro.engine.operators.union_all import UnionAllSink
+from repro.engine.types import DataType, Schema
+
+SCHEMA = Schema.of(("k", DataType.INT64), ("s", DataType.STRING))
+
+
+def chunk_of(keys, labels):
+    return DataChunk(
+        SCHEMA, [np.asarray(keys, dtype=np.int64), np.asarray(labels, dtype="U3")]
+    )
+
+
+def drive(sink, chunks, workers=2):
+    locals_ = [sink.make_local_state() for _ in range(workers)]
+    for index, chunk in enumerate(chunks):
+        sink.sink(locals_[index % workers], chunk)
+    state = sink.make_global_state()
+    for local in locals_:
+        sink.combine(state, local)
+    sink.finalize(state)
+    return sink.result_chunk(state), state
+
+
+class TestSortIndices:
+    def test_ascending_numeric(self):
+        order = sort_indices([np.array([3, 1, 2])], [True])
+        np.testing.assert_array_equal(order, [1, 2, 0])
+
+    def test_descending_numeric(self):
+        order = sort_indices([np.array([3.0, 1.0, 2.0])], [False])
+        np.testing.assert_array_equal(order, [0, 2, 1])
+
+    def test_descending_strings(self):
+        order = sort_indices([np.array(["b", "c", "a"])], [False])
+        np.testing.assert_array_equal(order, [1, 0, 2])
+
+    def test_multi_key_primary_first(self):
+        primary = np.array([1, 1, 0])
+        secondary = np.array([2, 1, 9])
+        order = sort_indices([primary, secondary], [True, True])
+        np.testing.assert_array_equal(order, [2, 1, 0])
+
+    def test_mixed_directions(self):
+        primary = np.array([1, 1, 0])
+        secondary = np.array([2, 1, 9])
+        order = sort_indices([primary, secondary], [True, False])
+        np.testing.assert_array_equal(order, [2, 0, 1])
+
+    def test_flag_count_mismatch(self):
+        with pytest.raises(ValueError):
+            sort_indices([np.arange(3)], [True, False])
+
+
+class TestSortSink:
+    def test_sorts_across_workers(self):
+        sink = SortSink(SCHEMA, [("k", True)])
+        result, _ = drive(sink, [chunk_of([5, 1], ["a", "b"]), chunk_of([3], ["c"])])
+        np.testing.assert_array_equal(result.column("k"), [1, 3, 5])
+
+    def test_top_n(self):
+        sink = SortSink(SCHEMA, [("k", False)], limit=2)
+        result, _ = drive(sink, [chunk_of([5, 1, 9, 3], ["a", "b", "c", "d"])])
+        np.testing.assert_array_equal(result.column("k"), [9, 5])
+
+    def test_limit_larger_than_input(self):
+        sink = SortSink(SCHEMA, [("k", True)], limit=100)
+        result, _ = drive(sink, [chunk_of([2, 1], ["a", "b"])])
+        assert result.num_rows == 2
+
+    def test_stable_for_ties(self):
+        sink = SortSink(SCHEMA, [("k", True)])
+        result, _ = drive(sink, [chunk_of([1, 1, 1], ["c", "a", "b"])], workers=1)
+        np.testing.assert_array_equal(result.column("s"), ["c", "a", "b"])
+
+    def test_unknown_sort_key(self):
+        with pytest.raises(KeyError):
+            SortSink(SCHEMA, [("missing", True)])
+
+    def test_negative_limit(self):
+        with pytest.raises(ValueError):
+            SortSink(SCHEMA, [("k", True)], limit=-1)
+
+    def test_state_round_trip(self):
+        sink = SortSink(SCHEMA, [("k", True)])
+        _, state = drive(sink, [chunk_of([2, 1], ["a", "b"])])
+        restored = sink.deserialize_global_state(state.serialize())
+        np.testing.assert_array_equal(
+            sink.result_chunk(restored).column("k"), [1, 2]
+        )
+
+    def test_empty_input(self):
+        sink = SortSink(SCHEMA, [("k", True)])
+        result, _ = drive(sink, [])
+        assert result.num_rows == 0
+
+
+class TestLimitSink:
+    def test_keeps_first_n(self):
+        sink = LimitSink(SCHEMA, 3)
+        result, _ = drive(sink, [chunk_of([1, 2], ["a", "b"]), chunk_of([3, 4], ["c", "d"])], workers=1)
+        assert result.num_rows == 3
+
+    def test_zero_limit(self):
+        sink = LimitSink(SCHEMA, 0)
+        result, _ = drive(sink, [chunk_of([1], ["a"])])
+        assert result.num_rows == 0
+
+    def test_stops_buffering_when_full(self):
+        sink = LimitSink(SCHEMA, 1)
+        local = sink.make_local_state()
+        sink.sink(local, chunk_of([1], ["a"]))
+        sink.sink(local, chunk_of([2], ["b"]))
+        assert len(local.chunks) == 1
+
+    def test_state_round_trip(self):
+        sink = LimitSink(SCHEMA, 2)
+        _, state = drive(sink, [chunk_of([1, 2, 3], ["a", "b", "c"])])
+        restored = sink.deserialize_global_state(state.serialize())
+        assert sink.result_chunk(restored).num_rows == 2
+
+
+class TestUnionAndResult:
+    def test_union_concatenates(self):
+        sink = UnionAllSink(SCHEMA)
+        result, _ = drive(sink, [chunk_of([1], ["a"]), chunk_of([2], ["b"])])
+        assert result.num_rows == 2
+
+    def test_result_sink_round_trip(self):
+        sink = ResultSink(SCHEMA)
+        _, state = drive(sink, [chunk_of([1, 2], ["a", "b"])])
+        restored = sink.deserialize_global_state(state.serialize())
+        np.testing.assert_array_equal(
+            sink.result_chunk(restored).column("k"), [1, 2]
+        )
+
+    def test_unfinalized_result_rejected(self):
+        sink = ResultSink(SCHEMA)
+        state = sink.make_global_state()
+        with pytest.raises(ValueError):
+            sink.result_chunk(state)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(-1000, 1000), min_size=0, max_size=100),
+    st.booleans(),
+)
+def test_sort_matches_python_sorted(values, ascending):
+    order = sort_indices([np.asarray(values, dtype=np.int64)], [ascending])
+    result = [values[i] for i in order]
+    assert result == sorted(values, reverse=not ascending)

@@ -1,0 +1,455 @@
+"""SQL front-end: lexer, parser, planner, and end-to-end execution."""
+
+import numpy as np
+import pytest
+
+from repro.sql import SqlError, execute_sql, parse, plan_sql
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql import ast
+from repro.engine.types import parse_date
+from repro.tpch.reference import reference_q1, reference_q3, reference_q6, reference_q14
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, 1.5 FROM t WHERE b = 'x'")
+        kinds = [t.type for t in tokens]
+        assert kinds[0] is TokenType.KEYWORD
+        assert tokens[-1].type is TokenType.END
+
+    def test_string_escapes(self):
+        tokens = tokenize("SELECT 'it''s' FROM t")
+        strings = [t for t in tokens if t.type is TokenType.STRING]
+        assert strings[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError, match="unterminated"):
+            tokenize("SELECT 'oops FROM t")
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT a -- comment\nFROM t")
+        values = [t.value for t in tokens if t.type is not TokenType.END]
+        assert "comment" not in " ".join(values)
+
+    def test_qualified_identifier(self):
+        tokens = tokenize("SELECT t.col FROM t")
+        idents = [t for t in tokens if t.type is TokenType.IDENTIFIER]
+        assert idents[0].value == "t.col"
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError, match="unexpected character"):
+            tokenize("SELECT @ FROM t")
+
+    def test_case_insensitive_keywords(self):
+        tokens = tokenize("select A fRoM t")
+        assert tokens[0].is_keyword("SELECT")
+
+
+class TestParser:
+    def test_simple_select(self):
+        statement = parse("SELECT a, b AS bee FROM t")
+        assert len(statement.items) == 2
+        assert statement.items[1].alias == "bee"
+        assert statement.tables[0].name == "t"
+
+    def test_where_and_group(self):
+        statement = parse(
+            "SELECT a, sum(b) FROM t WHERE c > 5 GROUP BY a HAVING sum(b) > 10"
+        )
+        assert statement.where is not None
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+
+    def test_order_and_limit(self):
+        statement = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 7")
+        assert statement.limit == 7
+        assert statement.order_by[0].ascending is False
+        assert statement.order_by[1].ascending is True
+
+    def test_joins(self):
+        statement = parse(
+            "SELECT a FROM t JOIN u ON t.x = u.y LEFT JOIN v ON u.p = v.q"
+        )
+        assert len(statement.joins) == 2
+        assert statement.joins[0].outer is False
+        assert statement.joins[1].outer is True
+
+    def test_date_interval(self):
+        statement = parse("SELECT a FROM t WHERE d < DATE '1995-01-01' + INTERVAL '3' MONTH")
+        predicate = statement.where
+        assert isinstance(predicate.right, ast.DateExpr)
+        assert predicate.right.shift_months == 3
+
+    def test_in_between_like(self):
+        statement = parse(
+            "SELECT a FROM t WHERE a IN (1, 2) AND b BETWEEN 3 AND 4 AND c LIKE 'x%' "
+            "AND d NOT LIKE '%y' AND e NOT IN ('p')"
+        )
+        assert statement.where is not None
+
+    def test_case_expression(self):
+        statement = parse(
+            "SELECT CASE WHEN a > 1 THEN 10 ELSE 0 END AS x FROM t"
+        )
+        assert isinstance(statement.items[0].expression, ast.CaseExpr)
+
+    def test_count_star_and_distinct(self):
+        statement = parse("SELECT count(*), count(DISTINCT a) FROM t")
+        first = statement.items[0].expression
+        second = statement.items[1].expression
+        assert first.argument is None
+        assert second.distinct
+
+    def test_extract_and_substring(self):
+        statement = parse("SELECT EXTRACT(YEAR FROM d), SUBSTRING(s, 1, 2) FROM t")
+        assert statement.items[0].expression.name == "year"
+        assert statement.items[1].expression.name == "substring"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError, match="trailing"):
+            parse("SELECT a FROM t garbage extra")
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT sum(*) FROM t")
+
+    def test_empty_case_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT CASE END FROM t")
+
+
+class TestPlanner:
+    def test_unknown_table(self, tpch_small):
+        with pytest.raises(KeyError):
+            plan_sql(tpch_small, "SELECT x FROM nonexistent")
+
+    def test_unknown_column(self, tpch_small):
+        with pytest.raises(SqlError, match="unknown column"):
+            plan_sql(tpch_small, "SELECT no_such_column FROM lineitem")
+
+    def test_cross_product_rejected(self, tpch_small):
+        with pytest.raises(SqlError, match="cross product"):
+            plan_sql(tpch_small, "SELECT l_orderkey FROM lineitem, part")
+
+    def test_qualified_columns(self, tpch_small):
+        plan = plan_sql(
+            tpch_small,
+            "SELECT o.o_orderkey FROM orders o, lineitem l WHERE l.l_orderkey = o.o_orderkey",
+        )
+        assert plan is not None
+
+    def test_predicate_pushdown_into_scan(self, tpch_small):
+        from repro.engine.plan import TableScan
+
+        plan = plan_sql(
+            tpch_small, "SELECT l_orderkey FROM lineitem WHERE l_quantity > 40"
+        )
+        scans = []
+
+        def visit(node):
+            if isinstance(node, TableScan):
+                scans.append(node)
+            for child in node.children():
+                visit(child)
+
+        visit(plan)
+        assert scans[0].predicate is not None
+
+    def test_group_by_requires_membership(self, tpch_small):
+        with pytest.raises(SqlError, match="GROUP BY"):
+            plan_sql(
+                tpch_small,
+                "SELECT l_orderkey, l_partkey, sum(l_quantity) FROM lineitem GROUP BY l_orderkey",
+            )
+
+    def test_order_by_unknown_output(self, tpch_small):
+        with pytest.raises(SqlError, match="ORDER BY"):
+            plan_sql(tpch_small, "SELECT l_orderkey FROM lineitem ORDER BY l_quantity")
+
+
+class TestExecution:
+    def test_projection_and_filter(self, tpch_small):
+        result = execute_sql(
+            tpch_small,
+            "SELECT l_orderkey, l_quantity * 2 AS double_qty FROM lineitem "
+            "WHERE l_quantity >= 49",
+        )
+        assert (result.chunk.column("double_qty") >= 98).all()
+
+    def test_order_by_position(self, tpch_small):
+        result = execute_sql(
+            tpch_small,
+            "SELECT l_orderkey, l_quantity FROM lineitem ORDER BY 2 DESC LIMIT 5",
+        )
+        values = result.chunk.column("l_quantity")
+        assert (np.diff(values) <= 0).all()
+
+    def test_limit_without_order(self, tpch_small):
+        result = execute_sql(tpch_small, "SELECT l_orderkey FROM lineitem LIMIT 13")
+        assert result.chunk.num_rows == 13
+
+    def test_global_aggregate(self, tpch_small):
+        result = execute_sql(
+            tpch_small, "SELECT count(*) AS n, avg(l_quantity) AS q FROM lineitem"
+        )
+        assert result.chunk.column("n")[0] == tpch_small.get("lineitem").num_rows
+
+    def test_having(self, tpch_small):
+        result = execute_sql(
+            tpch_small,
+            "SELECT l_orderkey, count(*) AS n FROM lineitem GROUP BY l_orderkey "
+            "HAVING count(*) >= 6 ORDER BY n DESC",
+        )
+        assert (result.chunk.column("n") >= 6).all()
+
+    def test_count_distinct(self, tpch_small):
+        result = execute_sql(
+            tpch_small,
+            "SELECT count(DISTINCT l_shipmode) AS modes FROM lineitem",
+        )
+        assert result.chunk.column("modes")[0] == 8
+
+    def test_explicit_join(self, tpch_small):
+        result = execute_sql(
+            tpch_small,
+            "SELECT n_name, count(*) AS suppliers FROM supplier "
+            "JOIN nation ON s_nationkey = n_nationkey "
+            "GROUP BY n_name ORDER BY suppliers DESC, n_name",
+        )
+        assert result.chunk.column("suppliers").sum() == tpch_small.get("supplier").num_rows
+
+    def test_left_join_defaults(self, tpch_small):
+        # Customers that never ordered get the fill value 0.
+        result = execute_sql(
+            tpch_small,
+            "SELECT c_custkey, o_orderkey FROM customer "
+            "LEFT JOIN orders ON c_custkey = o_custkey",
+        )
+        no_orders = result.chunk.column("o_orderkey") == 0
+        assert no_orders.any()
+
+    def test_join_on_residual_condition(self, tpch_small):
+        result = execute_sql(
+            tpch_small,
+            "SELECT count(*) AS n FROM lineitem "
+            "JOIN orders ON l_orderkey = o_orderkey AND l_shipdate > o_orderdate",
+        )
+        assert result.chunk.column("n")[0] > 0
+
+    def test_case_when(self, tpch_small):
+        result = execute_sql(
+            tpch_small,
+            "SELECT sum(CASE WHEN l_quantity > 25 THEN 1 ELSE 0 END) AS big, "
+            "count(*) AS all_rows FROM lineitem",
+        )
+        assert 0 < result.chunk.column("big")[0] < result.chunk.column("all_rows")[0]
+
+    def test_extract_year(self, tpch_small):
+        result = execute_sql(
+            tpch_small,
+            "SELECT EXTRACT(YEAR FROM o_orderdate) AS y, count(*) AS n "
+            "FROM orders GROUP BY EXTRACT(YEAR FROM o_orderdate) ORDER BY y",
+        )
+        years = result.chunk.column("y")
+        assert years.min() >= 1992 and years.max() <= 1998
+
+    def test_substring(self, tpch_small):
+        result = execute_sql(
+            tpch_small,
+            "SELECT SUBSTRING(c_phone, 1, 2) AS code, count(*) AS n "
+            "FROM customer GROUP BY SUBSTRING(c_phone, 1, 2) ORDER BY code",
+        )
+        assert all(len(code) == 2 for code in result.chunk.column("code")[:5])
+
+
+class TestTpchFromSqlText:
+    """Real TPC-H SQL text matches the reference oracles."""
+
+    def test_q1(self, tpch_small):
+        result = execute_sql(tpch_small, """
+            SELECT l_returnflag, l_linestatus,
+                   sum(l_quantity) AS sum_qty,
+                   sum(l_extendedprice) AS sum_base_price,
+                   sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+                   sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+                   avg(l_quantity) AS avg_qty,
+                   avg(l_extendedprice) AS avg_price,
+                   avg(l_discount) AS avg_disc,
+                   count(*) AS count_order
+            FROM lineitem
+            WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+            GROUP BY l_returnflag, l_linestatus
+            ORDER BY l_returnflag, l_linestatus
+        """)
+        expected = reference_q1(tpch_small)
+        np.testing.assert_array_equal(
+            result.chunk.column("l_returnflag"), expected["l_returnflag"]
+        )
+        np.testing.assert_allclose(
+            result.chunk.column("sum_disc_price"), expected["sum_disc_price"], rtol=1e-9
+        )
+        np.testing.assert_array_equal(
+            result.chunk.column("count_order"), expected["count_order"]
+        )
+
+    def test_q3(self, tpch_small):
+        result = execute_sql(tpch_small, """
+            SELECT l_orderkey,
+                   sum(l_extendedprice * (1 - l_discount)) AS revenue,
+                   o_orderdate, o_shippriority
+            FROM customer, orders, lineitem
+            WHERE c_mktsegment = 'BUILDING'
+              AND c_custkey = o_custkey
+              AND l_orderkey = o_orderkey
+              AND o_orderdate < DATE '1995-03-15'
+              AND l_shipdate > DATE '1995-03-15'
+            GROUP BY l_orderkey, o_orderdate, o_shippriority
+            ORDER BY revenue DESC, o_orderdate
+            LIMIT 10
+        """)
+        expected = reference_q3(tpch_small)
+        np.testing.assert_array_equal(
+            result.chunk.column("l_orderkey"), expected["l_orderkey"]
+        )
+        np.testing.assert_allclose(result.chunk.column("revenue"), expected["revenue"], rtol=1e-9)
+
+    def test_q6(self, tpch_small):
+        result = execute_sql(tpch_small, """
+            SELECT sum(l_extendedprice * l_discount) AS revenue
+            FROM lineitem
+            WHERE l_shipdate >= DATE '1994-01-01'
+              AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+              AND l_discount BETWEEN 0.05 AND 0.07
+              AND l_quantity < 24
+        """)
+        assert result.chunk.column("revenue")[0] == pytest.approx(reference_q6(tpch_small))
+
+    def test_q14(self, tpch_small):
+        result = execute_sql(tpch_small, """
+            SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                                     THEN l_extendedprice * (1 - l_discount)
+                                     ELSE 0 END)
+                   / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+            FROM lineitem, part
+            WHERE l_partkey = p_partkey
+              AND l_shipdate >= DATE '1995-09-01'
+              AND l_shipdate < DATE '1995-09-01' + INTERVAL '1' MONTH
+        """)
+        assert result.chunk.column("promo_revenue")[0] == pytest.approx(
+            reference_q14(tpch_small), rel=1e-9
+        )
+
+    def _compare_with_builtin(self, catalog, query_name, sql, float_cols, exact_cols):
+        from repro.engine.executor import QueryExecutor
+        from repro.tpch import build_query
+
+        sql_result = execute_sql(catalog, sql).chunk
+        builtin = QueryExecutor(catalog, build_query(query_name)).run().chunk
+        assert sql_result.num_rows == builtin.num_rows
+        for name in exact_cols:
+            np.testing.assert_array_equal(sql_result.column(name), builtin.column(name))
+        for name in float_cols:
+            np.testing.assert_allclose(
+                sql_result.column(name), builtin.column(name), rtol=1e-9
+            )
+
+    def test_q5(self, tpch_small):
+        self._compare_with_builtin(tpch_small, "Q5", """
+            SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+            FROM customer, orders, lineitem, supplier, nation, region
+            WHERE c_custkey = o_custkey
+              AND l_orderkey = o_orderkey
+              AND l_suppkey = s_suppkey
+              AND c_nationkey = s_nationkey
+              AND s_nationkey = n_nationkey
+              AND n_regionkey = r_regionkey
+              AND r_name = 'ASIA'
+              AND o_orderdate >= DATE '1994-01-01'
+              AND o_orderdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+            GROUP BY n_name
+            ORDER BY revenue DESC
+        """, float_cols=["revenue"], exact_cols=["n_name"])
+
+    def test_q10(self, tpch_small):
+        self._compare_with_builtin(tpch_small, "Q10", """
+            SELECT c_custkey, c_name,
+                   sum(l_extendedprice * (1 - l_discount)) AS revenue,
+                   c_acctbal, n_name, c_address, c_phone, c_comment
+            FROM customer, orders, lineitem, nation
+            WHERE c_custkey = o_custkey
+              AND l_orderkey = o_orderkey
+              AND o_orderdate >= DATE '1993-10-01'
+              AND o_orderdate < DATE '1993-10-01' + INTERVAL '3' MONTH
+              AND l_returnflag = 'R'
+              AND c_nationkey = n_nationkey
+            GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+            ORDER BY revenue DESC
+            LIMIT 20
+        """, float_cols=["revenue"], exact_cols=["c_custkey"])
+
+    def test_q12(self, tpch_small):
+        self._compare_with_builtin(tpch_small, "Q12", """
+            SELECT l_shipmode,
+                   sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                            THEN 1 ELSE 0 END) AS high_line_count,
+                   sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+                            THEN 1 ELSE 0 END) AS low_line_count
+            FROM orders, lineitem
+            WHERE o_orderkey = l_orderkey
+              AND l_shipmode IN ('MAIL', 'SHIP')
+              AND l_commitdate < l_receiptdate
+              AND l_shipdate < l_commitdate
+              AND l_receiptdate >= DATE '1994-01-01'
+              AND l_receiptdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+            GROUP BY l_shipmode
+            ORDER BY l_shipmode
+        """, float_cols=["high_line_count", "low_line_count"], exact_cols=["l_shipmode"])
+
+    def test_q19(self, tpch_small):
+        self._compare_with_builtin(tpch_small, "Q19", """
+            SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+            FROM lineitem, part
+            WHERE p_partkey = l_partkey
+              AND l_shipmode IN ('AIR', 'AIR REG')
+              AND l_shipinstruct = 'DELIVER IN PERSON'
+              AND ((p_brand = 'Brand#12'
+                    AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+                    AND l_quantity BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5)
+                OR (p_brand = 'Brand#23'
+                    AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+                    AND l_quantity BETWEEN 10 AND 20 AND p_size BETWEEN 1 AND 10)
+                OR (p_brand = 'Brand#34'
+                    AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+                    AND l_quantity BETWEEN 20 AND 30 AND p_size BETWEEN 1 AND 15))
+        """, float_cols=["revenue"], exact_cols=[])
+
+    def test_sql_query_is_suspendable(self, tpch_small, tmp_path):
+        """SQL plans feed the suspension machinery unchanged."""
+        from repro.engine.clock import SimulatedClock
+        from repro.engine.errors import QuerySuspended
+        from repro.engine.executor import QueryExecutor
+        from repro.engine.profile import HardwareProfile
+        from repro.suspend import PipelineLevelStrategy
+
+        sql = (
+            "SELECT l_returnflag, sum(l_quantity) AS q FROM lineitem "
+            "GROUP BY l_returnflag ORDER BY l_returnflag"
+        )
+        plan = plan_sql(tpch_small, sql)
+        profile = HardwareProfile()
+        normal = QueryExecutor(tpch_small, plan, profile=profile).run()
+        strategy = PipelineLevelStrategy(profile)
+        controller = strategy.make_request_controller(normal.stats.duration * 0.5)
+        executor = QueryExecutor(tpch_small, plan, profile=profile, controller=controller)
+        try:
+            executor.run()
+            pytest.skip("finished before suspension")
+        except QuerySuspended as exc:
+            persisted = strategy.persist(exc.capture, tmp_path)
+        resumed = strategy.prepare_resume(
+            persisted.snapshot_path, executor.pipelines, executor.plan_fingerprint
+        )
+        final = QueryExecutor(
+            tpch_small, plan, profile=profile, clock=SimulatedClock(), resume=resumed.resume_state
+        ).run()
+        np.testing.assert_allclose(final.chunk.column("q"), normal.chunk.column("q"))

@@ -1,0 +1,158 @@
+"""Column, Table, Catalog, and .rcol file-format tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine.types import DataType, Schema
+from repro.storage import Catalog, Column, Table, rcol
+
+
+def make_table(name="t", rows=10):
+    return Table.from_pairs(
+        name,
+        [
+            ("id", DataType.INT64, np.arange(rows, dtype=np.int64)),
+            ("score", DataType.FLOAT64, np.linspace(0, 1, rows)),
+            ("tag", DataType.STRING, np.array([f"tag{i}" for i in range(rows)], dtype="U6")),
+        ],
+    )
+
+
+class TestColumn:
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            Column("x", DataType.INT64, np.zeros(3))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Column("x", DataType.INT64, np.zeros((2, 2), dtype=np.int64))
+
+    def test_slice_is_view(self):
+        col = Column("x", DataType.INT64, np.arange(10))
+        sliced = col.slice(2, 5)
+        assert len(sliced) == 3
+        assert sliced.data.base is not None
+
+    def test_take(self):
+        col = Column("x", DataType.INT64, np.arange(10))
+        np.testing.assert_array_equal(col.take(np.array([3, 3, 0])).data, [3, 3, 0])
+
+    def test_nbytes(self):
+        assert Column("x", DataType.INT64, np.arange(4)).nbytes == 32
+
+
+class TestTable:
+    def test_basic(self):
+        table = make_table(rows=7)
+        assert table.num_rows == 7
+        assert table.nbytes > 0
+        assert table.row(2)["id"] == 2
+
+    def test_schema_mismatch_rejected(self):
+        schema = Schema.of(("a", DataType.INT64))
+        with pytest.raises(ValueError, match="do not match"):
+            Table("t", schema, {"b": np.arange(3)})
+
+    def test_ragged_rejected(self):
+        schema = Schema.of(("a", DataType.INT64), ("b", DataType.INT64))
+        with pytest.raises(ValueError, match="ragged"):
+            Table("t", schema, {"a": np.arange(3), "b": np.arange(4)})
+
+    def test_select(self):
+        table = make_table()
+        selected = table.select(["tag", "id"])
+        assert selected.schema.names == ["tag", "id"]
+
+    def test_head(self):
+        assert make_table(rows=10).head(3).num_rows == 3
+
+    def test_empty_table(self):
+        table = Table.from_pairs("e", [("a", DataType.INT64, np.empty(0, dtype=np.int64))])
+        assert table.num_rows == 0
+
+
+class TestRcol:
+    def test_round_trip(self, tmp_path):
+        table = make_table(rows=100)
+        path = tmp_path / "t.rcol"
+        size = rcol.write_table(table, path)
+        assert size == path.stat().st_size
+        restored = rcol.read_table(path)
+        assert restored.name == table.name
+        assert restored.schema.names == table.schema.names
+        for name in table.schema.names:
+            np.testing.assert_array_equal(restored.array(name), table.array(name))
+
+    def test_columnar_read(self, tmp_path):
+        table = make_table(rows=50)
+        path = tmp_path / "t.rcol"
+        rcol.write_table(table, path)
+        only = rcol.read_columns(path, ["score"])
+        assert set(only) == {"score"}
+        np.testing.assert_array_equal(only["score"], table.array("score"))
+
+    def test_columnar_read_order_independent(self, tmp_path):
+        table = make_table(rows=20)
+        path = tmp_path / "t.rcol"
+        rcol.write_table(table, path)
+        out = rcol.read_columns(path, ["tag", "id"])
+        np.testing.assert_array_equal(out["id"], table.array("id"))
+
+    def test_missing_column_raises(self, tmp_path):
+        path = tmp_path / "t.rcol"
+        rcol.write_table(make_table(), path)
+        with pytest.raises(KeyError):
+            rcol.read_columns(path, ["nope"])
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.rcol"
+        path.write_bytes(b"NOTRCOL-file")
+        with pytest.raises(rcol.RcolError):
+            rcol.read_table(path)
+
+
+class TestCatalog:
+    def test_register_and_get(self):
+        catalog = Catalog()
+        catalog.register(make_table("a"))
+        assert "a" in catalog
+        assert catalog.get("a").num_rows == 10
+
+    def test_duplicate_register_rejected(self):
+        catalog = Catalog()
+        catalog.register(make_table("a"))
+        with pytest.raises(ValueError, match="already registered"):
+            catalog.register(make_table("a"))
+
+    def test_replace(self):
+        catalog = Catalog()
+        catalog.register(make_table("a", rows=5))
+        catalog.register(make_table("a", rows=9), replace=True)
+        assert catalog.get("a").num_rows == 9
+
+    def test_unknown_table_message(self):
+        catalog = Catalog()
+        with pytest.raises(KeyError, match="unknown table"):
+            catalog.get("missing")
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.register(make_table("a"))
+        catalog.drop("a")
+        assert "a" not in catalog
+
+    def test_persist_and_ingest_directory(self, tmp_path):
+        catalog = Catalog()
+        catalog.register(make_table("x"))
+        catalog.register(make_table("y", rows=3))
+        sizes = catalog.persist_directory(tmp_path)
+        assert set(sizes) == {"x", "y"}
+        fresh = Catalog()
+        loaded = fresh.ingest_directory(tmp_path)
+        assert sorted(loaded) == ["x", "y"]
+        assert fresh.get("y").num_rows == 3
+
+    def test_nbytes(self):
+        catalog = Catalog()
+        catalog.register(make_table("a"))
+        assert catalog.nbytes == make_table("a").nbytes

@@ -1,0 +1,53 @@
+"""Top-level ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestQueryCommand:
+    def test_sql_query(self, capsys):
+        code = main([
+            "query", "--scale", "0.002",
+            "SELECT count(*) AS n FROM region",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "5" in output
+        assert "1 row(s)" in output
+
+    def test_named_query(self, capsys):
+        code = main(["query", "--scale", "0.002", "--name", "Q6"])
+        assert code == 0
+        assert "row(s)" in capsys.readouterr().out
+
+    def test_unknown_named_query(self, capsys):
+        code = main(["query", "--scale", "0.002", "--name", "Q99"])
+        assert code == 2
+
+    def test_missing_input(self, capsys):
+        code = main(["query", "--scale", "0.002"])
+        assert code == 2
+
+    def test_suspend_resume_flow(self, capsys):
+        code = main(["query", "--scale", "0.002", "--name", "Q3", "--suspend-at", "0.5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "suspended at" in output
+        assert "resumed and finished" in output
+
+    def test_process_strategy_flow(self, capsys):
+        code = main([
+            "query", "--scale", "0.002", "--name", "Q3",
+            "--suspend-at", "0.5", "--strategy", "process",
+        ])
+        assert code == 0
+        assert "process-level" in capsys.readouterr().out
+
+    def test_experiments_alias(self, capsys):
+        code = main([
+            "experiments", "table2", "--scale-ratio", "0.00005",
+            "--queries", "Q1",
+        ])
+        assert code == 0
+        assert "Table II" in capsys.readouterr().out

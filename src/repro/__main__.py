@@ -4,14 +4,18 @@ Commands:
 
 * ``query`` — run a SQL query (or a named TPC-H query) against a freshly
   generated TPC-H catalog, optionally suspending and resuming it midway
-  to demonstrate the framework;
+  to demonstrate the framework; ``--analyze`` prints EXPLAIN ANALYZE and
+  ``--trace-out`` exports a Chrome-trace/Perfetto JSON of the run;
+* ``trace`` — run a query with full tracing and export the trace
+  (Chrome-trace JSON, optional JSONL) plus a text summary;
 * ``experiments`` — alias for ``python -m repro.harness`` (regenerate the
   paper's figures and tables).
 
 Examples::
 
     python -m repro query --scale 0.01 "SELECT count(*) AS n FROM lineitem"
-    python -m repro query --scale 0.01 --name Q3 --suspend-at 0.5
+    python -m repro query --scale 0.01 --name Q3 --suspend-at 0.5 --analyze
+    python -m repro trace --name Q6 --out q6.trace.json --jsonl q6.jsonl
     python -m repro experiments fig8
 """
 
@@ -23,9 +27,11 @@ import tempfile
 
 from repro.engine.clock import SimulatedClock
 from repro.engine.errors import QuerySuspended
-from repro.engine.executor import QueryExecutor
+from repro.engine.executor import QueryExecutor, QueryResult
 from repro.engine.profile import HardwareProfile
 from repro.harness.report import format_table
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.suspend import PipelineLevelStrategy, ProcessLevelStrategy
 from repro.tpch import QUERY_NAMES, build_query, generate_catalog
 
@@ -44,22 +50,102 @@ def _print_chunk(chunk, limit: int = 25) -> None:
         print(f"... ({chunk.num_rows - limit} more rows)")
 
 
+def _resolve_plan(args: argparse.Namespace, catalog):
+    """Return ``(plan, label)`` or ``(None, error_message)``."""
+    if args.name is not None:
+        if args.name not in QUERY_NAMES:
+            return None, f"unknown query {args.name}; expected one of {QUERY_NAMES}"
+        return build_query(args.name), args.name
+    if args.sql:
+        from repro.sql import plan_sql
+
+        return plan_sql(catalog, args.sql), "sql"
+    return None, "provide either --name QN or a SQL string"
+
+
+def _execute(
+    catalog,
+    plan,
+    label: str,
+    profile: HardwareProfile,
+    args: argparse.Namespace,
+    tracer: Tracer | None,
+    metrics: MetricsRegistry | None,
+    verbose: bool = True,
+) -> QueryResult:
+    """Run the query, optionally suspending and resuming it midway.
+
+    When a tracer is supplied and ``--suspend-at`` is used, the resumed
+    executor's clock starts at ``suspended_at + persist + reload`` so the
+    exported trace shows one contiguous busy timeline.
+    """
+    if args.suspend_at is None:
+        result = QueryExecutor(
+            catalog, plan, profile=profile, query_name=label, tracer=tracer, metrics=metrics
+        ).run()
+        if verbose:
+            _print_chunk(result.chunk)
+            print(f"\n{result.chunk.num_rows} row(s); simulated time {result.stats.duration:.2f}s")
+        return result
+
+    # Untraced measuring run: --suspend-at is a fraction of the normal time.
+    normal = QueryExecutor(catalog, plan, profile=profile, query_name=label).run()
+    strategy = (
+        ProcessLevelStrategy(profile, tracer=tracer, metrics=metrics)
+        if args.strategy == "process"
+        else PipelineLevelStrategy(profile, tracer=tracer, metrics=metrics)
+    )
+    controller = strategy.make_request_controller(normal.stats.duration * args.suspend_at)
+    executor = QueryExecutor(
+        catalog,
+        plan,
+        profile=profile,
+        controller=controller,
+        query_name=label,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    directory = tempfile.mkdtemp(prefix="riveter-cli-")
+    try:
+        result = executor.run()
+        if verbose:
+            print("query finished before the suspension point; results:")
+            _print_chunk(result.chunk)
+        return result
+    except QuerySuspended as suspended:
+        outcome = strategy.persist(suspended.capture, directory)
+    if verbose:
+        print(
+            f"suspended at t={outcome.suspended_at:.2f}s "
+            f"({outcome.intermediate_bytes} bytes persisted via {strategy.name}-level)"
+        )
+    resumed = strategy.prepare_resume(
+        outcome.snapshot_path, executor.pipelines, executor.plan_fingerprint
+    )
+    resume_start = outcome.suspended_at + outcome.persist_latency + resumed.reload_latency
+    final = QueryExecutor(
+        catalog,
+        plan,
+        profile=profile,
+        clock=SimulatedClock(resume_start),
+        query_name=label,
+        resume=resumed.resume_state,
+        tracer=tracer,
+        metrics=metrics,
+    ).run()
+    if verbose:
+        print("resumed and finished; results:")
+        _print_chunk(final.chunk)
+        print(f"\n{final.chunk.num_rows} row(s); normal simulated time {normal.stats.duration:.2f}s")
+    return final
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     catalog = generate_catalog(args.scale)
     profile = HardwareProfile()
-    if args.name is not None:
-        if args.name not in QUERY_NAMES:
-            print(f"unknown query {args.name}; expected one of {QUERY_NAMES}", file=sys.stderr)
-            return 2
-        plan = build_query(args.name)
-        label = args.name
-    elif args.sql:
-        from repro.sql import plan_sql
-
-        plan = plan_sql(catalog, args.sql)
-        label = "sql"
-    else:
-        print("provide either --name QN or a SQL string", file=sys.stderr)
+    plan, label = _resolve_plan(args, catalog)
+    if plan is None:
+        print(label, file=sys.stderr)
         return 2
 
     if args.explain:
@@ -68,47 +154,62 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(explain(catalog, plan))
         return 0
 
-    if args.suspend_at is None:
-        result = QueryExecutor(catalog, plan, profile=profile, query_name=label).run()
-        _print_chunk(result.chunk)
-        print(f"\n{result.chunk.num_rows} row(s); simulated time {result.stats.duration:.2f}s")
-        return 0
+    tracer = metrics = None
+    if args.analyze or args.trace_out:
+        tracer, metrics = Tracer(), MetricsRegistry()
 
-    normal = QueryExecutor(catalog, plan, profile=profile, query_name=label).run()
-    strategy = (
-        ProcessLevelStrategy(profile) if args.strategy == "process" else PipelineLevelStrategy(profile)
-    )
-    controller = strategy.make_request_controller(normal.stats.duration * args.suspend_at)
-    executor = QueryExecutor(
-        catalog, plan, profile=profile, controller=controller, query_name=label
-    )
-    directory = tempfile.mkdtemp(prefix="riveter-cli-")
-    try:
-        result = executor.run()
-        print("query finished before the suspension point; results:")
-        _print_chunk(result.chunk)
-        return 0
-    except QuerySuspended as suspended:
-        outcome = strategy.persist(suspended.capture, directory)
-    print(
-        f"suspended at t={outcome.suspended_at:.2f}s "
-        f"({outcome.intermediate_bytes} bytes persisted via {strategy.name}-level)"
-    )
-    resumed = strategy.prepare_resume(
-        outcome.snapshot_path, executor.pipelines, executor.plan_fingerprint
-    )
-    final = QueryExecutor(
-        catalog,
-        plan,
-        profile=profile,
-        clock=SimulatedClock(),
-        query_name=label,
-        resume=resumed.resume_state,
-    ).run()
-    print("resumed and finished; results:")
-    _print_chunk(final.chunk)
-    print(f"\n{final.chunk.num_rows} row(s); normal simulated time {normal.stats.duration:.2f}s")
+    result = _execute(catalog, plan, label, profile, args, tracer, metrics, verbose=True)
+
+    if args.analyze:
+        from repro.engine.explain import explain_analyze
+
+        print()
+        print(explain_analyze(catalog, plan, result.stats, tracer))
+    if args.trace_out:
+        from repro.obs.export import write_chrome_trace
+
+        count = write_chrome_trace(tracer, args.trace_out)
+        print(f"\nwrote {count} trace event(s) to {args.trace_out}")
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    catalog = generate_catalog(args.scale)
+    profile = HardwareProfile()
+    plan, label = _resolve_plan(args, catalog)
+    if plan is None:
+        print(label, file=sys.stderr)
+        return 2
+
+    from repro.obs.export import text_summary, write_chrome_trace, write_jsonl
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    _execute(catalog, plan, label, profile, args, tracer, metrics, verbose=False)
+    count = write_chrome_trace(tracer, args.out)
+    print(f"wrote {count} trace event(s) to {args.out}")
+    if args.jsonl:
+        write_jsonl(tracer, args.jsonl)
+        print(f"wrote JSONL export to {args.jsonl}")
+    print()
+    print(text_summary(tracer, metrics))
+    print(f"\nopen {args.out} in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("sql", nargs="?", default=None, help="SQL text to execute")
+    parser.add_argument("--name", help="named TPC-H query (Q1..Q22) instead of SQL")
+    parser.add_argument("--scale", type=float, default=0.01, help="local TPC-H scale factor")
+    parser.add_argument(
+        "--suspend-at",
+        type=float,
+        default=None,
+        help="suspend at this fraction of execution time, then resume",
+    )
+    parser.add_argument(
+        "--strategy", choices=["pipeline", "process"], default="pipeline",
+        help="suspension strategy used with --suspend-at",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -120,24 +221,33 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro")
     subparsers = parser.add_subparsers(dest="command", required=True)
     query = subparsers.add_parser("query", help="run a SQL or named TPC-H query")
-    query.add_argument("sql", nargs="?", default=None, help="SQL text to execute")
-    query.add_argument("--name", help="named TPC-H query (Q1..Q22) instead of SQL")
-    query.add_argument("--scale", type=float, default=0.01, help="local TPC-H scale factor")
-    query.add_argument(
-        "--suspend-at",
-        type=float,
-        default=None,
-        help="suspend at this fraction of execution time, then resume",
-    )
-    query.add_argument(
-        "--strategy", choices=["pipeline", "process"], default="pipeline",
-        help="suspension strategy used with --suspend-at",
-    )
+    _add_run_arguments(query)
     query.add_argument(
         "--explain", action="store_true",
         help="print the plan tree and pipeline decomposition instead of running",
     )
+    query.add_argument(
+        "--analyze", action="store_true",
+        help="run the query and print EXPLAIN ANALYZE (actual rows, virtual seconds)",
+    )
+    query.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="export a Chrome-trace/Perfetto JSON of the run to PATH",
+    )
     query.set_defaults(handler=cmd_query)
+    trace = subparsers.add_parser(
+        "trace", help="run a query with tracing and export the trace"
+    )
+    _add_run_arguments(trace)
+    trace.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="Chrome-trace/Perfetto JSON output path (default: trace.json)",
+    )
+    trace.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write the deterministic JSONL export to PATH",
+    )
+    trace.set_defaults(handler=cmd_trace)
     args = parser.parse_args(argv)
     return args.handler(args)
 

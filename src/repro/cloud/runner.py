@@ -29,6 +29,8 @@ from repro.engine.errors import QuerySuspended, QueryTerminated
 from repro.engine.executor import QueryExecutor, QueryResult
 from repro.engine.plan import PlanNode
 from repro.engine.profile import HardwareProfile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.suspend.controller import CompositeController, TerminationController
 from repro.suspend.pipeline_level import PipelineLevelStrategy
 from repro.suspend.process_level import ProcessLevelStrategy
@@ -39,7 +41,12 @@ from repro.storage.catalog import Catalog
 __all__ = ["RunOutcome", "QueryRunner", "AdaptiveController", "make_strategy"]
 
 
-def make_strategy(name: str, profile: HardwareProfile) -> SuspensionStrategy:
+def make_strategy(
+    name: str,
+    profile: HardwareProfile,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> SuspensionStrategy:
     """Strategy instance by name (``redo`` / ``pipeline`` / ``process``)."""
     strategies = {
         "redo": RedoStrategy,
@@ -48,7 +55,7 @@ def make_strategy(name: str, profile: HardwareProfile) -> SuspensionStrategy:
     }
     if name not in strategies:
         raise KeyError(f"unknown strategy {name!r}; expected one of {sorted(strategies)}")
-    return strategies[name](profile)
+    return strategies[name](profile, tracer=tracer, metrics=metrics)
 
 
 @dataclass
@@ -171,12 +178,16 @@ class QueryRunner:
         profile: HardwareProfile | None = None,
         snapshot_dir: str | os.PathLike = ".riveter-snapshots",
         morsel_size: int = 16384,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.catalog = catalog
         self.profile = profile if profile is not None else HardwareProfile()
         self.snapshot_dir = Path(snapshot_dir)
         self.snapshot_dir.mkdir(parents=True, exist_ok=True)
         self.morsel_size = morsel_size
+        self.tracer = tracer
+        self.metrics = metrics
 
     # -- baselines -----------------------------------------------------------
     def measure_normal(self, plan: PlanNode, query_name: str) -> QueryResult:
@@ -199,7 +210,9 @@ class QueryRunner:
         ``termination_time`` is the sampled kill time (``None`` when the
         probabilistic termination does not occur).
         """
-        strategy = make_strategy(strategy_name, self.profile)
+        strategy = make_strategy(
+            strategy_name, self.profile, tracer=self.tracer, metrics=self.metrics
+        )
         outcome = RunOutcome(
             query_name=query_name,
             strategy=strategy_name,
@@ -217,7 +230,7 @@ class QueryRunner:
             result = executor.run()
             outcome.busy_time = clock.now()
             outcome.result = result
-            return outcome
+            return self._record_outcome(outcome)
         except QueryTerminated as terminated:
             return self._rerun_after_termination(outcome, plan, query_name, terminated.at_time)
         except QuerySuspended as suspended:
@@ -253,7 +266,8 @@ class QueryRunner:
             outcome.decision = adaptive.decision
             if adaptive.decision is not None:
                 outcome.strategy = adaptive.decision.chosen
-            return outcome
+            self._record_estimator_error(selector, normal_time)
+            return self._record_outcome(outcome)
         except QueryTerminated as terminated:
             outcome.decision = adaptive.decision
             if adaptive.decision is not None:
@@ -261,8 +275,14 @@ class QueryRunner:
             return self._rerun_after_termination(outcome, plan, query_name, terminated.at_time)
         except QuerySuspended as suspended:
             outcome.decision = adaptive.decision
-            strategy = make_strategy(adaptive.decision.chosen, self.profile)
+            strategy = make_strategy(
+                adaptive.decision.chosen,
+                self.profile,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
             outcome.strategy = adaptive.decision.chosen
+            self._record_estimator_error(selector, normal_time)
             return self._persist_and_resume(
                 outcome, plan, query_name, strategy, executor, suspended, termination_time
             )
@@ -282,7 +302,9 @@ class QueryRunner:
         latency grows roughly linearly with the number of suspensions
         (the proportionality the paper notes in §VI).
         """
-        strategy = make_strategy(strategy_name, self.profile)
+        strategy = make_strategy(
+            strategy_name, self.profile, tracer=self.tracer, metrics=self.metrics
+        )
         outcome = RunOutcome(
             query_name=query_name,
             strategy=strategy_name,
@@ -301,7 +323,7 @@ class QueryRunner:
                 result = executor.run()
                 outcome.busy_time += clock.now()
                 outcome.result = result
-                return outcome
+                return self._record_outcome(outcome)
             except QuerySuspended as suspended:
                 persisted = strategy.persist(suspended.capture, self.snapshot_dir)
                 outcome.suspended = True
@@ -329,18 +351,65 @@ class QueryRunner:
             controller=controller,
             query_name=query_name,
             resume=resume,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
+
+    def _record_outcome(self, outcome: RunOutcome) -> RunOutcome:
+        """Roll the finished run into the trace/metrics (accumulated cost)."""
+        if self.metrics is not None:
+            metrics = self.metrics
+            metrics.counter("runs_total", strategy=outcome.strategy).inc()
+            metrics.counter("busy_seconds_total").inc(outcome.busy_time)
+            metrics.counter("overhead_seconds_total").inc(max(0.0, outcome.overhead))
+            if outcome.terminated:
+                metrics.counter("terminations_total").inc()
+            if outcome.suspension_failed:
+                metrics.counter("suspension_failures_total").inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "cloud",
+                f"run:{outcome.query_name}:{outcome.strategy}",
+                outcome.busy_time,
+                track="cloud",
+                strategy=outcome.strategy,
+                busy_time=outcome.busy_time,
+                overhead=outcome.overhead,
+                suspended=outcome.suspended,
+                terminated=outcome.terminated,
+                suspension_failed=outcome.suspension_failed,
+                intermediate_bytes=outcome.intermediate_bytes,
+            )
+        return outcome
+
+    def _record_estimator_error(
+        self, selector: AdaptiveStrategySelector, normal_time: float
+    ) -> None:
+        """How far off the total-time estimate Algorithm 1 worked from was."""
+        if self.metrics is not None:
+            self.metrics.histogram("estimator_error_seconds").observe(
+                abs(selector.estimated_total_time - normal_time)
+            )
 
     def _rerun_after_termination(
         self, outcome: RunOutcome, plan: PlanNode, query_name: str, killed_at: float
     ) -> RunOutcome:
         """Progress lost at *killed_at*; re-run from scratch, threat-free."""
         outcome.terminated = True
+        if self.tracer is not None:
+            self.tracer.instant(
+                "termination",
+                f"kill:{query_name}",
+                killed_at,
+                track="cloud",
+                strategy=outcome.strategy,
+                suspension_failed=outcome.suspension_failed,
+            )
         clock = SimulatedClock()
         result = self._executor(plan, query_name, clock, None).run()
         outcome.busy_time = killed_at + clock.now()
         outcome.result = result
-        return outcome
+        return self._record_outcome(outcome)
 
     def _persist_and_resume(
         self,
@@ -375,4 +444,4 @@ class QueryRunner:
             finish_persist + resumed.reload_latency + clock.now()
         )
         outcome.result = result
-        return outcome
+        return self._record_outcome(outcome)

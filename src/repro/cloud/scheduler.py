@@ -24,6 +24,8 @@ from repro.engine.errors import QuerySuspended
 from repro.engine.executor import QueryExecutor, ResumeState
 from repro.engine.plan import PlanNode
 from repro.engine.profile import HardwareProfile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.storage.catalog import Catalog
 from repro.suspend.pipeline_level import PipelineLevelStrategy
 
@@ -86,13 +88,17 @@ class SuspensionScheduler:
         profile: HardwareProfile | None = None,
         snapshot_dir: str | os.PathLike = ".riveter-scheduler",
         morsel_size: int = 16384,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.catalog = catalog
         self.profile = profile if profile is not None else HardwareProfile()
         self.snapshot_dir = Path(snapshot_dir)
         self.snapshot_dir.mkdir(parents=True, exist_ok=True)
         self.morsel_size = morsel_size
-        self.strategy = PipelineLevelStrategy(self.profile)
+        self.tracer = tracer
+        self.metrics = metrics
+        self.strategy = PipelineLevelStrategy(self.profile, tracer=tracer, metrics=metrics)
 
     # -- policies -------------------------------------------------------------
     def run_fifo(self, requests: list[QueryRequest]) -> ScheduleReport:
@@ -109,11 +115,13 @@ class SuspensionScheduler:
                 clock=clock,
                 morsel_size=self.morsel_size,
                 query_name=request.name,
+                tracer=self.tracer,
+                metrics=self.metrics,
             ).run()
             now = clock.now()
-            report.completions.append(
-                QueryCompletion(request.name, request.arrival_time, now)
-            )
+            completion = QueryCompletion(request.name, request.arrival_time, now)
+            report.completions.append(completion)
+            self._record_completion(completion, policy="fifo")
         return report
 
     def run_preemptive(self, requests: list[QueryRequest]) -> ScheduleReport:
@@ -142,10 +150,14 @@ class SuspensionScheduler:
             clock=clock,
             morsel_size=self.morsel_size,
             query_name=request.name,
+            tracer=self.tracer,
+            metrics=self.metrics,
         ).run()
-        report.completions.append(
-            QueryCompletion(request.name, request.arrival_time, clock.now(), suspensions)
+        completion = QueryCompletion(
+            request.name, request.arrival_time, clock.now(), suspensions
         )
+        report.completions.append(completion)
+        self._record_completion(completion, policy="preemptive")
         return clock.now()
 
     def _run_long_with_preemption(
@@ -186,12 +198,16 @@ class SuspensionScheduler:
                 controller=controller,
                 query_name=request.name,
                 resume=resume_state,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
             try:
                 executor.run()
-                report.completions.append(
-                    QueryCompletion(request.name, request.arrival_time, clock.now(), suspensions)
+                completion = QueryCompletion(
+                    request.name, request.arrival_time, clock.now(), suspensions
                 )
+                report.completions.append(completion)
+                self._record_completion(completion, policy="preemptive")
                 return clock.now()
             except QuerySuspended as suspended:
                 persisted = self.strategy.persist(suspended.capture, self.snapshot_dir)
@@ -214,3 +230,21 @@ class SuspensionScheduler:
                 now += resumed.reload_latency
                 resume_state = resumed.resume_state
                 resume_state.clock_time = 0.0
+
+    def _record_completion(self, completion: QueryCompletion, policy: str) -> None:
+        if self.tracer is not None:
+            self.tracer.span(
+                "cloud",
+                f"schedule:{completion.name}",
+                completion.arrival_time,
+                completion.finished_at,
+                track="scheduler",
+                policy=policy,
+                suspensions=completion.suspensions,
+                latency=completion.latency,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("scheduler_completions_total", policy=policy).inc()
+            self.metrics.histogram("scheduler_latency_seconds", policy=policy).observe(
+                completion.latency
+            )

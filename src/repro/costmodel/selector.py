@@ -19,6 +19,8 @@ from repro.costmodel.model import CostInputs, StrategyCost, estimate_all
 from repro.costmodel.termination import TerminationProfile
 from repro.engine.controller import BoundaryContext
 from repro.engine.profile import HardwareProfile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 
 __all__ = ["SelectorDecision", "AdaptiveStrategySelector"]
 
@@ -53,6 +55,8 @@ class AdaptiveStrategySelector:
     process_size_estimator: Callable[[float], float]
     estimated_total_time: float
     probe_step: float | None = None
+    tracer: Tracer | None = None
+    metrics: MetricsRegistry | None = None
     decisions: list[SelectorDecision] = field(default_factory=list)
 
     def decision_lead(self) -> float:
@@ -134,4 +138,26 @@ class AdaptiveStrategySelector:
             planned_suspension_time=costs[chosen].planned_suspension_time,
         )
         self.decisions.append(decision)
+        if self.tracer is not None:
+            # runtime_seconds is wall time and deliberately left out: trace
+            # exports must stay deterministic across runs.
+            self.tracer.instant(
+                "decision",
+                f"decide:{chosen}",
+                context.clock_now,
+                track="selector",
+                chosen=chosen,
+                costs={name: costs[name].cost for name in sorted(costs)},
+                measured_state_bytes=state_bytes,
+                planned_suspension_time=decision.planned_suspension_time,
+                estimated_total_time=self.estimated_total_time,
+                at_breaker=context.at_breaker,
+                pipeline=context.pipeline_id,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("selector_decisions_total", strategy=chosen).inc()
+            self.metrics.histogram(
+                "selector_state_bytes",
+                buckets=(2.0**10, 2.0**15, 2.0**20, 2.0**25, 2.0**30),
+            ).observe(state_bytes)
         return decision

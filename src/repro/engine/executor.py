@@ -31,12 +31,19 @@ from repro.engine.operators.scan import ChunkSource, TableScanSource
 from repro.engine.pipeline import Pipeline, build_pipelines
 from repro.engine.plan import PlanNode, plan_fingerprint
 from repro.engine.profile import HardwareProfile
-from repro.engine.stats import PipelineStats, QueryStats
+from repro.engine.stats import OperatorStats, PipelineStats, QueryStats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.storage.catalog import Catalog
 
 __all__ = ["QueryExecutor", "QueryResult", "ExecutionCapture", "ResumeState"]
 
 DEFAULT_MORSEL_SIZE = 16384
+
+#: Morsels folded into one ``morsel``-category trace span.  Per-morsel
+#: events would dominate the buffer; batches keep traces readable while
+#: still showing scan progress on the timeline.
+TRACE_MORSEL_BATCH = 32
 
 
 @dataclass
@@ -113,10 +120,27 @@ class _PipelineRun:
     rows_processed: int = 0
     started_at: float = 0.0
     stats: PipelineStats = field(init=False)
+    # trace bookkeeping for batched morsel spans
+    batch_start_morsel: int = 0
+    batch_started_at: float = 0.0
+    batch_rows: int = 0
 
     def __post_init__(self) -> None:
+        source_label = (
+            f"scan({self.pipeline.source.table})"
+            if self.pipeline.source.kind == "table"
+            else f"state{sorted(self.pipeline.source.state_pipelines)}"
+        )
+        operators = [OperatorStats(label=source_label, kind=self.source.kind)]
+        for index, operator in enumerate(self.pipeline.operators):
+            operators.append(OperatorStats(label=f"{operator.kind}#{index}", kind=operator.kind))
+        operators.append(
+            OperatorStats(label=f"sink:{self.pipeline.sink.kind}", kind=self.pipeline.sink.kind)
+        )
         self.stats = PipelineStats(
-            pipeline_id=self.pipeline.pipeline_id, description=self.pipeline.description
+            pipeline_id=self.pipeline.pipeline_id,
+            description=self.pipeline.description,
+            operators=operators,
         )
 
 
@@ -133,6 +157,8 @@ class QueryExecutor:
         controller: ExecutionController | None = None,
         query_name: str = "query",
         resume: ResumeState | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.catalog = catalog
         self.plan = plan
@@ -141,6 +167,8 @@ class QueryExecutor:
         self.morsel_size = morsel_size
         self.controller = controller if controller is not None else ExecutionController()
         self.query_name = query_name
+        self.tracer = tracer
+        self.metrics = metrics
         self.memory = MemoryAccountant()
         self.plan_fingerprint = plan_fingerprint(plan)
         self.pipelines: list[Pipeline] = build_pipelines(catalog, plan)
@@ -165,10 +193,31 @@ class QueryExecutor:
             self.clock.advance(resume.clock_time - self.clock.now())
         for pid, state in self.completed_states.items():
             self.memory.set_charge(f"global:{pid}", state.nbytes)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "resume",
+                f"resume:{self.query_name}",
+                self.clock.now(),
+                completed_pipelines=sorted(self.completed_states),
+                skipped_pipelines=sorted(self.skipped_pipelines),
+                mid_pipeline=resume.current_pipeline,
+                restored_bytes=sum(s.nbytes for s in self.completed_states.values()),
+            )
+        if self.metrics is not None:
+            self.metrics.counter("resumptions_total").inc()
 
     # -- execution ---------------------------------------------------------
     def run(self) -> QueryResult:
         """Execute to completion; may raise QuerySuspended/QueryTerminated."""
+        run_started = self.clock.now()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "query",
+                f"start:{self.query_name}",
+                run_started,
+                pipelines=len(self.pipelines),
+                resumed=bool(self.completed_states or self.skipped_pipelines),
+            )
         self.controller.on_query_start(self)
         self.stats.started_at = self.clock.now() if not self.stats.pipelines else self.stats.started_at
         for position, pipeline in enumerate(self.pipelines):
@@ -183,7 +232,29 @@ class QueryExecutor:
         chunk = self.pipelines[-1].sink.result_chunk(result_state)
         self.stats.finished_at = self.clock.now()
         self.memory.release_all()
+        if self.tracer is not None:
+            self.tracer.span(
+                "query",
+                self.query_name,
+                run_started,
+                self.stats.finished_at,
+                rows=int(chunk.num_rows),
+                pipelines=len(self.stats.pipelines),
+                peak_memory_bytes=self.peak_memory_bytes,
+            )
+        if self.metrics is not None:
+            self._record_query_metrics(chunk.num_rows)
         return QueryResult(chunk=chunk, stats=self.stats, peak_memory_bytes=self.peak_memory_bytes)
+
+    def _record_query_metrics(self, result_rows: int) -> None:
+        metrics = self.metrics
+        metrics.counter("queries_total").inc()
+        metrics.counter("result_rows_total").inc(int(result_rows))
+        metrics.histogram("query_duration_vseconds").observe(self.stats.duration)
+        for pipeline_stats in self.stats.pipelines:
+            metrics.counter("morsels_total").inc(pipeline_stats.morsels_processed)
+            for op in pipeline_stats.operators:
+                metrics.counter("rows_total", operator=op.kind).inc(op.rows)
 
     def _run_pipeline(self, position: int, pipeline: Pipeline) -> None:
         source = self._make_source(pipeline)
@@ -210,6 +281,8 @@ class QueryExecutor:
             )
         run.started_at = self.clock.now()
         run.stats.started_at = run.started_at
+        run.batch_start_morsel = run.next_morsel
+        run.batch_started_at = run.started_at
 
         total_morsels = source.morsel_count
         while run.next_morsel < total_morsels:
@@ -217,6 +290,16 @@ class QueryExecutor:
             context = self._context(position, run, at_breaker=False)
             action = self.controller.on_morsel_boundary(context)
             if action is Action.SUSPEND_PROCESS:
+                if self.tracer is not None:
+                    self._flush_morsel_batch(run)
+                    self.tracer.instant(
+                        "suspend",
+                        f"capture:process:{self.query_name}",
+                        self.clock.now(),
+                        track="suspend",
+                        pipeline=run.pipeline.pipeline_id,
+                        morsel=run.next_morsel,
+                    )
                 raise QuerySuspended(self._capture_process(run))
             if action is Action.SUSPEND_PIPELINE:
                 raise EngineError(
@@ -224,38 +307,80 @@ class QueryExecutor:
                 )
         self._finish_pipeline(position, run)
 
+    def _flush_morsel_batch(self, run: _PipelineRun) -> None:
+        """Emit the pending morsel-batch span (tracer enabled only)."""
+        if run.next_morsel == run.batch_start_morsel:
+            return
+        self.tracer.span(
+            "morsel",
+            f"P{run.pipeline.pipeline_id}"
+            f":morsels[{run.batch_start_morsel}..{run.next_morsel})",
+            run.batch_started_at,
+            self.clock.now(),
+            pipeline=run.pipeline.pipeline_id,
+            morsels=run.next_morsel - run.batch_start_morsel,
+            rows=run.batch_rows,
+        )
+        run.batch_start_morsel = run.next_morsel
+        run.batch_started_at = self.clock.now()
+        run.batch_rows = 0
+
     def _process_morsel(self, run: _PipelineRun) -> None:
         pipeline = run.pipeline
         pid = pipeline.pipeline_id
         worker = run.next_morsel % self.profile.num_threads
+        op_stats = run.stats.operators
         chunk = run.source.get_morsel(run.next_morsel)
-        self.clock.advance(self.profile.tuple_cost(run.source.kind, chunk.num_rows))
+        source_rows = chunk.num_rows
+        cost = self.profile.tuple_cost(run.source.kind, chunk.num_rows)
+        self.clock.advance(cost)
+        op_stats[0].rows += chunk.num_rows
+        op_stats[0].bytes += chunk.nbytes
+        op_stats[0].seconds += cost
         # Lazy deallocation model: a calibrated fraction of scanned buffers
         # stays charged until the query completes (paper §IV-A, Fig. 7).
         self.memory.charge(f"scan:{pid}", int(chunk.nbytes * self.profile.buffer_retention))
-        for operator in pipeline.operators:
+        for index, operator in enumerate(pipeline.operators):
             chunk = operator.execute(chunk)
-            self.clock.advance(self.profile.tuple_cost(operator.kind, chunk.num_rows))
+            cost = self.profile.tuple_cost(operator.kind, chunk.num_rows)
+            self.clock.advance(cost)
+            op = op_stats[index + 1]
+            op.rows += chunk.num_rows
+            op.bytes += chunk.nbytes
+            op.seconds += cost
         pipeline.sink.sink(run.local_states[worker], chunk)
+        op_stats[-1].rows += chunk.num_rows
         self.memory.set_charge(f"local:{pid}:{worker}", run.local_states[worker].nbytes)
         self.peak_memory_bytes = max(self.peak_memory_bytes, self.memory.total_bytes)
         run.rows_processed += chunk.num_rows
         run.next_morsel += 1
         run.stats.rows_processed = run.rows_processed
         run.stats.morsels_processed = run.next_morsel
+        if self.tracer is not None:
+            run.batch_rows += source_rows
+            if run.next_morsel - run.batch_start_morsel >= TRACE_MORSEL_BATCH:
+                self._flush_morsel_batch(run)
 
     def _finish_pipeline(self, position: int, run: _PipelineRun) -> None:
         pipeline = run.pipeline
         pid = pipeline.pipeline_id
         sink = pipeline.sink
+        if self.tracer is not None:
+            self._flush_morsel_batch(run)
+        breaker_started = self.clock.now()
         global_state = sink.make_global_state()
         for local_state in run.local_states:
             sink.combine(global_state, local_state)
-        self.clock.advance(self.profile.tuple_cost("merge", run.rows_processed))
+        merge_cost = self.profile.tuple_cost("merge", run.rows_processed)
+        self.clock.advance(merge_cost)
         sink.finalize(global_state)
-        self.clock.advance(
-            self.profile.tuple_cost(sink.kind, sink.finalize_cost_rows(global_state))
+        finalize_cost = self.profile.tuple_cost(
+            sink.kind, sink.finalize_cost_rows(global_state)
         )
+        self.clock.advance(finalize_cost)
+        sink_stats = run.stats.operators[-1]
+        sink_stats.seconds += merge_cost + finalize_cost
+        sink_stats.bytes = global_state.nbytes
         self.completed_states[pid] = global_state
         for worker in range(self.profile.num_threads):
             self.memory.release(f"local:{pid}:{worker}")
@@ -264,11 +389,47 @@ class QueryExecutor:
         run.stats.finished_at = self.clock.now()
         run.stats.global_state_bytes = global_state.nbytes
         self.stats.record_pipeline(run.stats)
+        if self.tracer is not None:
+            self.tracer.span(
+                "breaker",
+                f"P{pid}:breaker",
+                breaker_started,
+                run.stats.finished_at,
+                pipeline=pid,
+                state_bytes=global_state.nbytes,
+                rows=run.rows_processed,
+            )
+            self.tracer.span(
+                "pipeline",
+                f"P{pid}:{pipeline.description}",
+                run.started_at,
+                run.stats.finished_at,
+                pipeline=pid,
+                rows=run.rows_processed,
+                morsels=run.stats.morsels_processed,
+                state_bytes=global_state.nbytes,
+            )
         context = self._context(position, run, at_breaker=True)
         action = self.controller.on_pipeline_breaker(context)
         if action is Action.SUSPEND_PIPELINE:
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "suspend",
+                    f"capture:pipeline:{self.query_name}",
+                    self.clock.now(),
+                    track="suspend",
+                    pipeline=pid,
+                )
             raise QuerySuspended(self._capture_pipeline())
         if action is Action.SUSPEND_PROCESS:
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "suspend",
+                    f"capture:process:{self.query_name}",
+                    self.clock.now(),
+                    track="suspend",
+                    pipeline=pid,
+                )
             raise QuerySuspended(self._capture_process(None))
 
     # -- sources and bindings ----------------------------------------------

@@ -7,6 +7,10 @@ Two views are provided, mirroring how Riveter thinks about a query:
   strategies operate on: one line per pipeline with its source, streaming
   operators, sink kind, and dependencies.  This is the view that answers
   "where can this query be suspended?".
+* :func:`explain_analyze` — the same decomposition annotated with what a
+  recorded execution *actually* did: per-pipeline rows/morsels/virtual
+  seconds/state bytes, a per-operator row and time breakdown, and (when a
+  tracer is supplied) the suspension timeline.
 """
 
 from __future__ import annotations
@@ -14,9 +18,11 @@ from __future__ import annotations
 from repro.engine import plan as planmod
 from repro.engine.pipeline import build_pipelines
 from repro.engine.plan import PlanNode
+from repro.engine.stats import QueryStats
+from repro.obs.trace import Tracer
 from repro.storage.catalog import Catalog
 
-__all__ = ["explain_plan", "explain_pipelines", "explain"]
+__all__ = ["explain_plan", "explain_pipelines", "explain", "explain_analyze"]
 
 
 def _node_label(node: PlanNode) -> str:
@@ -93,3 +99,97 @@ def explain_pipelines(catalog: Catalog, plan: PlanNode) -> str:
 def explain(catalog: Catalog, plan: PlanNode) -> str:
     """Both views, joined."""
     return explain_plan(plan) + "\n\n" + explain_pipelines(catalog, plan)
+
+
+def _fmt_bytes(nbytes: float) -> str:
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.2f}{unit}"
+        value /= 1024.0
+    return f"{value:.2f}TB"
+
+
+def _operator_table(operators, indent: str) -> list[str]:
+    rows = [("operator", "kind", "rows", "bytes", "vsec")]
+    for op in operators:
+        rows.append(
+            (op.label, op.kind, f"{op.rows}", _fmt_bytes(op.bytes), f"{op.seconds:.4f}")
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(5)]
+    lines = []
+    for row in rows:
+        cells = [row[0].ljust(widths[0]), row[1].ljust(widths[1])]
+        cells += [row[col].rjust(widths[col]) for col in (2, 3, 4)]
+        lines.append(indent + "  ".join(cells))
+    return lines
+
+
+_TIMELINE_CATEGORIES = ("suspend", "persist", "resume", "termination", "decision")
+
+
+def _suspension_timeline(tracer: Tracer) -> list[str]:
+    lines: list[str] = []
+    events = [e for e in tracer.events if e.category in _TIMELINE_CATEGORIES]
+    for event in sorted(events, key=lambda e: (e.ts, e.category, e.name)):
+        detail = ""
+        nbytes = event.args.get("bytes", event.args.get("image_bytes"))
+        if nbytes is not None:
+            detail += f" {_fmt_bytes(nbytes)}"
+        if event.phase == "X" and event.dur > 0:
+            detail += f" (+{event.dur:.4f}s)"
+        if event.category == "decision":
+            detail += f" state={_fmt_bytes(event.args.get('measured_state_bytes', 0))}"
+        lines.append(f"  [{event.ts:10.4f}s] {event.category:<11} {event.name}{detail}")
+    return lines
+
+
+def explain_analyze(
+    catalog: Catalog,
+    plan: PlanNode,
+    stats: QueryStats,
+    tracer: Tracer | None = None,
+) -> str:
+    """The plan and pipeline views annotated with recorded execution stats.
+
+    *stats* is the :class:`~repro.engine.stats.QueryStats` of a finished
+    run (e.g. ``QueryResult.stats``); every value shown is in virtual
+    seconds from the simulated clock, so the output is deterministic.
+    """
+    executed = {p.pipeline_id: p for p in stats.pipelines}
+    pipelines = build_pipelines(catalog, plan)
+    lines = [explain_plan(plan), ""]
+    lines.append(
+        f"{len(pipelines)} pipelines ({len(pipelines) - 1} intermediate breakers):"
+    )
+    for pipeline in pipelines:
+        deps = f" needs {sorted(pipeline.dependencies)}" if pipeline.dependencies else ""
+        lines.append(
+            f"  P{pipeline.pipeline_id}: {pipeline.description}"
+            f" [sink={pipeline.sink.kind}]{deps}"
+        )
+        run = executed.get(pipeline.pipeline_id)
+        if run is None:
+            lines.append("      (not executed)")
+            continue
+        lines.append(
+            f"      actual: {run.rows_processed} rows in {run.morsels_processed}"
+            f" morsels, {run.duration:.4f} vsec"
+            f" [{run.started_at:.4f}..{run.finished_at:.4f}],"
+            f" state={_fmt_bytes(run.global_state_bytes)}"
+        )
+        if run.operators:
+            lines.extend(_operator_table(run.operators, "        "))
+    total_rows = stats.pipelines[-1].operators[-1].rows if stats.pipelines and stats.pipelines[-1].operators else 0
+    lines.append("")
+    lines.append(
+        f"Execution: {stats.duration:.4f} virtual seconds,"
+        f" {stats.completed_pipeline_count} pipelines, {total_rows} result rows"
+    )
+    if tracer is not None:
+        timeline = _suspension_timeline(tracer)
+        if timeline:
+            lines.append("")
+            lines.append("Suspension timeline:")
+            lines.extend(timeline)
+    return "\n".join(lines)

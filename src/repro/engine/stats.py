@@ -9,7 +9,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["PipelineStats", "QueryStats"]
+__all__ = ["OperatorStats", "PipelineStats", "QueryStats"]
+
+
+@dataclass
+class OperatorStats:
+    """Row/byte/virtual-time breakdown for one operator in a pipeline.
+
+    ``rows`` and ``bytes`` count the operator's *output*; ``seconds`` is
+    the virtual time charged to it by the simulated clock.  The source
+    and the sink appear as the first and last entries of a pipeline's
+    breakdown, so EXPLAIN ANALYZE can show where time and volume go.
+    """
+
+    label: str
+    kind: str
+    rows: int = 0
+    bytes: int = 0
+    seconds: float = 0.0
 
 
 @dataclass
@@ -23,6 +40,7 @@ class PipelineStats:
     rows_processed: int = 0
     morsels_processed: int = 0
     global_state_bytes: int = 0
+    operators: list[OperatorStats] = field(default_factory=list)
 
     @property
     def duration(self) -> float:

@@ -17,7 +17,13 @@ from repro.harness.experiments import (
     run_table5,
     train_regression_estimator,
 )
-from repro.harness.report import format_bytes, format_table, print_table, summarize_distribution
+from repro.harness.report import (
+    format_bytes,
+    format_operator_breakdown,
+    format_table,
+    print_table,
+    summarize_distribution,
+)
 
 __all__ = [
     "FIG10_WINDOWS",
@@ -36,6 +42,7 @@ __all__ = [
     "run_table5",
     "train_regression_estimator",
     "format_bytes",
+    "format_operator_breakdown",
     "format_table",
     "print_table",
     "summarize_distribution",

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["format_table", "format_bytes", "print_table", "summarize_distribution"]
+__all__ = [
+    "format_table",
+    "format_bytes",
+    "format_operator_breakdown",
+    "print_table",
+    "summarize_distribution",
+]
 
 
 def format_bytes(nbytes: float) -> str:
@@ -33,6 +39,28 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
     for row in materialized:
         lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_operator_breakdown(stats) -> str:
+    """Per-operator rows/bytes/virtual-seconds table for a recorded run.
+
+    *stats* is a :class:`~repro.engine.stats.QueryStats`; one table row per
+    operator of every executed pipeline, in execution order.
+    """
+    rows = []
+    for pipeline in stats.pipelines:
+        for op in pipeline.operators:
+            rows.append(
+                (
+                    f"P{pipeline.pipeline_id}",
+                    op.label,
+                    op.kind,
+                    op.rows,
+                    format_bytes(op.bytes),
+                    f"{op.seconds:.4f}",
+                )
+            )
+    return format_table(("pipeline", "operator", "kind", "rows", "bytes", "vsec"), rows)
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:

@@ -1,0 +1,49 @@
+"""Observability: virtual-clock tracing, metrics, and trace export.
+
+Riveter's claims are timeline arguments — suspension lag, persist and
+reload latencies, adaptive decisions racing a termination window.  This
+package makes those timelines *inspectable*:
+
+* :mod:`repro.obs.trace` — a structured tracer whose spans and instant
+  events are stamped by the engine's :class:`~repro.engine.clock.Clock`,
+  so every recorded event lives on the same virtual timeline as the
+  paper's figures;
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  histograms (rows per operator, bytes persisted/reloaded, suspension
+  lag, estimator error);
+* :mod:`repro.obs.export` — JSONL and Chrome-trace/Perfetto JSON
+  exporters, a human-readable summary, and a schema validator used by CI.
+
+Tracing is strictly opt-in: every instrumented component takes
+``tracer=None`` / ``metrics=None`` and the disabled path is a single
+``is None`` check.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import TRACE_CATEGORIES, TraceEvent, Tracer
+from repro.obs.export import (
+    text_summary,
+    trace_to_chrome,
+    trace_to_jsonl,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "TRACE_CATEGORIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "trace_to_jsonl",
+    "trace_to_chrome",
+    "write_jsonl",
+    "write_chrome_trace",
+    "text_summary",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+]

@@ -1,0 +1,166 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+A minimal Prometheus-flavoured registry.  Metrics are identified by a
+name plus a sorted label set; ``snapshot()`` produces a deterministic,
+JSON-serializable dict that benchmarks dump as ``BENCH_obs.json`` so
+successive PRs have a perf trajectory to compare against.
+
+The catalog of metric names instrumented code emits:
+
+=================================  ======  =================================
+name                               type    meaning
+=================================  ======  =================================
+``queries_total``                  ctr     completed query executions
+``rows_total{operator=…}``         ctr     rows produced per operator kind
+``morsels_total``                  ctr     morsels processed
+``query_duration_vseconds``        hist    virtual duration per query
+``bytes_persisted_total{…}``       ctr     snapshot/image bytes written
+``bytes_reloaded_total{…}``        ctr     snapshot/image bytes re-read
+``persist_latency_seconds``        hist    modelled persist latencies
+``reload_latency_seconds``         hist    modelled reload latencies
+``suspension_lag_seconds``         hist    request → actual-suspension lag
+``selector_decisions_total{…}``    ctr     Algorithm 1 outcomes per strategy
+``selector_state_bytes``           hist    measured S^ppl at decision time
+``estimator_error_seconds``        hist    estimated − actual total runtime
+``terminations_total``             ctr     simulated kills that landed
+``suspensions_total``              ctr     suspensions that persisted
+``resumptions_total``              ctr     successful resumptions
+``busy_seconds_total``             ctr     accumulated busy time (cost proxy)
+``overhead_seconds_total``         ctr     busy − normal accumulated
+``scheduler_completions_total``    ctr     queries drained by the scheduler
+=================================  ======  =================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default histogram bucket upper bounds, in the units of the observed
+#: quantity (virtual seconds for latencies; bytes-sized histograms pass
+#: their own bounds).
+DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 300.0, 1800.0)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing value."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only increase; got {amount}")
+        self.value += amount
+
+    def to_json(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Last-written value."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_json(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with running sum/min/max."""
+
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min: float = 0.0
+    max: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.buckets = tuple(sorted(float(b) for b in self.buckets))
+        if not self.counts:
+            # one count per bucket plus the +Inf overflow slot
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+def _key(name: str, labels: dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, kind: type, key: str, factory):
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(f"metric {key!r} is a {type(metric).__name__}, not {kind.__name__}")
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, _key(name, labels), Counter)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, _key(name, labels), Gauge)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels: str
+    ) -> Histogram:
+        factory = (lambda: Histogram(buckets=buckets)) if buckets else Histogram
+        return self._get(Histogram, _key(name, labels), factory)
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-serializable dump of every metric."""
+        return {
+            "metrics": {
+                key: self._metrics[key].to_json() for key in sorted(self._metrics)
+            }
+        }

@@ -6,6 +6,8 @@ from typing import Callable
 
 from repro.engine.controller import Action, BoundaryContext, ExecutionController
 from repro.engine.errors import QueryTerminated
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 
 __all__ = [
     "SuspensionRequestController",
@@ -20,21 +22,57 @@ class SuspensionRequestController(ExecutionController):
 
     ``mode`` selects the granularity: ``"process"`` suspends at the first
     morsel boundary at/after the request, ``"pipeline"`` at the first
-    pipeline breaker.  The controller records the times of the request and
-    of the actual suspension, which the harness uses for the time-lag
-    experiment (Fig. 9).
+    pipeline breaker.  The request and the actual suspension are recorded
+    as ``suspend``-category trace events (when a tracer is attached) in
+    addition to the ``suspended_at``/``lag`` attributes the harness uses
+    for the time-lag experiment (Fig. 9).
     """
 
-    def __init__(self, request_time: float, mode: str):
+    def __init__(
+        self,
+        request_time: float,
+        mode: str,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         if mode not in ("process", "pipeline"):
             raise ValueError(f"mode must be 'process' or 'pipeline', got {mode!r}")
         self.request_time = request_time
         self.mode = mode
+        self.tracer = tracer
+        self.metrics = metrics
         self.suspended_at: float | None = None
+        self._request_recorded = False
+
+    def on_query_start(self, executor) -> None:
+        if self.tracer is not None and not self._request_recorded:
+            self._request_recorded = True
+            self.tracer.instant(
+                "suspend",
+                f"request:{self.mode}",
+                self.request_time,
+                track="suspend",
+                mode=self.mode,
+            )
+
+    def _note_suspension(self, now: float) -> None:
+        self.suspended_at = now
+        if self.tracer is not None:
+            self.tracer.instant(
+                "suspend",
+                f"suspend:{self.mode}",
+                now,
+                track="suspend",
+                mode=self.mode,
+                requested_at=self.request_time,
+                lag=self.lag,
+            )
+        if self.metrics is not None:
+            self.metrics.histogram("suspension_lag_seconds").observe(self.lag or 0.0)
 
     def on_morsel_boundary(self, context: BoundaryContext) -> Action:
         if self.mode == "process" and context.clock_now >= self.request_time:
-            self.suspended_at = context.clock_now
+            self._note_suspension(context.clock_now)
             return Action.SUSPEND_PROCESS
         return Action.CONTINUE
 
@@ -44,7 +82,7 @@ class SuspensionRequestController(ExecutionController):
         if context.pipeline_pos == context.total_pipelines - 1:
             # The final (result) pipeline just finished: nothing to suspend.
             return Action.CONTINUE
-        self.suspended_at = context.clock_now
+        self._note_suspension(context.clock_now)
         if self.mode == "pipeline":
             return Action.SUSPEND_PIPELINE
         return Action.SUSPEND_PROCESS
@@ -111,15 +149,26 @@ class CompositeController(ExecutionController):
 
 
 class CallbackController(ExecutionController):
-    """Adapts plain callables into a controller (used by the selector)."""
+    """Adapts plain callables into a controller (used by the selector).
+
+    All three executor hooks are forwarded, so a callback-based observer
+    sees the same lifecycle as a subclassed controller — including query
+    start, which :class:`CompositeController` forwards uniformly.
+    """
 
     def __init__(
         self,
         on_morsel: Callable[[BoundaryContext], Action] | None = None,
         on_breaker: Callable[[BoundaryContext], Action] | None = None,
+        on_start: Callable[[object], None] | None = None,
     ):
         self._on_morsel = on_morsel
         self._on_breaker = on_breaker
+        self._on_start = on_start
+
+    def on_query_start(self, executor) -> None:
+        if self._on_start is not None:
+            self._on_start(executor)
 
     def on_morsel_boundary(self, context: BoundaryContext) -> Action:
         if self._on_morsel is None:

@@ -24,6 +24,7 @@ from repro.engine.errors import EngineError
 from repro.engine.executor import ExecutionCapture, ResumeState
 from repro.engine.pipeline import Pipeline
 from repro.engine.profile import HardwareProfile
+from repro.obs.trace import Tracer
 from repro.suspend.snapshot import ProcessImage
 
 __all__ = ["CriuError", "SimulatedCriu"]
@@ -36,8 +37,9 @@ class CriuError(EngineError):
 class SimulatedCriu:
     """Dump/restore of query-execution process images."""
 
-    def __init__(self, profile: HardwareProfile):
+    def __init__(self, profile: HardwareProfile, tracer: Tracer | None = None):
         self.profile = profile
+        self.tracer = tracer
 
     def dump(self, capture: ExecutionCapture, path: str | os.PathLike) -> ProcessImage:
         """Write a process image for *capture* to *path*."""
@@ -45,6 +47,17 @@ class SimulatedCriu:
             raise CriuError(f"CRIU dumps whole processes; got a {capture.kind!r} capture")
         image = ProcessImage.from_capture(capture, self.profile.process_context_bytes)
         image.write(path)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "persist",
+                "criu:dump",
+                capture.clock_time,
+                track="suspend",
+                image_bytes=image.intermediate_bytes,
+                states=len(image.state_blobs),
+                locals=len(image.local_state_blobs),
+                mid_pipeline=image.current_pipeline,
+            )
         return image
 
     def restore(
@@ -79,6 +92,16 @@ class SimulatedCriu:
             local_states = [
                 sink.deserialize_local_state(blob) for blob in image.local_state_blobs
             ]
+        if self.tracer is not None:
+            self.tracer.instant(
+                "resume",
+                "criu:restore",
+                image.meta.clock_time,
+                track="suspend",
+                image_bytes=image.intermediate_bytes,
+                mid_pipeline=image.current_pipeline,
+                next_morsel=image.next_morsel,
+            )
         return ResumeState(
             completed_states=completed,
             stats=image.stats,

@@ -34,20 +34,24 @@ class PipelineLevelStrategy(SuspensionStrategy):
     name = "pipeline"
 
     def make_request_controller(self, request_time: float) -> SuspensionRequestController:
-        return SuspensionRequestController(request_time, mode="pipeline")
+        return SuspensionRequestController(
+            request_time, mode="pipeline", tracer=self.tracer, metrics=self.metrics
+        )
 
     def persist(self, capture: ExecutionCapture, directory: str | os.PathLike) -> SuspendOutcome:
         snapshot = PipelineSnapshot.from_capture(capture)
         path = Path(directory) / f"{capture.query_name}.pipeline.snapshot"
         snapshot.write(path)
         nbytes = snapshot.intermediate_bytes
-        return SuspendOutcome(
+        outcome = SuspendOutcome(
             strategy=self.name,
             snapshot_path=path,
             intermediate_bytes=nbytes,
             persist_latency=self.profile.persist_latency(nbytes),
             suspended_at=capture.clock_time,
         )
+        self._record_persist(outcome)
+        return outcome
 
     def prepare_resume(
         self,
@@ -74,6 +78,15 @@ class PipelineLevelStrategy(SuspensionStrategy):
         reload_latency = (profile or self.profile).reload_latency(
             snapshot.intermediate_bytes
         )
-        return ResumeOutcome(
+        outcome = ResumeOutcome(
             strategy=self.name, resume_state=resume, reload_latency=reload_latency
         )
+        # On the busy timeline the reload begins once the persist that wrote
+        # this snapshot has finished.
+        self._record_reload(
+            outcome,
+            snapshot.meta.clock_time
+            + self.profile.persist_latency(snapshot.intermediate_bytes),
+            snapshot.intermediate_bytes,
+        )
+        return outcome

@@ -16,6 +16,8 @@ from pathlib import Path
 from repro.engine.executor import ExecutionCapture
 from repro.engine.pipeline import Pipeline
 from repro.engine.profile import HardwareProfile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.suspend.controller import SuspensionRequestController
 from repro.suspend.criu import SimulatedCriu
 from repro.suspend.strategy import ResumeOutcome, SuspendOutcome, SuspensionStrategy
@@ -28,24 +30,33 @@ class ProcessLevelStrategy(SuspensionStrategy):
 
     name = "process"
 
-    def __init__(self, profile: HardwareProfile):
-        super().__init__(profile)
-        self.criu = SimulatedCriu(profile)
+    def __init__(
+        self,
+        profile: HardwareProfile,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        super().__init__(profile, tracer=tracer, metrics=metrics)
+        self.criu = SimulatedCriu(profile, tracer=tracer)
 
     def make_request_controller(self, request_time: float) -> SuspensionRequestController:
-        return SuspensionRequestController(request_time, mode="process")
+        return SuspensionRequestController(
+            request_time, mode="process", tracer=self.tracer, metrics=self.metrics
+        )
 
     def persist(self, capture: ExecutionCapture, directory: str | os.PathLike) -> SuspendOutcome:
         path = Path(directory) / f"{capture.query_name}.process.image"
         image = self.criu.dump(capture, path)
         nbytes = image.intermediate_bytes
-        return SuspendOutcome(
+        outcome = SuspendOutcome(
             strategy=self.name,
             snapshot_path=path,
             intermediate_bytes=nbytes,
             persist_latency=self.profile.persist_latency(nbytes),
             suspended_at=capture.clock_time,
         )
+        self._record_persist(outcome)
+        return outcome
 
     def prepare_resume(
         self,
@@ -58,6 +69,13 @@ class ProcessLevelStrategy(SuspensionStrategy):
         target_profile = profile or self.profile
         resume = self.criu.restore(image, pipelines, target_profile, plan_fingerprint)
         reload_latency = target_profile.reload_latency(image.intermediate_bytes)
-        return ResumeOutcome(
+        outcome = ResumeOutcome(
             strategy=self.name, resume_state=resume, reload_latency=reload_latency
         )
+        self._record_reload(
+            outcome,
+            image.meta.clock_time
+            + self.profile.persist_latency(image.intermediate_bytes),
+            image.intermediate_bytes,
+        )
+        return outcome

@@ -28,13 +28,15 @@ class RedoStrategy(SuspensionStrategy):
         return None  # never suspends; the environment simply kills the query
 
     def persist(self, capture: ExecutionCapture, directory: str | os.PathLike) -> SuspendOutcome:
-        return SuspendOutcome(
+        outcome = SuspendOutcome(
             strategy=self.name,
             snapshot_path=None,
             intermediate_bytes=0,
             persist_latency=0.0,
             suspended_at=capture.clock_time,
         )
+        self._record_persist(outcome)
+        return outcome
 
     def prepare_resume(
         self,

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.engine.executor import ExecutionCapture
-from repro.engine.stats import PipelineStats, QueryStats
+from repro.engine.stats import OperatorStats, PipelineStats, QueryStats
 from repro.storage import serialize
 
 __all__ = ["SnapshotError", "SnapshotMeta", "PipelineSnapshot", "ProcessImage"]
@@ -86,6 +86,16 @@ def _stats_to_json(stats: QueryStats) -> dict:
                 "rows_processed": p.rows_processed,
                 "morsels_processed": p.morsels_processed,
                 "global_state_bytes": p.global_state_bytes,
+                "operators": [
+                    {
+                        "label": op.label,
+                        "kind": op.kind,
+                        "rows": op.rows,
+                        "bytes": op.bytes,
+                        "seconds": op.seconds,
+                    }
+                    for op in p.operators
+                ],
             }
             for p in stats.pipelines
         ],
@@ -108,6 +118,16 @@ def _stats_from_json(payload: dict) -> QueryStats:
                 rows_processed=int(entry["rows_processed"]),
                 morsels_processed=int(entry["morsels_processed"]),
                 global_state_bytes=int(entry["global_state_bytes"]),
+                operators=[
+                    OperatorStats(
+                        label=op["label"],
+                        kind=op["kind"],
+                        rows=int(op["rows"]),
+                        bytes=int(op["bytes"]),
+                        seconds=float(op["seconds"]),
+                    )
+                    for op in entry.get("operators", [])
+                ],
             )
         )
     return stats

@@ -25,6 +25,8 @@ from pathlib import Path
 from repro.engine.executor import ExecutionCapture, ResumeState
 from repro.engine.pipeline import Pipeline
 from repro.engine.profile import HardwareProfile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.suspend.controller import SuspensionRequestController
 
 __all__ = ["SuspendOutcome", "ResumeOutcome", "SuspensionStrategy"]
@@ -58,11 +60,60 @@ class SuspensionStrategy:
     #: whether suspension persists any intermediate data
     persists_data: bool = True
 
-    def __init__(self, profile: HardwareProfile):
+    def __init__(
+        self,
+        profile: HardwareProfile,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.profile = profile
+        self.tracer = tracer
+        self.metrics = metrics
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+    # -- observability -------------------------------------------------------
+    def _record_persist(self, outcome: SuspendOutcome) -> None:
+        """Emit the persist span/counters for *outcome* (no-op untraced)."""
+        if self.tracer is not None:
+            self.tracer.span(
+                "persist",
+                f"persist:{outcome.strategy}",
+                outcome.suspended_at,
+                outcome.suspended_at + outcome.persist_latency,
+                track="suspend",
+                strategy=outcome.strategy,
+                bytes=outcome.intermediate_bytes,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("suspensions_total", strategy=outcome.strategy).inc()
+            self.metrics.counter(
+                "bytes_persisted_total", strategy=outcome.strategy
+            ).inc(outcome.intermediate_bytes)
+            self.metrics.histogram("persist_latency_seconds").observe(
+                outcome.persist_latency
+            )
+
+    def _record_reload(self, outcome: ResumeOutcome, start: float, nbytes: int) -> None:
+        """Emit the reload span/counters starting at virtual time *start*."""
+        if self.tracer is not None:
+            self.tracer.span(
+                "resume",
+                f"reload:{outcome.strategy}",
+                start,
+                start + outcome.reload_latency,
+                track="suspend",
+                strategy=outcome.strategy,
+                bytes=nbytes,
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "bytes_reloaded_total", strategy=outcome.strategy
+            ).inc(nbytes)
+            self.metrics.histogram("reload_latency_seconds").observe(
+                outcome.reload_latency
+            )
 
     def make_request_controller(self, request_time: float) -> SuspensionRequestController | None:
         """Controller that triggers this strategy's suspension.

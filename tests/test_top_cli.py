@@ -51,3 +51,55 @@ class TestQueryCommand:
         ])
         assert code == 0
         assert "Table II" in capsys.readouterr().out
+
+    def test_analyze(self, capsys):
+        code = main(["query", "--scale", "0.002", "--name", "Q6", "--analyze"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "actual:" in output
+        assert "vsec" in output
+        assert "result rows" in output
+
+    def test_analyze_with_trace_out(self, capsys, tmp_path):
+        from repro.obs.export import validate_chrome_trace_file
+
+        path = tmp_path / "trace.json"
+        code = main([
+            "query", "--scale", "0.002", "--name", "Q3",
+            "--suspend-at", "0.5", "--analyze", "--trace-out", str(path),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Suspension timeline:" in output
+        summary = validate_chrome_trace_file(path)
+        for category in ("query", "pipeline", "persist", "resume"):
+            assert summary["categories"].get(category, 0) >= 1
+
+
+class TestTraceCommand:
+    def test_trace_exports_and_summarizes(self, capsys, tmp_path):
+        from repro.obs.export import validate_chrome_trace_file
+
+        out = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        code = main([
+            "trace", "--scale", "0.002", "--name", "Q6",
+            "--out", str(out), "--jsonl", str(jsonl),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "trace event(s)" in output
+        assert "perfetto" in output
+        assert validate_chrome_trace_file(out)["events"] > 0
+        assert jsonl.read_text().count("\n") > 0
+
+    def test_trace_with_suspension(self, capsys, tmp_path):
+        out = tmp_path / "t.json"
+        code = main([
+            "trace", "--scale", "0.002", "--name", "Q3",
+            "--suspend-at", "0.5", "--strategy", "process", "--out", str(out),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "persist" in output
+        assert out.exists()

@@ -1,0 +1,237 @@
+"""Snapshot codec benchmark: raw vs encoded bytes, latencies, delta reuse.
+
+Suspends a sample of TPC-H queries at 50% with the pipeline-level strategy
+under every codec, then suspends each query a second time into an
+incremental store to measure delta reuse.  Dumps the results as
+``BENCH_snapshot_codec.json`` — the Fig. 8-style byte accounting with the
+codec dimension added.
+
+Standalone on purpose (argparse, numpy-only) so the CI smoke job can run
+it without the dev dependency set::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot_codec.py --scale 0.01 --check
+
+``--check`` asserts the two paper-facing guarantees: adaptive never
+persists more than raw for any query, and the same-point second suspension
+persists < 50% of the first snapshot's file bytes via delta reuse.
+``--require-reduction`` additionally enforces a minimum total adaptive
+saving (the SF-0.01 acceptance threshold is 30).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.engine.errors import QuerySuspended
+from repro.engine.executor import QueryExecutor
+from repro.engine.profile import HardwareProfile
+from repro.storage.codec import CODEC_NAMES
+from repro.suspend import PipelineLevelStrategy, SnapshotStore
+from repro.tpch import build_query, generate_catalog
+
+DEFAULT_QUERIES = ["Q1", "Q3", "Q9", "Q13", "Q18"]
+DEFAULT_CODECS = ["raw", "zlib", "dict", "adaptive"]
+SUSPEND_FRACTION = 0.5
+
+
+def _suspend_once(catalog, query, strategy, fraction, normal_duration, directory):
+    controller = strategy.make_request_controller(normal_duration * fraction)
+    executor = QueryExecutor(
+        catalog,
+        build_query(query),
+        profile=strategy.profile,
+        controller=controller,
+        query_name=query,
+    )
+    try:
+        executor.run()
+        return executor, None
+    except QuerySuspended as suspended:
+        return executor, strategy.persist(suspended.capture, directory)
+
+
+def run_codec_bench(
+    scale: float,
+    queries: list[str] | None = None,
+    codecs: list[str] | None = None,
+    workdir: str | None = None,
+) -> dict:
+    """Run the benchmark; returns the JSON-serializable result document."""
+    queries = queries or DEFAULT_QUERIES
+    codecs = codecs or DEFAULT_CODECS
+    catalog = generate_catalog(scale)
+    profile = HardwareProfile()
+    base = Path(workdir or tempfile.mkdtemp(prefix="bench-codec-"))
+    results: dict = {
+        "scale": scale,
+        "suspend_fraction": SUSPEND_FRACTION,
+        "queries": {},
+        "totals": {},
+        "incremental": {},
+    }
+
+    for query in queries:
+        normal = QueryExecutor(catalog, build_query(query), query_name=query).run()
+        per_codec = {}
+        for codec_name in codecs:
+            directory = base / query / codec_name
+            directory.mkdir(parents=True, exist_ok=True)
+            strategy = PipelineLevelStrategy(profile, codec=codec_name)
+            executor, outcome = _suspend_once(
+                catalog, query, strategy, SUSPEND_FRACTION, normal.stats.duration, directory
+            )
+            if outcome is None:
+                per_codec[codec_name] = {"suspended": False}
+                continue
+            resumed = strategy.prepare_resume(
+                outcome.snapshot_path, executor.pipelines, executor.plan_fingerprint
+            )
+            per_codec[codec_name] = {
+                "suspended": True,
+                "raw_bytes": outcome.raw_bytes,
+                "encoded_bytes": outcome.intermediate_bytes,
+                "file_bytes": Path(outcome.snapshot_path).stat().st_size,
+                "persist_latency": outcome.persist_latency,
+                "reload_latency": resumed.reload_latency,
+            }
+        results["queries"][query] = per_codec
+
+        # Incremental: suspend the same deterministic run at the same point
+        # twice; the second registration should become a near-empty delta.
+        store = SnapshotStore(base / query / "store", incremental=True)
+        delta_info = {"suspended": False}
+        for attempt in ("first", "second"):
+            directory = base / query / f"incr-{attempt}"
+            directory.mkdir(parents=True, exist_ok=True)
+            strategy = PipelineLevelStrategy(profile, codec="adaptive")
+            _, outcome = _suspend_once(
+                catalog, query, strategy, SUSPEND_FRACTION, normal.stats.duration, directory
+            )
+            if outcome is None:
+                break
+            record = store.register(outcome, query)
+            if attempt == "first":
+                delta_info = {"suspended": True, "first_file_bytes": record.file_bytes}
+            else:
+                delta_info.update(
+                    second_file_bytes=record.file_bytes,
+                    is_delta=record.is_delta,
+                    reuse_fraction=(
+                        1.0 - record.file_bytes / delta_info["first_file_bytes"]
+                        if delta_info["first_file_bytes"]
+                        else 0.0
+                    ),
+                )
+        results["incremental"][query] = delta_info
+
+    for codec_name in codecs:
+        cells = [
+            results["queries"][q][codec_name]
+            for q in queries
+            if results["queries"][q][codec_name].get("suspended")
+        ]
+        results["totals"][codec_name] = {
+            "queries_suspended": len(cells),
+            "raw_bytes": sum(c["raw_bytes"] for c in cells),
+            "encoded_bytes": sum(c["encoded_bytes"] for c in cells),
+            "file_bytes": sum(c["file_bytes"] for c in cells),
+        }
+    return results
+
+
+def check(results: dict, require_reduction: float | None) -> list[str]:
+    """Validate the paper-facing guarantees; returns a list of failures."""
+    failures = []
+    for query, per_codec in results["queries"].items():
+        adaptive = per_codec.get("adaptive")
+        raw = per_codec.get("raw")
+        if not (adaptive and raw and adaptive.get("suspended") and raw.get("suspended")):
+            continue
+        if adaptive["encoded_bytes"] > raw["encoded_bytes"]:
+            failures.append(
+                f"{query}: adaptive persisted {adaptive['encoded_bytes']} bytes "
+                f"> raw {raw['encoded_bytes']}"
+            )
+    for query, info in results["incremental"].items():
+        if not info.get("suspended") or "second_file_bytes" not in info:
+            continue
+        if not info.get("is_delta"):
+            failures.append(f"{query}: second suspension was not stored as a delta")
+        elif info["second_file_bytes"] >= 0.5 * info["first_file_bytes"]:
+            failures.append(
+                f"{query}: delta file {info['second_file_bytes']} bytes is not "
+                f"< 50% of the first snapshot's {info['first_file_bytes']}"
+            )
+    if require_reduction is not None:
+        totals = results["totals"]
+        if totals.get("raw", {}).get("encoded_bytes"):
+            reduction = 100.0 * (
+                1.0 - totals["adaptive"]["encoded_bytes"] / totals["raw"]["encoded_bytes"]
+            )
+            if reduction < require_reduction:
+                failures.append(
+                    f"adaptive reduced total snapshot bytes by {reduction:.1f}% "
+                    f"< required {require_reduction:.1f}%"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.01, help="TPC-H scale factor")
+    parser.add_argument(
+        "--queries", nargs="+", default=DEFAULT_QUERIES, help="queries to benchmark"
+    )
+    parser.add_argument(
+        "--codecs", nargs="+", default=DEFAULT_CODECS, choices=list(CODEC_NAMES),
+        help="codecs to compare",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_snapshot_codec.json", help="JSON output path"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="assert adaptive <= raw per query and delta reuse < 50%%",
+    )
+    parser.add_argument(
+        "--require-reduction", type=float, default=None, metavar="PCT",
+        help="with --check: minimum total adaptive byte reduction vs raw",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_codec_bench(args.scale, args.queries, args.codecs)
+    Path(args.out).write_text(json.dumps(results, indent=2))
+    print(f"wrote {args.out}")
+
+    totals = results["totals"]
+    if totals.get("raw", {}).get("encoded_bytes"):
+        reduction = 100.0 * (
+            1.0 - totals["adaptive"]["encoded_bytes"] / totals["raw"]["encoded_bytes"]
+        )
+        print(
+            f"adaptive vs raw: {totals['adaptive']['encoded_bytes']} / "
+            f"{totals['raw']['encoded_bytes']} bytes ({reduction:.1f}% reduction)"
+        )
+    for query, info in results["incremental"].items():
+        if info.get("is_delta"):
+            print(
+                f"{query}: second suspension reused "
+                f"{100.0 * info['reuse_fraction']:.1f}% via delta"
+            )
+
+    if args.check:
+        failures = check(results, args.require_reduction)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("all codec checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.engine.profile import HardwareProfile
 from repro.harness.report import format_table
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.storage.codec import CODEC_NAMES
 from repro.suspend import PipelineLevelStrategy, ProcessLevelStrategy
 from repro.tpch import QUERY_NAMES, build_query, generate_catalog
 
@@ -90,10 +91,11 @@ def _execute(
 
     # Untraced measuring run: --suspend-at is a fraction of the normal time.
     normal = QueryExecutor(catalog, plan, profile=profile, query_name=label).run()
+    codec_name = getattr(args, "codec", "raw")
     strategy = (
-        ProcessLevelStrategy(profile, tracer=tracer, metrics=metrics)
+        ProcessLevelStrategy(profile, tracer=tracer, metrics=metrics, codec=codec_name)
         if args.strategy == "process"
-        else PipelineLevelStrategy(profile, tracer=tracer, metrics=metrics)
+        else PipelineLevelStrategy(profile, tracer=tracer, metrics=metrics, codec=codec_name)
     )
     controller = strategy.make_request_controller(normal.stats.duration * args.suspend_at)
     executor = QueryExecutor(
@@ -105,7 +107,7 @@ def _execute(
         tracer=tracer,
         metrics=metrics,
     )
-    directory = tempfile.mkdtemp(prefix="riveter-cli-")
+    directory = args.snapshot_dir or tempfile.mkdtemp(prefix="riveter-cli-")
     try:
         result = executor.run()
         if verbose:
@@ -114,13 +116,29 @@ def _execute(
         return result
     except QuerySuspended as suspended:
         outcome = strategy.persist(suspended.capture, directory)
+    snapshot_path = outcome.snapshot_path
+    if args.incremental:
+        from repro.suspend import SnapshotStore
+
+        store = SnapshotStore(directory, incremental=True)
+        record = store.register(outcome, label)
+        snapshot_path = store.materialize(record)
+        if verbose and record.is_delta:
+            print(
+                f"incremental: stored delta of sequence {record.delta_of} "
+                f"({record.file_bytes} bytes on disk)"
+            )
     if verbose:
+        encoded_note = ""
+        if outcome.raw_bytes is not None and outcome.codec != "raw":
+            encoded_note = f", {outcome.raw_bytes} bytes raw via codec {outcome.codec!r}"
         print(
             f"suspended at t={outcome.suspended_at:.2f}s "
-            f"({outcome.intermediate_bytes} bytes persisted via {strategy.name}-level)"
+            f"({outcome.intermediate_bytes} bytes persisted via "
+            f"{strategy.name}-level{encoded_note})"
         )
     resumed = strategy.prepare_resume(
-        outcome.snapshot_path, executor.pipelines, executor.plan_fingerprint
+        snapshot_path, executor.pipelines, executor.plan_fingerprint
     )
     resume_start = outcome.suspended_at + outcome.persist_latency + resumed.reload_latency
     final = QueryExecutor(
@@ -209,6 +227,18 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--strategy", choices=["pipeline", "process"], default="pipeline",
         help="suspension strategy used with --suspend-at",
+    )
+    parser.add_argument(
+        "--codec", choices=list(CODEC_NAMES), default="raw",
+        help="snapshot column codec used with --suspend-at",
+    )
+    parser.add_argument(
+        "--incremental", action="store_true",
+        help="register the snapshot in an incremental (delta-aware) store",
+    )
+    parser.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="directory for snapshots (default: a fresh temp dir)",
     )
 
 

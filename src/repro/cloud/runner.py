@@ -46,6 +46,7 @@ def make_strategy(
     profile: HardwareProfile,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    codec: str = "raw",
 ) -> SuspensionStrategy:
     """Strategy instance by name (``redo`` / ``pipeline`` / ``process``)."""
     strategies = {
@@ -55,7 +56,7 @@ def make_strategy(
     }
     if name not in strategies:
         raise KeyError(f"unknown strategy {name!r}; expected one of {sorted(strategies)}")
-    return strategies[name](profile, tracer=tracer, metrics=metrics)
+    return strategies[name](profile, tracer=tracer, metrics=metrics, codec=codec)
 
 
 @dataclass
@@ -180,6 +181,7 @@ class QueryRunner:
         morsel_size: int = 16384,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        codec: str = "raw",
     ):
         self.catalog = catalog
         self.profile = profile if profile is not None else HardwareProfile()
@@ -188,6 +190,7 @@ class QueryRunner:
         self.morsel_size = morsel_size
         self.tracer = tracer
         self.metrics = metrics
+        self.codec = codec
 
     # -- baselines -----------------------------------------------------------
     def measure_normal(self, plan: PlanNode, query_name: str) -> QueryResult:
@@ -211,7 +214,11 @@ class QueryRunner:
         probabilistic termination does not occur).
         """
         strategy = make_strategy(
-            strategy_name, self.profile, tracer=self.tracer, metrics=self.metrics
+            strategy_name,
+            self.profile,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            codec=self.codec,
         )
         outcome = RunOutcome(
             query_name=query_name,
@@ -280,6 +287,7 @@ class QueryRunner:
                 self.profile,
                 tracer=self.tracer,
                 metrics=self.metrics,
+                codec=self.codec,
             )
             outcome.strategy = adaptive.decision.chosen
             self._record_estimator_error(selector, normal_time)
@@ -303,7 +311,11 @@ class QueryRunner:
         (the proportionality the paper notes in §VI).
         """
         strategy = make_strategy(
-            strategy_name, self.profile, tracer=self.tracer, metrics=self.metrics
+            strategy_name,
+            self.profile,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            codec=self.codec,
         )
         outcome = RunOutcome(
             query_name=query_name,

@@ -3,6 +3,12 @@
 ``L_s`` and ``L_r`` in the paper's cost model are "denominated by the size
 of intermediate data": latency = fixed overhead + size / bandwidth, with
 bandwidths taken from the hardware profile.
+
+When snapshots go through a codec the quantities shift: fewer bytes cross
+the disk, but encode/decode CPU time joins the latency.  The model takes a
+codec name and charges both effects — ``nbytes`` passed to the latency
+methods is the *encoded* (on-disk) size, while the optional ``raw_bytes``
+is the pre-codec payload the codec must chew through.
 """
 
 from __future__ import annotations
@@ -10,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.engine.profile import HardwareProfile
+from repro.storage import codec as codec_mod
 
 __all__ = ["IOModel"]
 
@@ -21,18 +28,32 @@ class IOModel:
     write_bandwidth: float
     read_bandwidth: float
     fixed_overhead: float = 0.05  # seconds: file creation, fsync, metadata
+    codec: str = "raw"
+    codec_time_scale: float = 1.0
 
     @classmethod
-    def from_profile(cls, profile: HardwareProfile) -> "IOModel":
+    def from_profile(cls, profile: HardwareProfile, codec: str = "raw") -> "IOModel":
         return cls(
             write_bandwidth=profile.effective_write_bandwidth,
             read_bandwidth=profile.effective_read_bandwidth,
+            codec=codec,
+            codec_time_scale=profile.io_time_scale,
         )
 
-    def persist_latency(self, nbytes: float) -> float:
+    def persist_latency(self, nbytes: float, raw_bytes: float | None = None) -> float:
         """Estimated seconds to persist *nbytes* (``L_s``)."""
-        return self.fixed_overhead + nbytes / self.write_bandwidth
+        latency = self.fixed_overhead + nbytes / self.write_bandwidth
+        if self.codec != "raw":
+            latency += codec_mod.estimate_encode_seconds(
+                self.codec, raw_bytes if raw_bytes is not None else nbytes, self.codec_time_scale
+            )
+        return latency
 
-    def reload_latency(self, nbytes: float) -> float:
+    def reload_latency(self, nbytes: float, raw_bytes: float | None = None) -> float:
         """Estimated seconds to reload *nbytes* (``L_r``)."""
-        return self.fixed_overhead + nbytes / self.read_bandwidth
+        latency = self.fixed_overhead + nbytes / self.read_bandwidth
+        if self.codec != "raw":
+            latency += codec_mod.estimate_decode_seconds(
+                self.codec, raw_bytes if raw_bytes is not None else nbytes, self.codec_time_scale
+            )
+        return latency

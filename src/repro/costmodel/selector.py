@@ -21,6 +21,7 @@ from repro.engine.controller import BoundaryContext
 from repro.engine.profile import HardwareProfile
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.storage import codec as codec_mod
 
 __all__ = ["SelectorDecision", "AdaptiveStrategySelector"]
 
@@ -55,6 +56,7 @@ class AdaptiveStrategySelector:
     process_size_estimator: Callable[[float], float]
     estimated_total_time: float
     probe_step: float | None = None
+    codec: str = "raw"
     tracer: Tracer | None = None
     metrics: MetricsRegistry | None = None
     decisions: list[SelectorDecision] = field(default_factory=list)
@@ -69,7 +71,7 @@ class AdaptiveStrategySelector:
         total = max(self.estimated_total_time, 1e-9)
         fraction = min(1.0, self.termination.t_start / total)
         estimated = float(self.process_size_estimator(fraction))
-        io = IOModel.from_profile(self.profile)
+        io = IOModel.from_profile(self.profile, codec=self.codec)
         return io.persist_latency(max(0.0, estimated)) * 1.5
 
     def decide(self, context: BoundaryContext) -> SelectorDecision:
@@ -79,7 +81,15 @@ class AdaptiveStrategySelector:
         # the dominant cost-model step for queries with large states
         # (Table V, Q17).
         live = context.executor.live_states()
-        state_bytes = sum(len(state.serialize()) for state in live.values())
+        if self.codec != "raw":
+            # Measure what the codec would actually persist: Algorithm 1's
+            # S^ppl input shrinks with the encoded bytes, moving break-evens.
+            state_bytes = 0
+            for state in live.values():
+                with codec_mod.encoding(self.codec):
+                    state_bytes += len(state.serialize())
+        else:
+            state_bytes = sum(len(state.serialize()) for state in live.values())
         if not context.at_breaker and context.morsel_count:
             # A pipeline-level suspension planned from here fires at the
             # next breaker, where the in-flight pipeline's state has become
@@ -119,7 +129,7 @@ class AdaptiveStrategySelector:
             termination=self.termination,
             pipeline_state_bytes=state_bytes,
             process_size_estimator=estimate_process_bytes,
-            io=IOModel.from_profile(self.profile),
+            io=IOModel.from_profile(self.profile, codec=self.codec),
             probe_step=self.probe_step
             if self.probe_step is not None
             else max(0.5, self.termination.width / 20.0),

@@ -175,6 +175,8 @@ class HashJoinProbeOperator(StreamingOperator):
                     "LEFT OUTER join requires a default value for every payload column"
                 )
         self._build_state: JoinBuildGlobalState | None = None
+        self._payload_cols: list[np.ndarray] | None = None
+        self._match_buffer: np.ndarray | None = None
 
     def __repr__(self) -> str:
         return f"HashJoinProbe({self.join_type.value}, keys={self.probe_keys})"
@@ -184,6 +186,11 @@ class HashJoinProbeOperator(StreamingOperator):
         if not isinstance(state, JoinBuildGlobalState) or not state.finalized:
             raise ValueError("probe bound to a non-finalized join build state")
         self._build_state = state
+        # Resolve payload columns once; per-chunk name lookups add up on
+        # large probe sides.
+        self._payload_cols = [
+            state.payload.column(name) for name in self.payload_columns
+        ]
 
     def execute(self, chunk: DataChunk) -> DataChunk:
         build = self._build_state
@@ -201,16 +208,14 @@ class HashJoinProbeOperator(StreamingOperator):
 
         probe_idx, build_idx = _expand_matches(left, counts, build.order)
         if self.join_type in (JoinType.SEMI, JoinType.ANTI):
-            combined = self._combine(chunk.take(probe_idx), build.payload, build_idx)
+            combined = self._combine(chunk.take(probe_idx), build_idx)
             pair_mask = self.residual.evaluate(combined)
-            hits = np.zeros(chunk.num_rows, dtype=np.int64)
-            if pair_mask.any():
-                hits = np.bincount(probe_idx[pair_mask], minlength=chunk.num_rows)
-            matched = hits > 0
+            matched = self._matched_buffer(chunk.num_rows)
+            matched[probe_idx[pair_mask]] = True
             mask = matched if self.join_type is JoinType.SEMI else ~matched
             return chunk.filter(mask)
 
-        result = self._combine(chunk.take(probe_idx), build.payload, build_idx)
+        result = self._combine(chunk.take(probe_idx), build_idx)
         if self.residual is not None:
             result = result.filter(self.residual.evaluate(result))
         if self.join_type is JoinType.LEFT_OUTER:
@@ -221,8 +226,17 @@ class HashJoinProbeOperator(StreamingOperator):
                 )
         return result
 
-    def _combine(self, probe_rows: DataChunk, payload: DataChunk, build_idx: np.ndarray) -> DataChunk:
-        payload_cols = [payload.column(name)[build_idx] for name in self.payload_columns]
+    def _matched_buffer(self, num_rows: int) -> np.ndarray:
+        """Reusable per-chunk boolean scratch (consumed before the next chunk)."""
+        if self._match_buffer is None or self._match_buffer.shape[0] < num_rows:
+            self._match_buffer = np.zeros(num_rows, dtype=bool)
+            return self._match_buffer
+        matched = self._match_buffer[:num_rows]
+        matched.fill(False)
+        return matched
+
+    def _combine(self, probe_rows: DataChunk, build_idx: np.ndarray) -> DataChunk:
+        payload_cols = [column[build_idx] for column in self._payload_cols]
         return DataChunk(
             self.probe_schema.concat(self.payload_schema),
             list(probe_rows.columns) + payload_cols,

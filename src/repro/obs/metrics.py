@@ -16,6 +16,8 @@ name                               type    meaning
 ``query_duration_vseconds``        hist    virtual duration per query
 ``bytes_persisted_total{…}``       ctr     snapshot/image bytes written
 ``bytes_reloaded_total{…}``        ctr     snapshot/image bytes re-read
+``codec_raw_bytes_total{codec=…}``    ctr  pre-codec snapshot payload bytes
+``codec_encoded_bytes_total{codec=…}`` ctr encoded snapshot payload bytes
 ``persist_latency_seconds``        hist    modelled persist latencies
 ``reload_latency_seconds``         hist    modelled reload latencies
 ``suspension_lag_seconds``         hist    request → actual-suspension lag

@@ -1,7 +1,8 @@
 """Columnar storage substrate: typed columns, tables, catalog, file format."""
 
 from repro.storage.catalog import Catalog
+from repro.storage.codec import CODEC_NAMES, CodecError, CodecStats
 from repro.storage.column import Column
 from repro.storage.table import Table
 
-__all__ = ["Catalog", "Column", "Table"]
+__all__ = ["Catalog", "Column", "Table", "CODEC_NAMES", "CodecError", "CodecStats"]

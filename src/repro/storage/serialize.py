@@ -8,6 +8,13 @@ self-describing:
   [shape i64 * n][payload-len u64][payload bytes]``;
 * a mapping of named arrays is a count followed by ``(name, array)`` records.
 
+When a codec context (:mod:`repro.storage.codec`) is active, array records
+may instead be written as *codec frames*: the first ``u32`` carries the
+sentinel ``0xFFFFFFFF`` (impossible as a dtype-string length) and the rest
+is a versioned, self-describing compressed record.  ``read_array``
+transparently handles both formats, so codec-encoded and legacy snapshots
+interoperate.
+
 Unicode (``<U``) arrays round-trip exactly; object arrays are rejected so
 that snapshot sizes remain meaningful byte counts.
 """
@@ -17,9 +24,12 @@ from __future__ import annotations
 import io
 import json
 import struct
+import zlib
 from typing import BinaryIO
 
 import numpy as np
+
+from repro.storage import codec
 
 __all__ = [
     "write_array",
@@ -50,12 +60,19 @@ def array_nbytes(array: np.ndarray) -> int:
 
 
 def write_array(stream: BinaryIO, array: np.ndarray) -> int:
-    """Write *array* to *stream*; returns the number of bytes written."""
+    """Write *array* to *stream*; returns the number of bytes written.
+
+    Emits a codec frame instead of the legacy record when an encoding
+    context is active and the codec beats the raw representation.
+    """
     if array.dtype.kind == "O":
         raise SerializationError("object arrays are not serializable; use unicode dtype")
     contiguous = np.ascontiguousarray(array)
+    frame = codec.maybe_encode_frame(contiguous)
+    if frame is not None:
+        stream.write(frame)
+        return len(frame)
     dtype_str = contiguous.dtype.str.encode("ascii")
-    payload = contiguous.tobytes()
     written = 0
     for blob in (_U32.pack(len(dtype_str)), dtype_str):
         stream.write(blob)
@@ -65,21 +82,27 @@ def write_array(stream: BinaryIO, array: np.ndarray) -> int:
     for dim in contiguous.shape:
         stream.write(_I64.pack(dim))
         written += _I64.size
-    stream.write(_U64.pack(len(payload)))
-    stream.write(payload)
-    written += _U64.size + len(payload)
+    stream.write(_U64.pack(contiguous.nbytes))
+    # memoryview avoids the tobytes() copy; the stream consumes it directly.
+    stream.write(memoryview(contiguous) if contiguous.ndim == 0 else memoryview(contiguous).cast("B"))
+    written += _U64.size + contiguous.nbytes
     return written
 
 
 def read_array(stream: BinaryIO) -> np.ndarray:
     """Read one array record previously written by :func:`write_array`."""
-    dtype_len = _U32.unpack(_read_exact(stream, _U32.size))[0]
-    dtype = np.dtype(_read_exact(stream, dtype_len).decode("ascii"))
+    first = _U32.unpack(_read_exact(stream, _U32.size))[0]
+    if first == codec.FRAME_SENTINEL:
+        return codec.read_frame(stream, _read_exact)
+    dtype = np.dtype(_read_exact(stream, first).decode("ascii"))
     ndim = _U32.unpack(_read_exact(stream, _U32.size))[0]
     shape = tuple(_I64.unpack(_read_exact(stream, _I64.size))[0] for _ in range(ndim))
     payload_len = _U64.unpack(_read_exact(stream, _U64.size))[0]
-    payload = _read_exact(stream, payload_len)
-    return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+    # Reading into a mutable bytearray lets frombuffer return a writable
+    # array without the trailing copy the old bytes-based path needed.
+    payload = bytearray(payload_len)
+    _read_exact_into(stream, payload)
+    return np.frombuffer(payload, dtype=dtype).reshape(shape)
 
 
 def serialize_array(array: np.ndarray) -> bytes:
@@ -145,8 +168,42 @@ def read_json(stream: BinaryIO) -> object:
     return json.loads(_read_exact(stream, payload_len).decode("utf-8"))
 
 
+def write_compressed_json(stream: BinaryIO, value: object) -> int:
+    """Write a length-prefixed zlib-compressed JSON document.
+
+    Used for metadata-heavy headers (delta snapshot wrappers are mostly
+    hex hashes and repeated keys) where the JSON itself would otherwise
+    dominate the file size.
+    """
+    payload = zlib.compress(
+        json.dumps(value, separators=(",", ":")).encode("utf-8"), 6
+    )
+    stream.write(_U64.pack(len(payload)))
+    stream.write(payload)
+    return _U64.size + len(payload)
+
+
+def read_compressed_json(stream: BinaryIO) -> object:
+    """Inverse of :func:`write_compressed_json`."""
+    payload_len = _U64.unpack(_read_exact(stream, _U64.size))[0]
+    payload = zlib.decompress(_read_exact(stream, payload_len))
+    return json.loads(payload.decode("utf-8"))
+
+
 def _read_exact(stream: BinaryIO, size: int) -> bytes:
     data = stream.read(size)
     if len(data) != size:
         raise SerializationError(f"truncated stream: wanted {size} bytes, got {len(data)}")
     return data
+
+
+def _read_exact_into(stream: BinaryIO, buffer: bytearray) -> None:
+    readinto = getattr(stream, "readinto", None)
+    if readinto is not None:
+        got = readinto(buffer)
+        if got != len(buffer):
+            raise SerializationError(
+                f"truncated stream: wanted {len(buffer)} bytes, got {got}"
+            )
+        return
+    buffer[:] = _read_exact(stream, len(buffer))

@@ -10,7 +10,14 @@ from repro.suspend.data_level import DataLevelExecutor, DataLevelSnapshot
 from repro.suspend.pipeline_level import PipelineLevelStrategy
 from repro.suspend.process_level import ProcessLevelStrategy
 from repro.suspend.redo import RedoStrategy
-from repro.suspend.snapshot import PipelineSnapshot, ProcessImage, SnapshotError
+from repro.suspend.snapshot import (
+    DeltaSnapshot,
+    PipelineSnapshot,
+    ProcessImage,
+    SnapshotError,
+    hash_blob,
+    read_snapshot_header,
+)
 from repro.suspend.store import SnapshotRecord, SnapshotStore
 from repro.suspend.strategy import ResumeOutcome, SuspendOutcome, SuspensionStrategy
 
@@ -25,9 +32,12 @@ __all__ = [
     "PipelineLevelStrategy",
     "ProcessLevelStrategy",
     "RedoStrategy",
+    "DeltaSnapshot",
     "PipelineSnapshot",
     "ProcessImage",
     "SnapshotError",
+    "hash_blob",
+    "read_snapshot_header",
     "SnapshotRecord",
     "SnapshotStore",
     "ResumeOutcome",

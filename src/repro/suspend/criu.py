@@ -37,15 +37,23 @@ class CriuError(EngineError):
 class SimulatedCriu:
     """Dump/restore of query-execution process images."""
 
-    def __init__(self, profile: HardwareProfile, tracer: Tracer | None = None):
+    def __init__(
+        self,
+        profile: HardwareProfile,
+        tracer: Tracer | None = None,
+        codec: str = "raw",
+    ):
         self.profile = profile
         self.tracer = tracer
+        self.codec = codec
 
     def dump(self, capture: ExecutionCapture, path: str | os.PathLike) -> ProcessImage:
         """Write a process image for *capture* to *path*."""
         if capture.kind != "process":
             raise CriuError(f"CRIU dumps whole processes; got a {capture.kind!r} capture")
-        image = ProcessImage.from_capture(capture, self.profile.process_context_bytes)
+        image = ProcessImage.from_capture(
+            capture, self.profile.process_context_bytes, codec_name=self.codec
+        )
         image.write(path)
         if self.tracer is not None:
             self.tracer.instant(

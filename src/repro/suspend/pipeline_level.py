@@ -21,6 +21,7 @@ from pathlib import Path
 from repro.engine.executor import ExecutionCapture, ResumeState
 from repro.engine.pipeline import Pipeline
 from repro.engine.profile import HardwareProfile
+from repro.storage import codec as codec_mod
 from repro.suspend.controller import SuspensionRequestController
 from repro.suspend.snapshot import PipelineSnapshot, SnapshotError
 from repro.suspend.strategy import ResumeOutcome, SuspendOutcome, SuspensionStrategy
@@ -39,16 +40,23 @@ class PipelineLevelStrategy(SuspensionStrategy):
         )
 
     def persist(self, capture: ExecutionCapture, directory: str | os.PathLike) -> SuspendOutcome:
-        snapshot = PipelineSnapshot.from_capture(capture)
+        snapshot = PipelineSnapshot.from_capture(capture, codec_name=self.codec)
         path = Path(directory) / f"{capture.query_name}.pipeline.snapshot"
         snapshot.write(path)
         nbytes = snapshot.intermediate_bytes
+        # Encoded bytes hit the disk; encoding CPU is charged on the same
+        # virtual timeline as the write.
+        persist_latency = self.profile.persist_latency(nbytes) + codec_mod.encode_cost_seconds(
+            snapshot.codec_stats, self.profile.io_time_scale
+        )
         outcome = SuspendOutcome(
             strategy=self.name,
             snapshot_path=path,
             intermediate_bytes=nbytes,
-            persist_latency=self.profile.persist_latency(nbytes),
+            persist_latency=persist_latency,
             suspended_at=capture.clock_time,
+            raw_bytes=snapshot.raw_state_bytes,
+            codec=self.codec,
         )
         self._record_persist(outcome)
         return outcome
@@ -75,8 +83,11 @@ class PipelineLevelStrategy(SuspensionStrategy):
             clock_time=0.0,
             skipped_pipelines=set(snapshot.completed_pipelines),
         )
-        reload_latency = (profile or self.profile).reload_latency(
+        target_profile = profile or self.profile
+        reload_latency = target_profile.reload_latency(
             snapshot.intermediate_bytes
+        ) + codec_mod.decode_cost_seconds(
+            snapshot.codec_stats, target_profile.io_time_scale
         )
         outcome = ResumeOutcome(
             strategy=self.name, resume_state=resume, reload_latency=reload_latency

@@ -18,6 +18,7 @@ from repro.engine.pipeline import Pipeline
 from repro.engine.profile import HardwareProfile
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.storage import codec as codec_mod
 from repro.suspend.controller import SuspensionRequestController
 from repro.suspend.criu import SimulatedCriu
 from repro.suspend.strategy import ResumeOutcome, SuspendOutcome, SuspensionStrategy
@@ -35,9 +36,10 @@ class ProcessLevelStrategy(SuspensionStrategy):
         profile: HardwareProfile,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        codec: str = "raw",
     ):
-        super().__init__(profile, tracer=tracer, metrics=metrics)
-        self.criu = SimulatedCriu(profile, tracer=tracer)
+        super().__init__(profile, tracer=tracer, metrics=metrics, codec=codec)
+        self.criu = SimulatedCriu(profile, tracer=tracer, codec=codec)
 
     def make_request_controller(self, request_time: float) -> SuspensionRequestController:
         return SuspensionRequestController(
@@ -48,12 +50,17 @@ class ProcessLevelStrategy(SuspensionStrategy):
         path = Path(directory) / f"{capture.query_name}.process.image"
         image = self.criu.dump(capture, path)
         nbytes = image.intermediate_bytes
+        persist_latency = self.profile.persist_latency(nbytes) + codec_mod.encode_cost_seconds(
+            image.codec_stats, self.profile.io_time_scale
+        )
         outcome = SuspendOutcome(
             strategy=self.name,
             snapshot_path=path,
             intermediate_bytes=nbytes,
-            persist_latency=self.profile.persist_latency(nbytes),
+            persist_latency=persist_latency,
             suspended_at=capture.clock_time,
+            raw_bytes=image.raw_state_bytes,
+            codec=self.codec,
         )
         self._record_persist(outcome)
         return outcome
@@ -68,7 +75,9 @@ class ProcessLevelStrategy(SuspensionStrategy):
         image = SimulatedCriu.read_image(snapshot_path)
         target_profile = profile or self.profile
         resume = self.criu.restore(image, pipelines, target_profile, plan_fingerprint)
-        reload_latency = target_profile.reload_latency(image.intermediate_bytes)
+        reload_latency = target_profile.reload_latency(
+            image.intermediate_bytes
+        ) + codec_mod.decode_cost_seconds(image.codec_stats, target_profile.io_time_scale)
         outcome = ResumeOutcome(
             strategy=self.name, resume_state=resume, reload_latency=reload_latency
         )

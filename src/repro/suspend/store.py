@@ -5,11 +5,22 @@ store gives them a home with the bookkeeping a service needs:
 
 * content-addressed file names (query, strategy, monotonically increasing
   sequence) under one directory;
-* a JSON manifest recording metadata (strategy, sizes, timestamps on the
-  simulated timeline) without loading snapshot payloads;
+* a JSON manifest recording metadata (strategy, sizes, codec, timestamps
+  on the simulated timeline) without loading snapshot payloads;
 * retention: keep the newest N snapshots per query, prune the rest;
-* integrity: a size check on registration and lookup of the latest
-  resumable snapshot per query.
+* integrity: a size check on registration, SHA-256 verification when
+  materializing, and lookup of the latest resumable snapshot per query.
+
+With ``incremental=True`` the store persists *delta snapshots*: each
+per-pipeline global state carries a content hash, and a new snapshot of a
+query re-persists only the states whose hash changed since the previous
+snapshot of the same query/strategy, storing references to the base's
+segments for the rest.  Every record tracks a ``segments`` map — for each
+state id, the hash and the *file that holds the blob inline* — so
+references resolve in one hop regardless of how long the delta chain
+grows.  Retention refuses to delete a file that a live delta still
+references: the record is dropped but the file is kept (tracked in the
+manifest's ``retained`` list) until no live record references it.
 """
 
 from __future__ import annotations
@@ -19,6 +30,15 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.suspend.snapshot import (
+    DeltaSnapshot,
+    SnapshotError,
+    extract_state_blob,
+    hash_blob,
+    read_delta_snapshot,
+    read_snapshot_header,
+    write_delta_snapshot,
+)
 from repro.suspend.strategy import SuspendOutcome
 
 __all__ = ["SnapshotRecord", "SnapshotStore"]
@@ -37,6 +57,14 @@ class SnapshotRecord:
     intermediate_bytes: int
     file_bytes: int
     suspended_at: float
+    raw_bytes: int = 0
+    codec: str = "raw"
+    delta_of: int | None = None
+    segments: dict = field(default_factory=dict)
+
+    @property
+    def is_delta(self) -> bool:
+        return self.delta_of is not None
 
     def to_json(self) -> dict:
         return {
@@ -47,10 +75,15 @@ class SnapshotRecord:
             "intermediate_bytes": self.intermediate_bytes,
             "file_bytes": self.file_bytes,
             "suspended_at": self.suspended_at,
+            "raw_bytes": self.raw_bytes,
+            "codec": self.codec,
+            "delta_of": self.delta_of,
+            "segments": self.segments,
         }
 
     @classmethod
     def from_json(cls, payload: dict) -> "SnapshotRecord":
+        delta_of = payload.get("delta_of")
         return cls(
             query_name=payload["query_name"],
             strategy=payload["strategy"],
@@ -59,6 +92,10 @@ class SnapshotRecord:
             intermediate_bytes=int(payload["intermediate_bytes"]),
             file_bytes=int(payload["file_bytes"]),
             suspended_at=float(payload["suspended_at"]),
+            raw_bytes=int(payload.get("raw_bytes", 0)),
+            codec=payload.get("codec", "raw"),
+            delta_of=None if delta_of is None else int(delta_of),
+            segments=payload.get("segments", {}),
         )
 
 
@@ -68,8 +105,10 @@ class SnapshotStore:
 
     directory: str | os.PathLike
     keep_per_query: int = 3
+    incremental: bool = False
     _records: list[SnapshotRecord] = field(default_factory=list)
     _next_sequence: int = 0
+    _retained: list[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.directory = Path(self.directory)
@@ -79,13 +118,16 @@ class SnapshotStore:
             payload = json.loads(manifest.read_text())
             self._records = [SnapshotRecord.from_json(r) for r in payload["records"]]
             self._next_sequence = int(payload["next_sequence"])
+            self._retained = list(payload.get("retained", []))
 
     # -- registration ------------------------------------------------------------
     def register(self, outcome: SuspendOutcome, query_name: str) -> SnapshotRecord:
         """Move a freshly persisted snapshot into the store.
 
         Raises ``ValueError`` when the outcome carries no snapshot file
-        (the redo strategy) or the file is missing/empty.
+        (the redo strategy) or the file is missing/empty.  In incremental
+        mode, a snapshot whose state hashes partly match the previous
+        snapshot of the same query/strategy is rewritten as a delta.
         """
         if outcome.snapshot_path is None:
             raise ValueError(f"{outcome.strategy!r} persisted no snapshot to store")
@@ -96,7 +138,19 @@ class SnapshotStore:
         self._next_sequence += 1
         file_name = f"{query_name}.{outcome.strategy}.{sequence:06d}.snapshot"
         target = self.directory / file_name
-        source.replace(target)
+
+        delta_of: int | None = None
+        segments: dict = {}
+        if self.incremental:
+            plan = self._plan_delta(source, query_name, outcome.strategy, file_name)
+            if plan is not None:
+                delta_of, segments = self._write_delta(source, target, plan)
+        if delta_of is None:
+            segments = self._full_segments(source, file_name)
+            source.replace(target)
+        else:
+            source.unlink()
+
         record = SnapshotRecord(
             query_name=query_name,
             strategy=outcome.strategy,
@@ -105,11 +159,90 @@ class SnapshotStore:
             intermediate_bytes=outcome.intermediate_bytes,
             file_bytes=target.stat().st_size,
             suspended_at=outcome.suspended_at,
+            raw_bytes=outcome.raw_bytes or 0,
+            codec=outcome.codec,
+            delta_of=delta_of,
+            segments=segments,
         )
         self._records.append(record)
         self._prune(query_name)
         self._save()
         return record
+
+    def _full_segments(self, source: Path, file_name: str) -> dict:
+        """Segment map for a full snapshot: every state lives in this file."""
+        try:
+            kind, header = read_snapshot_header(source)
+        except (SnapshotError, KeyError, ValueError):
+            return {}
+        if kind == "delta":
+            return {}
+        hashes = header.get("hashes") or {}
+        return {pid: {"hash": h, "source": file_name} for pid, h in hashes.items()}
+
+    def _plan_delta(
+        self, source: Path, query_name: str, strategy: str, file_name: str
+    ):
+        """Decide whether the snapshot at *source* can become a delta.
+
+        Returns ``(base_record, kind, header, changed_ids, segments)`` or
+        ``None`` when no base exists or nothing would be reused.
+        """
+        try:
+            kind, header = read_snapshot_header(source)
+        except (SnapshotError, KeyError, ValueError):
+            return None
+        if kind == "delta":
+            return None
+        hashes = header.get("hashes") or {}
+        if not hashes:
+            return None
+        base = None
+        for record in self.records(query_name):
+            if record.strategy == strategy and record.segments:
+                base = record
+                break
+        if base is None:
+            return None
+        changed: list[int] = []
+        segments: dict = {}
+        reused = 0
+        for pid, digest in hashes.items():
+            base_segment = base.segments.get(pid)
+            if base_segment is not None and base_segment["hash"] == digest:
+                # Point straight at the file that stores the blob inline
+                # (never another reference), so chains stay one hop deep.
+                segments[pid] = {"hash": digest, "source": base_segment["source"]}
+                reused += 1
+            else:
+                changed.append(int(pid))
+                segments[pid] = {"hash": digest, "source": file_name}
+        if reused == 0:
+            return None
+        return base, kind, header, changed, segments
+
+    def _write_delta(self, source: Path, target: Path, plan) -> tuple[int, dict]:
+        """Rewrite the full snapshot at *source* as a delta at *target*."""
+        base, kind, header, changed, segments = plan
+        inline = {pid: extract_state_blob(source, pid) for pid in changed}
+        refs = {
+            int(pid): dict(segment)
+            for pid, segment in segments.items()
+            if segment["source"] != target.name
+        }
+        local_blobs: list[bytes] = []
+        if kind == "process" and int(header.get("num_locals", 0)):
+            # Worker-local states change every suspension; always inline.
+            local_blobs = _read_local_blobs(source, header)
+        delta = DeltaSnapshot(
+            kind=kind,
+            header=header,
+            inline_blobs=inline,
+            refs=refs,
+            local_blobs=local_blobs,
+        )
+        write_delta_snapshot(target, delta)
+        return base.sequence, segments
 
     # -- queries -----------------------------------------------------------------
     def records(self, query_name: str | None = None) -> list[SnapshotRecord]:
@@ -133,19 +266,98 @@ class SnapshotStore:
         """Bytes currently held by the store's snapshot files."""
         return sum(r.file_bytes for r in self._records)
 
+    # -- materialization ---------------------------------------------------------
+    def materialize(self, record: SnapshotRecord) -> Path:
+        """Path to a *full* snapshot for *record*, resolving deltas.
+
+        Full records return their own file.  Delta records are expanded —
+        every segment is resolved through its one-hop source reference,
+        SHA-256-verified against the recorded hash, and written as a full
+        snapshot next to the delta (cached as ``<file>.full``).
+        """
+        path = self.path_of(record)
+        if not record.is_delta:
+            return path
+        from repro.suspend.snapshot import PipelineSnapshot, ProcessImage
+
+        materialized = path.with_name(path.name + ".full")
+        delta = read_delta_snapshot(path)
+        header = delta.header
+        blobs: dict[int, bytes] = {}
+        for pid_str, segment in record.segments.items():
+            pid = int(pid_str)
+            if pid in delta.inline_blobs:
+                blob = delta.inline_blobs[pid]
+            else:
+                source = Path(self.directory) / segment["source"]
+                if not source.exists():
+                    raise SnapshotError(
+                        f"delta {record.file_name} references missing base "
+                        f"segment file {segment['source']}"
+                    )
+                blob = extract_state_blob(source, pid)
+            if hash_blob(blob) != segment["hash"]:
+                raise SnapshotError(
+                    f"segment {pid} of {record.file_name} failed hash verification"
+                )
+            blobs[pid] = blob
+        if delta.kind == "pipeline":
+            PipelineSnapshot.from_parts(header, blobs).write(materialized)
+        else:
+            ProcessImage.from_parts(header, blobs, delta.local_blobs).write(materialized)
+        return materialized
+
     # -- maintenance ------------------------------------------------------------
+    def _referenced_files(self, records: list[SnapshotRecord]) -> set[str]:
+        referenced = {r.file_name for r in records}
+        for record in records:
+            for segment in record.segments.values():
+                referenced.add(segment["source"])
+        return referenced
+
     def prune_query(self, query_name: str, keep: int = 0) -> int:
-        """Drop all but the newest *keep* snapshots of one query."""
+        """Drop all but the newest *keep* snapshots of one query.
+
+        A pruned snapshot's *record* always goes away, but its file is kept
+        on disk while any surviving delta still references it (it moves to
+        the manifest's ``retained`` list, and is swept once unreferenced).
+        """
         removed = 0
         keepers = self.records(query_name)[:keep]
         keep_names = {r.file_name for r in keepers}
+        survivors = [
+            r
+            for r in self._records
+            if r.query_name != query_name or r.file_name in keep_names
+        ]
+        referenced = self._referenced_files(survivors)
         for record in self.records(query_name):
-            if record.file_name not in keep_names:
+            if record.file_name in keep_names:
+                continue
+            if record.file_name in referenced:
+                # A live delta chain still needs this file: drop the record,
+                # keep the bytes.
+                self._retained.append(record.file_name)
+            else:
                 self.path_of(record).unlink(missing_ok=True)
-                self._records.remove(record)
-                removed += 1
+            self.path_of(record).with_name(record.file_name + ".full").unlink(
+                missing_ok=True
+            )
+            self._records.remove(record)
+            removed += 1
+        self._sweep_retained()
         self._save()
         return removed
+
+    def _sweep_retained(self) -> None:
+        referenced = self._referenced_files(self._records)
+        still_retained: list[str] = []
+        for file_name in self._retained:
+            if file_name in referenced:
+                still_retained.append(file_name)
+            else:
+                (Path(self.directory) / file_name).unlink(missing_ok=True)
+        self._retained = still_retained
 
     def _prune(self, query_name: str) -> None:
         self.prune_query(query_name, keep=self.keep_per_query)
@@ -157,7 +369,25 @@ class SnapshotStore:
                 {
                     "next_sequence": self._next_sequence,
                     "records": [r.to_json() for r in self._records],
+                    "retained": self._retained,
                 },
                 indent=2,
             )
         )
+
+
+def _read_local_blobs(path: Path, header: dict) -> list[bytes]:
+    """Read the worker-local state blobs out of a full process image."""
+    from repro.storage import serialize
+
+    with open(path, "rb") as stream:
+        stream.read(8)  # magic
+        serialize.read_json(stream)  # header (already parsed by caller)
+        for _ in header["state_ids"]:
+            size = int(serialize.read_json(stream))
+            stream.seek(size, os.SEEK_CUR)
+        blobs = []
+        for _ in range(int(header["num_locals"])):
+            size = int(serialize.read_json(stream))
+            blobs.append(stream.read(size))
+    return blobs

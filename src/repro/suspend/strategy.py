@@ -27,6 +27,7 @@ from repro.engine.pipeline import Pipeline
 from repro.engine.profile import HardwareProfile
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.storage.codec import CODEC_NAMES, CodecError
 from repro.suspend.controller import SuspensionRequestController
 
 __all__ = ["SuspendOutcome", "ResumeOutcome", "SuspensionStrategy"]
@@ -34,13 +35,20 @@ __all__ = ["SuspendOutcome", "ResumeOutcome", "SuspensionStrategy"]
 
 @dataclass
 class SuspendOutcome:
-    """Result of persisting a suspension."""
+    """Result of persisting a suspension.
+
+    ``intermediate_bytes`` is what hits the (virtual) disk — encoded when a
+    codec is active; ``raw_bytes`` is the pre-codec size of the same data
+    (``None`` for strategies that persist nothing).
+    """
 
     strategy: str
     snapshot_path: Path | None
     intermediate_bytes: int
     persist_latency: float
     suspended_at: float
+    raw_bytes: int | None = None
+    codec: str = "raw"
 
 
 @dataclass
@@ -65,10 +73,14 @@ class SuspensionStrategy:
         profile: HardwareProfile,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        codec: str = "raw",
     ):
+        if codec not in CODEC_NAMES:
+            raise CodecError(f"unknown codec {codec!r}; expected one of {CODEC_NAMES}")
         self.profile = profile
         self.tracer = tracer
         self.metrics = metrics
+        self.codec = codec
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -94,6 +106,13 @@ class SuspensionStrategy:
             self.metrics.histogram("persist_latency_seconds").observe(
                 outcome.persist_latency
             )
+            if outcome.raw_bytes is not None and outcome.codec != "raw":
+                self.metrics.counter(
+                    "codec_raw_bytes_total", codec=outcome.codec
+                ).inc(outcome.raw_bytes)
+                self.metrics.counter(
+                    "codec_encoded_bytes_total", codec=outcome.codec
+                ).inc(outcome.intermediate_bytes)
 
     def _record_reload(self, outcome: ResumeOutcome, start: float, nbytes: int) -> None:
         """Emit the reload span/counters starting at virtual time *start*."""

@@ -1,0 +1,117 @@
+"""Compare two BENCH JSON documents and gate on regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compare.py --check BASE.json HEAD.json
+
+Both inputs must use the shared ``riveter-bench/1`` envelope (see
+:mod:`repro.harness.bench`).  The comparison flattens each document's
+``metrics`` tree to dotted-path numeric leaves and, with ``--check``,
+fails when a *gated* leaf regressed by more than ``--max-regress``
+(default 10%).  Gated leaves are the suspend/resume core costs — paths
+whose last component mentions persist/reload latency or snapshot/file
+bytes; higher is worse for all of them.  Everything else is reported but
+never fails the gate.
+
+Because every gated quantity rides the simulated clock, two runs of the
+same code at the same scale produce identical numbers — any delta is a
+real behavioural change, not noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.bench import flatten_metrics, read_bench
+
+GATED_SUFFIXES = (
+    "persist_latency",
+    "reload_latency",
+    "snapshot_bytes",
+    "intermediate_bytes",
+    "file_bytes",
+    "encoded_bytes",
+)
+
+
+def is_gated(path: str) -> bool:
+    """Whether a metric leaf participates in the regression gate."""
+    return path.rsplit(".", 1)[-1] in GATED_SUFFIXES
+
+
+def compare(base: dict, head: dict, max_regress: float) -> tuple[list[str], list[str]]:
+    """Return ``(report_lines, failures)`` for two BENCH payloads."""
+    if base.get("name") != head.get("name"):
+        raise ValueError(
+            f"comparing different benches: {base.get('name')!r} vs {head.get('name')!r}"
+        )
+    if float(base.get("scale", 0)) != float(head.get("scale", 0)):
+        raise ValueError(
+            f"comparing different scales: {base.get('scale')} vs {head.get('scale')}"
+        )
+    base_flat = flatten_metrics(base)
+    head_flat = flatten_metrics(head)
+    report: list[str] = []
+    failures: list[str] = []
+    for path in sorted(set(base_flat) | set(head_flat)):
+        old = base_flat.get(path)
+        new = head_flat.get(path)
+        if old is None:
+            report.append(f"+ {path} = {new} (new metric)")
+            continue
+        if new is None:
+            line = f"- {path} (metric disappeared; base {old})"
+            report.append(line)
+            if is_gated(path):
+                failures.append(line)
+            continue
+        if new == old:
+            continue
+        delta = (new - old) / abs(old) if old else float("inf")
+        line = f"  {path}: {old} -> {new} ({delta:+.1%})"
+        report.append(line)
+        if is_gated(path) and old > 0 and delta > max_regress:
+            failures.append(
+                f"{path} regressed {delta:+.1%} (> {max_regress:.0%}): {old} -> {new}"
+            )
+    return report, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("base", help="baseline BENCH JSON (riveter-bench/1)")
+    parser.add_argument("head", help="candidate BENCH JSON (riveter-bench/1)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when a gated metric regresses past --max-regress",
+    )
+    parser.add_argument(
+        "--max-regress", type=float, default=0.10, metavar="FRACTION",
+        help="allowed relative regression for gated metrics (default: 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    base = read_bench(args.base)
+    head = read_bench(args.head)
+    report, failures = compare(base, head, args.max_regress)
+
+    print(
+        f"bench {base['name']} @ scale {base['scale']}: "
+        f"base rev {base.get('git_rev', '?')} vs head rev {head.get('git_rev', '?')}"
+    )
+    if not report:
+        print("no metric differences")
+    for line in report:
+        print(line)
+    if args.check:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,6 @@ saving (the SF-0.01 acceptance threshold is 30).
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import tempfile
 from pathlib import Path
@@ -29,6 +28,7 @@ from pathlib import Path
 from repro.engine.errors import QuerySuspended
 from repro.engine.executor import QueryExecutor
 from repro.engine.profile import HardwareProfile
+from repro.harness.bench import bench_payload, write_bench
 from repro.storage.codec import CODEC_NAMES
 from repro.suspend import PipelineLevelStrategy, SnapshotStore
 from repro.tpch import build_query, generate_catalog
@@ -204,7 +204,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     results = run_codec_bench(args.scale, args.queries, args.codecs)
-    Path(args.out).write_text(json.dumps(results, indent=2))
+    write_bench(args.out, bench_payload("snapshot_codec", args.scale, results))
     print(f"wrote {args.out}")
 
     totals = results["totals"]

@@ -1,0 +1,121 @@
+"""Suspend/resume latency benchmark: the regression-gated core numbers.
+
+Suspends each query at 50% of its normal execution time with both the
+pipeline- and process-level strategies and records the persist latency,
+reload latency, and snapshot file bytes — the quantities a change to the
+snapshot codec, serializer, or cost model is most likely to regress.
+
+All measurements ride the simulated clock, so at a fixed scale the output
+is exactly reproducible; ``benchmarks/baselines/`` keeps a checked-in
+baseline that ``benchmarks/bench_compare.py --check`` diffs against in CI.
+
+Standalone on purpose (argparse, engine-only imports) so the CI job can
+run it without the dev dependency set::
+
+    PYTHONPATH=src python benchmarks/bench_suspend_resume.py --scale 0.002
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.engine.errors import QuerySuspended
+from repro.engine.executor import QueryExecutor
+from repro.engine.profile import HardwareProfile
+from repro.harness.bench import bench_payload, write_bench
+from repro.suspend import PipelineLevelStrategy, ProcessLevelStrategy
+from repro.tpch import build_query, generate_catalog
+
+DEFAULT_QUERIES = ["Q1", "Q3", "Q6", "Q9", "Q13", "Q18"]
+SUSPEND_FRACTION = 0.5
+STRATEGIES = {"pipeline": PipelineLevelStrategy, "process": ProcessLevelStrategy}
+
+
+def run_suspend_resume_bench(
+    scale: float, queries: list[str] | None = None, workdir: str | None = None
+) -> dict:
+    """Run the benchmark; returns the ``metrics`` document."""
+    queries = queries or DEFAULT_QUERIES
+    catalog = generate_catalog(scale)
+    profile = HardwareProfile()
+    base = Path(workdir or tempfile.mkdtemp(prefix="bench-sr-"))
+    metrics: dict = {"suspend_fraction": SUSPEND_FRACTION, "queries": {}, "totals": {}}
+
+    for query in queries:
+        plan = build_query(query)
+        normal = QueryExecutor(catalog, plan, query_name=query).run()
+        per_strategy: dict = {"normal_time": normal.stats.duration}
+        for name, strategy_cls in STRATEGIES.items():
+            directory = base / query / name
+            directory.mkdir(parents=True, exist_ok=True)
+            strategy = strategy_cls(profile)
+            controller = strategy.make_request_controller(
+                normal.stats.duration * SUSPEND_FRACTION
+            )
+            executor = QueryExecutor(
+                catalog, plan, profile=profile, controller=controller, query_name=query
+            )
+            try:
+                executor.run()
+                per_strategy[name] = {"suspended": False}
+                continue
+            except QuerySuspended as suspended:
+                outcome = strategy.persist(suspended.capture, directory)
+            resumed = strategy.prepare_resume(
+                outcome.snapshot_path, executor.pipelines, executor.plan_fingerprint
+            )
+            per_strategy[name] = {
+                "suspended": True,
+                "suspended_at": outcome.suspended_at,
+                "persist_latency": outcome.persist_latency,
+                "reload_latency": resumed.reload_latency,
+                "snapshot_bytes": outcome.intermediate_bytes,
+                "file_bytes": Path(outcome.snapshot_path).stat().st_size,
+            }
+        metrics["queries"][query] = per_strategy
+
+    for name in STRATEGIES:
+        cells = [
+            metrics["queries"][q][name]
+            for q in queries
+            if metrics["queries"][q][name].get("suspended")
+        ]
+        metrics["totals"][name] = {
+            "queries_suspended": len(cells),
+            "persist_latency": sum(c["persist_latency"] for c in cells),
+            "reload_latency": sum(c["reload_latency"] for c in cells),
+            "snapshot_bytes": sum(c["snapshot_bytes"] for c in cells),
+            "file_bytes": sum(c["file_bytes"] for c in cells),
+        }
+    return metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.002, help="TPC-H scale factor")
+    parser.add_argument(
+        "--queries", nargs="+", default=DEFAULT_QUERIES, help="queries to benchmark"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_suspend_resume.json", help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+
+    metrics = run_suspend_resume_bench(args.scale, args.queries)
+    write_bench(args.out, bench_payload("suspend_resume", args.scale, metrics))
+    print(f"wrote {args.out}")
+    for name, totals in metrics["totals"].items():
+        print(
+            f"{name}: {totals['queries_suspended']} suspended, "
+            f"persist {totals['persist_latency']:.3f}s, "
+            f"reload {totals['reload_latency']:.3f}s, "
+            f"{totals['snapshot_bytes']} snapshot bytes"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

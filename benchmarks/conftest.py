@@ -16,7 +16,6 @@ snapshot is dumped to ``BENCH_obs.json`` (override the path with
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 
@@ -42,15 +41,15 @@ def obs_registry() -> MetricsRegistry:
 
 
 def pytest_sessionfinish(session, exitstatus):
+    from repro.harness.bench import bench_payload, write_bench
+
     snapshot = _OBS_REGISTRY.snapshot()
     if not snapshot["metrics"]:
         return
     path = os.environ.get(
         "RIVETER_BENCH_OBS", str(Path(__file__).resolve().parent.parent / "BENCH_obs.json")
     )
-    with open(path, "w", encoding="utf-8") as stream:
-        json.dump(snapshot, stream, indent=2, sort_keys=True)
-        stream.write("\n")
+    write_bench(path, bench_payload("obs", BENCH_RATIO, snapshot))
 
 
 @pytest.fixture(scope="session")

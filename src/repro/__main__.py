@@ -208,10 +208,192 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if args.jsonl:
         write_jsonl(tracer, args.jsonl)
         print(f"wrote JSONL export to {args.jsonl}")
+    if args.prom:
+        with open(args.prom, "w") as stream:
+            stream.write(metrics.to_prometheus())
+        print(f"wrote Prometheus exposition to {args.prom}")
     print()
     print(text_summary(tracer, metrics))
     print(f"\nopen {args.out} in https://ui.perfetto.dev or chrome://tracing")
     return 0
+
+
+def cmd_why(args: argparse.Namespace) -> int:
+    """Run a query adaptively and explain every suspension decision."""
+    import json as json_mod
+
+    from repro.cloud.events import sample_events
+    from repro.cloud.runner import QueryRunner
+    from repro.costmodel.optimizer_est import OptimizerSizeEstimator
+    from repro.costmodel.selector import AdaptiveStrategySelector
+    from repro.costmodel.termination import TerminationProfile
+    from repro.harness.report import estimator_accuracy, format_estimator_accuracy
+    from repro.obs.audit import DecisionJournal, ReplayMismatch, replay_journal
+    from repro.suspend.store import SnapshotStore
+
+    if args.name not in QUERY_NAMES:
+        print(f"unknown query {args.name}; expected one of {QUERY_NAMES}", file=sys.stderr)
+        return 2
+    catalog = generate_catalog(args.scale)
+    profile = HardwareProfile()
+    plan = build_query(args.name)
+
+    directory = args.snapshot_dir or tempfile.mkdtemp(prefix="riveter-why-")
+    journal = DecisionJournal()
+    store = SnapshotStore(directory, incremental=args.incremental)
+    runner = QueryRunner(
+        catalog, profile, snapshot_dir=directory, journal=journal, store=store
+    )
+    normal = runner.measure_normal(plan, args.name).stats.duration
+    termination = TerminationProfile.from_fractions(
+        normal, args.window[0], args.window[1], args.probability
+    )
+    event = sample_events(termination, 1, seed=args.seed)[0]
+    estimator = OptimizerSizeEstimator(catalog)
+    selector = AdaptiveStrategySelector(
+        profile=profile,
+        termination=termination,
+        process_size_estimator=lambda fraction: estimator.estimate_bytes(plan, fraction),
+        estimated_total_time=normal,
+        journal=journal,
+        estimator_label="optimizer",
+    )
+    outcome = runner.run_adaptive(plan, args.name, selector, normal, event.at_time)
+
+    # Counterfactuals: what each fixed strategy would actually have cost.
+    # Run on a journal-less runner so the main journal records only the
+    # adaptive deliberation, then summarize into `counterfactual` records.
+    side_runner = QueryRunner(catalog, profile, snapshot_dir=directory)
+    request = termination.t_start
+    for strategy in ("redo", "pipeline", "process"):
+        forced = side_runner.run_forced(
+            plan, args.name, strategy, normal, event.at_time, request
+        )
+        journal.append(
+            "counterfactual",
+            args.name,
+            forced.busy_time,
+            strategy=strategy,
+            busy_time=forced.busy_time,
+            overhead=forced.overhead,
+            suspended=forced.suspended,
+            suspension_failed=forced.suspension_failed,
+            terminated=forced.terminated,
+            intermediate_bytes=forced.intermediate_bytes,
+        )
+    store.save_journal(args.name, journal)
+    if args.journal_out:
+        journal.write_jsonl(args.journal_out)
+
+    accuracy = estimator_accuracy(journal)
+    if args.json:
+        counterfactuals = {
+            r.payload["strategy"]: r.payload for r in journal.by_kind("counterfactual")
+        }
+        payload = {
+            "query": args.name,
+            "scale": args.scale,
+            "normal_time": normal,
+            "termination": termination.to_json(),
+            "termination_at": event.at_time,
+            "outcome": {
+                "strategy": outcome.strategy,
+                "busy_time": outcome.busy_time,
+                "overhead": outcome.overhead,
+                "suspended": outcome.suspended,
+                "terminated": outcome.terminated,
+            },
+            "counterfactuals": counterfactuals,
+            "estimator_accuracy": accuracy,
+            "journal": [r.to_json() for r in journal.records],
+        }
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+    else:
+        _print_why_report(args.name, normal, event, outcome, journal, accuracy)
+
+    if args.replay:
+        try:
+            results = replay_journal(journal, strict=True)
+        except ReplayMismatch as mismatch:
+            print(f"\nREPLAY FAILED: {mismatch}", file=sys.stderr)
+            return 1
+        print(
+            f"\nreplay: {len(results)} decision(s) re-derived bit-for-bit "
+            "from journaled inputs"
+        )
+    return 0
+
+
+def _print_why_report(name, normal, event, outcome, journal, accuracy) -> None:
+    from repro.harness.report import format_estimator_accuracy
+
+    print(f"== {name}: adaptive suspension audit ==")
+    print(f"normal time      : {normal:.2f}s (simulated)")
+    window = journal.decisions()[0].payload["inputs"]["termination"] if journal.decisions() else None
+    if window is not None:
+        print(
+            f"threat window    : [{window['t_start']:.2f}s, {window['t_end']:.2f}s] "
+            f"P_T={window['probability']:.2f}"
+        )
+    kill = "no termination" if event.at_time is None else f"t={event.at_time:.2f}s"
+    print(f"sampled kill     : {kill}")
+    print(
+        f"outcome          : {outcome.strategy} "
+        f"(busy {outcome.busy_time:.2f}s, overhead {outcome.overhead:.2f}s, "
+        f"suspended={outcome.suspended}, terminated={outcome.terminated})"
+    )
+
+    decisions = journal.decisions(name)
+    if decisions:
+        rows = []
+        for record in decisions:
+            payload = record.payload
+            costs = payload["costs"]
+
+            def fmt(strategy):
+                value = costs[strategy]["cost"]
+                return value if isinstance(value, str) else f"{value:.3f}"
+
+            rows.append(
+                (
+                    record.seq,
+                    f"{record.ts:.2f}",
+                    payload["chosen"],
+                    fmt("redo"),
+                    fmt("pipeline"),
+                    fmt("process"),
+                    payload["measured_state_bytes"],
+                    "-"
+                    if payload["planned_suspension_time"] is None
+                    else f"{payload['planned_suspension_time']:.2f}",
+                )
+            )
+        print()
+        print(
+            format_table(
+                ("seq", "t", "chosen", "C_redo", "C_ppl", "C_proc", "S_bytes", "planned"),
+                rows,
+            )
+        )
+
+    counterfactuals = journal.by_kind("counterfactual")
+    if counterfactuals:
+        print("\n-- counterfactuals (forced strategies, same sampled kill) --")
+        rows = [
+            (
+                r.payload["strategy"],
+                f"{r.payload['busy_time']:.2f}",
+                f"{r.payload['overhead']:.2f}",
+                r.payload["suspended"],
+                r.payload["terminated"],
+            )
+            for r in counterfactuals
+        ]
+        print(format_table(("strategy", "busy", "overhead", "suspended", "terminated"), rows))
+
+    if accuracy:
+        print("\n-- estimator accuracy (relative error, estimates vs actuals) --")
+        print(format_estimator_accuracy(accuracy))
 
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
@@ -277,7 +459,46 @@ def main(argv: list[str] | None = None) -> int:
         "--jsonl", default=None, metavar="PATH",
         help="also write the deterministic JSONL export to PATH",
     )
+    trace.add_argument(
+        "--prom", default=None, metavar="PATH",
+        help="also write the metrics in Prometheus text exposition format",
+    )
     trace.set_defaults(handler=cmd_trace)
+    why = subparsers.add_parser(
+        "why",
+        help="run a query under a threat window and audit every suspension decision",
+    )
+    why.add_argument("name", metavar="QUERY", help="named TPC-H query (Q1..Q22)")
+    why.add_argument("--scale", type=float, default=0.01, help="local TPC-H scale factor")
+    why.add_argument(
+        "--window", type=float, nargs=2, default=(0.5, 0.75), metavar=("START", "END"),
+        help="termination window as fractions of normal time (default: 0.5 0.75)",
+    )
+    why.add_argument(
+        "--probability", type=float, default=1.0,
+        help="termination probability P_T within the window (default: 1.0)",
+    )
+    why.add_argument("--seed", type=int, default=42, help="termination sampling seed")
+    why.add_argument(
+        "--incremental", action="store_true",
+        help="use an incremental (delta-aware) snapshot store",
+    )
+    why.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="directory for snapshots + the persisted journal (default: temp dir)",
+    )
+    why.add_argument(
+        "--journal-out", default=None, metavar="PATH",
+        help="also write the decision journal as JSONL to PATH",
+    )
+    why.add_argument(
+        "--json", action="store_true", help="emit the full audit as JSON on stdout"
+    )
+    why.add_argument(
+        "--replay", action="store_true",
+        help="re-run the selector from journaled inputs and assert bit-for-bit equality",
+    )
+    why.set_defaults(handler=cmd_why)
     args = parser.parse_args(argv)
     return args.handler(args)
 

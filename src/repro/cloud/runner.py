@@ -29,12 +29,14 @@ from repro.engine.errors import QuerySuspended, QueryTerminated
 from repro.engine.executor import QueryExecutor, QueryResult
 from repro.engine.plan import PlanNode
 from repro.engine.profile import HardwareProfile
+from repro.obs.audit import DecisionJournal, resolve_adaptive_action
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.suspend.controller import CompositeController, TerminationController
 from repro.suspend.pipeline_level import PipelineLevelStrategy
 from repro.suspend.process_level import ProcessLevelStrategy
 from repro.suspend.redo import RedoStrategy
+from repro.suspend.store import SnapshotStore
 from repro.suspend.strategy import SuspensionStrategy
 from repro.storage.catalog import Catalog
 
@@ -119,16 +121,31 @@ class AdaptiveController(ExecutionController):
         decision = self.selector.decide(context)
         self.decision = decision
         now = context.clock_now
-        if decision.chosen == "pipeline":
-            if at_breaker:
-                self.suspended_at = now
-                return Action.SUSPEND_PIPELINE
+        planned = decision.planned_suspension_time
+        # The journal's resolver is the single source of truth for how a
+        # chosen strategy maps to an executor action, so `repro why --replay`
+        # re-derives the exact same behaviour from the journaled decision.
+        resolved = resolve_adaptive_action(decision.chosen, at_breaker, now, planned)
+        journal = self.selector.journal
+        if journal is not None:
+            journal.append(
+                "action",
+                context.executor.query_name,
+                now,
+                decision_seq=decision.audit_seq,
+                at_breaker=at_breaker,
+                planned_suspension_time=planned,
+                action=resolved,
+            )
+        if resolved == "suspend_pipeline":
+            self.suspended_at = now
+            return Action.SUSPEND_PIPELINE
+        if resolved == "arm_pipeline":
             self.pipeline_armed = True
             return Action.CONTINUE
-        if decision.chosen == "process":
-            planned = decision.planned_suspension_time
+        if resolved in ("suspend_process", "defer_process"):
             self.pending_process_time = now if planned is None else max(now, planned)
-            if now >= self.pending_process_time:
+            if resolved == "suspend_process":
                 self.suspended_at = now
                 return Action.SUSPEND_PROCESS
         return Action.CONTINUE  # redo: keep going, re-evaluate later
@@ -182,6 +199,8 @@ class QueryRunner:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         codec: str = "raw",
+        journal: DecisionJournal | None = None,
+        store: "SnapshotStore | None" = None,
     ):
         self.catalog = catalog
         self.profile = profile if profile is not None else HardwareProfile()
@@ -191,6 +210,12 @@ class QueryRunner:
         self.tracer = tracer
         self.metrics = metrics
         self.codec = codec
+        #: Decision audit journal shared with the selector (adaptive runs);
+        #: the runner adds lifecycle records (suspend/resume/outcome/...).
+        self.journal = journal
+        #: Optional durable home for snapshots *and* the journal, so a
+        #: resumed query keeps its full decision history.
+        self.store = store
 
     # -- baselines -----------------------------------------------------------
     def measure_normal(self, plan: PlanNode, query_name: str) -> QueryResult:
@@ -369,6 +394,27 @@ class QueryRunner:
 
     def _record_outcome(self, outcome: RunOutcome) -> RunOutcome:
         """Roll the finished run into the trace/metrics (accumulated cost)."""
+        if self.journal is not None:
+            self.journal.append(
+                "outcome",
+                outcome.query_name,
+                outcome.busy_time,
+                strategy=outcome.strategy,
+                normal_time=outcome.normal_time,
+                busy_time=outcome.busy_time,
+                overhead=outcome.overhead,
+                completed=outcome.completed,
+                suspended=outcome.suspended,
+                suspension_failed=outcome.suspension_failed,
+                terminated=outcome.terminated,
+                termination_time=outcome.termination_time,
+                suspended_at=outcome.suspended_at,
+                intermediate_bytes=outcome.intermediate_bytes,
+                persist_latency=outcome.persist_latency,
+                reload_latency=outcome.reload_latency,
+            )
+            if self.store is not None:
+                self.store.save_journal(outcome.query_name, self.journal)
         if self.metrics is not None:
             metrics = self.metrics
             metrics.counter("runs_total", strategy=outcome.strategy).inc()
@@ -408,6 +454,15 @@ class QueryRunner:
     ) -> RunOutcome:
         """Progress lost at *killed_at*; re-run from scratch, threat-free."""
         outcome.terminated = True
+        if self.journal is not None:
+            self.journal.append(
+                "termination",
+                query_name,
+                killed_at,
+                strategy=outcome.strategy,
+                killed_at=killed_at,
+                suspension_failed=outcome.suspension_failed,
+            )
         if self.tracer is not None:
             self.tracer.instant(
                 "termination",
@@ -439,14 +494,41 @@ class QueryRunner:
         outcome.intermediate_bytes = persisted.intermediate_bytes
         outcome.persist_latency = persisted.persist_latency
         finish_persist = persisted.suspended_at + persisted.persist_latency
+        if self.journal is not None:
+            self.journal.append(
+                "suspend",
+                query_name,
+                persisted.suspended_at,
+                strategy=outcome.strategy,
+                intermediate_bytes=persisted.intermediate_bytes,
+                persist_latency=persisted.persist_latency,
+                codec=persisted.codec,
+            )
         if termination_time is not None and finish_persist >= termination_time:
             # The kill arrived before the snapshot hit stable storage.
             outcome.suspension_failed = True
             return self._rerun_after_termination(outcome, plan, query_name, termination_time)
+        snapshot_path = persisted.snapshot_path
+        if self.store is not None:
+            # Move the snapshot into the durable store and persist the
+            # journal *at the suspension point*: if the process goes away
+            # before resuming, the decision history survives with it.
+            record = self.store.register(persisted, query_name)
+            snapshot_path = self.store.materialize(record)
+            if self.journal is not None:
+                self.store.save_journal(query_name, self.journal)
         resumed = strategy.prepare_resume(
-            persisted.snapshot_path, executor.pipelines, executor.plan_fingerprint
+            snapshot_path, executor.pipelines, executor.plan_fingerprint
         )
         outcome.reload_latency = resumed.reload_latency
+        if self.journal is not None:
+            self.journal.append(
+                "resume",
+                query_name,
+                finish_persist + resumed.reload_latency,
+                strategy=outcome.strategy,
+                reload_latency=resumed.reload_latency,
+            )
         clock = SimulatedClock()
         remaining = self._executor(
             plan, query_name, clock, None, resume=resumed.resume_state

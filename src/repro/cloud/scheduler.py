@@ -24,6 +24,7 @@ from repro.engine.errors import QuerySuspended
 from repro.engine.executor import QueryExecutor, ResumeState
 from repro.engine.plan import PlanNode
 from repro.engine.profile import HardwareProfile
+from repro.obs.audit import DecisionJournal
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.storage.catalog import Catalog
@@ -50,6 +51,10 @@ class QueryCompletion:
     arrival_time: float
     finished_at: float
     suspensions: int = 0
+    #: Phase timeline: ``{"phase": "queued"|"run"|"suspended", "start", "end"}``
+    #: dicts in chronological order — the source for per-query Chrome-trace
+    #: tracks (:func:`repro.obs.export.schedule_to_chrome`).
+    segments: list[dict] = field(default_factory=list)
 
     @property
     def latency(self) -> float:
@@ -90,6 +95,7 @@ class SuspensionScheduler:
         morsel_size: int = 16384,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        journal: DecisionJournal | None = None,
     ):
         self.catalog = catalog
         self.profile = profile if profile is not None else HardwareProfile()
@@ -98,6 +104,7 @@ class SuspensionScheduler:
         self.morsel_size = morsel_size
         self.tracer = tracer
         self.metrics = metrics
+        self.journal = journal
         self.strategy = PipelineLevelStrategy(self.profile, tracer=tracer, metrics=metrics)
 
     # -- policies -------------------------------------------------------------
@@ -119,7 +126,12 @@ class SuspensionScheduler:
                 metrics=self.metrics,
             ).run()
             now = clock.now()
-            completion = QueryCompletion(request.name, request.arrival_time, now)
+            completion = QueryCompletion(
+                request.name,
+                request.arrival_time,
+                now,
+                segments=_segments_for(request.arrival_time, start, now),
+            )
             report.completions.append(completion)
             self._record_completion(completion, policy="fifo")
         return report
@@ -154,7 +166,11 @@ class SuspensionScheduler:
             metrics=self.metrics,
         ).run()
         completion = QueryCompletion(
-            request.name, request.arrival_time, clock.now(), suspensions
+            request.name,
+            request.arrival_time,
+            clock.now(),
+            suspensions,
+            segments=_segments_for(request.arrival_time, start, clock.now()),
         )
         report.completions.append(completion)
         self._record_completion(completion, policy="preemptive")
@@ -170,6 +186,12 @@ class SuspensionScheduler:
         now = start
         resume_state: ResumeState | None = None
         suspensions = 0
+        segments: list[dict] = []
+        if start > request.arrival_time:
+            segments.append(
+                {"phase": "queued", "start": request.arrival_time, "end": start}
+            )
+        suspend_mark: float | None = None
         while True:
             # Interactive queries already waiting run before the long query
             # (re)occupies the worker.
@@ -184,6 +206,12 @@ class SuspensionScheduler:
             next_arrival = min(
                 (r.arrival_time for r in interactive_waiting), default=None
             )
+            if suspend_mark is not None and now > suspend_mark:
+                # The away-gap just ended: the long query was off the worker
+                # from the end of its persist until this resume point.
+                segments.append({"phase": "suspended", "start": suspend_mark, "end": now})
+            suspend_mark = None
+            run_start = now
             clock = SimulatedClock(now)
             if next_arrival is not None and next_arrival > now:
                 controller = self.strategy.make_request_controller(next_arrival)
@@ -203,8 +231,15 @@ class SuspensionScheduler:
             )
             try:
                 executor.run()
+                segments.append(
+                    {"phase": "run", "start": run_start, "end": clock.now()}
+                )
                 completion = QueryCompletion(
-                    request.name, request.arrival_time, clock.now(), suspensions
+                    request.name,
+                    request.arrival_time,
+                    clock.now(),
+                    suspensions,
+                    segments=segments,
                 )
                 report.completions.append(completion)
                 self._record_completion(completion, policy="preemptive")
@@ -213,6 +248,10 @@ class SuspensionScheduler:
                 persisted = self.strategy.persist(suspended.capture, self.snapshot_dir)
                 suspensions += 1
                 now = clock.now() + persisted.persist_latency
+                # Persisting is still busy time on the worker; the suspended
+                # gap starts once the snapshot is on stable storage.
+                segments.append({"phase": "run", "start": run_start, "end": now})
+                suspend_mark = now
                 # Drain every interactive query that has arrived by now (or
                 # arrives while the worker is busy with earlier ones).
                 while True:
@@ -232,6 +271,18 @@ class SuspensionScheduler:
                 resume_state.clock_time = 0.0
 
     def _record_completion(self, completion: QueryCompletion, policy: str) -> None:
+        if self.journal is not None:
+            for segment in completion.segments:
+                self.journal.append(
+                    "placement",
+                    completion.name,
+                    segment["start"],
+                    policy=policy,
+                    phase=segment["phase"],
+                    start=segment["start"],
+                    end=segment["end"],
+                    suspensions=completion.suspensions,
+                )
         if self.tracer is not None:
             self.tracer.span(
                 "cloud",
@@ -243,8 +294,29 @@ class SuspensionScheduler:
                 suspensions=completion.suspensions,
                 latency=completion.latency,
             )
+            for segment in completion.segments:
+                # One span per phase on the query's own track, so Perfetto
+                # shows a queued/run/suspended lane per query.
+                self.tracer.span(
+                    "cloud",
+                    segment["phase"],
+                    segment["start"],
+                    segment["end"],
+                    track=f"query:{completion.name}",
+                    policy=policy,
+                    phase=segment["phase"],
+                )
         if self.metrics is not None:
             self.metrics.counter("scheduler_completions_total", policy=policy).inc()
             self.metrics.histogram("scheduler_latency_seconds", policy=policy).observe(
                 completion.latency
             )
+
+
+def _segments_for(arrival: float, start: float, finished: float) -> list[dict]:
+    """Queued/run phase timeline for an uninterrupted execution."""
+    segments: list[dict] = []
+    if start > arrival:
+        segments.append({"phase": "queued", "start": arrival, "end": start})
+    segments.append({"phase": "run", "start": start, "end": finished})
+    return segments

@@ -19,6 +19,7 @@ from repro.costmodel.model import CostInputs, StrategyCost, estimate_all
 from repro.costmodel.termination import TerminationProfile
 from repro.engine.controller import BoundaryContext
 from repro.engine.profile import HardwareProfile
+from repro.obs.audit import DecisionJournal, cost_to_json, time_key
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.storage import codec as codec_mod
@@ -36,6 +37,9 @@ class SelectorDecision:
     runtime_seconds: float
     measured_state_bytes: int
     planned_suspension_time: float | None
+    #: Journal sequence number of the matching ``decision`` record
+    #: (``None`` when the selector runs without a journal attached).
+    audit_seq: int | None = None
 
     def cost_of(self, strategy: str) -> float:
         return self.costs[strategy].cost
@@ -59,6 +63,10 @@ class AdaptiveStrategySelector:
     codec: str = "raw"
     tracer: Tracer | None = None
     metrics: MetricsRegistry | None = None
+    journal: DecisionJournal | None = None
+    #: Human-readable name of the bound size estimator ("regression",
+    #: "optimizer", ...) recorded in journal entries.
+    estimator_label: str = ""
     decisions: list[SelectorDecision] = field(default_factory=list)
 
     def decision_lead(self) -> float:
@@ -100,8 +108,14 @@ class AdaptiveStrategySelector:
         available = max(0, self.profile.memory_bytes - context.memory_bytes)
         total = max(self.estimated_total_time, 1e-9)
 
+        # Every probed (time → size) sample is recorded so the journal can
+        # hand replays a lookup-backed estimator instead of the live one.
+        size_samples: dict[str, float] = {}
+
         def estimate_process_bytes(at_time: float) -> float:
-            return float(self.process_size_estimator(min(1.0, at_time / total)))
+            estimated = float(self.process_size_estimator(min(1.0, at_time / total)))
+            size_samples[time_key(at_time)] = estimated
+            return estimated
 
         prior = total / max(1, context.total_pipelines)
         if context.at_breaker:
@@ -148,6 +162,53 @@ class AdaptiveStrategySelector:
             planned_suspension_time=costs[chosen].planned_suspension_time,
         )
         self.decisions.append(decision)
+        if self.journal is not None:
+            # runtime_seconds is wall time and deliberately left out: journal
+            # exports must stay byte-identical across runs of the same seed.
+            record = self.journal.append(
+                "decision",
+                context.executor.query_name,
+                context.clock_now,
+                chosen=chosen,
+                costs={name: cost_to_json(costs[name]) for name in sorted(costs)},
+                measured_state_bytes=state_bytes,
+                planned_suspension_time=decision.planned_suspension_time,
+                estimated_total_time=self.estimated_total_time,
+                codec=self.codec,
+                estimator=self.estimator_label,
+                context={
+                    "pipeline_id": context.pipeline_id,
+                    "pipeline_pos": context.pipeline_pos,
+                    "total_pipelines": context.total_pipelines,
+                    "morsel_index": context.morsel_index,
+                    "morsel_count": context.morsel_count,
+                    "at_breaker": context.at_breaker,
+                    "memory_bytes": context.memory_bytes,
+                    "pipeline_state_bytes": context.pipeline_state_bytes,
+                    "local_state_bytes": context.local_state_bytes,
+                },
+                inputs={
+                    "current_time": inputs.current_time,
+                    "available_memory": inputs.available_memory,
+                    "pipeline_time_sum": inputs.pipeline_time_sum,
+                    "pipeline_count": inputs.pipeline_count,
+                    "termination": inputs.termination.to_json(),
+                    "pipeline_state_bytes": inputs.pipeline_state_bytes,
+                    "probe_step": inputs.probe_step,
+                    "breaker_delay": inputs.breaker_delay,
+                    "pipeline_time_prior": inputs.pipeline_time_prior,
+                    "proactive": inputs.proactive,
+                    "io": {
+                        "write_bandwidth": inputs.io.write_bandwidth,
+                        "read_bandwidth": inputs.io.read_bandwidth,
+                        "fixed_overhead": inputs.io.fixed_overhead,
+                        "codec": inputs.io.codec,
+                        "codec_time_scale": inputs.io.codec_time_scale,
+                    },
+                    "process_size_samples": dict(sorted(size_samples.items())),
+                },
+            )
+            decision.audit_seq = record.seq
         if self.tracer is not None:
             # runtime_seconds is wall time and deliberately left out: trace
             # exports must stay deterministic across runs.

@@ -45,6 +45,22 @@ class TerminationProfile:
         """
         return cls(total_time * start_fraction, total_time * end_fraction, probability)
 
+    def to_json(self) -> dict:
+        """Serializable form used by the decision audit journal."""
+        return {
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "probability": self.probability,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TerminationProfile":
+        return cls(
+            t_start=float(payload["t_start"]),
+            t_end=float(payload["t_end"]),
+            probability=float(payload["probability"]),
+        )
+
     def sample(self, rng: np.random.Generator) -> float | None:
         """Sampled termination time, or ``None`` when no termination occurs."""
         if rng.random() >= self.probability:

@@ -1,0 +1,112 @@
+"""Shared BENCH JSON schema for benchmark outputs.
+
+Every ``benchmarks/bench_*.py`` artifact (and the pytest-bench session
+dump) is wrapped in one envelope so downstream tooling — notably
+``benchmarks/bench_compare.py`` and the CI regression gate — can diff any
+two bench runs without knowing each bench's internal layout::
+
+    {
+      "schema": "riveter-bench/1",
+      "name": "suspend_resume",
+      "scale": 0.002,
+      "git_rev": "abc1234",
+      "metrics": {...}          # bench-specific, numeric leaves comparable
+    }
+
+``metrics`` holds the bench's own result document; comparisons flatten it
+to dotted-path numeric leaves.  All simulated-clock quantities are exactly
+reproducible at a fixed scale, which is what makes a checked-in baseline
+plus a strict relative-regression threshold workable.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_payload",
+    "write_bench",
+    "read_bench",
+    "flatten_metrics",
+    "git_rev",
+]
+
+BENCH_SCHEMA = "riveter-bench/1"
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def bench_payload(name: str, scale: float, metrics: dict, **extra) -> dict:
+    """Wrap a bench's result document in the shared envelope."""
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "scale": float(scale),
+        "git_rev": git_rev(),
+        "metrics": metrics,
+    }
+    payload.update(extra)
+    return payload
+
+
+def write_bench(path: str | Path, payload: dict) -> Path:
+    """Write a BENCH payload as stable, human-diffable JSON."""
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"payload is not {BENCH_SCHEMA}: {payload.get('schema')!r}")
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench(path: str | Path) -> dict:
+    """Read a BENCH payload, validating the schema marker."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path} is not a {BENCH_SCHEMA} document "
+            f"(schema={payload.get('schema')!r}); re-run the bench to regenerate it"
+        )
+    return payload
+
+
+def flatten_metrics(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a payload's ``metrics`` tree as dotted paths.
+
+    Booleans and non-numeric leaves are skipped; list items use their
+    index as a path component.
+    """
+    tree = payload["metrics"] if not prefix and "metrics" in payload else payload
+    flat: dict[str, float] = {}
+
+    def walk(node, path: str) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, f"{path}.{key}" if path else str(key))
+        elif isinstance(node, list):
+            for index, value in enumerate(node):
+                walk(value, f"{path}.{index}" if path else str(index))
+        elif isinstance(node, bool):
+            return
+        elif isinstance(node, (int, float)):
+            flat[path] = float(node)
+
+    walk(tree, prefix)
+    return flat

@@ -10,6 +10,8 @@ __all__ = [
     "format_operator_breakdown",
     "print_table",
     "summarize_distribution",
+    "estimator_accuracy",
+    "format_estimator_accuracy",
 ]
 
 
@@ -92,3 +94,101 @@ def summarize_distribution(values: Sequence[float]) -> dict[str, float]:
         "max": ordered[-1],
         "mean": sum(ordered) / len(ordered),
     }
+
+
+def _relative_error(estimate: float, actual: float) -> float:
+    return abs(float(estimate) - float(actual)) / max(abs(float(actual)), 1e-9)
+
+
+def estimator_accuracy(journal) -> dict[str, dict]:
+    """Per-query estimator-error distributions from a decision journal.
+
+    Pairs every ``outcome`` record with the decision that produced it and
+    compares the journaled estimates against the measured actuals — the
+    quantities behind Fig. 10–12:
+
+    * ``suspend_latency`` — estimated ``L_s`` (the chosen strategy's
+      ``persist_latency`` estimate) vs the measured persist latency;
+    * ``resume_latency`` — estimated ``L_r`` vs the measured reload latency;
+    * ``state_bytes`` — the selector's measured/extrapolated state size vs
+      the bytes actually persisted;
+    * ``total_time`` — the a-priori execution-time estimate Algorithm 1
+      worked from vs the threat-free normal time.
+
+    Each entry maps an error kind to relative-error samples plus their
+    :func:`summarize_distribution` box statistics.
+    """
+    last_decision: dict[str, dict] = {}
+    errors: dict[str, dict[str, list[float]]] = {}
+
+    def bucket(query: str) -> dict[str, list[float]]:
+        return errors.setdefault(
+            query,
+            {
+                "suspend_latency": [],
+                "resume_latency": [],
+                "state_bytes": [],
+                "total_time": [],
+            },
+        )
+
+    for record in journal.records:
+        if record.kind == "decision":
+            last_decision[record.query] = record.payload
+        elif record.kind == "outcome":
+            payload = record.payload
+            decision = last_decision.get(record.query)
+            if decision is None:
+                continue
+            per_query = bucket(record.query)
+            per_query["total_time"].append(
+                _relative_error(decision["estimated_total_time"], payload["normal_time"])
+            )
+            if not payload.get("suspended"):
+                continue
+            cost = decision["costs"].get(payload["strategy"])
+            if cost is None:
+                continue
+            if isinstance(cost["persist_latency"], (int, float)):
+                per_query["suspend_latency"].append(
+                    _relative_error(cost["persist_latency"], payload["persist_latency"])
+                )
+            if isinstance(cost["reload_latency"], (int, float)):
+                per_query["resume_latency"].append(
+                    _relative_error(cost["reload_latency"], payload["reload_latency"])
+                )
+            if payload.get("intermediate_bytes"):
+                per_query["state_bytes"].append(
+                    _relative_error(
+                        decision["measured_state_bytes"], payload["intermediate_bytes"]
+                    )
+                )
+
+    return {
+        query: {
+            kind: {"samples": samples, "summary": summarize_distribution(samples)}
+            for kind, samples in kinds.items()
+            if samples
+        }
+        for query, kinds in sorted(errors.items())
+        if any(kinds.values())
+    }
+
+
+def format_estimator_accuracy(accuracy: dict[str, dict]) -> str:
+    """ASCII table of :func:`estimator_accuracy` output (median/max rel. error)."""
+    rows = []
+    for query, kinds in accuracy.items():
+        for kind, stats in kinds.items():
+            summary = stats["summary"]
+            rows.append(
+                (
+                    query,
+                    kind,
+                    len(stats["samples"]),
+                    f"{summary['median']:.3f}",
+                    f"{summary['mean']:.3f}",
+                    f"{summary['max']:.3f}",
+                )
+            )
+    return format_table(("query", "estimate", "n", "median", "mean", "max"), rows)

@@ -12,16 +12,31 @@ package makes those timelines *inspectable*:
   histograms (rows per operator, bytes persisted/reloaded, suspension
   lag, estimator error);
 * :mod:`repro.obs.export` — JSONL and Chrome-trace/Perfetto JSON
-  exporters, a human-readable summary, and a schema validator used by CI.
+  exporters, a human-readable summary, and a schema validator used by CI;
+* :mod:`repro.obs.audit` — the decision audit journal: an append-only,
+  replayable record of every suspend/resume deliberation (cost-model
+  inputs, per-strategy estimates, chosen action, measured actuals) that
+  powers ``python -m repro why`` and the estimator-accuracy report.
 
 Tracing is strictly opt-in: every instrumented component takes
 ``tracer=None`` / ``metrics=None`` and the disabled path is a single
 ``is None`` check.
 """
 
+from repro.obs.audit import (
+    AUDIT_KINDS,
+    AuditRecord,
+    DecisionJournal,
+    ReplayMismatch,
+    ReplayResult,
+    replay_decision,
+    replay_journal,
+    resolve_adaptive_action,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import TRACE_CATEGORIES, TraceEvent, Tracer
 from repro.obs.export import (
+    schedule_to_chrome,
     text_summary,
     trace_to_chrome,
     trace_to_jsonl,
@@ -29,12 +44,21 @@ from repro.obs.export import (
     validate_chrome_trace_file,
     write_chrome_trace,
     write_jsonl,
+    write_schedule_trace,
 )
 
 __all__ = [
     "TraceEvent",
     "Tracer",
     "TRACE_CATEGORIES",
+    "AUDIT_KINDS",
+    "AuditRecord",
+    "DecisionJournal",
+    "ReplayMismatch",
+    "ReplayResult",
+    "replay_decision",
+    "replay_journal",
+    "resolve_adaptive_action",
     "Counter",
     "Gauge",
     "Histogram",
@@ -44,6 +68,8 @@ __all__ = [
     "write_jsonl",
     "write_chrome_trace",
     "text_summary",
+    "schedule_to_chrome",
+    "write_schedule_trace",
     "validate_chrome_trace",
     "validate_chrome_trace_file",
 ]

@@ -109,6 +109,33 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated *q*-quantile from the bucket counts.
+
+        Uses the Prometheus ``histogram_quantile`` interpolation: the
+        target rank is located in the cumulative bucket counts and the
+        value is linearly interpolated inside that bucket.  The first
+        bucket interpolates from the observed minimum and the overflow
+        bucket returns the observed maximum; results are clamped to the
+        observed ``[min, max]`` so estimates never leave the data range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = self.min
+        for index, bound in enumerate(self.buckets):
+            in_bucket = self.counts[index]
+            if cumulative + in_bucket >= target and in_bucket > 0:
+                fraction = (target - cumulative) / in_bucket
+                value = lower + (min(bound, self.max) - lower) * fraction
+                return min(max(value, self.min), self.max)
+            cumulative += in_bucket
+            lower = max(lower, bound)
+        return self.max
+
     def to_json(self) -> dict:
         return {
             "type": "histogram",
@@ -134,30 +161,37 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._meta: dict[str, tuple[str, dict[str, str]]] = {}
 
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def _get(self, kind: type, key: str, factory):
+    def _get(self, kind: type, name: str, labels: dict[str, str], factory):
+        key = _key(name, labels)
         metric = self._metrics.get(key)
         if metric is None:
             metric = factory()
             self._metrics[key] = metric
+            self._meta[key] = (name, dict(labels))
         elif not isinstance(metric, kind):
             raise TypeError(f"metric {key!r} is a {type(metric).__name__}, not {kind.__name__}")
         return metric
 
     def counter(self, name: str, **labels: str) -> Counter:
-        return self._get(Counter, _key(name, labels), Counter)
+        return self._get(Counter, name, labels, Counter)
 
     def gauge(self, name: str, **labels: str) -> Gauge:
-        return self._get(Gauge, _key(name, labels), Gauge)
+        return self._get(Gauge, name, labels, Gauge)
 
     def histogram(
         self, name: str, buckets: tuple[float, ...] | None = None, **labels: str
     ) -> Histogram:
         factory = (lambda: Histogram(buckets=buckets)) if buckets else Histogram
-        return self._get(Histogram, _key(name, labels), factory)
+        return self._get(Histogram, name, labels, factory)
+
+    def items(self) -> list[tuple[str, "Counter | Gauge | Histogram"]]:
+        """``(key, metric)`` pairs sorted by key (for renderers/exporters)."""
+        return [(key, self._metrics[key]) for key in sorted(self._metrics)]
 
     def snapshot(self) -> dict:
         """Deterministic JSON-serializable dump of every metric."""
@@ -166,3 +200,58 @@ class MetricsRegistry:
                 key: self._metrics[key].to_json() for key in sorted(self._metrics)
             }
         }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        Counters and gauges become single samples; histograms expand into
+        cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+        Output is sorted by metric name then label set, so exports are
+        deterministic and diffable.
+        """
+        by_name: dict[str, list[tuple[str, dict, Counter | Gauge | Histogram]]] = {}
+        for key in sorted(self._metrics):
+            name, labels = self._meta[key]
+            by_name.setdefault(name, []).append((key, labels, self._metrics[key]))
+        lines: list[str] = []
+        for name in sorted(by_name):
+            series = by_name[name]
+            kind = type(series[0][2]).__name__.lower()
+            lines.append(f"# TYPE {name} {kind}")
+            for _, labels, metric in series:
+                if isinstance(metric, Histogram):
+                    cumulative = 0
+                    for index, bound in enumerate(metric.buckets):
+                        cumulative += metric.counts[index]
+                        bucket_labels = dict(labels, le=_format_number(bound))
+                        lines.append(
+                            f"{name}_bucket{_label_suffix(bucket_labels)} {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_bucket{_label_suffix(dict(labels, le='+Inf'))} "
+                        f"{metric.count}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_label_suffix(labels)} {_format_number(metric.total)}"
+                    )
+                    lines.append(f"{name}_count{_label_suffix(labels)} {metric.count}")
+                else:
+                    lines.append(
+                        f"{name}{_label_suffix(labels)} {_format_number(metric.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_number(value: float) -> str:
+    """Prometheus sample value: integral floats print without the ``.0``."""
+    value = float(value)
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_suffix(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{{{inner}}}"

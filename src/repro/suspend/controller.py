@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.engine.controller import Action, BoundaryContext, ExecutionController
 from repro.engine.errors import QueryTerminated
+from repro.obs.audit import DecisionJournal
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
@@ -34,6 +35,7 @@ class SuspensionRequestController(ExecutionController):
         mode: str,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        journal: DecisionJournal | None = None,
     ):
         if mode not in ("process", "pipeline"):
             raise ValueError(f"mode must be 'process' or 'pipeline', got {mode!r}")
@@ -41,18 +43,31 @@ class SuspensionRequestController(ExecutionController):
         self.mode = mode
         self.tracer = tracer
         self.metrics = metrics
+        self.journal = journal
         self.suspended_at: float | None = None
+        self._query_name = "query"
         self._request_recorded = False
 
     def on_query_start(self, executor) -> None:
-        if self.tracer is not None and not self._request_recorded:
-            self._request_recorded = True
+        self._query_name = getattr(executor, "query_name", "query")
+        if self._request_recorded:
+            return
+        self._request_recorded = True
+        if self.tracer is not None:
             self.tracer.instant(
                 "suspend",
                 f"request:{self.mode}",
                 self.request_time,
                 track="suspend",
                 mode=self.mode,
+            )
+        if self.journal is not None:
+            self.journal.append(
+                "request",
+                self._query_name,
+                self.request_time,
+                mode=self.mode,
+                request_time=self.request_time,
             )
 
     def _note_suspension(self, now: float) -> None:
@@ -69,6 +84,15 @@ class SuspensionRequestController(ExecutionController):
             )
         if self.metrics is not None:
             self.metrics.histogram("suspension_lag_seconds").observe(self.lag or 0.0)
+        if self.journal is not None:
+            self.journal.append(
+                "suspend",
+                self._query_name,
+                now,
+                mode=self.mode,
+                requested_at=self.request_time,
+                lag=self.lag,
+            )
 
     def on_morsel_boundary(self, context: BoundaryContext) -> Action:
         if self.mode == "process" and context.clock_now >= self.request_time:

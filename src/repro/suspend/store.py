@@ -109,6 +109,7 @@ class SnapshotStore:
     _records: list[SnapshotRecord] = field(default_factory=list)
     _next_sequence: int = 0
     _retained: list[str] = field(default_factory=list)
+    _journals: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.directory = Path(self.directory)
@@ -119,6 +120,8 @@ class SnapshotStore:
             self._records = [SnapshotRecord.from_json(r) for r in payload["records"]]
             self._next_sequence = int(payload["next_sequence"])
             self._retained = list(payload.get("retained", []))
+            # Older manifests predate decision journals; default to none.
+            self._journals = dict(payload.get("journals", {}))
 
     # -- registration ------------------------------------------------------------
     def register(self, outcome: SuspendOutcome, query_name: str) -> SnapshotRecord:
@@ -307,6 +310,40 @@ class SnapshotStore:
             ProcessImage.from_parts(header, blobs, delta.local_blobs).write(materialized)
         return materialized
 
+    # -- decision journals -------------------------------------------------------
+    def journal_path(self, query_name: str) -> Path | None:
+        """Path of *query_name*'s persisted decision journal, or ``None``."""
+        file_name = self._journals.get(query_name)
+        if file_name is None:
+            return None
+        return Path(self.directory) / file_name
+
+    def save_journal(self, query_name: str, journal) -> Path:
+        """Persist *query_name*'s decision journal next to its snapshots.
+
+        Journals are never pruned with snapshots — a resumed query keeps
+        its full decision history even after old snapshot files rotate out.
+        """
+        file_name = f"{query_name}.journal.jsonl"
+        path = Path(self.directory) / file_name
+        journal.write_jsonl(path)
+        self._journals[query_name] = file_name
+        self._save()
+        return path
+
+    def load_journal(self, query_name: str):
+        """Load *query_name*'s persisted journal, or ``None`` when absent.
+
+        Appends to the returned journal continue the persisted sequence
+        numbering, so suspend → resume produces one coherent history.
+        """
+        from repro.obs.audit import DecisionJournal
+
+        path = self.journal_path(query_name)
+        if path is None or not path.exists():
+            return None
+        return DecisionJournal.from_jsonl(path.read_text())
+
     # -- maintenance ------------------------------------------------------------
     def _referenced_files(self, records: list[SnapshotRecord]) -> set[str]:
         referenced = {r.file_name for r in records}
@@ -370,6 +407,7 @@ class SnapshotStore:
                     "next_sequence": self._next_sequence,
                     "records": [r.to_json() for r in self._records],
                     "retained": self._retained,
+                    "journals": dict(sorted(self._journals.items())),
                 },
                 indent=2,
             )

@@ -116,6 +116,60 @@ class TestMetrics:
         assert registry.counter("a") is registry.counter("a")
         assert registry.histogram("h") is registry.histogram("h")
 
+    def test_histogram_quantile_interpolates_within_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lag", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 2.0, 4.0, 8.0, 50.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.5
+        assert hist.quantile(1.0) == 50.0
+        # p50 falls in the (1, 10] bucket; interpolation stays inside it.
+        assert 1.0 <= hist.quantile(0.5) <= 10.0
+        assert hist.quantile(0.95) <= 50.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_histogram_quantile_empty_and_overflow(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("x", buckets=(1.0,))
+        assert hist.quantile(0.5) == 0.0
+        hist.observe(99.0)  # lands in the +Inf overflow bucket
+        assert hist.quantile(0.99) == 99.0
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total", strategy="redo").inc(3)
+        registry.counter("runs_total", strategy="process").inc()
+        registry.gauge("memory_bytes").set(123.5)
+        text = registry.to_prometheus()
+        assert "# TYPE runs_total counter" in text
+        assert 'runs_total{strategy="process"} 1' in text
+        assert 'runs_total{strategy="redo"} 3' in text
+        assert "# TYPE memory_bytes gauge" in text
+        assert "memory_bytes 123.5" in text
+
+    def test_histogram_exposition_is_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lag_seconds", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        text = registry.to_prometheus()
+        assert "# TYPE lag_seconds histogram" in text
+        assert 'lag_seconds_bucket{le="1"} 1' in text
+        assert 'lag_seconds_bucket{le="10"} 2' in text
+        assert 'lag_seconds_bucket{le="+Inf"} 3' in text
+        assert "lag_seconds_sum 55.5" in text
+        assert "lag_seconds_count 3" in text
+
+    def test_type_line_emitted_once_per_metric_family(self):
+        registry = MetricsRegistry()
+        registry.counter("x", a="1").inc()
+        registry.counter("x", a="2").inc()
+        text = registry.to_prometheus()
+        assert text.count("# TYPE x counter") == 1
+
 
 def _run_with_suspension(catalog, strategy, query="Q3", fraction=0.5, tracer=None):
     plan = build_query(query)
@@ -300,3 +354,80 @@ class TestExport:
         summary = text_summary(tracer, metrics)
         assert "trace event(s)" in summary
         assert "queries_total" in summary
+
+    def test_text_summary_reports_histogram_quantiles(self, tpch_tiny):
+        tracer = self._traced_q6(tpch_tiny)
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("lag_seconds", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0):
+            hist.observe(value)
+        summary = text_summary(tracer, metrics)
+        assert "p50=" in summary and "p95=" in summary
+
+
+class TestScheduleExport:
+    def _report(self, tpch_tiny, profile, tmp_path, policy):
+        from repro.cloud.scheduler import QueryRequest, SuspensionScheduler
+
+        scheduler = SuspensionScheduler(
+            tpch_tiny, profile, snapshot_dir=tmp_path / "sched"
+        )
+        requests = [
+            QueryRequest("Q18", build_query("Q18"), 0.0),
+            QueryRequest("Q6", build_query("Q6"), 0.2, interactive=True),
+        ]
+        if policy == "fifo":
+            return scheduler.run_fifo(requests)
+        return scheduler.run_preemptive(requests)
+
+    def test_completions_carry_phase_segments(self, tpch_tiny, profile, tmp_path):
+        report = self._report(tpch_tiny, profile, tmp_path, "preemptive")
+        for completion in report.completions:
+            assert completion.segments, f"{completion.name} has no segments"
+            for segment in completion.segments:
+                assert segment["phase"] in ("queued", "run", "suspended")
+                assert segment["end"] >= segment["start"]
+        long = report.completion("Q18")
+        if long.suspensions:
+            assert any(s["phase"] == "suspended" for s in long.segments)
+
+    def test_fifo_queued_segment_covers_the_wait(self, tpch_tiny, profile, tmp_path):
+        report = self._report(tpch_tiny, profile, tmp_path, "fifo")
+        short = report.completion("Q6")
+        queued = [s for s in short.segments if s["phase"] == "queued"]
+        assert queued and queued[0]["start"] == short.arrival_time
+
+    def test_schedule_trace_opens_as_chrome_trace(self, tpch_tiny, profile, tmp_path):
+        from repro.obs.export import schedule_to_chrome, write_schedule_trace
+
+        report = self._report(tpch_tiny, profile, tmp_path, "preemptive")
+        payload = schedule_to_chrome(report, policy="preemptive")
+        summary = validate_chrome_trace(payload)
+        assert summary["categories"]["cloud"] >= len(report.completions)
+        thread_names = [
+            e["args"]["name"] for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "query:Q18" in thread_names and "query:Q6" in thread_names
+        path = tmp_path / "schedule.json"
+        count = write_schedule_trace(report, path, policy="preemptive")
+        assert count == sum(len(c.segments) for c in report.completions)
+        assert validate_chrome_trace_file(path)["events"] > 0
+
+    def test_placement_records_cover_every_segment(self, tpch_tiny, profile, tmp_path):
+        from repro.cloud.scheduler import QueryRequest, SuspensionScheduler
+        from repro.obs.audit import DecisionJournal
+
+        journal = DecisionJournal()
+        scheduler = SuspensionScheduler(
+            tpch_tiny, profile, snapshot_dir=tmp_path / "sched", journal=journal
+        )
+        report = scheduler.run_preemptive(
+            [
+                QueryRequest("Q18", build_query("Q18"), 0.0),
+                QueryRequest("Q6", build_query("Q6"), 0.2, interactive=True),
+            ]
+        )
+        placements = journal.by_kind("placement")
+        assert len(placements) == sum(len(c.segments) for c in report.completions)
+        assert all(r.payload["policy"] == "preemptive" for r in placements)

@@ -8,10 +8,10 @@ Both inputs must use the shared ``riveter-bench/1`` envelope (see
 :mod:`repro.harness.bench`).  The comparison flattens each document's
 ``metrics`` tree to dotted-path numeric leaves and, with ``--check``,
 fails when a *gated* leaf regressed by more than ``--max-regress``
-(default 10%).  Gated leaves are the suspend/resume core costs — paths
-whose last component mentions persist/reload latency or snapshot/file
-bytes; higher is worse for all of them.  Everything else is reported but
-never fails the gate.
+(default 10%).  Gated leaves are the suspend/resume core costs (persist/
+reload latency, snapshot/file bytes) plus the optimizer's work metrics
+(rows scanned, bytes materialized); higher is worse for all of them.
+Everything else is reported but never fails the gate.
 
 Because every gated quantity rides the simulated clock, two runs of the
 same code at the same scale produce identical numbers — any delta is a
@@ -32,6 +32,8 @@ GATED_SUFFIXES = (
     "intermediate_bytes",
     "file_bytes",
     "encoded_bytes",
+    "rows_scanned",
+    "bytes_materialized",
 )
 
 

@@ -1,0 +1,169 @@
+"""Per-query optimizer benchmark: scan/materialization work, on vs. off.
+
+Runs every TPC-H query twice — seed plan with eager execution, then the
+optimized plan (projection pruning + predicate pushdown) with selection
+vectors — and records for each mode:
+
+* ``rows_scanned``      — rows produced by scan sources, summed over
+  pipelines; pushdown must never increase this;
+* ``bytes_materialized`` — bytes copied into fresh arrays by the chunk
+  layer (filters, gathers, join payloads, concats): the optimizer's
+  headline metric;
+* ``virtual_seconds``   — simulated-clock execution time.
+
+All three ride the simulated clock / deterministic generators, so at a
+fixed scale the output is exactly reproducible and a checked-in baseline
+(``benchmarks/baselines/queries.scale-0.002.json``) can be diffed with
+``benchmarks/bench_compare.py --check``.  Wall-clock time is printed and
+stored outside ``metrics`` so it never pollutes the comparison.
+
+``--check`` additionally asserts the correctness contract inline: both
+modes must return bit-identical results and the optimized plan must not
+scan more rows than the seed plan.
+
+Standalone on purpose (argparse, engine-only imports)::
+
+    PYTHONPATH=src python benchmarks/bench_queries.py --scale 0.002
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.engine import chunk as chunkmod
+from repro.engine.executor import QueryExecutor
+from repro.harness.bench import bench_payload, write_bench
+from repro.optimizer import optimize_plan
+from repro.tpch import QUERY_NAMES, build_query, generate_catalog
+
+
+def _rows_scanned(stats) -> int:
+    return sum(
+        op.rows
+        for pipeline in stats.pipelines
+        for op in pipeline.operators
+        if op.kind == "scan"
+    )
+
+
+def _run(catalog, plan, query: str, optimized: bool) -> tuple[dict, object]:
+    chunkmod.reset_materialization()
+    started = time.perf_counter()
+    result = QueryExecutor(
+        catalog,
+        plan,
+        query_name=query,
+        lazy_filters=optimized,
+        select_operators=optimized,
+    ).run()
+    wall = time.perf_counter() - started
+    cell = {
+        "rows_scanned": _rows_scanned(result.stats),
+        "bytes_materialized": chunkmod.materialized_bytes(),
+        "virtual_seconds": result.stats.duration,
+    }
+    return cell, (result, wall)
+
+
+def _identical(left, right) -> bool:
+    if left.schema.names != right.schema.names:
+        return False
+    for a, b in zip(left.arrays(), right.arrays()):
+        if a.dtype != b.dtype or a.shape != b.shape or a.tobytes() != b.tobytes():
+            return False
+    return True
+
+
+def run_query_bench(
+    scale: float, queries: list[str] | None = None, check: bool = False
+) -> tuple[dict, float]:
+    """Run the benchmark; returns ``(metrics, wall_seconds_total)``."""
+    queries = queries or list(QUERY_NAMES)
+    catalog = generate_catalog(scale)
+    metrics: dict = {"queries": {}, "totals": {}}
+    wall_total = 0.0
+
+    for query in queries:
+        seed_plan = build_query(query)
+        off, (off_result, off_wall) = _run(catalog, seed_plan, query, optimized=False)
+        opt = optimize_plan(catalog, build_query(query), query_name=query)
+        on, (on_result, on_wall) = _run(catalog, opt.plan, query, optimized=True)
+        on["rewrites"] = len(opt.applications)
+        wall_total += off_wall + on_wall
+
+        if check:
+            if not _identical(off_result.chunk, on_result.chunk):
+                raise SystemExit(f"{query}: optimized result differs from seed result")
+            if on["rows_scanned"] > off["rows_scanned"]:
+                raise SystemExit(
+                    f"{query}: optimizer increased rows scanned "
+                    f"({off['rows_scanned']} -> {on['rows_scanned']})"
+                )
+
+        base = off["bytes_materialized"]
+        reduction = (base - on["bytes_materialized"]) / base if base else 0.0
+        metrics["queries"][query] = {
+            "off": off,
+            "on": on,
+            "bytes_reduction_pct": round(100.0 * reduction, 1),
+        }
+
+    for mode in ("off", "on"):
+        cells = [metrics["queries"][q][mode] for q in queries]
+        metrics["totals"][mode] = {
+            "rows_scanned": sum(c["rows_scanned"] for c in cells),
+            "bytes_materialized": sum(c["bytes_materialized"] for c in cells),
+            "virtual_seconds": round(sum(c["virtual_seconds"] for c in cells), 6),
+        }
+    metrics["totals"]["queries_improved_30pct"] = sum(
+        1
+        for q in queries
+        if metrics["queries"][q]["bytes_reduction_pct"] >= 30.0
+    )
+    return metrics, wall_total
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.002, help="TPC-H scale factor")
+    parser.add_argument(
+        "--queries", nargs="+", default=list(QUERY_NAMES), help="queries to benchmark"
+    )
+    parser.add_argument("--out", default="BENCH_queries.json", help="JSON output path")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail unless both modes agree bit-for-bit and pushdown never scans more",
+    )
+    args = parser.parse_args(argv)
+
+    metrics, wall_total = run_query_bench(args.scale, args.queries, check=args.check)
+    write_bench(
+        args.out,
+        bench_payload(
+            "queries", args.scale, metrics, wall_seconds_total=round(wall_total, 3)
+        ),
+    )
+    print(f"wrote {args.out} (wall {wall_total:.2f}s)")
+    for query in args.queries:
+        cell = metrics["queries"][query]
+        print(
+            f"{query}: bytes {cell['off']['bytes_materialized']} -> "
+            f"{cell['on']['bytes_materialized']} ({cell['bytes_reduction_pct']:+.1f}%), "
+            f"rows scanned {cell['off']['rows_scanned']} -> {cell['on']['rows_scanned']}, "
+            f"{cell['on']['rewrites']} rewrites"
+        )
+    totals = metrics["totals"]
+    print(
+        f"total: bytes {totals['off']['bytes_materialized']} -> "
+        f"{totals['on']['bytes_materialized']}, "
+        f"{totals['queries_improved_30pct']} queries improved >= 30%"
+    )
+    if args.check:
+        print("correctness check passed: all modes bit-identical, no scan regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,28 @@ def _resolve_plan(args: argparse.Namespace, catalog):
     return None, "provide either --name QN or a SQL string"
 
 
+def _optimizer_flags(args: argparse.Namespace):
+    """Per-rule optimizer toggles from the CLI arguments."""
+    from repro.optimizer import OptimizerFlags
+
+    if getattr(args, "no_optimizer", False):
+        return OptimizerFlags.none()
+    return OptimizerFlags(
+        pushdown=not getattr(args, "no_pushdown", False),
+        pruning=not getattr(args, "no_prune", False),
+        selection_vectors=not getattr(args, "no_selvec", False),
+    )
+
+
+def _optimize(catalog, plan, label, args, journal=None):
+    """Run the plan rewriter per the CLI flags; returns an OptimizedPlan."""
+    from repro.optimizer import optimize_plan
+
+    return optimize_plan(
+        catalog, plan, flags=_optimizer_flags(args), journal=journal, query_name=label
+    )
+
+
 def _execute(
     catalog,
     plan,
@@ -73,16 +95,24 @@ def _execute(
     tracer: Tracer | None,
     metrics: MetricsRegistry | None,
     verbose: bool = True,
+    selection_vectors: bool = True,
 ) -> QueryResult:
     """Run the query, optionally suspending and resuming it midway.
 
     When a tracer is supplied and ``--suspend-at`` is used, the resumed
     executor's clock starts at ``suspended_at + persist + reload`` so the
     exported trace shows one contiguous busy timeline.
+
+    *selection_vectors* controls both lazy selection-vector filtering and
+    the compilation of identity projections to zero-cost selects; it is
+    threaded through to the resumed executor as well, so the snapshot is
+    taken and restored under one execution configuration.
     """
+    exec_opts = dict(lazy_filters=selection_vectors, select_operators=selection_vectors)
     if args.suspend_at is None:
         result = QueryExecutor(
-            catalog, plan, profile=profile, query_name=label, tracer=tracer, metrics=metrics
+            catalog, plan, profile=profile, query_name=label, tracer=tracer,
+            metrics=metrics, **exec_opts,
         ).run()
         if verbose:
             _print_chunk(result.chunk)
@@ -90,7 +120,9 @@ def _execute(
         return result
 
     # Untraced measuring run: --suspend-at is a fraction of the normal time.
-    normal = QueryExecutor(catalog, plan, profile=profile, query_name=label).run()
+    normal = QueryExecutor(
+        catalog, plan, profile=profile, query_name=label, **exec_opts
+    ).run()
     codec_name = getattr(args, "codec", "raw")
     strategy = (
         ProcessLevelStrategy(profile, tracer=tracer, metrics=metrics, codec=codec_name)
@@ -106,6 +138,7 @@ def _execute(
         query_name=label,
         tracer=tracer,
         metrics=metrics,
+        **exec_opts,
     )
     directory = args.snapshot_dir or tempfile.mkdtemp(prefix="riveter-cli-")
     try:
@@ -150,6 +183,7 @@ def _execute(
         resume=resumed.resume_state,
         tracer=tracer,
         metrics=metrics,
+        **exec_opts,
     ).run()
     if verbose:
         print("resumed and finished; results:")
@@ -166,23 +200,37 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(label, file=sys.stderr)
         return 2
 
+    optimized = _optimize(catalog, plan, label, args)
+
+    if args.explain_opt:
+        from repro.engine.explain import explain_optimized
+
+        print(explain_optimized(catalog, plan, optimized.plan, optimized.applications))
+        return 0
     if args.explain:
         from repro.engine.explain import explain
 
-        print(explain(catalog, plan))
+        print(explain(catalog, optimized.plan))
+        if optimized.applications:
+            print(f"\nOptimizer rewrites ({len(optimized.applications)}):")
+            for app in optimized.applications:
+                print(f"  {app}")
         return 0
 
     tracer = metrics = None
     if args.analyze or args.trace_out:
         tracer, metrics = Tracer(), MetricsRegistry()
 
-    result = _execute(catalog, plan, label, profile, args, tracer, metrics, verbose=True)
+    result = _execute(
+        catalog, optimized.plan, label, profile, args, tracer, metrics,
+        verbose=True, selection_vectors=optimized.flags.selection_vectors,
+    )
 
     if args.analyze:
         from repro.engine.explain import explain_analyze
 
         print()
-        print(explain_analyze(catalog, plan, result.stats, tracer))
+        print(explain_analyze(catalog, optimized.plan, result.stats, tracer))
     if args.trace_out:
         from repro.obs.export import write_chrome_trace
 
@@ -201,8 +249,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     from repro.obs.export import text_summary, write_chrome_trace, write_jsonl
 
+    optimized = _optimize(catalog, plan, label, args)
     tracer, metrics = Tracer(), MetricsRegistry()
-    _execute(catalog, plan, label, profile, args, tracer, metrics, verbose=False)
+    _execute(
+        catalog, optimized.plan, label, profile, args, tracer, metrics,
+        verbose=False, selection_vectors=optimized.flags.selection_vectors,
+    )
     count = write_chrome_trace(tracer, args.out)
     print(f"wrote {count} trace event(s) to {args.out}")
     if args.jsonl:
@@ -236,13 +288,15 @@ def cmd_why(args: argparse.Namespace) -> int:
         return 2
     catalog = generate_catalog(args.scale)
     profile = HardwareProfile()
-    plan = build_query(args.name)
 
     directory = args.snapshot_dir or tempfile.mkdtemp(prefix="riveter-why-")
     journal = DecisionJournal()
+    optimized = _optimize(catalog, build_query(args.name), args.name, args, journal=journal)
+    plan = optimized.plan
     store = SnapshotStore(directory, incremental=args.incremental)
     runner = QueryRunner(
-        catalog, profile, snapshot_dir=directory, journal=journal, store=store
+        catalog, profile, snapshot_dir=directory, journal=journal, store=store,
+        select_operators=optimized.flags.selection_vectors,
     )
     normal = runner.measure_normal(plan, args.name).stats.duration
     termination = TerminationProfile.from_fractions(
@@ -263,7 +317,10 @@ def cmd_why(args: argparse.Namespace) -> int:
     # Counterfactuals: what each fixed strategy would actually have cost.
     # Run on a journal-less runner so the main journal records only the
     # adaptive deliberation, then summarize into `counterfactual` records.
-    side_runner = QueryRunner(catalog, profile, snapshot_dir=directory)
+    side_runner = QueryRunner(
+        catalog, profile, snapshot_dir=directory,
+        select_operators=optimized.flags.selection_vectors,
+    )
     request = termination.t_start
     for strategy in ("redo", "pipeline", "process"):
         forced = side_runner.run_forced(
@@ -329,6 +386,12 @@ def _print_why_report(name, normal, event, outcome, journal, accuracy) -> None:
 
     print(f"== {name}: adaptive suspension audit ==")
     print(f"normal time      : {normal:.2f}s (simulated)")
+    rewrites = journal.by_kind("rewrite")
+    if rewrites:
+        print(f"plan rewrites    : {len(rewrites)} (optimizer)")
+        for record in rewrites:
+            payload = record.payload
+            print(f"  [{payload['rule']}] {payload['target']}: {payload['detail']}")
     window = journal.decisions()[0].payload["inputs"]["termination"] if journal.decisions() else None
     if window is not None:
         print(
@@ -396,7 +459,25 @@ def _print_why_report(name, normal, event, outcome, journal, accuracy) -> None:
         print(format_estimator_accuracy(accuracy))
 
 
+def _add_optimizer_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-optimizer", action="store_true",
+        help="disable all plan rewrites and selection-vector execution",
+    )
+    parser.add_argument(
+        "--no-pushdown", action="store_true", help="disable predicate pushdown"
+    )
+    parser.add_argument(
+        "--no-prune", action="store_true", help="disable projection pruning"
+    )
+    parser.add_argument(
+        "--no-selvec", action="store_true",
+        help="disable selection-vector (lazy) filtering and zero-cost selects",
+    )
+
+
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_optimizer_arguments(parser)
     parser.add_argument("sql", nargs="?", default=None, help="SQL text to execute")
     parser.add_argument("--name", help="named TPC-H query (Q1..Q22) instead of SQL")
     parser.add_argument("--scale", type=float, default=0.01, help="local TPC-H scale factor")
@@ -439,6 +520,10 @@ def main(argv: list[str] | None = None) -> int:
         help="print the plan tree and pipeline decomposition instead of running",
     )
     query.add_argument(
+        "--explain-opt", action="store_true",
+        help="print a before/after optimizer diff with every rewrite, then exit",
+    )
+    query.add_argument(
         "--analyze", action="store_true",
         help="run the query and print EXPLAIN ANALYZE (actual rows, virtual seconds)",
     )
@@ -470,6 +555,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     why.add_argument("name", metavar="QUERY", help="named TPC-H query (Q1..Q22)")
     why.add_argument("--scale", type=float, default=0.01, help="local TPC-H scale factor")
+    _add_optimizer_arguments(why)
     why.add_argument(
         "--window", type=float, nargs=2, default=(0.5, 0.75), metavar=("START", "END"),
         help="termination window as fractions of normal time (default: 0.5 0.75)",

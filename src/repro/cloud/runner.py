@@ -201,6 +201,7 @@ class QueryRunner:
         codec: str = "raw",
         journal: DecisionJournal | None = None,
         store: "SnapshotStore | None" = None,
+        select_operators: bool = False,
     ):
         self.catalog = catalog
         self.profile = profile if profile is not None else HardwareProfile()
@@ -216,6 +217,9 @@ class QueryRunner:
         #: Optional durable home for snapshots *and* the journal, so a
         #: resumed query keeps its full decision history.
         self.store = store
+        #: Compile identity projections to zero-cost selects; enable when
+        #: running optimizer-rewritten plans (pruning inserts them).
+        self.select_operators = select_operators
 
     # -- baselines -----------------------------------------------------------
     def measure_normal(self, plan: PlanNode, query_name: str) -> QueryResult:
@@ -390,6 +394,7 @@ class QueryRunner:
             resume=resume,
             tracer=self.tracer,
             metrics=self.metrics,
+            select_operators=self.select_operators,
         )
 
     def _record_outcome(self, outcome: RunOutcome) -> RunOutcome:

@@ -159,6 +159,8 @@ class QueryExecutor:
         resume: ResumeState | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        lazy_filters: bool = True,
+        select_operators: bool = False,
     ):
         self.catalog = catalog
         self.plan = plan
@@ -171,7 +173,16 @@ class QueryExecutor:
         self.metrics = metrics
         self.memory = MemoryAccountant()
         self.plan_fingerprint = plan_fingerprint(plan)
-        self.pipelines: list[Pipeline] = build_pipelines(catalog, plan)
+        # Lazy filters are the default: selection vectors defer column
+        # copies inside a pipeline, and the materialize() before every
+        # sink below keeps results, stats, and snapshots byte-identical
+        # to the eager mode.  Benchmarks pass lazy_filters=False for the
+        # optimizer-off baseline.
+        self.lazy_filters = lazy_filters
+        self.select_operators = select_operators
+        self.pipelines: list[Pipeline] = build_pipelines(
+            catalog, plan, lazy_filters=lazy_filters, select_operators=select_operators
+        )
         self.completed_states: dict[int, GlobalSinkState] = {}
         self.skipped_pipelines: set[int] = set()
         self.stats = QueryStats(query_name=query_name)
@@ -348,6 +359,9 @@ class QueryExecutor:
             op.rows += chunk.num_rows
             op.bytes += chunk.nbytes
             op.seconds += cost
+        # Sinks (and therefore all buffered/serialized state) only ever see
+        # selection-free chunks; deferred gathers land here at the latest.
+        chunk = chunk.materialize()
         pipeline.sink.sink(run.local_states[worker], chunk)
         op_stats[-1].rows += chunk.num_rows
         self.memory.set_charge(f"local:{pid}:{worker}", run.local_states[worker].nbytes)

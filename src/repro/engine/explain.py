@@ -22,7 +22,13 @@ from repro.engine.stats import QueryStats
 from repro.obs.trace import Tracer
 from repro.storage.catalog import Catalog
 
-__all__ = ["explain_plan", "explain_pipelines", "explain", "explain_analyze"]
+__all__ = [
+    "explain_plan",
+    "explain_pipelines",
+    "explain",
+    "explain_analyze",
+    "explain_optimized",
+]
 
 
 def _node_label(node: PlanNode) -> str:
@@ -34,6 +40,9 @@ def _node_label(node: PlanNode) -> str:
     if isinstance(node, planmod.Filter):
         return f"Filter {node.predicate!r}"
     if isinstance(node, planmod.Project):
+        identity = planmod.identity_projection(node)
+        if identity is not None:
+            return "Select [" + ", ".join(identity) + "]"
         return "Project " + ", ".join(name for name, _ in node.outputs)
     if isinstance(node, planmod.Rename):
         return "Rename " + ", ".join(f"{old}→{new}" for old, new in node.mapping.items())
@@ -81,9 +90,9 @@ def explain_plan(plan: PlanNode) -> str:
     return "\n".join(lines)
 
 
-def explain_pipelines(catalog: Catalog, plan: PlanNode) -> str:
+def explain_pipelines(catalog: Catalog, plan: PlanNode, select_operators: bool = False) -> str:
     """One line per pipeline: the suspension-relevant decomposition."""
-    pipelines = build_pipelines(catalog, plan)
+    pipelines = build_pipelines(catalog, plan, select_operators=select_operators)
     lines = [f"{len(pipelines)} pipelines ({len(pipelines) - 1} intermediate breakers):"]
     for pipeline in pipelines:
         deps = (
@@ -99,6 +108,24 @@ def explain_pipelines(catalog: Catalog, plan: PlanNode) -> str:
 def explain(catalog: Catalog, plan: PlanNode) -> str:
     """Both views, joined."""
     return explain_plan(plan) + "\n\n" + explain_pipelines(catalog, plan)
+
+
+def explain_optimized(catalog: Catalog, original: PlanNode, optimized: PlanNode, applications) -> str:
+    """Before/after diff of an optimizer pass, with the rewrites that fired.
+
+    *applications* is any sequence of objects with ``rule``/``target``/
+    ``detail`` attributes (``repro.optimizer.RuleApplication``).
+    """
+    lines = ["== plan before optimization ==", explain_plan(original), ""]
+    lines += ["== plan after optimization ==", explain_plan(optimized), ""]
+    if applications:
+        lines.append(f"== rewrites applied ({len(applications)}) ==")
+        for index, app in enumerate(applications, start=1):
+            lines.append(f"  {index}. [{app.rule}] {app.target}: {app.detail}")
+    else:
+        lines.append("== no rewrites applied (plan already minimal) ==")
+    lines += ["", explain_pipelines(catalog, optimized, select_operators=True)]
+    return "\n".join(lines)
 
 
 def _fmt_bytes(nbytes: float) -> str:

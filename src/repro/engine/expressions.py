@@ -34,6 +34,7 @@ __all__ = [
     "col",
     "lit",
     "date_lit",
+    "substitute_columns",
 ]
 
 
@@ -503,6 +504,67 @@ class CaseWhen(Expression):
         for condition, value in self.branches:
             out |= condition.referenced_columns() | value.referenced_columns()
         return out
+
+
+def substitute_columns(expr: Expression, mapping: dict[str, str]) -> Expression:
+    """Rebuild *expr* with column references renamed per *mapping*.
+
+    Names absent from *mapping* are kept as-is.  The input expression is
+    never mutated — the optimizer uses this to translate predicates across
+    Rename nodes and through pure-relabel projections.  Returns the
+    original object when nothing changes.
+    """
+    if isinstance(expr, ColumnRef):
+        new_name = mapping.get(expr.name, expr.name)
+        return expr if new_name == expr.name else ColumnRef(new_name)
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, Arithmetic):
+        left = substitute_columns(expr.left, mapping)
+        right = substitute_columns(expr.right, mapping)
+        if left is expr.left and right is expr.right:
+            return expr
+        return Arithmetic(expr.op, left, right)
+    if isinstance(expr, Comparison):
+        left = substitute_columns(expr.left, mapping)
+        right = substitute_columns(expr.right, mapping)
+        if left is expr.left and right is expr.right:
+            return expr
+        return Comparison(expr.op, left, right)
+    if isinstance(expr, BooleanOp):
+        operands = [substitute_columns(o, mapping) for o in expr.operands]
+        if all(new is old for new, old in zip(operands, expr.operands)):
+            return expr
+        return BooleanOp(expr.op, operands)
+    if isinstance(expr, Not):
+        operand = substitute_columns(expr.operand, mapping)
+        return expr if operand is expr.operand else Not(operand)
+    if isinstance(expr, InList):
+        operand = substitute_columns(expr.operand, mapping)
+        return expr if operand is expr.operand else InList(operand, expr.values)
+    if isinstance(expr, Like):
+        operand = substitute_columns(expr.operand, mapping)
+        return expr if operand is expr.operand else Like(operand, expr.pattern)
+    if isinstance(expr, Substring):
+        operand = substitute_columns(expr.operand, mapping)
+        if operand is expr.operand:
+            return expr
+        return Substring(operand, expr.start, expr.length)
+    if isinstance(expr, ExtractYear):
+        operand = substitute_columns(expr.operand, mapping)
+        return expr if operand is expr.operand else ExtractYear(operand)
+    if isinstance(expr, CaseWhen):
+        branches = [
+            (substitute_columns(c, mapping), substitute_columns(v, mapping))
+            for c, v in expr.branches
+        ]
+        default = substitute_columns(expr.default, mapping)
+        unchanged = default is expr.default and all(
+            nc is oc and nv is ov
+            for (nc, nv), (oc, ov) in zip(branches, expr.branches)
+        )
+        return expr if unchanged else CaseWhen(branches, default)
+    raise ExpressionError(f"cannot substitute columns in {type(expr).__name__}")
 
 
 def col(name: str) -> ColumnRef:

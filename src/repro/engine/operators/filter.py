@@ -7,24 +7,35 @@ from repro.engine.expressions import Expression
 from repro.engine.operators.base import StreamingOperator
 from repro.engine.types import Schema
 
-__all__ = ["FilterOperator", "ProjectOperator", "RenameOperator"]
+__all__ = ["FilterOperator", "ProjectOperator", "RenameOperator", "SelectOperator"]
 
 
 class FilterOperator(StreamingOperator):
-    """Keeps rows where the predicate evaluates to true."""
+    """Keeps rows where the predicate evaluates to true.
+
+    With ``lazy=True`` the surviving rows are recorded in the chunk's
+    selection vector instead of being copied; downstream operators gather
+    only the columns they actually read, and the executor materializes
+    before every sink so buffered state never carries a selection.
+    """
 
     kind = "filter"
 
-    def __init__(self, output_schema: Schema, predicate: Expression):
+    def __init__(self, output_schema: Schema, predicate: Expression, lazy: bool = False):
         super().__init__(output_schema)
         self.predicate = predicate
+        self.lazy = lazy
 
     def __repr__(self) -> str:
         return f"Filter({self.predicate!r})"
 
     def execute(self, chunk: DataChunk) -> DataChunk:
-        mask = self.predicate.evaluate(chunk)
-        return chunk.filter(mask)
+        # Evaluate over the shared base arrays — full-vector kernels, no
+        # gathers; the incoming selection restricts which entries count.
+        mask = self.predicate.evaluate(chunk.base_view())
+        if chunk.is_lazy:
+            mask = mask[chunk.selection]
+        return chunk.filter(mask, lazy=self.lazy)
 
 
 class ProjectOperator(StreamingOperator):
@@ -42,9 +53,36 @@ class ProjectOperator(StreamingOperator):
         return f"Project({self.output_schema.names})"
 
     def execute(self, chunk: DataChunk) -> DataChunk:
-        return DataChunk(
-            self.output_schema, [expr.evaluate(chunk) for expr in self.expressions]
+        # Same base-vector strategy as FilterOperator: compute outputs
+        # over the base arrays and keep the selection deferred.
+        base = chunk.base_view()
+        return DataChunk.with_selection(
+            self.output_schema,
+            [expr.evaluate(base) for expr in self.expressions],
+            chunk.selection,
         )
+
+
+class SelectOperator(StreamingOperator):
+    """Narrows the chunk to a subset of columns, zero-copy.
+
+    Compiled from identity projections the optimizer inserts to drop
+    columns only needed upstream (scan predicates, join keys).  Preserves
+    any selection vector, so a lazy chunk stays lazy — and the dropped
+    columns are never gathered at all.
+    """
+
+    kind = "select"
+
+    def __init__(self, output_schema: Schema):
+        super().__init__(output_schema)
+        self.names = list(output_schema.names)
+
+    def __repr__(self) -> str:
+        return f"Select({self.names})"
+
+    def execute(self, chunk: DataChunk) -> DataChunk:
+        return chunk.select(self.names)
 
 
 class RenameOperator(StreamingOperator):

@@ -18,7 +18,7 @@ import io
 
 import numpy as np
 
-from repro.engine.chunk import DataChunk, concat_chunks
+from repro.engine.chunk import DataChunk, concat_chunks, record_materialization
 from repro.engine.expressions import Expression
 from repro.engine.keys import combine_int_keys
 from repro.engine.operators.base import (
@@ -237,19 +237,22 @@ class HashJoinProbeOperator(StreamingOperator):
 
     def _combine(self, probe_rows: DataChunk, build_idx: np.ndarray) -> DataChunk:
         payload_cols = [column[build_idx] for column in self._payload_cols]
+        record_materialization(sum(c.nbytes for c in payload_cols))
         return DataChunk(
             self.probe_schema.concat(self.payload_schema),
-            list(probe_rows.columns) + payload_cols,
+            probe_rows.arrays() + payload_cols,
         )
 
     def _default_rows(self, probe_rows: DataChunk) -> DataChunk:
-        columns = list(probe_rows.columns)
+        columns = probe_rows.arrays()
         for field in self.payload_schema:
             value = self.default_row[field.name]
             dtype = field.dtype.numpy_dtype
             if field.dtype is DataType.STRING:
                 dtype = np.dtype(f"U{max(1, len(str(value)))}")
-            columns.append(np.full(probe_rows.num_rows, value, dtype=dtype))
+            fill = np.full(probe_rows.num_rows, value, dtype=dtype)
+            record_materialization(fill.nbytes)
+            columns.append(fill)
         return DataChunk(self.output_schema, columns)
 
 

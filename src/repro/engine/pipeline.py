@@ -16,7 +16,12 @@ from dataclasses import dataclass, field
 from repro.engine import plan as planmod
 from repro.engine.operators.aggregate import HashAggregateSink
 from repro.engine.operators.base import Sink, StreamingOperator
-from repro.engine.operators.filter import FilterOperator, ProjectOperator, RenameOperator
+from repro.engine.operators.filter import (
+    FilterOperator,
+    ProjectOperator,
+    RenameOperator,
+    SelectOperator,
+)
 from repro.engine.operators.hash_join import HashJoinBuildSink, HashJoinProbeOperator
 from repro.engine.operators.limit import LimitSink
 from repro.engine.operators.result import ResultSink
@@ -70,8 +75,15 @@ class _Fragment:
 
 
 class _PipelineBuilder:
-    def __init__(self, catalog: Catalog):
+    def __init__(
+        self,
+        catalog: Catalog,
+        lazy_filters: bool = False,
+        select_operators: bool = False,
+    ):
         self.catalog = catalog
+        self.lazy_filters = lazy_filters
+        self.select_operators = select_operators
         self.pipelines: list[Pipeline] = []
 
     def build(self, root: planmod.PlanNode) -> list[Pipeline]:
@@ -140,20 +152,28 @@ class _PipelineBuilder:
             labels=[f"scan({node.table})"],
         )
         if node.predicate is not None:
-            fragment.operators.append(FilterOperator(schema, node.predicate))
+            fragment.operators.append(
+                FilterOperator(schema, node.predicate, lazy=self.lazy_filters)
+            )
             fragment.labels.append("filter")
         return fragment
 
     def _visit_filter(self, node: planmod.Filter) -> _Fragment:
         fragment = self._visit(node.child)
         schema = self._fragment_output_schema(fragment)
-        fragment.operators.append(FilterOperator(schema, node.predicate))
+        fragment.operators.append(
+            FilterOperator(schema, node.predicate, lazy=self.lazy_filters)
+        )
         fragment.labels.append("filter")
         return fragment
 
     def _visit_project(self, node: planmod.Project) -> _Fragment:
         fragment = self._visit(node.child)
         schema = node.output_schema(self.catalog)
+        if self.select_operators and planmod.identity_projection(node) is not None:
+            fragment.operators.append(SelectOperator(schema))
+            fragment.labels.append("select")
+            return fragment
         fragment.operators.append(
             ProjectOperator(schema, [expr for _, expr in node.outputs])
         )
@@ -221,6 +241,24 @@ class _PipelineBuilder:
         return self._state_fragment(branch_ids, schema, f"union#{branch_ids}")
 
 
-def build_pipelines(catalog: Catalog, root: planmod.PlanNode) -> list[Pipeline]:
-    """Decompose *root* into executable pipelines (deterministic ids)."""
-    return _PipelineBuilder(catalog).build(root)
+def build_pipelines(
+    catalog: Catalog,
+    root: planmod.PlanNode,
+    lazy_filters: bool = False,
+    select_operators: bool = False,
+) -> list[Pipeline]:
+    """Decompose *root* into executable pipelines (deterministic ids).
+
+    ``lazy_filters`` makes every FilterOperator emit selection-vector
+    chunks instead of eager copies; results, stats, and snapshots are
+    identical either way (the executor materializes before sinks).
+
+    ``select_operators`` compiles identity projections (pure column
+    selections, typically inserted by the optimizer) to the zero-copy,
+    zero-virtual-cost ``SelectOperator`` instead of a generic project.
+    Off by default so unoptimized plans keep their historical operator
+    kinds and virtual timings.
+    """
+    return _PipelineBuilder(
+        catalog, lazy_filters=lazy_filters, select_operators=select_operators
+    ).build(root)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from repro.engine.expressions import Expression
+from repro.engine.expressions import ColumnRef, Expression
 from repro.engine.operators.aggregate import AggSpec, aggregate_output_schema
 from repro.engine.operators.hash_join import JoinType
 from repro.engine.types import Schema
@@ -29,6 +29,8 @@ __all__ = [
     "Sort",
     "Limit",
     "UnionAll",
+    "identity_projection",
+    "make_select",
     "plan_fingerprint",
     "count_operators",
     "referenced_tables",
@@ -239,6 +241,33 @@ class UnionAll(PlanNode):
 
     def describe(self) -> str:
         return "unionall"
+
+
+def identity_projection(node: PlanNode) -> list[str] | None:
+    """Column names when *node* is a pure column selection, else ``None``.
+
+    A Project whose outputs are all ``name -> col(name)`` references just
+    narrows (and possibly reorders) its input; the pipeline builder compiles
+    it to a zero-copy, selection-preserving ``SelectOperator`` instead of a
+    generic expression-evaluating project.  The optimizer inserts these to
+    drop columns that were only needed by a predicate or join key.
+    """
+    if not isinstance(node, Project):
+        return None
+    names: list[str] = []
+    for name, expr in node.outputs:
+        if not isinstance(expr, ColumnRef) or expr.name != name:
+            return None
+        names.append(name)
+    return names
+
+
+def make_select(child: PlanNode, names: list[str]) -> PlanNode:
+    """Identity projection of *child* down to *names* (collapses stacked selects)."""
+    inner = identity_projection(child)
+    if inner is not None and isinstance(child, Project):
+        child = child.child
+    return Project(child, [(name, ColumnRef(name)) for name in names])
 
 
 def _node_signature(node: PlanNode) -> str:

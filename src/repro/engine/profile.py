@@ -35,6 +35,10 @@ class HardwareProfile:
             "scan": 0.5,
             "filter": 0.15,
             "project": 0.15,
+            # Zero-copy column narrowing inserted by the optimizer; it moves
+            # no data, so it must not perturb virtual timings relative to
+            # the unoptimized plan shape.
+            "select": 0.0,
             "join_probe": 1.2,
             "join_build": 0.8,
             "aggregate": 1.0,

@@ -77,6 +77,9 @@ AUDIT_KINDS = frozenset(
         "outcome",
         "counterfactual",
         "placement",
+        # Plan-time optimizer rewrite (rule, target, detail); stamped at
+        # ts=0.0 since rewriting happens before execution starts.
+        "rewrite",
     }
 )
 

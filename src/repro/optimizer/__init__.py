@@ -1,0 +1,111 @@
+"""Rule-based plan optimizer.
+
+Sits between plan construction and pipeline building: callers hand a
+physical plan to :func:`optimize_plan` and execute the rewritten tree.
+Every rule is a pure plan-to-plan function — the input tree is never
+mutated — and every rewrite is recorded as a :class:`RuleApplication`
+for EXPLAIN output and the decision audit journal.
+
+Rules, in application order:
+
+``pushdown``
+    Splits filter conjuncts and moves each as close to its source as
+    legality allows: through projects (pure relabels only) and renames,
+    below joins (probe-side conjuncts for all join types, build-payload
+    conjuncts for INNER only), below key-only aggregates and unlimited
+    sorts, into every UNION ALL branch, and finally fused into the scan
+    predicate.  Adjacent filters are merged.
+
+``pruning``
+    Walks the plan top-down with the set of columns each node's parent
+    actually needs, narrows scans to required ∪ predicate columns, drops
+    unused join payloads and project outputs, and inserts identity
+    projections ("selects") so columns needed only by a predicate or a
+    join key never enter downstream state.  The root output schema is
+    always preserved exactly.
+
+Both rules keep results bit-identical; pruning additionally shrinks the
+global states the suspension strategies persist (paper §IV-A, Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.plan import PlanNode
+from repro.obs.audit import DecisionJournal
+from repro.optimizer.pruning import prune_plan
+from repro.optimizer.pushdown import pushdown_plan
+from repro.optimizer.rules import RuleApplication
+from repro.storage.catalog import Catalog
+
+__all__ = [
+    "OptimizerFlags",
+    "OptimizedPlan",
+    "RuleApplication",
+    "optimize_plan",
+]
+
+
+@dataclass(frozen=True)
+class OptimizerFlags:
+    """Per-rule toggles (CLI: ``--no-optimizer``, ``--no-pushdown``, ...)."""
+
+    pushdown: bool = True
+    pruning: bool = True
+    #: Execution-side setting carried with the plan decision: run filters
+    #: lazily over selection vectors and compile identity projections to
+    #: zero-copy selects.
+    selection_vectors: bool = True
+
+    @classmethod
+    def none(cls) -> "OptimizerFlags":
+        """Everything off — the plan passes through untouched."""
+        return cls(pushdown=False, pruning=False, selection_vectors=False)
+
+    @property
+    def any_rewrite(self) -> bool:
+        return self.pushdown or self.pruning
+
+
+@dataclass
+class OptimizedPlan:
+    """Result of :func:`optimize_plan`."""
+
+    plan: PlanNode
+    applications: list[RuleApplication] = field(default_factory=list)
+    flags: OptimizerFlags = field(default_factory=OptimizerFlags)
+
+
+def optimize_plan(
+    catalog: Catalog,
+    plan: PlanNode,
+    flags: OptimizerFlags | None = None,
+    journal: DecisionJournal | None = None,
+    query_name: str = "query",
+) -> OptimizedPlan:
+    """Apply the enabled rewrite rules to *plan* (never mutated).
+
+    When a *journal* is given, each rewrite is appended as a ``rewrite``
+    record at virtual time 0.0 — plan rewriting happens before execution
+    starts and is fully deterministic, so ``repro why`` can report which
+    rules shaped the plan a decision was made against.
+    """
+    flags = flags if flags is not None else OptimizerFlags()
+    applications: list[RuleApplication] = []
+    if flags.pushdown:
+        plan = pushdown_plan(catalog, plan, applications)
+    if flags.pruning:
+        plan = prune_plan(catalog, plan, applications)
+    if journal is not None:
+        for index, app in enumerate(applications):
+            journal.append(
+                "rewrite",
+                query_name,
+                0.0,
+                index=index,
+                rule=app.rule,
+                target=app.target,
+                detail=app.detail,
+            )
+    return OptimizedPlan(plan=plan, applications=applications, flags=flags)

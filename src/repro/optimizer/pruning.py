@@ -1,0 +1,225 @@
+"""Projection pruning: drop every column the query never uses.
+
+The rule walks the plan top-down carrying the set of columns the parent
+*requires*, and rewrites each node to produce no more than that:
+
+* scans read only required ∪ predicate columns, and an identity
+  projection ("select") right above the scan drops predicate-only
+  columns as soon as the fused filter has run;
+* projects drop unused outputs; renames drop unused mapping entries;
+* joins prune their payload to required ∪ residual columns and narrow
+  both children — the build-side narrowing is what shrinks the
+  ``JoinBuildGlobalState`` a pipeline-level suspension must persist
+  (paper Fig. 8);
+* aggregate / sort / limit children are narrowed to group keys, sort
+  keys, and required outputs, shrinking those breakers' global states;
+* UNION ALL is a pruning barrier: branches keep their full schema (they
+  must stay identical), but pruning continues inside each branch.
+
+Invariants: the root output schema is preserved exactly; kept columns
+always keep their relative order; every rewrite preserves row content
+bit-for-bit.  Input nodes are never mutated.
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators.hash_join import JoinType
+from repro.engine.plan import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    Rename,
+    Sort,
+    TableScan,
+    UnionAll,
+    make_select,
+)
+from repro.optimizer.rules import RuleApplication
+from repro.storage.catalog import Catalog
+
+__all__ = ["prune_plan"]
+
+
+def prune_plan(
+    catalog: Catalog, plan: PlanNode, applications: list[RuleApplication]
+) -> PlanNode:
+    """Return *plan* with unused columns pruned everywhere below the root."""
+    root_names = plan.output_schema(catalog).names
+    pruned = _prune(catalog, plan, set(root_names), applications)
+    new_names = pruned.output_schema(catalog).names
+    if new_names != root_names:  # invariant, not reachable for legal plans
+        raise AssertionError(
+            f"pruning changed the root schema: {root_names} -> {new_names}"
+        )
+    return pruned
+
+
+def _narrow(
+    catalog: Catalog,
+    node: PlanNode,
+    keep: set[str],
+    apps: list[RuleApplication],
+    reason: str,
+) -> PlanNode:
+    """Insert an identity projection above *node* if it carries extra columns."""
+    names = node.output_schema(catalog).names
+    out = [n for n in names if n in keep]
+    if not out:
+        out = [names[0]]
+    if out == list(names):
+        return node
+    dropped = [n for n in names if n not in out]
+    apps.append(
+        RuleApplication(
+            "pruning", node.describe(), f"select {out} ({reason}; dropped {dropped})"
+        )
+    )
+    return make_select(node, out)
+
+
+def _prune(
+    catalog: Catalog,
+    node: PlanNode,
+    required: set[str],
+    apps: list[RuleApplication],
+) -> PlanNode:
+    """Rewrite *node* so its output covers *required* with minimal columns.
+
+    The result's output schema always contains every required name that
+    the original output had, in the original relative order; it may keep
+    extras a parent is expected to tolerate (join keys, residual inputs).
+    """
+    if isinstance(node, TableScan):
+        pred_refs = (
+            node.predicate.referenced_columns() if node.predicate is not None else set()
+        )
+        keep = [c for c in node.columns if c in required or c in pred_refs]
+        if not keep:
+            keep = [node.columns[0]]  # preserve row counts for COUNT(*)-style parents
+        scan: PlanNode = node
+        if keep != node.columns:
+            dropped = [c for c in node.columns if c not in keep]
+            apps.append(
+                RuleApplication(
+                    "pruning", node.describe(), f"read {keep} (dropped {dropped})"
+                )
+            )
+            scan = TableScan(node.table, keep, node.predicate)
+        # Columns read only for the scan predicate are dropped right after
+        # the fused filter runs, before they can enter downstream state.
+        return _narrow(catalog, scan, required, apps, "post-filter narrowing")
+
+    if isinstance(node, Filter):
+        refs = node.predicate.referenced_columns()
+        child = _prune(catalog, node.child, required | refs, apps)
+        filtered = Filter(child, node.predicate)
+        return _narrow(catalog, filtered, required, apps, "drop filter-only columns")
+
+    if isinstance(node, Project):
+        kept = [(name, expr) for name, expr in node.outputs if name in required]
+        if not kept:
+            kept = [node.outputs[0]]
+        if len(kept) != len(node.outputs):
+            dropped = [n for n, _ in node.outputs if not any(n == k for k, _ in kept)]
+            apps.append(
+                RuleApplication(
+                    "pruning", node.describe(), f"dropped unused outputs {dropped}"
+                )
+            )
+        child_required: set[str] = set()
+        for _, expr in kept:
+            child_required |= expr.referenced_columns()
+        child = _prune(catalog, node.child, child_required, apps)
+        return Project(child, kept)
+
+    if isinstance(node, Rename):
+        inverse = {new: old for old, new in node.mapping.items()}
+        child_required = {inverse.get(name, name) for name in required}
+        child = _prune(catalog, node.child, child_required, apps)
+        child_names = set(child.output_schema(catalog).names)
+        mapping = {old: new for old, new in node.mapping.items() if old in child_names}
+        if len(mapping) != len(node.mapping):
+            apps.append(
+                RuleApplication(
+                    "pruning",
+                    node.describe(),
+                    f"dropped renames of pruned columns {sorted(set(node.mapping) - set(mapping))}",
+                )
+            )
+        return Rename(child, mapping)
+
+    if isinstance(node, HashJoin):
+        probe_names = set(node.probe.output_schema(catalog).names)
+        payload_cols = node.payload_columns(catalog)
+        residual_refs = (
+            node.residual.referenced_columns() if node.residual is not None else set()
+        )
+        if node.join_type in (JoinType.SEMI, JoinType.ANTI):
+            payload = [c for c in payload_cols if c in residual_refs]
+        else:
+            payload = [c for c in payload_cols if c in required or c in residual_refs]
+        if payload != payload_cols:
+            dropped = [c for c in payload_cols if c not in payload]
+            apps.append(
+                RuleApplication(
+                    "pruning", node.describe(), f"payload {payload} (dropped {dropped})"
+                )
+            )
+        build_required = set(node.build_keys) | set(payload)
+        probe_required = (
+            (required & probe_names)
+            | set(node.probe_keys)
+            | (residual_refs & probe_names)
+        )
+        probe = _prune(catalog, node.probe, probe_required, apps)
+        probe = _narrow(catalog, probe, probe_required, apps, "probe input")
+        build = _prune(catalog, node.build, build_required, apps)
+        # This narrowing is the Fig. 8 lever: the build pipeline's global
+        # state stores its entire input schema, keys included.
+        build = _narrow(catalog, build, build_required, apps, "build state")
+        default_row = node.default_row
+        if default_row is not None:
+            default_row = {k: v for k, v in default_row.items() if k in payload}
+        return HashJoin(
+            probe=probe,
+            build=build,
+            probe_keys=list(node.probe_keys),
+            build_keys=list(node.build_keys),
+            join_type=node.join_type,
+            payload=payload,
+            residual=node.residual,
+            default_row=default_row,
+        )
+
+    if isinstance(node, Aggregate):
+        needed = set(node.group_keys) | {
+            spec.column for spec in node.aggregates if spec.column is not None
+        }
+        child = _prune(catalog, node.child, needed, apps)
+        child = _narrow(catalog, child, needed, apps, "aggregate input")
+        return Aggregate(child, list(node.group_keys), list(node.aggregates))
+
+    if isinstance(node, Sort):
+        keys = {name for name, _ in node.keys}
+        child = _prune(catalog, node.child, required | keys, apps)
+        child = _narrow(catalog, child, required | keys, apps, "sort input")
+        return Sort(child, list(node.keys), node.limit)
+
+    if isinstance(node, Limit):
+        child = _prune(catalog, node.child, required, apps)
+        child = _narrow(catalog, child, required, apps, "limit input")
+        return Limit(child, node.count)
+
+    if isinstance(node, UnionAll):
+        # Branch schemas must stay identical, so the union is a barrier:
+        # every branch keeps its full output, pruning continues inside.
+        inputs = [
+            _prune(catalog, branch, set(branch.output_schema(catalog).names), apps)
+            for branch in node.inputs
+        ]
+        return UnionAll(inputs)
+
+    raise TypeError(f"unknown plan node {type(node).__name__}")

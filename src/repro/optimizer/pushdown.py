@@ -1,0 +1,243 @@
+"""Predicate pushdown: move filter conjuncts toward their sources.
+
+Each Filter node's predicate is split into conjuncts and every conjunct
+is *sunk* as deep as legality allows:
+
+* through Project nodes whose referenced outputs are pure column
+  references (names substituted on the way down);
+* through Rename nodes via the inverse mapping;
+* below HashJoin — conjuncts over probe columns only, for every join
+  type (probe-only predicates commute with matching, and LEFT OUTER /
+  SEMI / ANTI all preserve-or-subset probe rows); conjuncts over payload
+  columns only, for INNER joins only (for LEFT OUTER this would turn
+  dropped matches into default rows);
+* below key-only Aggregate nodes (HAVING on group keys ≡ WHERE on the
+  key columns) and below Sort nodes without a limit (filters do not
+  commute with top-N);
+* into every UNION ALL branch;
+* finally fused into ``TableScan.predicate`` (AND with any existing
+  pushdown filter) or merged into an adjacent Filter.
+
+Conjuncts that cannot sink anywhere stay in a residual Filter at the
+original position.  All rewrites are pure — input nodes are never
+mutated — and each is recorded as a :class:`RuleApplication`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.engine.expressions import Expression, substitute_columns
+from repro.engine.operators.hash_join import JoinType
+from repro.engine.plan import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    Rename,
+    Sort,
+    TableScan,
+    UnionAll,
+)
+from repro.engine.expressions import BooleanOp, ColumnRef
+from repro.optimizer.rules import RuleApplication, combine_conjuncts, split_conjuncts
+from repro.storage.catalog import Catalog
+
+__all__ = ["pushdown_plan"]
+
+
+def pushdown_plan(
+    catalog: Catalog, plan: PlanNode, applications: list[RuleApplication]
+) -> PlanNode:
+    """Return *plan* with filter conjuncts pushed toward their sources."""
+    return _push(catalog, plan, applications)
+
+
+def _push(catalog: Catalog, node: PlanNode, apps: list[RuleApplication]) -> PlanNode:
+    if isinstance(node, Filter):
+        conjuncts = split_conjuncts(node.predicate)
+        child = node.child
+        remaining: list[Expression] = []
+        for conjunct in conjuncts:
+            sunk = _sink(catalog, child, conjunct, apps)
+            if sunk is None:
+                remaining.append(conjunct)
+            else:
+                child = sunk
+        child = _push(catalog, child, apps)
+        if not remaining:
+            apps.append(
+                RuleApplication(
+                    "pushdown", node.describe(), "filter fully pushed into subtree"
+                )
+            )
+            return child
+        if len(remaining) == len(conjuncts) and child is node.child:
+            return node
+        return Filter(child, combine_conjuncts(remaining))
+    if isinstance(node, TableScan):
+        return node
+    if isinstance(node, (Project, Rename, Aggregate, Sort, Limit)):
+        child = _push(catalog, node.child, apps)
+        return node if child is node.child else replace(node, child=child)
+    if isinstance(node, HashJoin):
+        probe = _push(catalog, node.probe, apps)
+        build = _push(catalog, node.build, apps)
+        if probe is node.probe and build is node.build:
+            return node
+        return replace(node, probe=probe, build=build)
+    if isinstance(node, UnionAll):
+        inputs = [_push(catalog, branch, apps) for branch in node.inputs]
+        if all(new is old for new, old in zip(inputs, node.inputs)):
+            return node
+        return UnionAll(inputs)
+    raise TypeError(f"unknown plan node {type(node).__name__}")
+
+
+def _sink(
+    catalog: Catalog,
+    node: PlanNode,
+    conjunct: Expression,
+    apps: list[RuleApplication],
+) -> PlanNode | None:
+    """Push *conjunct* into the subtree rooted at *node*, or return ``None``.
+
+    A non-``None`` return is a rebuilt subtree that applies the conjunct
+    somewhere strictly below the original Filter position.
+    """
+    refs = conjunct.referenced_columns()
+
+    if isinstance(node, TableScan):
+        if not refs <= set(node.columns):
+            return None
+        if node.predicate is None:
+            fused: Expression = conjunct
+        elif isinstance(node.predicate, BooleanOp) and node.predicate.op == "and":
+            fused = BooleanOp("and", list(node.predicate.operands) + [conjunct])
+        else:
+            fused = BooleanOp("and", [node.predicate, conjunct])
+        apps.append(
+            RuleApplication(
+                "pushdown", node.describe(), f"fused predicate {conjunct!r} into scan"
+            )
+        )
+        return TableScan(node.table, list(node.columns), fused)
+
+    if isinstance(node, Filter):
+        deeper = _sink(catalog, node.child, conjunct, apps)
+        if deeper is not None:
+            return Filter(deeper, node.predicate)
+        # Merge into the adjacent filter: one pass over the same rows
+        # evaluating `pred AND conjunct` is equivalent to two filters.
+        apps.append(
+            RuleApplication(
+                "pushdown", node.describe(), f"merged {conjunct!r} into adjacent filter"
+            )
+        )
+        return Filter(
+            node.child,
+            combine_conjuncts(split_conjuncts(node.predicate) + [conjunct]),
+        )
+
+    if isinstance(node, Project):
+        outputs = dict(node.outputs)
+        mapping: dict[str, str] = {}
+        for name in refs:
+            expr = outputs.get(name)
+            if not isinstance(expr, ColumnRef):
+                return None
+            mapping[name] = expr.name
+        translated = substitute_columns(conjunct, mapping)
+        deeper = _sink(catalog, node.child, translated, apps)
+        if deeper is None:
+            apps.append(
+                RuleApplication(
+                    "pushdown", node.describe(), f"moved {translated!r} below project"
+                )
+            )
+            deeper = Filter(node.child, translated)
+        return Project(deeper, list(node.outputs))
+
+    if isinstance(node, Rename):
+        inverse = {new: old for old, new in node.mapping.items()}
+        translated = substitute_columns(conjunct, inverse)
+        deeper = _sink(catalog, node.child, translated, apps)
+        if deeper is None:
+            apps.append(
+                RuleApplication(
+                    "pushdown", node.describe(), f"moved {translated!r} below rename"
+                )
+            )
+            deeper = Filter(node.child, translated)
+        return Rename(deeper, dict(node.mapping))
+
+    if isinstance(node, HashJoin):
+        probe_names = set(node.probe.output_schema(catalog).names)
+        if refs <= probe_names:
+            deeper = _sink(catalog, node.probe, conjunct, apps)
+            if deeper is None:
+                apps.append(
+                    RuleApplication(
+                        "pushdown",
+                        node.describe(),
+                        f"moved {conjunct!r} to probe side",
+                    )
+                )
+                deeper = Filter(node.probe, conjunct)
+            return replace(node, probe=deeper)
+        payload_names = set(node.payload_columns(catalog))
+        if refs <= payload_names and node.join_type is JoinType.INNER:
+            deeper = _sink(catalog, node.build, conjunct, apps)
+            if deeper is None:
+                apps.append(
+                    RuleApplication(
+                        "pushdown",
+                        node.describe(),
+                        f"moved {conjunct!r} to build side",
+                    )
+                )
+                deeper = Filter(node.build, conjunct)
+            return replace(node, build=deeper)
+        return None
+
+    if isinstance(node, Aggregate):
+        if not refs <= set(node.group_keys):
+            return None
+        deeper = _sink(catalog, node.child, conjunct, apps)
+        if deeper is None:
+            apps.append(
+                RuleApplication(
+                    "pushdown", node.describe(), f"moved {conjunct!r} below aggregation"
+                )
+            )
+            deeper = Filter(node.child, conjunct)
+        return replace(node, child=deeper)
+
+    if isinstance(node, Sort):
+        if node.limit is not None:
+            return None
+        deeper = _sink(catalog, node.child, conjunct, apps)
+        if deeper is None:
+            apps.append(
+                RuleApplication(
+                    "pushdown", node.describe(), f"moved {conjunct!r} below sort"
+                )
+            )
+            deeper = Filter(node.child, conjunct)
+        return replace(node, child=deeper)
+
+    if isinstance(node, UnionAll):
+        branches = []
+        for branch in node.inputs:
+            deeper = _sink(catalog, branch, conjunct, apps)
+            branches.append(deeper if deeper is not None else Filter(branch, conjunct))
+        apps.append(
+            RuleApplication(
+                "pushdown", node.describe(), f"pushed {conjunct!r} into every branch"
+            )
+        )
+        return UnionAll(branches)
+
+    return None

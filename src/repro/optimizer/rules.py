@@ -1,0 +1,43 @@
+"""Shared vocabulary for optimizer rewrite rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.expressions import BooleanOp, Expression
+
+__all__ = ["RuleApplication", "split_conjuncts", "combine_conjuncts"]
+
+
+@dataclass(frozen=True)
+class RuleApplication:
+    """One recorded rewrite: which rule fired, where, and what it did."""
+
+    rule: str
+    target: str
+    detail: str
+
+    def to_json(self) -> dict:
+        return {"rule": self.rule, "target": self.target, "detail": self.detail}
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.target}: {self.detail}"
+
+
+def split_conjuncts(predicate: Expression) -> list[Expression]:
+    """Flatten nested AND trees into a list of conjuncts."""
+    if isinstance(predicate, BooleanOp) and predicate.op == "and":
+        out: list[Expression] = []
+        for operand in predicate.operands:
+            out.extend(split_conjuncts(operand))
+        return out
+    return [predicate]
+
+
+def combine_conjuncts(conjuncts: list[Expression]) -> Expression:
+    """AND together *conjuncts* (must be non-empty)."""
+    if not conjuncts:
+        raise ValueError("no conjuncts to combine")
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return BooleanOp("and", list(conjuncts))

@@ -300,11 +300,25 @@ class _Planner:
         return needed
 
     def _scan(self, ref: ast.TableRef, single_table, needed) -> planmod.PlanNode:
+        """Scan *ref* with its needed columns and single-table predicate.
+
+        Column selection here is a first approximation from the AST;
+        :mod:`repro.optimizer` prunes the built plan properly (through
+        joins, renames, and aggregates), so this only has to avoid
+        scanning columns nothing references at all.
+        """
         alias = ref.alias or ref.name
         columns = sorted(needed.get(alias, set()))
         if not columns:
-            # Always scan at least one column so row counts survive.
-            columns = [self.catalog.get(ref.name).schema.names[0]]
+            # Always scan at least one column so row counts survive; pick
+            # the narrowest one since its values are never read.
+            schema = self.catalog.get(ref.name).schema
+            columns = [
+                min(
+                    schema.names,
+                    key=lambda name: schema.type_of(name).fixed_width or 1 << 20,
+                )
+            ]
         predicate = None
         for conjunct in single_table.get(alias, []):
             translated = self.to_expression(conjunct)

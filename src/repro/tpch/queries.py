@@ -1156,8 +1156,20 @@ QUERIES: dict[str, Callable[[], PlanNode]] = {
 QUERY_NAMES = list(QUERIES)
 
 
-def build_query(name: str) -> PlanNode:
-    """Plan for query *name* (``"Q1"``–``"Q22"``)."""
+def build_query(name: str, catalog=None, optimize: bool = False, flags=None) -> PlanNode:
+    """Plan for query *name* (``"Q1"``–``"Q22"``).
+
+    With ``optimize=True`` (requires *catalog*) the plan is passed through
+    :func:`repro.optimizer.optimize_plan` — predicate pushdown plus
+    projection pruning, optionally tuned via *flags*.
+    """
     if name not in QUERIES:
         raise KeyError(f"unknown TPC-H query {name!r}; expected one of {QUERY_NAMES}")
-    return QUERIES[name]()
+    plan = QUERIES[name]()
+    if optimize:
+        if catalog is None:
+            raise ValueError("optimize=True requires a catalog")
+        from repro.optimizer import optimize_plan
+
+        plan = optimize_plan(catalog, plan, flags=flags).plan
+    return plan

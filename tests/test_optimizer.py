@@ -1,0 +1,431 @@
+"""Unit tests for the plan optimizer: rewrite rules on synthetic plans
+plus the selection-vector DataChunk machinery they compile to."""
+
+import numpy as np
+import pytest
+
+from repro.engine import chunk as chunkmod
+from repro.engine.chunk import DataChunk
+from repro.engine.expressions import (
+    BooleanOp,
+    ColumnRef,
+    Not,
+    Substring,
+    col,
+    lit,
+    substitute_columns,
+)
+from repro.engine.operators.aggregate import AggFunc, AggSpec
+from repro.engine.operators.hash_join import JoinType
+from repro.engine.plan import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    Limit,
+    Project,
+    Rename,
+    Sort,
+    TableScan,
+    UnionAll,
+    identity_projection,
+    make_select,
+    plan_fingerprint,
+)
+from repro.engine.types import DataType, Schema
+from repro.optimizer import OptimizerFlags, optimize_plan
+from repro.optimizer.rules import combine_conjuncts, split_conjuncts
+
+
+FACTS = ["key", "value", "label", "when"]
+
+
+def scan(columns=None, predicate=None, table="facts"):
+    return TableScan(table, list(columns or FACTS), predicate)
+
+
+def optimized(catalog, plan, **kwargs):
+    return optimize_plan(catalog, plan, **kwargs)
+
+
+class TestConjuncts:
+    def test_split_flattens_nested_ands(self):
+        pred = BooleanOp(
+            "and",
+            [BooleanOp("and", [col("a") > lit(1), col("b") > lit(2)]), col("c") > lit(3)],
+        )
+        assert len(split_conjuncts(pred)) == 3
+
+    def test_split_keeps_or_whole(self):
+        pred = BooleanOp("or", [col("a") > lit(1), col("b") > lit(2)])
+        assert split_conjuncts(pred) == [pred]
+
+    def test_combine_single_passthrough(self):
+        pred = col("a") > lit(1)
+        assert combine_conjuncts([pred]) is pred
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_conjuncts([])
+
+
+class TestSubstituteColumns:
+    def test_renames_through_nested_expressions(self):
+        expr = Not(BooleanOp("and", [col("a") > lit(1), Substring(col("b"), 1, 2) == lit("xx")]))
+        renamed = substitute_columns(expr, {"a": "x", "b": "y"})
+        assert renamed.referenced_columns() == {"x", "y"}
+
+    def test_unchanged_returns_same_object(self):
+        expr = BooleanOp("and", [col("a") > lit(1), col("b") > lit(2)])
+        assert substitute_columns(expr, {"z": "w"}) is expr
+
+
+class TestIdentitySelect:
+    def test_identity_projection_detected(self):
+        node = Project(scan(), [("key", ColumnRef("key")), ("value", ColumnRef("value"))])
+        assert identity_projection(node) == ["key", "value"]
+
+    def test_rename_in_project_is_not_identity(self):
+        node = Project(scan(), [("k", ColumnRef("key"))])
+        assert identity_projection(node) is None
+
+    def test_computed_output_is_not_identity(self):
+        node = Project(scan(), [("key", col("key") + lit(1))])
+        assert identity_projection(node) is None
+
+    def test_make_select_collapses_stacked_selects(self):
+        inner = make_select(scan(), ["key", "value", "label"])
+        outer = make_select(inner, ["key"])
+        assert isinstance(outer.child, TableScan)
+
+
+class TestPushdown:
+    def flags(self):
+        return OptimizerFlags(pushdown=True, pruning=False)
+
+    def test_filter_fused_into_scan(self, synthetic_catalog):
+        plan = Filter(scan(), col("value") > lit(0.5))
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        assert isinstance(result.plan, TableScan)
+        assert result.plan.predicate is not None
+        assert any(a.rule == "pushdown" for a in result.applications)
+
+    def test_fuse_ands_with_existing_scan_predicate(self, synthetic_catalog):
+        plan = Filter(scan(predicate=col("key") > lit(1)), col("value") > lit(0.5))
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        fused = result.plan.predicate
+        assert isinstance(fused, BooleanOp) and fused.op == "and"
+        assert len(fused.operands) == 2
+
+    def test_pushed_through_pure_relabel_project(self, synthetic_catalog):
+        project = Project(scan(), [("k", ColumnRef("key")), ("v", ColumnRef("value"))])
+        plan = Filter(project, col("v") > lit(0.5))
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        assert isinstance(result.plan, Project)
+        assert isinstance(result.plan.child, TableScan)
+        assert result.plan.child.predicate.referenced_columns() == {"value"}
+
+    def test_blocked_by_computed_project_output(self, synthetic_catalog):
+        project = Project(scan(), [("doubled", col("value") + col("value"))])
+        plan = Filter(project, col("doubled") > lit(1.0))
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        assert isinstance(result.plan, Filter)  # conjunct stays put
+
+    def test_pushed_through_rename_chain(self, synthetic_catalog):
+        inner = Rename(scan(), {"value": "v1"})
+        outer = Rename(inner, {"v1": "v2"})
+        plan = Filter(outer, col("v2") > lit(0.5))
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        assert isinstance(result.plan, Rename)
+        assert isinstance(result.plan.child, Rename)
+        fused_scan = result.plan.child.child
+        assert isinstance(fused_scan, TableScan)
+        assert fused_scan.predicate.referenced_columns() == {"value"}
+
+    def join(self, join_type=JoinType.INNER):
+        return HashJoin(
+            probe=scan(),
+            build=scan(["key", "name", "weight"], table="dims"),
+            probe_keys=["key"],
+            build_keys=["key"],
+            join_type=join_type,
+        )
+
+    @pytest.mark.parametrize(
+        "join_type",
+        [JoinType.INNER, JoinType.LEFT_OUTER, JoinType.SEMI, JoinType.ANTI],
+    )
+    def test_probe_conjunct_below_any_join(self, synthetic_catalog, join_type):
+        plan = Filter(self.join(join_type), col("value") > lit(0.5))
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        assert isinstance(result.plan, HashJoin)
+        assert isinstance(result.plan.probe, TableScan)
+        assert result.plan.probe.predicate is not None
+
+    def test_payload_conjunct_below_inner_join_only(self, synthetic_catalog):
+        plan = Filter(self.join(JoinType.INNER), col("weight") > lit(0.5))
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        assert isinstance(result.plan, HashJoin)
+        assert isinstance(result.plan.build, TableScan)
+        assert result.plan.build.predicate is not None
+
+    def test_payload_conjunct_blocked_for_left_outer(self, synthetic_catalog):
+        plan = Filter(self.join(JoinType.LEFT_OUTER), col("weight") > lit(0.5))
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        # Pushing below the join would turn dropped matches into default
+        # rows, so the filter must stay above it.
+        assert isinstance(result.plan, Filter)
+
+    def test_key_conjunct_below_aggregate(self, synthetic_catalog):
+        agg = Aggregate(scan(), ["key"], [AggSpec("total", AggFunc.SUM, "value")])
+        plan = Filter(agg, col("key") > lit(10))
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        assert isinstance(result.plan, Aggregate)
+        assert isinstance(result.plan.child, TableScan)
+        assert result.plan.child.predicate is not None
+
+    def test_aggregate_output_conjunct_blocked(self, synthetic_catalog):
+        agg = Aggregate(scan(), ["key"], [AggSpec("total", AggFunc.SUM, "value")])
+        plan = Filter(agg, col("total") > lit(1.0))
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        assert isinstance(result.plan, Filter)
+
+    def test_below_sort_without_limit_only(self, synthetic_catalog):
+        unlimited = Filter(Sort(scan(), [("value", True)]), col("value") > lit(0.5))
+        result = optimized(synthetic_catalog, unlimited, flags=self.flags())
+        assert isinstance(result.plan, Sort)
+        limited = Filter(Sort(scan(), [("value", True)], limit=5), col("value") > lit(0.5))
+        result = optimized(synthetic_catalog, limited, flags=self.flags())
+        assert isinstance(result.plan, Filter)  # top-N does not commute
+
+    def test_pushed_into_every_union_branch(self, synthetic_catalog):
+        union = UnionAll([scan(), scan()])
+        plan = Filter(union, col("value") > lit(0.5))
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        assert isinstance(result.plan, UnionAll)
+        for branch in result.plan.inputs:
+            assert isinstance(branch, TableScan) and branch.predicate is not None
+
+    def test_adjacent_filters_merged(self, synthetic_catalog):
+        # `label` predicates cannot reach the scan through the computed
+        # projection, so the sinking conjunct merges into the inner filter.
+        project = Project(
+            scan(), [("tag", Substring(col("label"), 1, 1)), ("value", ColumnRef("value"))]
+        )
+        inner = Filter(project, col("tag") == lit("r"))
+        plan = Filter(inner, col("tag") != lit("b"))
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        assert isinstance(result.plan, Filter)
+        merged = result.plan.predicate
+        assert isinstance(merged, BooleanOp) and merged.op == "and"
+
+    def test_noop_plan_untouched(self, synthetic_catalog):
+        plan = Aggregate(scan(), ["key"], [AggSpec("total", AggFunc.SUM, "value")])
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        assert result.plan is plan
+        assert result.applications == []
+
+
+class TestPruning:
+    def flags(self):
+        return OptimizerFlags(pushdown=False, pruning=True)
+
+    def test_scan_narrowed_to_required(self, synthetic_catalog):
+        plan = Aggregate(scan(), ["key"], [AggSpec("total", AggFunc.SUM, "value")])
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        agg_child = result.plan.child
+        assert agg_child.output_schema(synthetic_catalog).names == ["key", "value"]
+
+    def test_root_schema_preserved(self, synthetic_catalog):
+        plan = Project(scan(), [("key", ColumnRef("key")), ("double", col("value") + col("value"))])
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        assert result.plan.output_schema(synthetic_catalog).names == ["key", "double"]
+
+    def test_predicate_only_column_dropped_after_filter(self, synthetic_catalog):
+        agg = Aggregate(
+            Filter(scan(), col("when") > lit(9000)),
+            ["key"],
+            [AggSpec("total", AggFunc.SUM, "value")],
+        )
+        result = optimized(synthetic_catalog, agg, flags=self.flags())
+        # `when` feeds only the filter; it must not survive into the
+        # aggregate's input schema.
+        assert "when" not in result.plan.child.output_schema(synthetic_catalog).names
+
+    def test_join_payload_and_build_pruned(self, synthetic_catalog):
+        join = HashJoin(
+            probe=scan(),
+            build=scan(["key", "name", "weight"], table="dims"),
+            probe_keys=["key"],
+            build_keys=["key"],
+        )
+        plan = Aggregate(join, ["key"], [AggSpec("w", AggFunc.SUM, "weight")])
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        pruned_join = result.plan.child.child if not isinstance(result.plan.child, HashJoin) else result.plan.child
+        while not isinstance(pruned_join, HashJoin):
+            pruned_join = pruned_join.child
+        assert pruned_join.payload == ["weight"]
+        assert pruned_join.build.output_schema(synthetic_catalog).names == ["key", "weight"]
+
+    def test_nested_joins_prune_through(self, synthetic_catalog):
+        inner = HashJoin(
+            probe=scan(),
+            build=scan(["key", "weight"], table="dims"),
+            probe_keys=["key"],
+            build_keys=["key"],
+        )
+        outer = HashJoin(
+            probe=inner,
+            build=scan(["key", "name"], table="dims"),
+            probe_keys=["key"],
+            build_keys=["key"],
+            payload=["name"],
+        )
+        plan = Aggregate(outer, ["name"], [AggSpec("n", AggFunc.COUNT_STAR, None)])
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        text = result.plan.output_schema(synthetic_catalog).names
+        assert text == ["name", "n"]
+        assert any("dropped" in a.detail for a in result.applications)
+
+    def test_rename_chain_pruned(self, synthetic_catalog):
+        renamed = Rename(scan(), {"value": "v", "label": "tag"})
+        plan = Aggregate(renamed, ["key"], [AggSpec("total", AggFunc.SUM, "v")])
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        rename_node = result.plan.child
+        while not isinstance(rename_node, Rename):
+            rename_node = rename_node.child
+        assert rename_node.mapping == {"value": "v"}
+
+    def test_count_star_keeps_one_column(self, synthetic_catalog):
+        plan = Aggregate(scan(), [], [AggSpec("n", AggFunc.COUNT_STAR, None)])
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        child = result.plan.child
+        assert len(child.output_schema(synthetic_catalog).names) == 1
+
+    def test_union_is_a_barrier(self, synthetic_catalog):
+        union = UnionAll([scan(["key", "value"]), scan(["key", "value"])])
+        plan = Aggregate(union, ["key"], [AggSpec("n", AggFunc.COUNT_STAR, None)])
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        union_node = result.plan.child
+        while not isinstance(union_node, UnionAll):
+            union_node = union_node.child
+        for branch in union_node.inputs:
+            assert branch.output_schema(synthetic_catalog).names == ["key", "value"]
+
+    def test_limit_child_narrowed(self, synthetic_catalog):
+        plan = Project(
+            Limit(scan(), 10),
+            [("key", ColumnRef("key"))],
+        )
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        limit_node = result.plan.child
+        assert isinstance(limit_node, Limit)
+        assert limit_node.output_schema(synthetic_catalog).names == ["key"]
+
+    def test_noop_when_everything_required(self, synthetic_catalog):
+        plan = Aggregate(
+            scan(["key", "value"]),
+            ["key"],
+            [AggSpec("total", AggFunc.SUM, "value")],
+        )
+        result = optimized(synthetic_catalog, plan, flags=self.flags())
+        assert plan_fingerprint(result.plan) == plan_fingerprint(plan)
+
+
+class TestFlagsAndJournal:
+    def test_none_flags_pass_through(self, synthetic_catalog):
+        plan = Filter(scan(), col("value") > lit(0.5))
+        result = optimized(synthetic_catalog, plan, flags=OptimizerFlags.none())
+        assert result.plan is plan
+        assert result.applications == []
+        assert not OptimizerFlags.none().any_rewrite
+
+    def test_rewrites_journaled(self, synthetic_catalog):
+        from repro.obs.audit import DecisionJournal
+
+        journal = DecisionJournal()
+        plan = Filter(scan(), col("value") > lit(0.5))
+        result = optimized(synthetic_catalog, plan, journal=journal, query_name="synthetic")
+        records = journal.by_kind("rewrite")
+        assert len(records) == len(result.applications) > 0
+        assert records[0].payload["rule"] in ("pushdown", "pruning")
+        assert records[0].ts == 0.0
+
+
+def make_chunk(n=8):
+    schema = Schema.of(("a", DataType.INT64), ("b", DataType.FLOAT64))
+    return DataChunk(schema, [np.arange(n, dtype=np.int64), np.linspace(0.0, 1.0, n)])
+
+
+class TestSelectionVectors:
+    def test_lazy_filter_defers_copies(self):
+        chunk = make_chunk()
+        mask = chunk.column("a") % 2 == 0
+        before = chunkmod.materialized_bytes()
+        lazy = chunk.filter(mask, lazy=True)
+        assert lazy.is_lazy and lazy.num_rows == 4
+        assert chunkmod.materialized_bytes() == before  # nothing copied yet
+
+    def test_gather_counts_once_per_column(self):
+        chunk = make_chunk()
+        lazy = chunk.filter(chunk.column("a") < 4, lazy=True)
+        before = chunkmod.materialized_bytes()
+        first = lazy.column("a")
+        after_first = chunkmod.materialized_bytes()
+        second = lazy.column("a")
+        assert after_first > before
+        assert chunkmod.materialized_bytes() == after_first  # cached
+        assert first is second
+
+    def test_lazy_nbytes_matches_materialized(self):
+        chunk = make_chunk()
+        lazy = chunk.filter(chunk.column("a") < 5, lazy=True)
+        assert lazy.nbytes == lazy.materialize().nbytes
+
+    def test_composed_selections(self):
+        chunk = make_chunk(16)
+        lazy = chunk.filter(chunk.column("a") < 10, lazy=True)
+        narrower = lazy.filter(lazy.materialize().column("a") >= 4)
+        assert narrower.is_lazy
+        np.testing.assert_array_equal(narrower.materialize().column("a"), np.arange(4, 10))
+
+    def test_all_pass_filter_returns_self(self):
+        chunk = make_chunk()
+        mask = np.ones(chunk.num_rows, dtype=bool)
+        assert chunk.filter(mask, lazy=True) is chunk
+        lazy = chunk.filter(chunk.column("a") < 5, lazy=True)
+        assert lazy.filter(np.ones(lazy.num_rows, dtype=bool)) is lazy
+
+    def test_base_view_and_with_selection(self):
+        chunk = make_chunk()
+        lazy = chunk.filter(chunk.column("a") < 3, lazy=True)
+        base = lazy.base_view()
+        assert not base.is_lazy and base.num_rows == 8
+        rebuilt = DataChunk.with_selection(lazy.schema, base.columns, lazy.selection)
+        np.testing.assert_array_equal(
+            rebuilt.materialize().column("a"), lazy.materialize().column("a")
+        )
+
+    def test_select_remaps_gather_cache(self):
+        chunk = make_chunk()
+        lazy = chunk.filter(chunk.column("a") < 3, lazy=True)
+        gathered = lazy.column("b")
+        narrowed = lazy.select(["b"])
+        before = chunkmod.materialized_bytes()
+        assert narrowed.column("b") is gathered  # cache carried over
+        assert chunkmod.materialized_bytes() == before
+
+    def test_set_column_invalidates_cache(self):
+        chunk = make_chunk()
+        lazy = chunk.filter(chunk.column("a") < 3, lazy=True)
+        stale = lazy.column_at(0)
+        lazy.set_column(0, np.arange(8, dtype=np.int64) * 10)
+        fresh = lazy.column_at(0)
+        assert fresh is not stale
+        np.testing.assert_array_equal(fresh, np.array([0, 10, 20]))
+
+    def test_eager_filter_counts_bytes(self):
+        chunk = make_chunk()
+        before = chunkmod.materialized_bytes()
+        eager = chunk.filter(chunk.column("a") < 4)
+        assert not eager.is_lazy
+        assert chunkmod.materialized_bytes() == before + eager.nbytes

@@ -34,6 +34,11 @@ GATED_SUFFIXES = (
     "encoded_bytes",
     "rows_scanned",
     "bytes_materialized",
+    # Fleet serving quality (bench_fleet.py): tail latency and SLO misses
+    # are higher-is-worse like every other gated leaf.  Attainment ratios
+    # (higher is better) are deliberately not gated.
+    "p95_latency",
+    "slo_misses",
 )
 
 

@@ -8,14 +8,24 @@ Commands:
   ``--trace-out`` exports a Chrome-trace/Perfetto JSON of the run;
 * ``trace`` — run a query with full tracing and export the trace
   (Chrome-trace JSON, optional JSONL) plus a text summary;
+* ``fleet`` — simulate a multi-tenant workload over N suspension-capable
+  workers with admission control and SLO accounting (``repro.fleet``);
 * ``experiments`` — alias for ``python -m repro.harness`` (regenerate the
   paper's figures and tables).
+
+A top-level ``--seed`` on ``query``/``trace``/``why`` (always present on
+``fleet``) is a *master* seed: every random stream — TPC-H data
+generation, termination sampling, worker availability, tenant arrivals,
+prices — is derived from it via :func:`repro.seeding.derive_seed`.
+Without ``--seed`` the historical per-component defaults apply, so
+existing baselines are unchanged.
 
 Examples::
 
     python -m repro query --scale 0.01 "SELECT count(*) AS n FROM lineitem"
     python -m repro query --scale 0.01 --name Q3 --suspend-at 0.5 --analyze
     python -m repro trace --name Q6 --out q6.trace.json --jsonl q6.jsonl
+    python -m repro fleet --tenants 3 --workers 2 --duration 600 --json
     python -m repro experiments fig8
 """
 
@@ -35,6 +45,15 @@ from repro.obs.trace import Tracer
 from repro.storage.codec import CODEC_NAMES
 from repro.suspend import PipelineLevelStrategy, ProcessLevelStrategy
 from repro.tpch import QUERY_NAMES, build_query, generate_catalog
+
+
+def _make_catalog(scale: float, seed: int | None):
+    """TPC-H catalog under a master seed (legacy dbgen seed when None)."""
+    if seed is None:
+        return generate_catalog(scale)
+    from repro.seeding import derive_seed
+
+    return generate_catalog(scale, seed=derive_seed(seed, "dbgen"))
 
 
 def _print_chunk(chunk, limit: int = 25) -> None:
@@ -193,7 +212,7 @@ def _execute(
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    catalog = generate_catalog(args.scale)
+    catalog = _make_catalog(args.scale, args.seed)
     profile = HardwareProfile()
     plan, label = _resolve_plan(args, catalog)
     if plan is None:
@@ -240,7 +259,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    catalog = generate_catalog(args.scale)
+    catalog = _make_catalog(args.scale, args.seed)
     profile = HardwareProfile()
     plan, label = _resolve_plan(args, catalog)
     if plan is None:
@@ -286,7 +305,7 @@ def cmd_why(args: argparse.Namespace) -> int:
     if args.name not in QUERY_NAMES:
         print(f"unknown query {args.name}; expected one of {QUERY_NAMES}", file=sys.stderr)
         return 2
-    catalog = generate_catalog(args.scale)
+    catalog = _make_catalog(args.scale, args.seed)
     profile = HardwareProfile()
 
     directory = args.snapshot_dir or tempfile.mkdtemp(prefix="riveter-why-")
@@ -302,7 +321,13 @@ def cmd_why(args: argparse.Namespace) -> int:
     termination = TerminationProfile.from_fractions(
         normal, args.window[0], args.window[1], args.probability
     )
-    event = sample_events(termination, 1, seed=args.seed)[0]
+    if args.seed is None:
+        termination_seed = 42  # historical default, keeps old audits stable
+    else:
+        from repro.seeding import derive_seed
+
+        termination_seed = derive_seed(args.seed, "termination")
+    event = sample_events(termination, 1, seed=termination_seed)[0]
     estimator = OptimizerSizeEstimator(catalog)
     selector = AdaptiveStrategySelector(
         profile=profile,
@@ -459,6 +484,65 @@ def _print_why_report(name, normal, event, outcome, journal, accuracy) -> None:
         print(format_estimator_accuracy(accuracy))
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Simulate a multi-tenant workload over N suspension-capable workers."""
+    from repro.fleet import (
+        AdmissionController,
+        FleetCluster,
+        fleet_report,
+        format_fleet_report,
+        generate_workload,
+        make_policy,
+        make_tenants,
+        report_to_json,
+    )
+    from repro.obs.audit import DecisionJournal
+    from repro.obs.metrics import MetricsRegistry as Registry
+
+    catalog = _make_catalog(args.scale, args.seed)
+    tenants = make_tenants(args.tenants, args.seed)
+    arrivals = generate_workload(tenants, args.duration, args.seed)
+    tracer = Tracer() if args.trace_out else None
+    metrics = Registry()
+    journal = DecisionJournal()
+    admission = AdmissionController(
+        max_queue_depth=args.queue_depth,
+        memory_budget_bytes=args.memory_budget,
+        journal=journal,
+        metrics=metrics,
+    )
+    cluster = FleetCluster(
+        catalog,
+        make_policy(args.policy),
+        workers=args.workers,
+        seed=args.seed,
+        admission=admission,
+        snapshot_dir=args.snapshot_dir,
+        mean_on_seconds=args.mean_on,
+        mean_off_seconds=args.mean_off,
+        tracer=tracer,
+        metrics=metrics,
+        journal=journal,
+    )
+    result = cluster.run(arrivals, args.duration)
+    report = fleet_report(result)
+    # Side outputs go to stderr so `--json > report.json` stays canonical.
+    if args.journal_out:
+        journal.write_jsonl(args.journal_out)
+        print(f"wrote {len(journal.records)} journal record(s) to {args.journal_out}",
+              file=sys.stderr)
+    if args.trace_out:
+        from repro.obs.export import write_chrome_trace
+
+        count = write_chrome_trace(tracer, args.trace_out)
+        print(f"wrote {count} trace event(s) to {args.trace_out}", file=sys.stderr)
+    if args.json:
+        sys.stdout.write(report_to_json(report))
+    else:
+        print(format_fleet_report(report))
+    return 0
+
+
 def _add_optimizer_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-optimizer", action="store_true",
@@ -481,6 +565,11 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("sql", nargs="?", default=None, help="SQL text to execute")
     parser.add_argument("--name", help="named TPC-H query (Q1..Q22) instead of SQL")
     parser.add_argument("--scale", type=float, default=0.01, help="local TPC-H scale factor")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="master seed deriving every random stream, including dbgen "
+        "(default: legacy per-component seeds)",
+    )
     parser.add_argument(
         "--suspend-at",
         type=float,
@@ -564,7 +653,11 @@ def main(argv: list[str] | None = None) -> int:
         "--probability", type=float, default=1.0,
         help="termination probability P_T within the window (default: 1.0)",
     )
-    why.add_argument("--seed", type=int, default=42, help="termination sampling seed")
+    why.add_argument(
+        "--seed", type=int, default=None,
+        help="master seed deriving the dbgen and termination streams "
+        "(default: legacy per-component seeds)",
+    )
     why.add_argument(
         "--incremental", action="store_true",
         help="use an incremental (delta-aware) snapshot store",
@@ -585,6 +678,67 @@ def main(argv: list[str] | None = None) -> int:
         help="re-run the selector from journaled inputs and assert bit-for-bit equality",
     )
     why.set_defaults(handler=cmd_why)
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="simulate a multi-tenant workload over suspension-capable workers",
+    )
+    fleet.add_argument(
+        "--tenants", type=int, default=3,
+        help="tenant count, cycling interactive/analytic/batch (default: 3)",
+    )
+    fleet.add_argument(
+        "--workers", type=int, default=2, help="simulated worker count (default: 2)"
+    )
+    fleet.add_argument(
+        "--duration", type=float, default=600.0,
+        help="arrival horizon in virtual seconds (default: 600)",
+    )
+    fleet.add_argument(
+        "--policy", choices=["fifo", "suspend-aware", "fair-share"],
+        default="suspend-aware", help="scheduling policy (default: suspend-aware)",
+    )
+    fleet.add_argument(
+        "--seed", type=int, default=42,
+        help="master seed; every stream (dbgen, availability, workload, "
+        "prices) is derived from it (default: 42)",
+    )
+    fleet.add_argument(
+        "--scale", type=float, default=0.002,
+        help="local TPC-H scale factor (default: 0.002)",
+    )
+    fleet.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="admission queue depth before shedding (default: 16)",
+    )
+    fleet.add_argument(
+        "--memory-budget", type=int, default=None, metavar="BYTES",
+        help="per-worker memory cap; queries measured above it are shed",
+    )
+    fleet.add_argument(
+        "--mean-on", type=float, default=600.0, metavar="SECONDS",
+        help="mean availability-window length per worker (default: 600)",
+    )
+    fleet.add_argument(
+        "--mean-off", type=float, default=45.0, metavar="SECONDS",
+        help="mean reclamation outage length per worker (default: 45)",
+    )
+    fleet.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="directory for suspension snapshots (default: a fresh temp dir)",
+    )
+    fleet.add_argument(
+        "--journal-out", default=None, metavar="PATH",
+        help="write the decision journal (admission/placement/reclamation) as JSONL",
+    )
+    fleet.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="export a Chrome-trace/Perfetto JSON with one lane per worker",
+    )
+    fleet.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical JSON report on stdout (byte-stable per seed)",
+    )
+    fleet.set_defaults(handler=cmd_fleet)
     args = parser.parse_args(argv)
     return args.handler(args)
 

@@ -19,6 +19,7 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.cloud.segments import SegmentTimeline, segments_for
 from repro.engine.clock import SimulatedClock
 from repro.engine.errors import QuerySuspended
 from repro.engine.executor import QueryExecutor, ResumeState
@@ -53,7 +54,9 @@ class QueryCompletion:
     suspensions: int = 0
     #: Phase timeline: ``{"phase": "queued"|"run"|"suspended", "start", "end"}``
     #: dicts in chronological order — the source for per-query Chrome-trace
-    #: tracks (:func:`repro.obs.export.schedule_to_chrome`).
+    #: tracks (:func:`repro.obs.export.schedule_to_chrome`).  Built through
+    #: :class:`repro.cloud.segments.SegmentTimeline`, so the segments tile
+    #: ``[arrival_time, finished_at]`` with no unattributed gaps.
     segments: list[dict] = field(default_factory=list)
 
     @property
@@ -130,7 +133,7 @@ class SuspensionScheduler:
                 request.name,
                 request.arrival_time,
                 now,
-                segments=_segments_for(request.arrival_time, start, now),
+                segments=segments_for(request.arrival_time, start, now),
             )
             report.completions.append(completion)
             self._record_completion(completion, policy="fifo")
@@ -170,7 +173,7 @@ class SuspensionScheduler:
             request.arrival_time,
             clock.now(),
             suspensions,
-            segments=_segments_for(request.arrival_time, start, clock.now()),
+            segments=segments_for(request.arrival_time, start, clock.now()),
         )
         report.completions.append(completion)
         self._record_completion(completion, policy="preemptive")
@@ -186,12 +189,11 @@ class SuspensionScheduler:
         now = start
         resume_state: ResumeState | None = None
         suspensions = 0
-        segments: list[dict] = []
-        if start > request.arrival_time:
-            segments.append(
-                {"phase": "queued", "start": request.arrival_time, "end": start}
-            )
-        suspend_mark: float | None = None
+        # The timeline attributes every gap between runs automatically:
+        # queued before the first run (including time spent draining
+        # interactive queries that arrived while another query was
+        # suspending — historically unattributed), suspended afterwards.
+        timeline = SegmentTimeline(request.arrival_time)
         while True:
             # Interactive queries already waiting run before the long query
             # (re)occupies the worker.
@@ -206,11 +208,6 @@ class SuspensionScheduler:
             next_arrival = min(
                 (r.arrival_time for r in interactive_waiting), default=None
             )
-            if suspend_mark is not None and now > suspend_mark:
-                # The away-gap just ended: the long query was off the worker
-                # from the end of its persist until this resume point.
-                segments.append({"phase": "suspended", "start": suspend_mark, "end": now})
-            suspend_mark = None
             run_start = now
             clock = SimulatedClock(now)
             if next_arrival is not None and next_arrival > now:
@@ -231,15 +228,13 @@ class SuspensionScheduler:
             )
             try:
                 executor.run()
-                segments.append(
-                    {"phase": "run", "start": run_start, "end": clock.now()}
-                )
+                timeline.run(run_start, clock.now())
                 completion = QueryCompletion(
                     request.name,
                     request.arrival_time,
                     clock.now(),
                     suspensions,
-                    segments=segments,
+                    segments=timeline.segments,
                 )
                 report.completions.append(completion)
                 self._record_completion(completion, policy="preemptive")
@@ -250,8 +245,7 @@ class SuspensionScheduler:
                 now = clock.now() + persisted.persist_latency
                 # Persisting is still busy time on the worker; the suspended
                 # gap starts once the snapshot is on stable storage.
-                segments.append({"phase": "run", "start": run_start, "end": now})
-                suspend_mark = now
+                timeline.run(run_start, now)
                 # Drain every interactive query that has arrived by now (or
                 # arrives while the worker is busy with earlier ones).
                 while True:
@@ -311,12 +305,3 @@ class SuspensionScheduler:
             self.metrics.histogram("scheduler_latency_seconds", policy=policy).observe(
                 completion.latency
             )
-
-
-def _segments_for(arrival: float, start: float, finished: float) -> list[dict]:
-    """Queued/run phase timeline for an uninterrupted execution."""
-    segments: list[dict] = []
-    if start > arrival:
-        segments.append({"phase": "queued", "start": arrival, "end": start})
-    segments.append({"phase": "run", "start": start, "end": finished})
-    return segments

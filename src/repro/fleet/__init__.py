@@ -1,0 +1,59 @@
+"""repro.fleet — multi-tenant fleet simulation on the virtual clock.
+
+Workload generation (:mod:`~repro.fleet.workload`), admission control and
+scheduling policies (:mod:`~repro.fleet.admission`), the multi-worker
+cluster simulator (:mod:`~repro.fleet.cluster`), and SLO/cost reporting
+(:mod:`~repro.fleet.slo`, :mod:`~repro.fleet.report`).  Entry point:
+``python -m repro fleet``.
+"""
+
+from repro.fleet.admission import (
+    POLICIES,
+    AdmissionController,
+    FairSharePolicy,
+    FifoPolicy,
+    FleetRejected,
+    SchedulingPolicy,
+    SuspendAwarePolicy,
+    make_policy,
+)
+from repro.fleet.cluster import FleetCluster, FleetCompletion, FleetResult, WorkerSummary
+from repro.fleet.report import (
+    fleet_prices,
+    fleet_report,
+    format_fleet_report,
+    report_to_json,
+    write_report,
+)
+from repro.fleet.workload import (
+    TENANT_CLASSES,
+    QueryArrival,
+    TenantProfile,
+    generate_workload,
+    make_tenants,
+)
+
+__all__ = [
+    "TENANT_CLASSES",
+    "TenantProfile",
+    "QueryArrival",
+    "make_tenants",
+    "generate_workload",
+    "POLICIES",
+    "make_policy",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "SuspendAwarePolicy",
+    "FairSharePolicy",
+    "AdmissionController",
+    "FleetRejected",
+    "FleetCluster",
+    "FleetCompletion",
+    "FleetResult",
+    "WorkerSummary",
+    "fleet_prices",
+    "fleet_report",
+    "format_fleet_report",
+    "report_to_json",
+    "write_report",
+]

@@ -1,0 +1,584 @@
+"""Multi-worker cluster simulator with suspension-based preemption.
+
+The fleet brings the paper's single-worker Case 1 scheduler to cluster
+scale: ``N`` simulated workers, each running one query at a time on the
+shared virtual clock, each subject to spot reclamation through a seeded
+:class:`~repro.cloud.availability.AvailabilityTrace`-style window list.
+Long-running analytics are preempted through the pipeline-level
+suspension strategy whenever interactive work would otherwise wait
+(policy permitting), and queries cut down by a reclamation restart from
+their last snapshot — the §VI multiple-suspensions machinery exercised by
+an entire workload rather than one query.
+
+Everything is deterministic: arrivals come pre-sorted from
+:mod:`repro.fleet.workload`, ties break on instance names, workers are
+chosen by ``(earliest start, worker id)``, and all latencies are modelled
+through :class:`~repro.engine.profile.HardwareProfile`, so two runs with
+the same seed produce byte-identical reports and journals.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import tempfile
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloud.segments import SegmentTimeline
+from repro.engine.clock import SimulatedClock
+from repro.engine.controller import ExecutionController
+from repro.engine.errors import QuerySuspended, QueryTerminated
+from repro.engine.executor import QueryExecutor, ResumeState
+from repro.engine.profile import HardwareProfile
+from repro.fleet.admission import AdmissionController, FleetRejected, SchedulingPolicy
+from repro.fleet.workload import QueryArrival
+from repro.obs.audit import DecisionJournal
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.seeding import derive_seed
+from repro.storage.catalog import Catalog
+from repro.suspend.controller import CompositeController, TerminationController
+from repro.suspend.pipeline_level import PipelineLevelStrategy
+from repro.tpch import build_query
+
+__all__ = ["FleetCompletion", "WorkerSummary", "FleetResult", "FleetCluster"]
+
+#: Slots shorter than this are skipped: dispatching into a sliver of
+#: availability would terminate before the first boundary and churn.
+MIN_SLICE_SECONDS = 1.0
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class FleetCompletion:
+    """One query's full life on the fleet timeline."""
+
+    name: str
+    tenant: str
+    tenant_class: str
+    query: str
+    arrival_time: float
+    finished_at: float
+    normal_time: float
+    slo_deadline: float
+    interactive: bool
+    suspensions: int
+    lost_segments: int
+    persisted_bytes: int
+    #: queued/run/suspended dicts tiling ``[arrival_time, finished_at]``;
+    #: run segments carry the ``worker`` id they executed on.
+    segments: list[dict] = field(default_factory=list)
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.arrival_time
+
+    @property
+    def slo_attained(self) -> bool:
+        return self.finished_at <= self.slo_deadline + _EPSILON
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "tenant": self.tenant,
+            "tenant_class": self.tenant_class,
+            "query": self.query,
+            "arrival_time": self.arrival_time,
+            "finished_at": self.finished_at,
+            "latency": self.latency,
+            "normal_time": self.normal_time,
+            "slo_deadline": self.slo_deadline,
+            "slo_attained": self.slo_attained,
+            "interactive": self.interactive,
+            "suspensions": self.suspensions,
+            "lost_segments": self.lost_segments,
+            "persisted_bytes": self.persisted_bytes,
+            "segments": self.segments,
+        }
+
+
+@dataclass
+class WorkerSummary:
+    """Per-worker utilisation over one fleet run."""
+
+    worker: int
+    busy_seconds: float
+    reclamations: int
+    #: ``(start, end, query)`` run slices, in dispatch order — the overlap
+    #: invariant the fleet tests assert.
+    run_slices: list[tuple[float, float, str]] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "worker": self.worker,
+            "busy_seconds": self.busy_seconds,
+            "reclamations": self.reclamations,
+            "run_slices": [
+                {"start": s, "end": e, "query": q} for s, e, q in self.run_slices
+            ],
+        }
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet simulation.
+
+    Duck-types :class:`~repro.cloud.scheduler.ScheduleReport` — the
+    ``completions`` carry name/arrival_time/finished_at/suspensions/
+    segments — so :func:`repro.obs.export.schedule_to_chrome` renders the
+    per-query lanes unchanged.
+    """
+
+    policy: str
+    seed: int
+    duration: float
+    completions: list[FleetCompletion] = field(default_factory=list)
+    rejections: list[FleetRejected] = field(default_factory=list)
+    workers: list[WorkerSummary] = field(default_factory=list)
+
+
+@dataclass
+class _Window:
+    start: float
+    end: float
+
+
+class _WorkerState:
+    """One simulated worker: availability windows plus busy bookkeeping."""
+
+    def __init__(self, wid: int, windows: list[_Window]):
+        self.wid = wid
+        self.windows = windows
+        self.free_at = 0.0
+        self.busy_seconds = 0.0
+        self.reclamations = 0
+        self.run_slices: list[tuple[float, float, str]] = []
+
+    def slot_at(self, lower: float) -> tuple[float, float]:
+        """First usable ``(start, window_end)`` at/after *lower*.
+
+        Windows with less than :data:`MIN_SLICE_SECONDS` remaining are
+        skipped; beyond the trace the worker is permanently available (the
+        forecast horizon has passed), which guarantees the simulation
+        terminates.
+        """
+        for window in self.windows:
+            if window.end <= lower:
+                continue
+            start = max(lower, window.start)
+            if window.end - start >= MIN_SLICE_SECONDS:
+                return start, window.end
+        tail = self.windows[-1].end if self.windows else 0.0
+        return max(lower, tail), math.inf
+
+    def summary(self) -> WorkerSummary:
+        return WorkerSummary(
+            worker=self.wid,
+            busy_seconds=self.busy_seconds,
+            reclamations=self.reclamations,
+            run_slices=list(self.run_slices),
+        )
+
+
+class _FleetQuery:
+    """Runtime record of one admitted query."""
+
+    def __init__(self, arrival: QueryArrival, normal_time: float):
+        self.arrival = arrival
+        self.normal_time = normal_time
+        self.ready_at = arrival.arrival_time
+        self.timeline = SegmentTimeline(arrival.arrival_time)
+        self.suspensions = 0
+        self.lost_segments = 0
+        self.persisted_bytes = 0
+        self.snapshot_path = None
+        self.pipelines = None
+        self.fingerprint = None
+
+
+def _availability_windows(
+    seed: int, wid: int, horizon: float, mean_on: float, mean_off: float
+) -> list[_Window]:
+    """Seeded on/off window list for one worker over ``[0, horizon)``."""
+    rng = np.random.default_rng(
+        np.random.SeedSequence([derive_seed(seed, "availability", wid), 0])
+    )
+    windows: list[_Window] = []
+    cursor = 0.0
+    while cursor < horizon:
+        on = max(MIN_SLICE_SECONDS, float(rng.exponential(mean_on)))
+        windows.append(_Window(cursor, cursor + on))
+        cursor += on + max(1.0, float(rng.exponential(mean_off)))
+    return windows
+
+
+class FleetCluster:
+    """Simulates a whole workload over ``N`` suspension-capable workers."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        policy: SchedulingPolicy,
+        workers: int = 2,
+        seed: int = 42,
+        profile: HardwareProfile | None = None,
+        admission: AdmissionController | None = None,
+        snapshot_dir: str | os.PathLike | None = None,
+        morsel_size: int = 16384,
+        mean_on_seconds: float = 600.0,
+        mean_off_seconds: float = 45.0,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        journal: DecisionJournal | None = None,
+    ):
+        if workers <= 0:
+            raise ValueError(f"worker count must be positive, got {workers}")
+        self.catalog = catalog
+        self.policy = policy
+        self.worker_count = workers
+        self.seed = seed
+        self.profile = profile if profile is not None else HardwareProfile()
+        self.admission = admission if admission is not None else AdmissionController()
+        self.snapshot_dir = Path(
+            snapshot_dir
+            if snapshot_dir is not None
+            else tempfile.mkdtemp(prefix="riveter-fleet-")
+        )
+        self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+        self.morsel_size = morsel_size
+        self.mean_on_seconds = mean_on_seconds
+        self.mean_off_seconds = mean_off_seconds
+        self.tracer = tracer
+        self.metrics = metrics
+        self.journal = journal
+        self.strategy = PipelineLevelStrategy(self.profile, metrics=metrics)
+        self._plans: dict[str, object] = {}
+        self._measured: dict[str, tuple[float, int]] = {}
+        # Feed the admission controller measured peaks as they are learned.
+        self.admission.peak_memory = {}
+
+    # -- measurement ---------------------------------------------------------
+    def _plan(self, query: str):
+        plan = self._plans.get(query)
+        if plan is None:
+            plan = build_query(query)
+            self._plans[query] = plan
+        return plan
+
+    def measure(self, query: str) -> tuple[float, int]:
+        """Cached ``(normal_time, peak_memory_bytes)`` of an undisturbed run."""
+        cached = self._measured.get(query)
+        if cached is None:
+            clock = SimulatedClock()
+            result = QueryExecutor(
+                self.catalog,
+                self._plan(query),
+                profile=self.profile,
+                clock=clock,
+                morsel_size=self.morsel_size,
+                query_name=query,
+            ).run()
+            cached = (result.stats.duration, result.peak_memory_bytes)
+            self._measured[query] = cached
+            self.admission.peak_memory[query] = result.peak_memory_bytes
+        return cached
+
+    # -- simulation ----------------------------------------------------------
+    def run(self, arrivals: list[QueryArrival], duration: float) -> FleetResult:
+        """Simulate *arrivals* over a horizon of *duration* virtual seconds."""
+        workers = [
+            _WorkerState(
+                wid,
+                _availability_windows(
+                    self.seed, wid, duration, self.mean_on_seconds, self.mean_off_seconds
+                ),
+            )
+            for wid in range(self.worker_count)
+        ]
+        arrivals = sorted(arrivals, key=lambda a: (a.arrival_time, a.name))
+        interactive_times = sorted(
+            a.arrival_time for a in arrivals if a.interactive
+        )
+        result = FleetResult(policy=self.policy.name, seed=self.seed, duration=duration)
+        pending: list[_FleetQuery] = []
+        served_per_weight: dict[str, float] = {}
+        index = 0
+
+        while index < len(arrivals) or pending:
+            dispatch = self._next_dispatch(pending, workers)
+            if index < len(arrivals) and (
+                dispatch is None or arrivals[index].arrival_time <= dispatch[0]
+            ):
+                self._admit(arrivals[index], pending, result)
+                index += 1
+                continue
+            start, window_end, worker = dispatch
+            ready = [q for q in pending if q.ready_at <= start + _EPSILON]
+            query = self.policy.select(ready, served_per_weight)
+            pending.remove(query)
+            self._run_slice(
+                query,
+                worker,
+                workers,
+                start,
+                window_end,
+                pending,
+                interactive_times,
+                served_per_weight,
+                result,
+            )
+        result.workers = [w.summary() for w in workers]
+        result.rejections = list(self.admission.rejections)
+        return result
+
+    def _next_dispatch(self, pending, workers):
+        """Earliest ``(start, window_end, worker)`` for any ready query."""
+        if not pending:
+            return None
+        earliest_ready = min(q.ready_at for q in pending)
+        best = None
+        for worker in workers:
+            start, window_end = worker.slot_at(max(earliest_ready, worker.free_at))
+            if best is None or (start, worker.wid) < (best[0], best[2].wid):
+                best = (start, window_end, worker)
+        return best
+
+    def _admit(self, arrival: QueryArrival, pending, result: FleetResult) -> None:
+        normal_time, _ = self.measure(arrival.query)
+        rejected = self.admission.admit(arrival, queue_depth=len(pending))
+        if rejected is not None:
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "fleet",
+                    f"reject:{arrival.name}",
+                    arrival.arrival_time,
+                    track="admission",
+                    reason=rejected.reason,
+                )
+            return
+        pending.append(_FleetQuery(arrival, normal_time))
+
+    def _next_interactive_after(self, at_time: float, pending, interactive_times):
+        """Earliest future interactive demand, from queue or arrivals."""
+        candidates = [
+            q.ready_at
+            for q in pending
+            if q.arrival.interactive and q.ready_at > at_time + _EPSILON
+        ]
+        position = bisect_right(interactive_times, at_time + _EPSILON)
+        if position < len(interactive_times):
+            candidates.append(interactive_times[position])
+        return min(candidates, default=None)
+
+    def _another_worker_free(self, workers, worker, at_time: float) -> bool:
+        """Whether a different worker could pick up work at *at_time*."""
+        for other in workers:
+            if other.wid == worker.wid:
+                continue
+            if other.free_at > at_time + _EPSILON:
+                continue
+            start, _ = other.slot_at(max(other.free_at, at_time))
+            if start <= at_time + _EPSILON:
+                return True
+        return False
+
+    def _controllers(
+        self, query, worker, workers, start, window_end, pending, interactive_times
+    ):
+        controllers: list[ExecutionController] = []
+        if math.isfinite(window_end):
+            # The reclamation itself, plus a deadline controller that
+            # tries to snapshot ahead of it (preemptive policies only —
+            # FIFO runs through and loses the window's progress).
+            controllers.append(TerminationController(window_end))
+            if self.policy.preemptive:
+                from repro.cloud.availability import DeadlineController
+
+                controllers.append(
+                    DeadlineController(window_end, self.profile, "pipeline")
+                )
+        if self.policy.preemptive and not query.arrival.interactive:
+            request_at = self._next_interactive_after(start, pending, interactive_times)
+            if request_at is not None and not self._another_worker_free(
+                workers, worker, request_at
+            ):
+                controllers.append(
+                    self.strategy.make_request_controller(request_at)
+                )
+        if not controllers:
+            return None
+        return CompositeController(controllers)
+
+    def _run_slice(
+        self,
+        query: _FleetQuery,
+        worker: _WorkerState,
+        workers,
+        start: float,
+        window_end: float,
+        pending,
+        interactive_times,
+        served_per_weight,
+        result: FleetResult,
+    ) -> None:
+        resume_state: ResumeState | None = None
+        clock_start = start
+        if query.snapshot_path is not None:
+            # Fresh resume preparation per dispatch: the reload is paid
+            # every time the snapshot comes back off storage.
+            resumed = self.strategy.prepare_resume(
+                query.snapshot_path, query.pipelines, query.fingerprint
+            )
+            resume_state = resumed.resume_state
+            resume_state.clock_time = 0.0
+            clock_start = start + resumed.reload_latency
+        clock = SimulatedClock(clock_start)
+        controller = self._controllers(
+            query, worker, workers, start, window_end, pending, interactive_times
+        )
+        executor = QueryExecutor(
+            self.catalog,
+            self._plan(query.arrival.query),
+            profile=self.profile,
+            clock=clock,
+            morsel_size=self.morsel_size,
+            controller=controller,
+            query_name=query.arrival.name,
+            resume=resume_state,
+        )
+        query.pipelines = executor.pipelines
+        query.fingerprint = executor.plan_fingerprint
+        try:
+            executor.run()
+        except QuerySuspended as suspended:
+            persisted = self.strategy.persist(suspended.capture, self.snapshot_dir)
+            end = persisted.suspended_at + persisted.persist_latency
+            if end > window_end + _EPSILON:
+                # The snapshot missed the reclamation: the window's
+                # progress is lost and the query falls back to its
+                # previous snapshot (or scratch).
+                self._reclaim(query, worker, start, window_end, result)
+            else:
+                query.suspensions += 1
+                query.persisted_bytes += persisted.intermediate_bytes
+                query.snapshot_path = persisted.snapshot_path
+                self._finish_slice(query, worker, start, end, served_per_weight)
+                if self.journal is not None:
+                    self.journal.append(
+                        "placement",
+                        query.arrival.name,
+                        end,
+                        policy=self.policy.name,
+                        step="preempt",
+                        worker=worker.wid,
+                        suspensions=query.suspensions,
+                        persisted_bytes=persisted.intermediate_bytes,
+                    )
+            pending.append(query)
+            pending.sort(key=lambda q: (q.ready_at, q.arrival.name))
+            return
+        except QueryTerminated:
+            # Reclamation landed before any usable suspension point.
+            self._reclaim(query, worker, start, window_end, result)
+            pending.append(query)
+            pending.sort(key=lambda q: (q.ready_at, q.arrival.name))
+            return
+        end = clock.now()
+        self._finish_slice(query, worker, start, end, served_per_weight)
+        self._complete(query, end, worker, result)
+
+    def _reclaim(self, query, worker, start, window_end, result: FleetResult) -> None:
+        """Account a slice cut down by a spot reclamation."""
+        query.lost_segments += 1
+        worker.reclamations += 1
+        self._finish_slice(query, worker, start, window_end, None)
+        query.ready_at = window_end
+        if self.journal is not None:
+            self.journal.append(
+                "reclamation",
+                query.arrival.name,
+                window_end,
+                worker=worker.wid,
+                slice_start=start,
+                lost_segments=query.lost_segments,
+                has_snapshot=query.snapshot_path is not None,
+            )
+        if self.tracer is not None:
+            self.tracer.instant(
+                "fleet",
+                f"reclaim:W{worker.wid}",
+                window_end,
+                track=f"worker:{worker.wid}",
+                query=query.arrival.name,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("fleet_reclamations_total").inc()
+
+    def _finish_slice(self, query, worker, start, end, served_per_weight) -> None:
+        """Book ``[start, end]`` as busy time for *query* on *worker*."""
+        query.timeline.run(start, end, worker=worker.wid)
+        query.ready_at = end
+        worker.free_at = end
+        worker.busy_seconds += end - start
+        worker.run_slices.append((start, end, query.arrival.name))
+        if served_per_weight is not None:
+            tenant = query.arrival.tenant
+            served_per_weight[tenant] = served_per_weight.get(tenant, 0.0) + (
+                (end - start) / query.arrival.weight
+            )
+        if self.tracer is not None:
+            self.tracer.span(
+                "fleet",
+                query.arrival.name,
+                start,
+                end,
+                track=f"worker:{worker.wid}",
+                tenant=query.arrival.tenant,
+                query=query.arrival.query,
+            )
+
+    def _complete(self, query, finished_at, worker, result: FleetResult) -> None:
+        arrival = query.arrival
+        completion = FleetCompletion(
+            name=arrival.name,
+            tenant=arrival.tenant,
+            tenant_class=arrival.tenant_class,
+            query=arrival.query,
+            arrival_time=arrival.arrival_time,
+            finished_at=finished_at,
+            normal_time=query.normal_time,
+            slo_deadline=arrival.arrival_time + arrival.slo_factor * query.normal_time,
+            interactive=arrival.interactive,
+            suspensions=query.suspensions,
+            lost_segments=query.lost_segments,
+            persisted_bytes=query.persisted_bytes,
+            segments=query.timeline.segments,
+        )
+        result.completions.append(completion)
+        if self.journal is not None:
+            self.journal.append(
+                "placement",
+                completion.name,
+                finished_at,
+                policy=self.policy.name,
+                step="complete",
+                worker=worker.wid,
+                latency=completion.latency,
+                suspensions=completion.suspensions,
+                lost_segments=completion.lost_segments,
+                slo_attained=completion.slo_attained,
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "fleet_completions_total", tenant_class=completion.tenant_class
+            ).inc()
+            self.metrics.histogram(
+                "fleet_latency_seconds", tenant_class=completion.tenant_class
+            ).observe(completion.latency)
+            if not completion.slo_attained:
+                self.metrics.counter("fleet_slo_misses_total").inc()

@@ -1,0 +1,138 @@
+"""SLO attainment, latency percentiles, and dollar cost for fleet runs.
+
+Each arrival carries an SLO deadline of ``slo_factor x normal_time`` past
+its arrival (the stretch an interactive tenant tolerates before the
+result stops being useful).  A query attains its SLO when it finishes by
+the deadline; queries shed at admission count as misses — load shedding
+is an SLO failure the operator chose, not a free pass.
+
+Percentiles use the nearest-rank method on the exact latency list (no
+interpolation, no sampling), so they are bit-stable across runs and
+platforms.  Dollar cost charges every worker busy slice against a
+:class:`~repro.cloud.environment.PriceTrace` segment by segment, the same
+accounting the price-aware runner uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cloud.environment import PriceTrace
+from repro.fleet.cluster import FleetResult
+
+__all__ = [
+    "percentile",
+    "latency_stats",
+    "slo_attainment",
+    "dollars_for_slices",
+    "class_breakdown",
+    "tenant_breakdown",
+]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of *values* (``q`` in ``[0, 1]``)."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be within [0, 1], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def latency_stats(latencies: list[float]) -> dict:
+    """``mean/p50/p95/p99/max`` of a latency list (zeros when empty)."""
+    if not latencies:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "count": len(latencies),
+        "mean": sum(latencies) / len(latencies),
+        "p50": percentile(latencies, 0.50),
+        "p95": percentile(latencies, 0.95),
+        "p99": percentile(latencies, 0.99),
+        "max": max(latencies),
+    }
+
+
+def slo_attainment(attained: int, total: int) -> float:
+    """Fraction of queries that met their deadline (1.0 for no queries)."""
+    if total <= 0:
+        return 1.0
+    return attained / total
+
+
+def dollars_for_slices(
+    slices: list[tuple[float, float, str]], prices: PriceTrace
+) -> float:
+    """Charge busy ``(start, end, query)`` slices against *prices*.
+
+    Each slice is split at the trace's segment boundaries so a spike that
+    starts mid-slice is billed only for the covered stretch.
+    """
+    step = prices.segment_seconds
+    dollars = 0.0
+    for start, end, _query in slices:
+        cursor = start
+        while cursor < end - 1e-12:
+            boundary = min(end, (int(cursor / step) + 1) * step)
+            dollars += (boundary - cursor) / 3600.0 * prices.price_at(cursor)
+            cursor = boundary
+    return dollars
+
+
+def _bucket(result: FleetResult, key) -> dict[str, dict]:
+    """Aggregate completions and rejections by ``key(item)``."""
+    buckets: dict[str, dict] = {}
+
+    def entry(label: str) -> dict:
+        if label not in buckets:
+            buckets[label] = {
+                "latencies": [],
+                "attained": 0,
+                "rejected": 0,
+                "suspensions": 0,
+                "lost_segments": 0,
+                "persisted_bytes": 0,
+            }
+        return buckets[label]
+
+    for completion in result.completions:
+        bucket = entry(key(completion))
+        bucket["latencies"].append(completion.latency)
+        bucket["attained"] += int(completion.slo_attained)
+        bucket["suspensions"] += completion.suspensions
+        bucket["lost_segments"] += completion.lost_segments
+        bucket["persisted_bytes"] += completion.persisted_bytes
+    for rejected in result.rejections:
+        entry(key(rejected))["rejected"] += 1
+
+    summary: dict[str, dict] = {}
+    for label in sorted(buckets):
+        bucket = buckets[label]
+        total = len(bucket["latencies"]) + bucket["rejected"]
+        summary[label] = {
+            "latency": latency_stats(bucket["latencies"]),
+            "slo_attainment": slo_attainment(bucket["attained"], total),
+            "rejected": bucket["rejected"],
+            "suspensions": bucket["suspensions"],
+            "lost_segments": bucket["lost_segments"],
+            "persisted_bytes": bucket["persisted_bytes"],
+        }
+    return summary
+
+
+def class_breakdown(result: FleetResult) -> dict[str, dict]:
+    """Per tenant-class SLO/latency summary (interactive/analytic/batch)."""
+    # FleetRejected has no tenant_class; recover it from the tenant name
+    # ("t3-analytic" -> "analytic"), which the workload generator fixes.
+    def key(item):
+        klass = getattr(item, "tenant_class", None)
+        return klass if klass is not None else item.tenant.split("-", 1)[1]
+
+    return _bucket(result, key)
+
+
+def tenant_breakdown(result: FleetResult) -> dict[str, dict]:
+    """Per-tenant SLO/latency summary."""
+    return _bucket(result, lambda item: item.tenant)

@@ -41,9 +41,15 @@ kind              emitted by
                   estimates recorded at decision time
 ``counterfactual``  ``repro why`` — measured actuals of a forced run of a
                   strategy the selector did *not* choose
-``placement``     :class:`~repro.cloud.scheduler.SuspensionScheduler` —
-                  FIFO vs preemptive placement steps (start / preempt /
-                  resume / complete)
+``placement``     :class:`~repro.cloud.scheduler.SuspensionScheduler` and
+                  :class:`~repro.fleet.cluster.FleetCluster` — FIFO vs
+                  preemptive placement steps (start / preempt / resume /
+                  complete)
+``admission``     :class:`~repro.fleet.admission.AdmissionController` — one
+                  record per arrival with the admit/shed verdict and the
+                  queue depth it was judged against
+``reclamation``   :class:`~repro.fleet.cluster.FleetCluster` — a simulated
+                  spot reclamation hitting a worker mid-query
 ================  ==========================================================
 """
 
@@ -80,6 +86,9 @@ AUDIT_KINDS = frozenset(
         # Plan-time optimizer rewrite (rule, target, detail); stamped at
         # ts=0.0 since rewriting happens before execution starts.
         "rewrite",
+        # Fleet admission verdicts and spot reclamations.
+        "admission",
+        "reclamation",
     }
 )
 

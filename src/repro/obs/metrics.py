@@ -30,6 +30,12 @@ name                               type    meaning
 ``busy_seconds_total``             ctr     accumulated busy time (cost proxy)
 ``overhead_seconds_total``         ctr     busy − normal accumulated
 ``scheduler_completions_total``    ctr     queries drained by the scheduler
+``fleet_admitted_total{tenant=…}`` ctr     arrivals admitted to the fleet
+``fleet_rejected_total{reason=…}`` ctr     arrivals shed (queue_full/memory)
+``fleet_completions_total{…}``     ctr     fleet completions per tenant class
+``fleet_latency_seconds{…}``       hist    arrival→finish latency per class
+``fleet_slo_misses_total``         ctr     completions past their deadline
+``fleet_reclamations_total``       ctr     spot windows that cut a run short
 =================================  ======  =================================
 """
 

@@ -51,6 +51,9 @@ TRACE_CATEGORIES = frozenset(
         "termination",
         "decision",
         "cloud",
+        # Fleet-simulator spans: worker-lane run segments, admission
+        # verdicts, reclamations.
+        "fleet",
     }
 )
 

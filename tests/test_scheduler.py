@@ -88,3 +88,44 @@ class TestPreemptive:
     def test_mean_latency_empty_selection(self, scheduler):
         report = scheduler.run_fifo([QueryRequest("x", build_query("Q6"), 0.0)])
         assert report.mean_latency(names={"zzz"}) == 0.0
+
+
+class TestSegmentContiguity:
+    """Every completion's phase timeline tiles [arrival, finished]."""
+
+    def assert_tiled(self, completion):
+        segments = completion.segments
+        assert segments, f"{completion.name} has no segments"
+        assert segments[0]["start"] == pytest.approx(completion.arrival_time)
+        assert segments[-1]["end"] == pytest.approx(completion.finished_at)
+        for before, after in zip(segments, segments[1:]):
+            assert before["end"] == pytest.approx(after["start"]), (
+                f"{completion.name}: unattributed gap between "
+                f"{before} and {after}"
+            )
+
+    def test_fifo_segments_tile(self, scheduler):
+        for completion in scheduler.run_fifo(workload()).completions:
+            self.assert_tiled(completion)
+
+    def test_preemptive_segments_tile(self, scheduler):
+        for completion in scheduler.run_preemptive(workload()).completions:
+            self.assert_tiled(completion)
+
+    def test_queued_gap_while_another_query_suspends(self, scheduler):
+        # A second long query arriving while the first is suspending used
+        # to get the drain window between its queued entry and its first
+        # run left unattributed; the shared SegmentTimeline closes it.
+        requests = [
+            QueryRequest("long0", build_query("Q9"), 0.0),
+            QueryRequest("long1", build_query("Q9"), 0.5),
+            QueryRequest("short0", build_query("Q6"), 1.0, interactive=True),
+            QueryRequest("short1", build_query("Q6"), 1.5, interactive=True),
+        ]
+        report = scheduler.run_preemptive(requests)
+        for completion in report.completions:
+            self.assert_tiled(completion)
+        long1 = report.completion("long1")
+        assert long1.segments[0]["phase"] == "queued"
+        # Its wait covers the interactive drain, not just long0's run.
+        assert long1.segments[0]["end"] > 1.0

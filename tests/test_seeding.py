@@ -1,0 +1,31 @@
+"""Master-seed derivation (repro.seeding)."""
+
+from repro.seeding import COMPONENTS, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(42, "dbgen") == derive_seed(42, "dbgen")
+
+    def test_pinned_values(self):
+        # Derived seeds feed checked-in baselines; a change here silently
+        # invalidates every same-seed comparison, so pin two exemplars.
+        assert derive_seed(42, "dbgen") == 2084434499
+        assert derive_seed(42, "availability", 0) == 378669915
+
+    def test_components_are_independent(self):
+        seeds = {derive_seed(42, component) for component in COMPONENTS}
+        assert len(seeds) == len(COMPONENTS)
+
+    def test_indexed_streams_are_independent(self):
+        seeds = {derive_seed(42, "workload", i) for i in range(16)}
+        assert len(seeds) == 16
+
+    def test_masters_are_independent(self):
+        assert derive_seed(1, "dbgen") != derive_seed(2, "dbgen")
+
+    def test_fits_numpy_seed_range(self):
+        for master in (0, 1, 42, 2**31, 2**63 - 1):
+            for component in COMPONENTS:
+                seed = derive_seed(master, component, 3)
+                assert 0 <= seed < 2**31

@@ -103,3 +103,73 @@ class TestTraceCommand:
         output = capsys.readouterr().out
         assert "persist" in output
         assert out.exists()
+
+
+class TestMasterSeed:
+    def test_seed_changes_generated_data(self, capsys):
+        main(["query", "--scale", "0.002", "SELECT count(*) AS n FROM lineitem"])
+        legacy = capsys.readouterr().out
+        main([
+            "query", "--scale", "0.002", "--seed", "1",
+            "SELECT count(*) AS n FROM lineitem",
+        ])
+        seeded = capsys.readouterr().out
+        # Same schema and cardinality envelope, different row content is
+        # not observable through count(*); assert the runs both succeed
+        # and the seeded run is reproducible instead.
+        main([
+            "query", "--scale", "0.002", "--seed", "1",
+            "SELECT count(*) AS n FROM lineitem",
+        ])
+        assert capsys.readouterr().out == seeded
+        assert "row(s)" in legacy
+
+    def test_why_accepts_master_seed(self, capsys):
+        code = main([
+            "why", "Q6", "--scale", "0.002", "--seed", "3", "--json",
+        ])
+        assert code == 0
+        assert '"query": "Q6"' in capsys.readouterr().out
+
+
+class TestFleetCommand:
+    def test_fleet_text_report(self, capsys):
+        code = main([
+            "fleet", "--tenants", "3", "--workers", "2",
+            "--duration", "300", "--seed", "11",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SLO attainment" in output
+        assert "policy=suspend-aware" in output
+
+    def test_fleet_json_deterministic(self, capsys):
+        argv = [
+            "fleet", "--tenants", "3", "--workers", "2",
+            "--duration", "300", "--seed", "11", "--json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        import json
+
+        report = json.loads(first)
+        assert report["format"] == "riveter-fleet/1"
+        assert report["policy"] == "suspend-aware"
+
+    def test_fleet_exports_journal_and_trace(self, capsys, tmp_path):
+        from repro.obs.export import validate_chrome_trace_file
+
+        journal = tmp_path / "fleet.jsonl"
+        trace = tmp_path / "fleet.trace.json"
+        code = main([
+            "fleet", "--tenants", "3", "--workers", "2", "--duration", "300",
+            "--seed", "11", "--policy", "fifo",
+            "--journal-out", str(journal), "--trace-out", str(trace),
+        ])
+        assert code == 0
+        lines = [l for l in journal.read_text().splitlines() if l]
+        assert any('"kind":"admission"' in l or '"kind": "admission"' in l for l in lines)
+        assert validate_chrome_trace_file(trace)["events"] > 0

@@ -39,6 +39,11 @@ GATED_SUFFIXES = (
     # (higher is better) are deliberately not gated.
     "p95_latency",
     "slo_misses",
+    # Timeline observability volume (bench_fleet.py): the artifact's
+    # record count is seed-deterministic; unbounded growth is an
+    # instrumentation leak.  Wall-clock overhead is host noise and stays
+    # ungated.
+    "events_recorded",
 )
 
 

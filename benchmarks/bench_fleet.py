@@ -13,6 +13,13 @@ the checked-in baseline that ``bench_compare.py --check`` diffs against
 in CI (gated leaves: ``p95_latency``, ``slo_misses``, plus the shared
 snapshot-byte suffixes).
 
+A ``timeline`` lane re-runs the suspend-aware policy with the full
+observability stack attached (tracer, timeline recorder, SLO monitor)
+and reports the record volume plus the wall-clock overhead against the
+uninstrumented run.  The record count (``events_recorded``) is a pure
+function of the seed and is gated; the wall numbers are host-dependent
+and reported only.
+
 Standalone on purpose (argparse, engine-only imports)::
 
     PYTHONPATH=src python benchmarks/bench_fleet.py --check
@@ -22,17 +29,22 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.fleet import (
     AdmissionController,
     FleetCluster,
+    SLOMonitor,
     fleet_prices,
     fleet_report,
     generate_workload,
     make_policy,
     make_tenants,
+    record_fleet_timeline,
 )
 from repro.harness.bench import bench_payload, write_bench
+from repro.obs.timeline import TimelineRecorder
+from repro.obs.trace import Tracer
 from repro.seeding import derive_seed
 from repro.tpch import generate_catalog
 
@@ -92,7 +104,55 @@ def run_fleet_bench(scale: float, params: dict | None = None) -> dict:
                 "p95_latency": report["latency"]["p95"],
             },
         }
+    metrics["timeline"] = timeline_overhead(catalog, arrivals, params)
     return metrics
+
+
+def timeline_overhead(catalog, arrivals, params: dict) -> dict:
+    """Cost of the full observability stack on the suspend-aware run.
+
+    ``events_recorded`` (samples + spans + completions + alerts in the
+    artifact) rides the virtual clock and is gated by ``bench_compare``;
+    the wall-clock seconds are host noise, reported but never gated.
+    """
+    seed = int(params["seed"])
+    duration = float(params["duration"])
+
+    def run_once(instrumented: bool):
+        tracer = Tracer() if instrumented else None
+        recorder = TimelineRecorder() if instrumented else None
+        slo = SLOMonitor(tracer=tracer, recorder=recorder) if instrumented else None
+        cluster = FleetCluster(
+            catalog,
+            make_policy("suspend-aware"),
+            workers=int(params["workers"]),
+            seed=seed,
+            admission=AdmissionController(max_queue_depth=int(params["queue_depth"])),
+            mean_on_seconds=float(params["mean_on"]),
+            mean_off_seconds=float(params["mean_off"]),
+            tracer=tracer,
+            recorder=recorder,
+            slo=slo,
+        )
+        start = time.perf_counter()
+        result = cluster.run(arrivals, duration)
+        wall = time.perf_counter() - start
+        return result, recorder, tracer, wall
+
+    _, _, _, wall_plain = run_once(False)
+    result, recorder, tracer, wall_obs = run_once(True)
+    record_fleet_timeline(recorder, result)
+    counts = recorder.header(dropped_events=tracer.dropped)["counts"]
+    return {
+        "events_recorded": sum(counts.values()),
+        "spans": counts["spans"],
+        "samples": counts["samples"],
+        "alerts": counts["alerts"],
+        "trace_events": len(tracer),
+        "wall_seconds_plain": wall_plain,
+        "wall_seconds_instrumented": wall_obs,
+        "wall_overhead_ratio": (wall_obs / wall_plain) if wall_plain > 0 else 0.0,
+    }
 
 
 def check_case1(metrics: dict) -> list[str]:
@@ -143,6 +203,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{entry['snapshot_bytes']} snapshot bytes, "
             f"${entry['dollars']:.4f}"
         )
+    timeline = metrics["timeline"]
+    print(
+        f"timeline: {timeline['events_recorded']} record(s) "
+        f"({timeline['spans']} spans, {timeline['samples']} samples), "
+        f"wall overhead x{timeline['wall_overhead_ratio']:.2f} "
+        f"({timeline['wall_seconds_plain']:.2f}s -> "
+        f"{timeline['wall_seconds_instrumented']:.2f}s)"
+    )
     if args.check:
         failures = check_case1(metrics)
         for failure in failures:

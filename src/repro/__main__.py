@@ -10,6 +10,10 @@ Commands:
   (Chrome-trace JSON, optional JSONL) plus a text summary;
 * ``fleet`` — simulate a multi-tenant workload over N suspension-capable
   workers with admission control and SLO accounting (``repro.fleet``);
+  ``--timeline-out`` additionally writes the ``riveter-timeline/1``
+  artifact (lifecycle span trees, windowed counters, burn-rate alerts);
+* ``report`` — render a timeline artifact as a text dashboard (windowed
+  latency quantiles, SLO burn-rate sparklines, slowest lifecycles);
 * ``experiments`` — alias for ``python -m repro.harness`` (regenerate the
   paper's figures and tables).
 
@@ -115,6 +119,7 @@ def _execute(
     metrics: MetricsRegistry | None,
     verbose: bool = True,
     selection_vectors: bool = True,
+    recorder=None,
 ) -> QueryResult:
     """Run the query, optionally suspending and resuming it midway.
 
@@ -133,6 +138,10 @@ def _execute(
             catalog, plan, profile=profile, query_name=label, tracer=tracer,
             metrics=metrics, **exec_opts,
         ).run()
+        if recorder is not None:
+            _record_query_lifecycle(
+                recorder, tracer, label, result.stats.finished_at, suspended=False
+            )
         if verbose:
             _print_chunk(result.chunk)
             print(f"\n{result.chunk.num_rows} row(s); simulated time {result.stats.duration:.2f}s")
@@ -148,6 +157,14 @@ def _execute(
         if args.strategy == "process"
         else PipelineLevelStrategy(profile, tracer=tracer, metrics=metrics, codec=codec_name)
     )
+    lifecycle = None
+    if recorder is not None:
+        from repro.obs.timeline import QueryLifecycle
+
+        lifecycle = QueryLifecycle(
+            label, 0.0, tracer, recorder, category="cloud", strategy=strategy.name
+        )
+        strategy.lifecycle = lifecycle
     controller = strategy.make_request_controller(normal.stats.duration * args.suspend_at)
     executor = QueryExecutor(
         catalog,
@@ -162,11 +179,18 @@ def _execute(
     directory = args.snapshot_dir or tempfile.mkdtemp(prefix="riveter-cli-")
     try:
         result = executor.run()
+        if lifecycle is not None:
+            lifecycle.span("run", 0.0, result.stats.finished_at)
+            lifecycle.finish(result.stats.finished_at, suspended=False)
+            _record_query_completion(recorder, lifecycle, label, result.stats.finished_at, False)
         if verbose:
             print("query finished before the suspension point; results:")
             _print_chunk(result.chunk)
         return result
     except QuerySuspended as suspended:
+        if lifecycle is not None:
+            lifecycle.span("run", 0.0, suspended.capture.clock_time)
+            lifecycle.instant("suspend", suspended.capture.clock_time, category="suspend")
         outcome = strategy.persist(suspended.capture, directory)
     snapshot_path = outcome.snapshot_path
     if args.incremental:
@@ -204,11 +228,42 @@ def _execute(
         metrics=metrics,
         **exec_opts,
     ).run()
+    if lifecycle is not None:
+        lifecycle.span("run:resumed", resume_start, final.stats.finished_at)
+        lifecycle.finish(
+            final.stats.finished_at,
+            suspended=True,
+            persisted_bytes=outcome.intermediate_bytes,
+        )
+        _record_query_completion(recorder, lifecycle, label, final.stats.finished_at, True)
     if verbose:
         print("resumed and finished; results:")
         _print_chunk(final.chunk)
         print(f"\n{final.chunk.num_rows} row(s); normal simulated time {normal.stats.duration:.2f}s")
     return final
+
+
+def _record_query_lifecycle(recorder, tracer, label, finished_at, suspended) -> None:
+    """Lifecycle tree for an uninterrupted single-query run."""
+    from repro.obs.timeline import QueryLifecycle
+
+    lifecycle = QueryLifecycle(label, 0.0, tracer, recorder, category="cloud")
+    lifecycle.span("run", 0.0, finished_at)
+    lifecycle.finish(finished_at, suspended=suspended)
+    _record_query_completion(recorder, lifecycle, label, finished_at, suspended)
+
+
+def _record_query_completion(recorder, lifecycle, label, finished_at, suspended) -> None:
+    recorder.add_completion(
+        {
+            "name": label,
+            "arrival_time": 0.0,
+            "finished_at": finished_at,
+            "latency": finished_at,
+            "suspended": suspended,
+            "trace_id": lifecycle.trace_id,
+        }
+    )
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -236,13 +291,20 @@ def cmd_query(args: argparse.Namespace) -> int:
                 print(f"  {app}")
         return 0
 
-    tracer = metrics = None
-    if args.analyze or args.trace_out:
-        tracer, metrics = Tracer(), MetricsRegistry()
+    tracer = metrics = recorder = None
+    if args.analyze or args.trace_out or args.timeline_out:
+        metrics = MetricsRegistry()
+        tracer = Tracer(metrics=metrics)
+    if args.timeline_out:
+        from repro.obs.timeline import TimelineRecorder
+
+        recorder = TimelineRecorder()
+        recorder.set_meta(command="query", query=label, scale=args.scale, seed=args.seed)
 
     result = _execute(
         catalog, optimized.plan, label, profile, args, tracer, metrics,
         verbose=True, selection_vectors=optimized.flags.selection_vectors,
+        recorder=recorder,
     )
 
     if args.analyze:
@@ -253,8 +315,11 @@ def cmd_query(args: argparse.Namespace) -> int:
     if args.trace_out:
         from repro.obs.export import write_chrome_trace
 
-        count = write_chrome_trace(tracer, args.trace_out)
+        count = write_chrome_trace(tracer, args.trace_out, timeline=recorder)
         print(f"\nwrote {count} trace event(s) to {args.trace_out}")
+    if args.timeline_out:
+        count = recorder.write(args.timeline_out, dropped_events=tracer.dropped)
+        print(f"\nwrote {count} timeline record(s) to {args.timeline_out}")
     return 0
 
 
@@ -269,7 +334,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.export import text_summary, write_chrome_trace, write_jsonl
 
     optimized = _optimize(catalog, plan, label, args)
-    tracer, metrics = Tracer(), MetricsRegistry()
+    metrics = MetricsRegistry()
+    tracer = Tracer(metrics=metrics)
     _execute(
         catalog, optimized.plan, label, profile, args, tracer, metrics,
         verbose=False, selection_vectors=optimized.flags.selection_vectors,
@@ -489,22 +555,27 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet import (
         AdmissionController,
         FleetCluster,
+        SLOMonitor,
         fleet_report,
         format_fleet_report,
         generate_workload,
         make_policy,
         make_tenants,
+        record_fleet_timeline,
         report_to_json,
     )
     from repro.obs.audit import DecisionJournal
     from repro.obs.metrics import MetricsRegistry as Registry
+    from repro.obs.timeline import TimelineRecorder
 
     catalog = _make_catalog(args.scale, args.seed)
     tenants = make_tenants(args.tenants, args.seed)
     arrivals = generate_workload(tenants, args.duration, args.seed)
-    tracer = Tracer() if args.trace_out else None
     metrics = Registry()
+    tracer = Tracer(metrics=metrics) if args.trace_out else None
+    recorder = TimelineRecorder() if args.timeline_out else None
     journal = DecisionJournal()
+    slo = SLOMonitor(tracer=tracer, journal=journal, metrics=metrics, recorder=recorder)
     admission = AdmissionController(
         max_queue_depth=args.queue_depth,
         memory_budget_bytes=args.memory_budget,
@@ -523,6 +594,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         tracer=tracer,
         metrics=metrics,
         journal=journal,
+        recorder=recorder,
+        slo=slo,
     )
     result = cluster.run(arrivals, args.duration)
     report = fleet_report(result)
@@ -531,15 +604,46 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         journal.write_jsonl(args.journal_out)
         print(f"wrote {len(journal.records)} journal record(s) to {args.journal_out}",
               file=sys.stderr)
+    if args.timeline_out:
+        record_fleet_timeline(recorder, result)
+        count = recorder.write(
+            args.timeline_out, dropped_events=tracer.dropped if tracer else 0
+        )
+        print(f"wrote {count} timeline record(s) to {args.timeline_out}",
+              file=sys.stderr)
     if args.trace_out:
         from repro.obs.export import write_chrome_trace
 
-        count = write_chrome_trace(tracer, args.trace_out)
+        count = write_chrome_trace(tracer, args.trace_out, timeline=recorder)
         print(f"wrote {count} trace event(s) to {args.trace_out}", file=sys.stderr)
     if args.json:
         sys.stdout.write(report_to_json(report))
     else:
         print(format_fleet_report(report))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a ``riveter-timeline/1`` artifact as a text dashboard."""
+    from repro.obs.dashboard import render_report
+    from repro.obs.timeline import read_timeline, validate_span_tree
+
+    try:
+        timeline = read_timeline(args.timeline)
+    except (OSError, ValueError) as error:
+        print(f"cannot read timeline: {error}", file=sys.stderr)
+        return 2
+    if args.validate:
+        try:
+            summary = validate_span_tree(timeline.spans)
+        except ValueError as error:
+            print(f"INVALID span tree: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"span tree OK: {summary['spans']} span(s), {summary['roots']} root(s)",
+            file=sys.stderr,
+        )
+    print(render_report(timeline, top_k=args.top))
     return 0
 
 
@@ -620,6 +724,11 @@ def main(argv: list[str] | None = None) -> int:
         "--trace-out", default=None, metavar="PATH",
         help="export a Chrome-trace/Perfetto JSON of the run to PATH",
     )
+    query.add_argument(
+        "--timeline-out", default=None, metavar="PATH",
+        help="write the riveter-timeline/1 lifecycle artifact to PATH "
+        "(render it with `python -m repro report`)",
+    )
     query.set_defaults(handler=cmd_query)
     trace = subparsers.add_parser(
         "trace", help="run a query with tracing and export the trace"
@@ -683,8 +792,9 @@ def main(argv: list[str] | None = None) -> int:
         help="simulate a multi-tenant workload over suspension-capable workers",
     )
     fleet.add_argument(
-        "--tenants", type=int, default=3,
-        help="tenant count, cycling interactive/analytic/batch (default: 3)",
+        "--tenants", type=int, default=6,
+        help="tenant count, cycling interactive/analytic/batch (default: 6; "
+        "enough contention for suspensions and SLO burn at the default seed)",
     )
     fleet.add_argument(
         "--workers", type=int, default=2, help="simulated worker count (default: 2)"
@@ -732,13 +842,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     fleet.add_argument(
         "--trace-out", default=None, metavar="PATH",
-        help="export a Chrome-trace/Perfetto JSON with one lane per worker",
+        help="export a Chrome-trace/Perfetto JSON with one lane per worker "
+        "(includes counter tracks when --timeline-out is also given)",
+    )
+    fleet.add_argument(
+        "--timeline-out", default=None, metavar="PATH",
+        help="write the riveter-timeline/1 artifact (lifecycle span trees, "
+        "windowed counters, SLO burn-rate alerts); byte-stable per seed",
     )
     fleet.add_argument(
         "--json", action="store_true",
         help="emit the canonical JSON report on stdout (byte-stable per seed)",
     )
     fleet.set_defaults(handler=cmd_fleet)
+    report = subparsers.add_parser(
+        "report", help="render a riveter-timeline/1 artifact as a text dashboard"
+    )
+    report.add_argument("timeline", metavar="PATH", help="timeline JSONL artifact")
+    report.add_argument(
+        "--top", type=int, default=5,
+        help="slowest lifecycles to break down (default: 5)",
+    )
+    report.add_argument(
+        "--validate", action="store_true",
+        help="check span-tree well-formedness before rendering",
+    )
+    report.set_defaults(handler=cmd_report)
     args = parser.parse_args(argv)
     return args.handler(args)
 

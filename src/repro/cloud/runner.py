@@ -31,6 +31,7 @@ from repro.engine.plan import PlanNode
 from repro.engine.profile import HardwareProfile
 from repro.obs.audit import DecisionJournal, resolve_adaptive_action
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import QueryLifecycle, TimelineRecorder
 from repro.obs.trace import Tracer
 from repro.suspend.controller import CompositeController, TerminationController
 from repro.suspend.pipeline_level import PipelineLevelStrategy
@@ -202,6 +203,7 @@ class QueryRunner:
         journal: DecisionJournal | None = None,
         store: "SnapshotStore | None" = None,
         select_operators: bool = False,
+        recorder: TimelineRecorder | None = None,
     ):
         self.catalog = catalog
         self.profile = profile if profile is not None else HardwareProfile()
@@ -211,6 +213,10 @@ class QueryRunner:
         self.tracer = tracer
         self.metrics = metrics
         self.codec = codec
+        #: optional timeline sink; when set (or a tracer is attached) each
+        #: run builds a causal lifecycle tree on the busy timeline
+        self.recorder = recorder
+        self._lifecycle: QueryLifecycle | None = None
         #: Decision audit journal shared with the selector (adaptive runs);
         #: the runner adds lifecycle records (suspend/resume/outcome/...).
         self.journal = journal
@@ -220,6 +226,31 @@ class QueryRunner:
         #: Compile identity projections to zero-cost selects; enable when
         #: running optimizer-rewritten plans (pruning inserts them).
         self.select_operators = select_operators
+
+    # -- lifecycle ------------------------------------------------------------
+    def _begin_lifecycle(self, query_name: str, strategy_name: str) -> QueryLifecycle | None:
+        """Open a causal span tree for the run about to start (or None).
+
+        Roots are on the *busy* timeline (virtual zero at query start).
+        The trace label carries a per-runner sequence number so a sweep
+        that runs the same query repeatedly still yields unique,
+        deterministic trace ids.
+        """
+        if self.tracer is None and self.recorder is None:
+            self._lifecycle = None
+            return None
+        seq = getattr(self, "_lifecycle_seq", 0)
+        self._lifecycle_seq = seq + 1
+        self._lifecycle = QueryLifecycle(
+            query_name,
+            0.0,
+            tracer=self.tracer,
+            recorder=self.recorder,
+            category="cloud",
+            trace_label=f"{query_name}@{seq}",
+            strategy=strategy_name,
+        )
+        return self._lifecycle
 
     # -- baselines -----------------------------------------------------------
     def measure_normal(self, plan: PlanNode, query_name: str) -> QueryResult:
@@ -249,6 +280,8 @@ class QueryRunner:
             metrics=self.metrics,
             codec=self.codec,
         )
+        lifecycle = self._begin_lifecycle(query_name, strategy_name)
+        strategy.lifecycle = lifecycle
         outcome = RunOutcome(
             query_name=query_name,
             strategy=strategy_name,
@@ -266,6 +299,8 @@ class QueryRunner:
             result = executor.run()
             outcome.busy_time = clock.now()
             outcome.result = result
+            if lifecycle is not None:
+                lifecycle.span("run", 0.0, outcome.busy_time)
             return self._record_outcome(outcome)
         except QueryTerminated as terminated:
             return self._rerun_after_termination(outcome, plan, query_name, terminated.at_time)
@@ -287,6 +322,7 @@ class QueryRunner:
         adaptive = AdaptiveController(selector)
         controller = CompositeController([TerminationController(termination_time), adaptive])
         clock = SimulatedClock()
+        lifecycle = self._begin_lifecycle(query_name, "adaptive")
         executor = self._executor(plan, query_name, clock, controller)
         outcome = RunOutcome(
             query_name=query_name,
@@ -302,6 +338,8 @@ class QueryRunner:
             outcome.decision = adaptive.decision
             if adaptive.decision is not None:
                 outcome.strategy = adaptive.decision.chosen
+            if lifecycle is not None:
+                lifecycle.span("run", 0.0, outcome.busy_time)
             self._record_estimator_error(selector, normal_time)
             return self._record_outcome(outcome)
         except QueryTerminated as terminated:
@@ -318,6 +356,7 @@ class QueryRunner:
                 metrics=self.metrics,
                 codec=self.codec,
             )
+            strategy.lifecycle = lifecycle
             outcome.strategy = adaptive.decision.chosen
             self._record_estimator_error(selector, normal_time)
             return self._persist_and_resume(
@@ -346,6 +385,8 @@ class QueryRunner:
             metrics=self.metrics,
             codec=self.codec,
         )
+        lifecycle = self._begin_lifecycle(query_name, strategy_name)
+        strategy.lifecycle = lifecycle
         outcome = RunOutcome(
             query_name=query_name,
             strategy=strategy_name,
@@ -356,6 +397,7 @@ class QueryRunner:
         pending = list(request_times)
         while True:
             clock = SimulatedClock()
+            base = outcome.busy_time
             request = (
                 strategy.make_request_controller(pending.pop(0)) if pending else None
             )
@@ -364,6 +406,8 @@ class QueryRunner:
                 result = executor.run()
                 outcome.busy_time += clock.now()
                 outcome.result = result
+                if lifecycle is not None:
+                    lifecycle.span("run", base, outcome.busy_time)
                 return self._record_outcome(outcome)
             except QuerySuspended as suspended:
                 persisted = strategy.persist(suspended.capture, self.snapshot_dir)
@@ -373,6 +417,8 @@ class QueryRunner:
                     outcome.intermediate_bytes, persisted.intermediate_bytes
                 )
                 outcome.persist_latency += persisted.persist_latency
+                if lifecycle is not None:
+                    lifecycle.span("run", base, base + clock.now())
                 outcome.busy_time += clock.now() + persisted.persist_latency
                 resumed = strategy.prepare_resume(
                     persisted.snapshot_path, executor.pipelines, executor.plan_fingerprint
@@ -443,6 +489,32 @@ class QueryRunner:
                 suspension_failed=outcome.suspension_failed,
                 intermediate_bytes=outcome.intermediate_bytes,
             )
+        if self._lifecycle is not None:
+            self._lifecycle.finish(
+                outcome.busy_time,
+                strategy=outcome.strategy,
+                normal_time=outcome.normal_time,
+                overhead=outcome.overhead,
+                completed=outcome.completed,
+                suspended=outcome.suspended,
+                suspension_failed=outcome.suspension_failed,
+                terminated=outcome.terminated,
+            )
+            self._lifecycle = None
+        if self.recorder is not None:
+            self.recorder.add_completion(
+                {
+                    "name": outcome.query_name,
+                    "strategy": outcome.strategy,
+                    "arrival_time": 0.0,
+                    "finished_at": outcome.busy_time,
+                    "latency": outcome.busy_time,
+                    "normal_time": outcome.normal_time,
+                    "overhead": outcome.overhead,
+                    "suspended": outcome.suspended,
+                    "terminated": outcome.terminated,
+                }
+            )
         return outcome
 
     def _record_estimator_error(
@@ -477,10 +549,24 @@ class QueryRunner:
                 strategy=outcome.strategy,
                 suspension_failed=outcome.suspension_failed,
             )
+        lifecycle = self._lifecycle
+        if lifecycle is not None:
+            # The failed-suspension path already booked its run span up to
+            # the suspension point; a plain kill loses the whole stretch.
+            if not outcome.suspension_failed:
+                lifecycle.span("run", 0.0, killed_at, lost=True)
+            lifecycle.instant(
+                "termination",
+                killed_at,
+                category="termination",
+                suspension_failed=outcome.suspension_failed,
+            )
         clock = SimulatedClock()
         result = self._executor(plan, query_name, clock, None).run()
         outcome.busy_time = killed_at + clock.now()
         outcome.result = result
+        if lifecycle is not None:
+            lifecycle.span("rerun", killed_at, outcome.busy_time)
         return self._record_outcome(outcome)
 
     def _persist_and_resume(
@@ -493,6 +579,15 @@ class QueryRunner:
         suspended: QuerySuspended,
         termination_time: float | None,
     ) -> RunOutcome:
+        lifecycle = self._lifecycle
+        if lifecycle is not None:
+            lifecycle.span("run", 0.0, suspended.capture.clock_time)
+            lifecycle.instant(
+                "suspend",
+                suspended.capture.clock_time,
+                category="suspend",
+                strategy=outcome.strategy,
+            )
         persisted = strategy.persist(suspended.capture, self.snapshot_dir)
         outcome.suspended = True
         outcome.suspended_at = persisted.suspended_at
@@ -543,4 +638,10 @@ class QueryRunner:
             finish_persist + resumed.reload_latency + clock.now()
         )
         outcome.result = result
+        if lifecycle is not None:
+            lifecycle.span(
+                "run:resumed",
+                finish_persist + resumed.reload_latency,
+                outcome.busy_time,
+            )
         return self._record_outcome(outcome)

@@ -27,6 +27,7 @@ from repro.engine.plan import PlanNode
 from repro.engine.profile import HardwareProfile
 from repro.obs.audit import DecisionJournal
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import QueryLifecycle, TimelineRecorder
 from repro.obs.trace import Tracer
 from repro.storage.catalog import Catalog
 from repro.suspend.pipeline_level import PipelineLevelStrategy
@@ -99,6 +100,7 @@ class SuspensionScheduler:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         journal: DecisionJournal | None = None,
+        recorder: TimelineRecorder | None = None,
     ):
         self.catalog = catalog
         self.profile = profile if profile is not None else HardwareProfile()
@@ -108,6 +110,7 @@ class SuspensionScheduler:
         self.tracer = tracer
         self.metrics = metrics
         self.journal = journal
+        self.recorder = recorder
         self.strategy = PipelineLevelStrategy(self.profile, tracer=tracer, metrics=metrics)
 
     # -- policies -------------------------------------------------------------
@@ -288,18 +291,36 @@ class SuspensionScheduler:
                 suspensions=completion.suspensions,
                 latency=completion.latency,
             )
-            for segment in completion.segments:
-                # One span per phase on the query's own track, so Perfetto
-                # shows a queued/run/suspended lane per query.
-                self.tracer.span(
-                    "cloud",
-                    segment["phase"],
-                    segment["start"],
-                    segment["end"],
-                    track=f"query:{completion.name}",
-                    policy=policy,
-                    phase=segment["phase"],
-                )
+        if self.tracer is not None or self.recorder is not None:
+            # One span per phase on the query's own track, stitched into a
+            # causal tree: a lifecycle root over [arrival, finished] with
+            # the queued/run/suspended segments as its leaves, so Perfetto
+            # shows a per-query lane and `repro report` a span breakdown.
+            lifecycle = QueryLifecycle(
+                completion.name,
+                completion.arrival_time,
+                tracer=self.tracer,
+                recorder=self.recorder,
+                category="cloud",
+                policy=policy,
+                suspensions=completion.suspensions,
+            )
+            lifecycle.finish(
+                completion.finished_at,
+                segments=completion.segments,
+                latency=completion.latency,
+            )
+        if self.recorder is not None:
+            self.recorder.add_completion(
+                {
+                    "name": completion.name,
+                    "arrival_time": completion.arrival_time,
+                    "finished_at": completion.finished_at,
+                    "latency": completion.latency,
+                    "suspensions": completion.suspensions,
+                    "policy": policy,
+                }
+            )
         if self.metrics is not None:
             self.metrics.counter("scheduler_completions_total", policy=policy).inc()
             self.metrics.histogram("scheduler_latency_seconds", policy=policy).observe(

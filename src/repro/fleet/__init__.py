@@ -22,9 +22,11 @@ from repro.fleet.report import (
     fleet_prices,
     fleet_report,
     format_fleet_report,
+    record_fleet_timeline,
     report_to_json,
     write_report,
 )
+from repro.fleet.slo import SLOMonitor, worker_utilization
 from repro.fleet.workload import (
     TENANT_CLASSES,
     QueryArrival,
@@ -54,6 +56,9 @@ __all__ = [
     "fleet_prices",
     "fleet_report",
     "format_fleet_report",
+    "record_fleet_timeline",
     "report_to_json",
     "write_report",
+    "SLOMonitor",
+    "worker_utilization",
 ]

@@ -81,6 +81,7 @@ class AdmissionController:
         peak_memory: dict[str, int] | None = None,
         journal: DecisionJournal | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer=None,
     ):
         if max_queue_depth <= 0:
             raise ValueError(f"max_queue_depth must be positive, got {max_queue_depth}")
@@ -89,6 +90,10 @@ class AdmissionController:
         self.peak_memory = peak_memory if peak_memory is not None else {}
         self.journal = journal
         self.metrics = metrics
+        #: optional Tracer; every verdict becomes an instant on the
+        #: ``admission`` track (the cluster backfills this with its own
+        #: tracer when the controller was built without one)
+        self.tracer = tracer
         self.rejections: list[FleetRejected] = []
 
     def admit(self, arrival: QueryArrival, queue_depth: int) -> FleetRejected | None:
@@ -120,6 +125,17 @@ class AdmissionController:
                 self.metrics.counter("fleet_admitted_total", tenant=arrival.tenant).inc()
             else:
                 self.metrics.counter("fleet_rejected_total", reason=reason).inc()
+        if self.tracer is not None:
+            verdict = "admit" if reason is None else "reject"
+            self.tracer.instant(
+                "fleet",
+                f"{verdict}:{arrival.name}",
+                arrival.arrival_time,
+                track="admission",
+                tenant=arrival.tenant,
+                queue_depth=queue_depth,
+                reason=reason,
+            )
         if reason is None:
             return None
         rejected = FleetRejected(

@@ -38,6 +38,7 @@ from repro.fleet.admission import AdmissionController, FleetRejected, Scheduling
 from repro.fleet.workload import QueryArrival
 from repro.obs.audit import DecisionJournal
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import QueryLifecycle, TimelineRecorder
 from repro.obs.trace import Tracer
 from repro.seeding import derive_seed
 from repro.storage.catalog import Catalog
@@ -199,6 +200,8 @@ class _FleetQuery:
         self.snapshot_path = None
         self.pipelines = None
         self.fingerprint = None
+        #: causal span tree (None when the fleet runs unobserved)
+        self.lifecycle: QueryLifecycle | None = None
 
 
 def _availability_windows(
@@ -235,6 +238,8 @@ class FleetCluster:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         journal: DecisionJournal | None = None,
+        recorder: TimelineRecorder | None = None,
+        slo=None,
     ):
         if workers <= 0:
             raise ValueError(f"worker count must be positive, got {workers}")
@@ -256,7 +261,15 @@ class FleetCluster:
         self.tracer = tracer
         self.metrics = metrics
         self.journal = journal
+        #: windowed time-series sink (queue depth, in-flight, suspended,
+        #: reserved memory, burn rates) plus lifecycle span storage
+        self.recorder = recorder
+        #: optional :class:`~repro.fleet.slo.SLOMonitor` fed every
+        #: terminal outcome (completions and shed arrivals)
+        self.slo = slo
         self.strategy = PipelineLevelStrategy(self.profile, metrics=metrics)
+        if self.admission.tracer is None:
+            self.admission.tracer = tracer
         self._plans: dict[str, object] = {}
         self._measured: dict[str, tuple[float, int]] = {}
         # Feed the admission controller measured peaks as they are learned.
@@ -314,7 +327,7 @@ class FleetCluster:
             if index < len(arrivals) and (
                 dispatch is None or arrivals[index].arrival_time <= dispatch[0]
             ):
-                self._admit(arrivals[index], pending, result)
+                self._admit(arrivals[index], pending, workers, result)
                 index += 1
                 continue
             start, window_end, worker = dispatch
@@ -332,6 +345,7 @@ class FleetCluster:
                 served_per_weight,
                 result,
             )
+            self._sample_state(worker.free_at, pending, workers)
         result.workers = [w.summary() for w in workers]
         result.rejections = list(self.admission.rejections)
         return result
@@ -348,20 +362,67 @@ class FleetCluster:
                 best = (start, window_end, worker)
         return best
 
-    def _admit(self, arrival: QueryArrival, pending, result: FleetResult) -> None:
+    def _admit(self, arrival: QueryArrival, pending, workers, result: FleetResult) -> None:
         normal_time, _ = self.measure(arrival.query)
+        lifecycle = None
+        if self.tracer is not None or self.recorder is not None:
+            lifecycle = QueryLifecycle(
+                arrival.name,
+                arrival.arrival_time,
+                tracer=self.tracer,
+                recorder=self.recorder,
+                tenant=arrival.tenant,
+                tenant_class=arrival.tenant_class,
+                query=arrival.query,
+                policy=self.policy.name,
+            )
         rejected = self.admission.admit(arrival, queue_depth=len(pending))
         if rejected is not None:
-            if self.tracer is not None:
-                self.tracer.instant(
-                    "fleet",
-                    f"reject:{arrival.name}",
-                    arrival.arrival_time,
-                    track="admission",
-                    reason=rejected.reason,
+            if lifecycle is not None:
+                lifecycle.instant(
+                    "admission:rejected", arrival.arrival_time, reason=rejected.reason
                 )
+                lifecycle.finish(arrival.arrival_time, outcome="rejected")
+            # Shed arrivals count against the class's error budget the
+            # moment they are shed.
+            if self.slo is not None:
+                self.slo.observe(
+                    arrival.tenant_class,
+                    arrival.arrival_time,
+                    False,
+                    query=arrival.name,
+                )
+            self._sample_state(arrival.arrival_time, pending, workers)
             return
-        pending.append(_FleetQuery(arrival, normal_time))
+        if lifecycle is not None:
+            lifecycle.instant(
+                "admission:admitted", arrival.arrival_time, queue_depth=len(pending)
+            )
+        query = _FleetQuery(arrival, normal_time)
+        query.lifecycle = lifecycle
+        pending.append(query)
+        self._sample_state(arrival.arrival_time, pending, workers)
+
+    def _sample_state(self, ts: float, pending, workers) -> None:
+        """Fold the fleet's instantaneous state into the timeline windows."""
+        if self.recorder is None:
+            return
+        self.recorder.sample("fleet_queue_depth", ts, len(pending))
+        self.recorder.sample(
+            "fleet_suspended",
+            ts,
+            sum(1 for q in pending if q.snapshot_path is not None),
+        )
+        self.recorder.sample(
+            "fleet_reserved_bytes",
+            ts,
+            sum(
+                self.admission.peak_memory.get(q.arrival.query, 0) for q in pending
+            ),
+        )
+        self.recorder.sample(
+            "fleet_in_flight", ts, sum(1 for w in workers if w.free_at > ts + _EPSILON)
+        )
 
     def _next_interactive_after(self, at_time: float, pending, interactive_times):
         """Earliest future interactive demand, from queue or arrivals."""
@@ -426,8 +487,11 @@ class FleetCluster:
         served_per_weight,
         result: FleetResult,
     ) -> None:
+        lifecycle = query.lifecycle
+        slice_id = lifecycle.begin_slice() if lifecycle is not None else None
         resume_state: ResumeState | None = None
         clock_start = start
+        reload_end = None
         if query.snapshot_path is not None:
             # Fresh resume preparation per dispatch: the reload is paid
             # every time the snapshot comes back off storage.
@@ -437,6 +501,9 @@ class FleetCluster:
             resume_state = resumed.resume_state
             resume_state.clock_time = 0.0
             clock_start = start + resumed.reload_latency
+            # Span emission is deferred until the slice's fate is known:
+            # a reclamation can land mid-reload, which truncates it.
+            reload_end = clock_start
         clock = SimulatedClock(clock_start)
         controller = self._controllers(
             query, worker, workers, start, window_end, pending, interactive_times
@@ -462,11 +529,45 @@ class FleetCluster:
                 # The snapshot missed the reclamation: the window's
                 # progress is lost and the query falls back to its
                 # previous snapshot (or scratch).
-                self._reclaim(query, worker, start, window_end, result)
+                if lifecycle is not None:
+                    lifecycle.instant(
+                        "persist:missed-window",
+                        min(persisted.suspended_at, window_end),
+                        parent_id=slice_id,
+                        category="persist",
+                        persist_latency=persisted.persist_latency,
+                    )
+                self._reclaim(
+                    query, worker, start, window_end, result, reload_end=reload_end
+                )
             else:
                 query.suspensions += 1
                 query.persisted_bytes += persisted.intermediate_bytes
                 query.snapshot_path = persisted.snapshot_path
+                if lifecycle is not None:
+                    if reload_end is not None:
+                        lifecycle.span(
+                            f"reload:{self.strategy.name}",
+                            start,
+                            reload_end,
+                            parent_id=slice_id,
+                            category="resume",
+                        )
+                    lifecycle.instant(
+                        "suspend",
+                        persisted.suspended_at,
+                        parent_id=slice_id,
+                        category="suspend",
+                        suspensions=query.suspensions,
+                    )
+                    lifecycle.span(
+                        f"persist:{self.strategy.name}",
+                        persisted.suspended_at,
+                        end,
+                        parent_id=slice_id,
+                        category="persist",
+                        bytes=persisted.intermediate_bytes,
+                    )
                 self._finish_slice(query, worker, start, end, served_per_weight)
                 if self.journal is not None:
                     self.journal.append(
@@ -484,20 +585,52 @@ class FleetCluster:
             return
         except QueryTerminated:
             # Reclamation landed before any usable suspension point.
-            self._reclaim(query, worker, start, window_end, result)
+            self._reclaim(query, worker, start, window_end, result, reload_end=reload_end)
             pending.append(query)
             pending.sort(key=lambda q: (q.ready_at, q.arrival.name))
             return
         end = clock.now()
+        if lifecycle is not None and reload_end is not None:
+            lifecycle.span(
+                f"reload:{self.strategy.name}",
+                start,
+                reload_end,
+                parent_id=slice_id,
+                category="resume",
+            )
         self._finish_slice(query, worker, start, end, served_per_weight)
         self._complete(query, end, worker, result)
 
-    def _reclaim(self, query, worker, start, window_end, result: FleetResult) -> None:
+    def _reclaim(
+        self, query, worker, start, window_end, result: FleetResult, reload_end=None
+    ) -> None:
         """Account a slice cut down by a spot reclamation."""
+        lifecycle = query.lifecycle
+        slice_id = lifecycle.current_slice_id if lifecycle is not None else None
+        if lifecycle is not None and reload_end is not None:
+            # The reload that preceded this slice, truncated if the
+            # reclamation landed mid-reload.
+            lifecycle.span(
+                f"reload:{self.strategy.name}",
+                start,
+                min(reload_end, window_end),
+                parent_id=slice_id,
+                category="resume",
+                truncated=reload_end > window_end,
+            )
         query.lost_segments += 1
         worker.reclamations += 1
         self._finish_slice(query, worker, start, window_end, None)
         query.ready_at = window_end
+        if lifecycle is not None:
+            lifecycle.instant(
+                "reclamation",
+                window_end,
+                parent_id=slice_id,
+                worker=worker.wid,
+                lost_segments=query.lost_segments,
+                has_snapshot=query.snapshot_path is not None,
+            )
         if self.journal is not None:
             self.journal.append(
                 "reclamation",
@@ -522,6 +655,11 @@ class FleetCluster:
     def _finish_slice(self, query, worker, start, end, served_per_weight) -> None:
         """Book ``[start, end]`` as busy time for *query* on *worker*."""
         query.timeline.run(start, end, worker=worker.wid)
+        if query.lifecycle is not None:
+            # Emit the new queued/suspended gap and run segments as
+            # children of the root; the run span consumes the id
+            # pre-allocated at dispatch so mid-slice events nest under it.
+            query.lifecycle.flush_segments(query.timeline.segments)
         query.ready_at = end
         worker.free_at = end
         worker.busy_seconds += end - start
@@ -560,6 +698,30 @@ class FleetCluster:
             segments=query.timeline.segments,
         )
         result.completions.append(completion)
+        if query.lifecycle is not None:
+            query.lifecycle.finish(
+                finished_at,
+                segments=query.timeline.segments,
+                latency=completion.latency,
+                slo_attained=completion.slo_attained,
+                suspensions=completion.suspensions,
+                lost_segments=completion.lost_segments,
+            )
+        if self.recorder is not None:
+            payload = completion.to_json()
+            # Segments are already in the artifact as the root's leaf
+            # spans; the completion record carries the scalars.
+            payload.pop("segments", None)
+            if query.lifecycle is not None:
+                payload["trace_id"] = query.lifecycle.trace_id
+            self.recorder.add_completion(payload)
+        if self.slo is not None:
+            self.slo.observe(
+                completion.tenant_class,
+                finished_at,
+                completion.slo_attained,
+                query=completion.name,
+            )
         if self.journal is not None:
             self.journal.append(
                 "placement",

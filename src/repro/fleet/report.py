@@ -20,6 +20,7 @@ from repro.fleet.slo import (
     latency_stats,
     slo_attainment,
     tenant_breakdown,
+    worker_utilization,
 )
 from repro.harness.report import format_table
 from repro.seeding import derive_seed
@@ -31,6 +32,7 @@ __all__ = [
     "report_to_json",
     "write_report",
     "format_fleet_report",
+    "record_fleet_timeline",
 ]
 
 REPORT_FORMAT = "riveter-fleet/1"
@@ -51,6 +53,7 @@ def fleet_report(result: FleetResult, prices: PriceTrace | None = None) -> dict:
     attained = sum(1 for c in completions if c.slo_attained)
     total = len(completions) + len(result.rejections)
     slices = [s for worker in result.workers for s in worker.run_slices]
+    utilization = worker_utilization(result)
     return {
         "format": REPORT_FORMAT,
         "policy": result.policy,
@@ -76,7 +79,10 @@ def fleet_report(result: FleetResult, prices: PriceTrace | None = None) -> dict:
         "interactive_latency": latency_stats(interactive),
         "classes": class_breakdown(result),
         "tenants": tenant_breakdown(result),
-        "workers": [w.to_json() for w in result.workers],
+        "workers": [
+            dict(w.to_json(), utilization=utilization[w.worker])
+            for w in result.workers
+        ],
         "completions": [c.to_json() for c in completions],
         "rejections": [r.to_json() for r in result.rejections],
     }
@@ -136,15 +142,47 @@ def format_fleet_report(report: dict) -> str:
             ("class", "done", "shed", "p50", "p95", "SLO", "susp"), rows
         )
     )
-    worker_rows = [
-        (
-            f"W{w['worker']}",
-            len(w["run_slices"]),
-            f"{w['busy_seconds']:.1f}",
-            w["reclamations"],
+    worker_rows = []
+    for w in report["workers"]:
+        util = w.get("utilization", {})
+        worker_rows.append(
+            (
+                f"W{w['worker']}",
+                len(w["run_slices"]),
+                f"{w['busy_seconds']:.1f}",
+                w["reclamations"],
+                f"{util.get('busy_fraction', 0.0):.1%}",
+                f"{util.get('suspended_fraction', 0.0):.1%}",
+                f"{util.get('idle_fraction', 0.0):.1%}",
+            )
         )
-        for w in report["workers"]
-    ]
     lines.append("")
-    lines.append(format_table(("worker", "slices", "busy", "reclaims"), worker_rows))
+    lines.append(
+        format_table(
+            ("worker", "slices", "busy", "reclaims", "busy%", "susp%", "idle%"),
+            worker_rows,
+        )
+    )
     return "\n".join(lines)
+
+
+def record_fleet_timeline(recorder, result: FleetResult, prices: PriceTrace | None = None) -> None:
+    """Fold run-level context into the timeline *recorder*.
+
+    Stamps the artifact header with the run's identity, and samples the
+    spot price once per recorder window across the horizon — the price
+    trace is piecewise-constant on its own segment grid, so window-start
+    sampling reproduces it exactly.
+    """
+    if prices is None:
+        prices = fleet_prices(result.seed)
+    recorder.set_meta(
+        policy=result.policy,
+        seed=result.seed,
+        duration=result.duration,
+        workers=len(result.workers),
+    )
+    ts = 0.0
+    while ts < result.duration:
+        recorder.sample("spot_price", ts, prices.price_at(ts))
+        ts += recorder.window_seconds

@@ -12,7 +12,16 @@ package makes those timelines *inspectable*:
   histograms (rows per operator, bytes persisted/reloaded, suspension
   lag, estimator error);
 * :mod:`repro.obs.export` — JSONL and Chrome-trace/Perfetto JSON
-  exporters, a human-readable summary, and a schema validator used by CI;
+  exporters (including windowed counter tracks), a human-readable
+  summary, and a schema validator used by CI;
+* :mod:`repro.obs.timeline` — causal lifecycle span trees
+  (:class:`~repro.obs.timeline.QueryLifecycle`) and windowed time-series
+  rollups (:class:`~repro.obs.timeline.TimelineRecorder`) exported as
+  the canonical ``riveter-timeline/1`` artifact read by
+  ``python -m repro report``;
+* :mod:`repro.obs.dashboard` — the text dashboard renderer behind
+  ``python -m repro report`` (windowed quantiles, burn-rate sparklines,
+  slowest-lifecycle causal breakdowns);
 * :mod:`repro.obs.audit` — the decision audit journal: an append-only,
   replayable record of every suspend/resume deliberation (cost-model
   inputs, per-strategy estimates, chosen action, measured actuals) that
@@ -36,6 +45,7 @@ from repro.obs.audit import (
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import TRACE_CATEGORIES, TraceEvent, Tracer
 from repro.obs.export import (
+    counter_track_events,
     schedule_to_chrome,
     text_summary,
     trace_to_chrome,
@@ -45,6 +55,17 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
     write_schedule_trace,
+)
+from repro.obs.dashboard import render_report, sparkline
+from repro.obs.timeline import (
+    TIMELINE_FORMAT,
+    QueryLifecycle,
+    Timeline,
+    TimelineRecorder,
+    derive_span_id,
+    derive_trace_id,
+    read_timeline,
+    validate_span_tree,
 )
 
 __all__ = [
@@ -72,4 +93,15 @@ __all__ = [
     "write_schedule_trace",
     "validate_chrome_trace",
     "validate_chrome_trace_file",
+    "counter_track_events",
+    "TIMELINE_FORMAT",
+    "QueryLifecycle",
+    "Timeline",
+    "TimelineRecorder",
+    "derive_trace_id",
+    "derive_span_id",
+    "read_timeline",
+    "validate_span_tree",
+    "render_report",
+    "sparkline",
 ]

@@ -89,6 +89,9 @@ AUDIT_KINDS = frozenset(
         # Fleet admission verdicts and spot reclamations.
         "admission",
         "reclamation",
+        # SLO burn-rate alerts (repro.fleet.slo.SLOMonitor): error budget
+        # burning faster than the configured threshold for a tenant class.
+        "alert",
     }
 )
 

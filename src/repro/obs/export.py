@@ -1,13 +1,17 @@
 """Trace exporters: JSONL, Chrome-trace/Perfetto JSON, text summary.
 
-* :func:`trace_to_jsonl` — one canonical-JSON event per line, in
-  recording order.  Because events carry only virtual-clock values the
-  output is byte-identical across runs of the same query at the same
-  scale/seed, which the test suite asserts.
+* :func:`trace_to_jsonl` — a ``riveter-trace/1`` header line (event and
+  dropped counts, so truncation is disclosed in the artifact itself)
+  followed by one canonical-JSON event per line, in recording order.
+  Because events carry only virtual-clock values the output is
+  byte-identical across runs of the same query at the same scale/seed,
+  which the test suite asserts.
 * :func:`trace_to_chrome` — the Chrome Trace Event format (``ph`` X/i/M
   events with microsecond timestamps) that both ``chrome://tracing`` and
   https://ui.perfetto.dev open directly.  Each tracer ``track`` becomes
-  a named thread.
+  a named thread.  Pass a :class:`~repro.obs.timeline.TimelineRecorder`
+  (or parsed :class:`~repro.obs.timeline.Timeline`) as ``timeline`` to
+  append its windowed series as Perfetto counter tracks (``ph`` C).
 * :func:`text_summary` — per-category counts and time totals for humans.
 * :func:`validate_chrome_trace` — the schema check CI runs against the
   smoke-test export.
@@ -22,8 +26,10 @@ from collections import Counter as TallyCounter
 from repro.obs.trace import TRACE_CATEGORIES, Tracer
 
 __all__ = [
+    "TRACE_JSONL_FORMAT",
     "trace_to_jsonl",
     "trace_to_chrome",
+    "counter_track_events",
     "write_jsonl",
     "write_chrome_trace",
     "text_summary",
@@ -35,15 +41,29 @@ __all__ = [
 
 _SECONDS_TO_MICROS = 1e6
 
+#: Format tag of the JSONL export's header line.
+TRACE_JSONL_FORMAT = "riveter-trace/1"
+
 
 def _dumps(payload) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def trace_to_jsonl(tracer: Tracer) -> str:
-    """Serialize the buffer as canonical JSON lines (deterministic)."""
-    lines = [_dumps(event.to_json()) for event in tracer.events]
-    return "\n".join(lines) + ("\n" if lines else "")
+    """Serialize the buffer as canonical JSON lines (deterministic).
+
+    The first line is a header carrying the format tag plus event and
+    dropped counts — a truncated buffer is disclosed in the artifact,
+    not just on the tracer object.
+    """
+    header = {
+        "format": TRACE_JSONL_FORMAT,
+        "events": len(tracer),
+        "dropped": tracer.dropped,
+    }
+    lines = [_dumps(header)]
+    lines.extend(_dumps(event.to_json()) for event in tracer.events)
+    return "\n".join(lines) + "\n"
 
 
 def write_jsonl(tracer: Tracer, path: str | os.PathLike) -> int:
@@ -53,8 +73,38 @@ def write_jsonl(tracer: Tracer, path: str | os.PathLike) -> int:
     return len(tracer)
 
 
-def trace_to_chrome(tracer: Tracer) -> dict:
-    """Convert the buffer to the Chrome Trace Event JSON format."""
+def counter_track_events(timeline, tid: int = 0) -> list[dict]:
+    """Chrome ``ph`` C events for a timeline's windowed series.
+
+    *timeline* is anything exposing ``samples`` (list of window
+    aggregates) — a live :class:`~repro.obs.timeline.TimelineRecorder`
+    or a parsed :class:`~repro.obs.timeline.Timeline`.  Each sample
+    becomes one counter event at its window start carrying the window's
+    last value, which Perfetto renders as a stepped counter track named
+    after the series.
+    """
+    events: list[dict] = []
+    for sample in timeline.samples:
+        events.append(
+            {
+                "ph": "C",
+                "pid": 1,
+                "tid": tid,
+                "cat": "timeline",
+                "name": sample["series"],
+                "ts": sample["ts"] * _SECONDS_TO_MICROS,
+                "args": {"value": sample["last"]},
+            }
+        )
+    return events
+
+
+def trace_to_chrome(tracer: Tracer, timeline=None) -> dict:
+    """Convert the buffer to the Chrome Trace Event JSON format.
+
+    With *timeline* given, its windowed series are appended as counter
+    tracks (see :func:`counter_track_events`).
+    """
     track_ids: dict[str, int] = {}
     trace_events: list[dict] = [
         {
@@ -94,6 +144,8 @@ def trace_to_chrome(tracer: Tracer) -> dict:
         else:
             entry["s"] = "t"  # thread-scoped instant
         body.append(entry)
+    if timeline is not None:
+        body.extend(counter_track_events(timeline))
     return {
         "traceEvents": trace_events + body,
         "displayTimeUnit": "ms",
@@ -101,10 +153,15 @@ def trace_to_chrome(tracer: Tracer) -> dict:
     }
 
 
-def write_chrome_trace(tracer: Tracer, path: str | os.PathLike) -> int:
+def write_chrome_trace(tracer: Tracer, path: str | os.PathLike, timeline=None) -> int:
     """Write the Chrome-trace export to *path*; returns the event count."""
     with open(path, "w", encoding="utf-8") as stream:
-        json.dump(trace_to_chrome(tracer), stream, sort_keys=True, separators=(",", ":"))
+        json.dump(
+            trace_to_chrome(tracer, timeline=timeline),
+            stream,
+            sort_keys=True,
+            separators=(",", ":"),
+        )
     return len(tracer)
 
 
@@ -117,6 +174,11 @@ def text_summary(tracer: Tracer, metrics=None) -> str:
         if event.phase == "X":
             busy[event.category] = busy.get(event.category, 0.0) + event.dur
     lines = [f"{len(events)} trace event(s), {tracer.dropped} dropped"]
+    if tracer.dropped:
+        lines.append(
+            f"WARNING: buffer overflowed; the oldest {tracer.dropped} event(s) "
+            "were discarded — totals below undercount the run"
+        )
     if events:
         start = min(e.ts for e in events)
         end = max(e.ts + e.dur for e in events)
@@ -221,7 +283,7 @@ def validate_chrome_trace(payload: dict) -> dict:
         if not isinstance(event, dict):
             raise ValueError(f"{where}: not an object")
         phase = event.get("ph")
-        if phase not in ("X", "i", "M"):
+        if phase not in ("X", "i", "M", "C"):
             raise ValueError(f"{where}: unsupported phase {phase!r}")
         if not isinstance(event.get("name"), str) or not event["name"]:
             raise ValueError(f"{where}: missing event name")
@@ -243,6 +305,15 @@ def validate_chrome_trace(payload: dict) -> dict:
             raise ValueError(f"{where}: instant without a scope")
         if not isinstance(event.get("args", {}), dict):
             raise ValueError(f"{where}: args must be an object")
+        if phase == "C":
+            values = event.get("args", {})
+            if not values:
+                raise ValueError(f"{where}: counter without values")
+            for key, value in values.items():
+                if not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"{where}: counter value {key!r} must be numeric, got {value!r}"
+                    )
         categories[category] += 1
     return {"events": len(events), "categories": dict(sorted(categories.items()))}
 

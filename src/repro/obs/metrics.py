@@ -36,6 +36,8 @@ name                               type    meaning
 ``fleet_latency_seconds{…}``       hist    arrival→finish latency per class
 ``fleet_slo_misses_total``         ctr     completions past their deadline
 ``fleet_reclamations_total``       ctr     spot windows that cut a run short
+``trace_dropped_events_total``     ctr     tracer buffer overflow discards
+``slo_alerts_total{class=…}``      ctr     burn-rate alerts per tenant class
 =================================  ======  =================================
 """
 

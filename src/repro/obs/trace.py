@@ -24,10 +24,23 @@ category        emitted by
 ``decision``    adaptive selector — one instant per Algorithm 1 run,
                 carrying the per-strategy cost estimates
 ``cloud``       runner/scheduler — per-run and per-completion roll-ups
+``timeline``    :mod:`repro.obs.timeline` — windowed counter samples and
+                SLO burn-rate alerts
 ==============  ==========================================================
 
 Two phases exist, mirroring the Chrome trace format: ``"X"`` (complete
 span with a duration) and ``"i"`` (instant).
+
+Causal links
+------------
+
+Events may carry three optional identity fields — ``trace_id`` (one per
+query lifecycle), ``span_id`` (this event), and ``parent_id`` (the
+enclosing span) — stitched by
+:class:`repro.obs.timeline.QueryLifecycle` into one rooted span tree per
+query.  Events without ids (the default) are plain timeline events, which
+keeps single-query traces exactly as they were before the lifecycle layer
+existed.
 """
 
 from __future__ import annotations
@@ -54,6 +67,9 @@ TRACE_CATEGORIES = frozenset(
         # Fleet-simulator spans: worker-lane run segments, admission
         # verdicts, reclamations.
         "fleet",
+        # Time-series rollups: windowed counter samples and SLO burn-rate
+        # alerts (repro.obs.timeline).
+        "timeline",
     }
 )
 
@@ -77,10 +93,16 @@ class TraceEvent:
     dur: float = 0.0
     track: str = "engine"
     args: dict = field(default_factory=dict)
+    #: Causal identity (optional): the lifecycle this event belongs to,
+    #: its own span id, and the id of the enclosing span.  ``None`` on
+    #: plain events keeps legacy exports unchanged.
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
 
     def to_json(self) -> dict:
         """Stable dict form used by both exporters."""
-        return {
+        payload = {
             "ts": self.ts,
             "cat": self.category,
             "name": self.name,
@@ -89,6 +111,11 @@ class TraceEvent:
             "track": self.track,
             "args": self.args,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+            payload["span_id"] = self.span_id
+            payload["parent_id"] = self.parent_id
+        return payload
 
 
 class Tracer:
@@ -97,15 +124,20 @@ class Tracer:
     When the buffer is full the *oldest* events are dropped (the tail of
     a run is usually the interesting part — that is where suspensions
     and terminations happen) and ``dropped`` counts the loss so exports
-    can disclose it.
+    can disclose it.  When a :class:`~repro.obs.metrics.MetricsRegistry`
+    is attached, every drop also increments the
+    ``trace_dropped_events_total`` counter so a truncated trace is never
+    silently trusted.
     """
 
-    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS):
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS, metrics=None):
         if max_events <= 0:
             raise ValueError(f"max_events must be positive, got {max_events}")
         self.max_events = max_events
         self._events: deque[TraceEvent] = deque(maxlen=max_events)
         self.dropped = 0
+        #: optional registry mirroring ``dropped`` as a counter
+        self.metrics = metrics
 
     def __len__(self) -> int:
         return len(self._events)
@@ -119,11 +151,35 @@ class Tracer:
             raise ValueError(f"unknown trace category {event.category!r}")
         if len(self._events) == self.max_events:
             self.dropped += 1
+            if self.metrics is not None:
+                self.metrics.counter("trace_dropped_events_total").inc()
         self._events.append(event)
 
-    def instant(self, category: str, name: str, ts: float, track: str = "engine", **args) -> None:
+    def instant(
+        self,
+        category: str,
+        name: str,
+        ts: float,
+        track: str = "engine",
+        *,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+        parent_id: str | None = None,
+        **args,
+    ) -> None:
         """Record a zero-duration event at virtual time *ts*."""
-        self.record(TraceEvent(ts=ts, category=category, name=name, track=track, args=args))
+        self.record(
+            TraceEvent(
+                ts=ts,
+                category=category,
+                name=name,
+                track=track,
+                args=args,
+                trace_id=trace_id,
+                span_id=span_id,
+                parent_id=parent_id,
+            )
+        )
 
     def span(
         self,
@@ -132,6 +188,10 @@ class Tracer:
         start: float,
         end: float,
         track: str = "engine",
+        *,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+        parent_id: str | None = None,
         **args,
     ) -> None:
         """Record a complete span ``[start, end]`` in virtual seconds."""
@@ -144,6 +204,9 @@ class Tracer:
                 dur=max(0.0, end - start),
                 track=track,
                 args=args,
+                trace_id=trace_id,
+                span_id=span_id,
+                parent_id=parent_id,
             )
         )
 

@@ -81,6 +81,11 @@ class SuspensionStrategy:
         self.tracer = tracer
         self.metrics = metrics
         self.codec = codec
+        #: Optional :class:`~repro.obs.timeline.QueryLifecycle` of the
+        #: query currently being persisted/resumed.  When bound (the
+        #: runner rebinds it per query), persist/reload spans join that
+        #: query's causal tree instead of the flat ``suspend`` track.
+        self.lifecycle = None
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -88,7 +93,16 @@ class SuspensionStrategy:
     # -- observability -------------------------------------------------------
     def _record_persist(self, outcome: SuspendOutcome) -> None:
         """Emit the persist span/counters for *outcome* (no-op untraced)."""
-        if self.tracer is not None:
+        if self.lifecycle is not None:
+            self.lifecycle.span(
+                f"persist:{outcome.strategy}",
+                outcome.suspended_at,
+                outcome.suspended_at + outcome.persist_latency,
+                category="persist",
+                strategy=outcome.strategy,
+                bytes=outcome.intermediate_bytes,
+            )
+        elif self.tracer is not None:
             self.tracer.span(
                 "persist",
                 f"persist:{outcome.strategy}",
@@ -116,7 +130,16 @@ class SuspensionStrategy:
 
     def _record_reload(self, outcome: ResumeOutcome, start: float, nbytes: int) -> None:
         """Emit the reload span/counters starting at virtual time *start*."""
-        if self.tracer is not None:
+        if self.lifecycle is not None:
+            self.lifecycle.span(
+                f"reload:{outcome.strategy}",
+                start,
+                start + outcome.reload_latency,
+                category="resume",
+                strategy=outcome.strategy,
+                bytes=nbytes,
+            )
+        elif self.tracer is not None:
             self.tracer.span(
                 "resume",
                 f"reload:{outcome.strategy}",

@@ -312,8 +312,13 @@ class TestExport:
         path = tmp_path / "trace.jsonl"
         count = write_jsonl(tracer, path)
         lines = path.read_text().splitlines()
-        assert len(lines) == count == len(tracer)
-        for line in lines:
+        # First line is the riveter-trace/1 header; the rest are events.
+        assert len(lines) == count + 1 == len(tracer) + 1
+        header = json.loads(lines[0])
+        assert header["format"] == "riveter-trace/1"
+        assert header["events"] == count
+        assert header["dropped"] == tracer.dropped == 0
+        for line in lines[1:]:
             payload = json.loads(line)
             assert payload["cat"] in TRACE_CATEGORIES
 

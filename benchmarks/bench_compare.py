@@ -15,7 +15,11 @@ Everything else is reported but never fails the gate.
 
 Because every gated quantity rides the simulated clock, two runs of the
 same code at the same scale produce identical numbers — any delta is a
-real behavioural change, not noise.
+real behavioural change, not noise.  Wall-clock measurements
+(``wall_seconds``, emitted by ``bench_parallel.py``) are the deliberate
+exception: they are machine-dependent, so the suffix allowlist leaves
+them reported-only — they show up in the diff but can never fail the
+gate, and baselines are generated without them (``--no-wall``).
 """
 
 from __future__ import annotations

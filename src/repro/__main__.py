@@ -39,9 +39,11 @@ import argparse
 import sys
 import tempfile
 
+from repro.engine.backend import BACKEND_NAMES
 from repro.engine.clock import SimulatedClock
 from repro.engine.errors import QuerySuspended
 from repro.engine.executor import QueryExecutor, QueryResult
+from repro.engine.kernels import KERNEL_NAMES
 from repro.engine.profile import HardwareProfile
 from repro.harness.report import format_table
 from repro.obs.metrics import MetricsRegistry
@@ -132,7 +134,13 @@ def _execute(
     threaded through to the resumed executor as well, so the snapshot is
     taken and restored under one execution configuration.
     """
-    exec_opts = dict(lazy_filters=selection_vectors, select_operators=selection_vectors)
+    exec_opts = dict(
+        lazy_filters=selection_vectors,
+        select_operators=selection_vectors,
+        backend=getattr(args, "backend", None),
+        kernels=getattr(args, "kernels", None),
+        morsel_size=getattr(args, "morsel_size", None),
+    )
     if args.suspend_at is None:
         result = QueryExecutor(
             catalog, plan, profile=profile, query_name=label, tracer=tracer,
@@ -382,6 +390,7 @@ def cmd_why(args: argparse.Namespace) -> int:
     runner = QueryRunner(
         catalog, profile, snapshot_dir=directory, journal=journal, store=store,
         select_operators=optimized.flags.selection_vectors,
+        backend=args.backend, kernels=args.kernels, morsel_size=args.morsel_size,
     )
     normal = runner.measure_normal(plan, args.name).stats.duration
     termination = TerminationProfile.from_fractions(
@@ -411,6 +420,7 @@ def cmd_why(args: argparse.Namespace) -> int:
     side_runner = QueryRunner(
         catalog, profile, snapshot_dir=directory,
         select_operators=optimized.flags.selection_vectors,
+        backend=args.backend, kernels=args.kernels, morsel_size=args.morsel_size,
     )
     request = termination.t_start
     for strategy in ("redo", "pipeline", "process"):
@@ -664,6 +674,23 @@ def _add_optimizer_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default=None,
+        help="worker backend: inline simulated loop or multiprocessing "
+        "workers (default: simulated); results are byte-identical",
+    )
+    parser.add_argument(
+        "--kernels", choices=list(KERNEL_NAMES), default=None,
+        help="operator kernel set: vectorized numpy or the row-at-a-time "
+        "scalar reference (default: numpy); results are byte-identical",
+    )
+    parser.add_argument(
+        "--morsel-size", type=int, default=None, metavar="ROWS",
+        help="rows per morsel (default: $RIVETER_MORSEL_SIZE or 16384)",
+    )
+
+
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     _add_optimizer_arguments(parser)
     parser.add_argument("sql", nargs="?", default=None, help="SQL text to execute")
@@ -696,6 +723,7 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         "--snapshot-dir", default=None, metavar="DIR",
         help="directory for snapshots (default: a fresh temp dir)",
     )
+    _add_backend_arguments(parser)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -786,6 +814,7 @@ def main(argv: list[str] | None = None) -> int:
         "--replay", action="store_true",
         help="re-run the selector from journaled inputs and assert bit-for-bit equality",
     )
+    _add_backend_arguments(why)
     why.set_defaults(handler=cmd_why)
     fleet = subparsers.add_parser(
         "fleet",

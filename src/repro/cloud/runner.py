@@ -26,7 +26,7 @@ from repro.costmodel.selector import AdaptiveStrategySelector, SelectorDecision
 from repro.engine.clock import SimulatedClock
 from repro.engine.controller import Action, BoundaryContext, ExecutionController
 from repro.engine.errors import QuerySuspended, QueryTerminated
-from repro.engine.executor import QueryExecutor, QueryResult
+from repro.engine.executor import QueryExecutor, QueryResult, resolve_morsel_size
 from repro.engine.plan import PlanNode
 from repro.engine.profile import HardwareProfile
 from repro.obs.audit import DecisionJournal, resolve_adaptive_action
@@ -196,7 +196,7 @@ class QueryRunner:
         catalog: Catalog,
         profile: HardwareProfile | None = None,
         snapshot_dir: str | os.PathLike = ".riveter-snapshots",
-        morsel_size: int = 16384,
+        morsel_size: int | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         codec: str = "raw",
@@ -204,12 +204,19 @@ class QueryRunner:
         store: "SnapshotStore | None" = None,
         select_operators: bool = False,
         recorder: TimelineRecorder | None = None,
+        backend: str | None = None,
+        kernels: str | None = None,
     ):
         self.catalog = catalog
         self.profile = profile if profile is not None else HardwareProfile()
         self.snapshot_dir = Path(snapshot_dir)
         self.snapshot_dir.mkdir(parents=True, exist_ok=True)
-        self.morsel_size = morsel_size
+        self.morsel_size = resolve_morsel_size(morsel_size)
+        #: Worker backend / kernel set for every executor this runner
+        #: builds — the forced, adaptive, and resumed runs all share one
+        #: execution configuration so snapshots stay compatible.
+        self.backend = backend
+        self.kernels = kernels
         self.tracer = tracer
         self.metrics = metrics
         self.codec = codec
@@ -441,6 +448,8 @@ class QueryRunner:
             tracer=self.tracer,
             metrics=self.metrics,
             select_operators=self.select_operators,
+            backend=self.backend,
+            kernels=self.kernels,
         )
 
     def _record_outcome(self, outcome: RunOutcome) -> RunOutcome:

@@ -6,6 +6,13 @@ To make those experiments deterministic, the engine runs on a pluggable
 clock.  :class:`SimulatedClock` advances only when the executor reports
 work (per-morsel costs, persist/reload latencies); :class:`WallClock` is a
 thin wrapper over ``time.perf_counter`` for wall-time benchmarking.
+
+Clock choice is orthogonal to the executor's worker backend: the
+coordinating process owns the clock and replays per-morsel costs in
+morsel order (see :mod:`repro.engine.backend`), so a parallel run on a
+:class:`SimulatedClock` reproduces the inline backend's virtual timeline
+exactly, and a :class:`WallClock` measures real elapsed time under either
+backend.
 """
 
 from __future__ import annotations

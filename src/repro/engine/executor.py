@@ -10,19 +10,33 @@ Implements the DuckDB-style execution model the paper builds on:
 * a :class:`~repro.engine.controller.ExecutionController` is consulted at
   every morsel boundary and breaker and may suspend the query.
 
-Worker "threads" are deterministic logical contexts rather than OS threads
-(the GIL makes real threads pointless here); the local/global state
-structure, which is what Riveter's mechanics depend on, is preserved
-exactly — including the process-level resumption constraint that the
-worker count must match the suspended configuration.
+*Where* morsels compute is a :class:`~repro.engine.backend.WorkerBackend`
+choice: the default :class:`~repro.engine.backend.SimulatedBackend` runs
+deterministic logical worker contexts inline, while the
+:class:`~repro.engine.backend.ParallelBackend` forks real OS worker
+processes pulling morsels from a shared queue.  Either way the morsel is
+split into a side-effect-free compute step (:meth:`QueryExecutor.
+compute_morsel`) and a parent-side apply step (:meth:`QueryExecutor.
+apply_morsel`) that replays clock advances, stats, memory accounting,
+and sink-state mutation strictly in morsel order — so results, stats,
+and snapshots are byte-identical across backends, and backend choice is
+orthogonal to clock choice.  The local/global state structure, which is
+what Riveter's mechanics depend on, is preserved exactly — including the
+process-level resumption constraint that the worker count (and, now that
+it is configurable, the morsel size) must match the suspended
+configuration.
 """
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field
 
+from repro.engine.backend import WorkerBackend, resolve_backend
 from repro.engine.chunk import DataChunk, concat_chunks
 from repro.engine.clock import Clock, SimulatedClock
+from repro.engine.kernels import KernelSet, resolve_kernels, set_kernels
 from repro.engine.controller import Action, BoundaryContext, ExecutionController
 from repro.engine.errors import EngineError, QuerySuspended
 from repro.engine.memory import MemoryAccountant
@@ -36,9 +50,40 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.storage.catalog import Catalog
 
-__all__ = ["QueryExecutor", "QueryResult", "ExecutionCapture", "ResumeState"]
+__all__ = [
+    "QueryExecutor",
+    "QueryResult",
+    "ExecutionCapture",
+    "ResumeState",
+    "MorselResult",
+    "DEFAULT_MORSEL_SIZE",
+    "resolve_morsel_size",
+]
 
 DEFAULT_MORSEL_SIZE = 16384
+
+#: Environment override for the default morsel size (CLI ``--morsel-size``
+#: wins over the environment; an explicit executor argument wins over both).
+MORSEL_SIZE_ENV = "RIVETER_MORSEL_SIZE"
+
+
+def resolve_morsel_size(morsel_size: int | None = None) -> int:
+    """Resolve an effective morsel size: argument > env > default."""
+    if morsel_size is None:
+        env = os.environ.get(MORSEL_SIZE_ENV, "").strip()
+        if env:
+            try:
+                morsel_size = int(env)
+            except ValueError:
+                raise EngineError(
+                    f"invalid {MORSEL_SIZE_ENV}={env!r}: expected an integer"
+                ) from None
+        else:
+            morsel_size = DEFAULT_MORSEL_SIZE
+    morsel_size = int(morsel_size)
+    if morsel_size <= 0:
+        raise EngineError(f"morsel size must be positive, got {morsel_size}")
+    return morsel_size
 
 #: Morsels folded into one ``morsel``-category trace span.  Per-morsel
 #: events would dominate the buffer; batches keep traces readable while
@@ -107,6 +152,27 @@ class ResumeState:
     next_morsel: int = 0
     rows_in_pipeline: int = 0
     local_states: list[LocalSinkState] | None = None
+    #: Morsel size at capture time.  ``next_morsel`` is a count of morsels,
+    #: so a mid-pipeline resume is only valid at the same morsel size;
+    #: 0 means unknown (pipeline-level resumes, legacy captures).
+    morsel_size: int = 0
+
+
+@dataclass
+class MorselResult:
+    """Output of the side-effect-free compute step for one morsel.
+
+    Carries everything the parent-side apply step needs: per-operator row
+    and byte counts (source at index 0) for clock/stats replay, and the
+    sink's prepared payload.  Picklable — the parallel backend ships these
+    across the worker result queue.
+    """
+
+    morsel_index: int
+    op_rows: list[int]
+    op_bytes: list[int]
+    sink_rows: int
+    prepared: object
 
 
 @dataclass
@@ -153,7 +219,7 @@ class QueryExecutor:
         plan: PlanNode,
         profile: HardwareProfile | None = None,
         clock: Clock | None = None,
-        morsel_size: int = DEFAULT_MORSEL_SIZE,
+        morsel_size: int | None = None,
         controller: ExecutionController | None = None,
         query_name: str = "query",
         resume: ResumeState | None = None,
@@ -161,12 +227,16 @@ class QueryExecutor:
         metrics: MetricsRegistry | None = None,
         lazy_filters: bool = True,
         select_operators: bool = False,
+        backend: WorkerBackend | str | None = None,
+        kernels: KernelSet | str | None = None,
     ):
         self.catalog = catalog
         self.plan = plan
         self.profile = profile if profile is not None else HardwareProfile()
         self.clock = clock if clock is not None else SimulatedClock()
-        self.morsel_size = morsel_size
+        self.morsel_size = resolve_morsel_size(morsel_size)
+        self.backend = resolve_backend(backend)
+        self.kernels = resolve_kernels(kernels)
         self.controller = controller if controller is not None else ExecutionController()
         self.query_name = query_name
         self.tracer = tracer
@@ -220,6 +290,17 @@ class QueryExecutor:
     # -- execution ---------------------------------------------------------
     def run(self) -> QueryResult:
         """Execute to completion; may raise QuerySuspended/QueryTerminated."""
+        # Install this executor's kernel set for the duration of the run
+        # (operators read the process-active set); restore after so nested
+        # executors and callers keep theirs.  Forked parallel workers
+        # inherit the active set.
+        previous_kernels = set_kernels(self.kernels)
+        try:
+            return self._run()
+        finally:
+            set_kernels(previous_kernels)
+
+    def _run(self) -> QueryResult:
         run_started = self.clock.now()
         if self.tracer is not None:
             self.tracer.instant(
@@ -283,6 +364,12 @@ class QueryExecutor:
                     "process-level resume requires the original worker count "
                     f"({len(local_states)}), got {self.profile.num_threads}"
                 )
+            if self._resume.morsel_size and self._resume.morsel_size != self.morsel_size:
+                raise EngineError(
+                    "process-level resume requires the original morsel size "
+                    f"({self._resume.morsel_size}), got {self.morsel_size}: "
+                    "the captured cursor counts morsels"
+                )
             run = _PipelineRun(pipeline, source, local_states, self._resume.next_morsel)
             run.rows_processed = self._resume.rows_in_pipeline
             self._resume = None
@@ -295,27 +382,7 @@ class QueryExecutor:
         run.batch_start_morsel = run.next_morsel
         run.batch_started_at = run.started_at
 
-        total_morsels = source.morsel_count
-        while run.next_morsel < total_morsels:
-            self._process_morsel(run)
-            context = self._context(position, run, at_breaker=False)
-            action = self.controller.on_morsel_boundary(context)
-            if action is Action.SUSPEND_PROCESS:
-                if self.tracer is not None:
-                    self._flush_morsel_batch(run)
-                    self.tracer.instant(
-                        "suspend",
-                        f"capture:process:{self.query_name}",
-                        self.clock.now(),
-                        track="suspend",
-                        pipeline=run.pipeline.pipeline_id,
-                        morsel=run.next_morsel,
-                    )
-                raise QuerySuspended(self._capture_process(run))
-            if action is Action.SUSPEND_PIPELINE:
-                raise EngineError(
-                    "pipeline-level suspension is only legal at a pipeline breaker"
-                )
+        self.backend.run_morsels(self, position, run, source.morsel_count)
         self._finish_pipeline(position, run)
 
     def _flush_morsel_batch(self, run: _PipelineRun) -> None:
@@ -336,44 +403,97 @@ class QueryExecutor:
         run.batch_started_at = self.clock.now()
         run.batch_rows = 0
 
-    def _process_morsel(self, run: _PipelineRun) -> None:
+    def compute_morsel(self, run: _PipelineRun, index: int) -> MorselResult:
+        """Side-effect-free morsel step: read, transform, sink-prepare.
+
+        Safe to run in a forked worker process: touches only the source,
+        the operator chain, and ``sink.prepare`` (a pure function of the
+        chunk) — never the clock, stats, memory accountant, or sink
+        states.
+        """
         pipeline = run.pipeline
-        pid = pipeline.pipeline_id
-        worker = run.next_morsel % self.profile.num_threads
-        op_stats = run.stats.operators
-        chunk = run.source.get_morsel(run.next_morsel)
-        source_rows = chunk.num_rows
-        cost = self.profile.tuple_cost(run.source.kind, chunk.num_rows)
-        self.clock.advance(cost)
-        op_stats[0].rows += chunk.num_rows
-        op_stats[0].bytes += chunk.nbytes
-        op_stats[0].seconds += cost
-        # Lazy deallocation model: a calibrated fraction of scanned buffers
-        # stays charged until the query completes (paper §IV-A, Fig. 7).
-        self.memory.charge(f"scan:{pid}", int(chunk.nbytes * self.profile.buffer_retention))
-        for index, operator in enumerate(pipeline.operators):
+        chunk = run.source.get_morsel(index)
+        op_rows = [int(chunk.num_rows)]
+        op_bytes = [int(chunk.nbytes)]
+        for operator in pipeline.operators:
             chunk = operator.execute(chunk)
-            cost = self.profile.tuple_cost(operator.kind, chunk.num_rows)
-            self.clock.advance(cost)
-            op = op_stats[index + 1]
-            op.rows += chunk.num_rows
-            op.bytes += chunk.nbytes
-            op.seconds += cost
+            op_rows.append(int(chunk.num_rows))
+            op_bytes.append(int(chunk.nbytes))
         # Sinks (and therefore all buffered/serialized state) only ever see
         # selection-free chunks; deferred gathers land here at the latest.
         chunk = chunk.materialize()
-        pipeline.sink.sink(run.local_states[worker], chunk)
-        op_stats[-1].rows += chunk.num_rows
+        prepared = pipeline.sink.prepare(chunk)
+        return MorselResult(
+            morsel_index=index,
+            op_rows=op_rows,
+            op_bytes=op_bytes,
+            sink_rows=int(chunk.num_rows),
+            prepared=prepared,
+        )
+
+    def apply_morsel(self, run: _PipelineRun, result: MorselResult) -> None:
+        """Parent-side morsel step, applied strictly in morsel order.
+
+        Replays clock advances, stats, and memory accounting in the same
+        sequence as an inline run, and lands the prepared payload in the
+        morsel's round-robin worker-local sink state — so backends cannot
+        perturb any observable artifact.
+        """
+        pipeline = run.pipeline
+        pid = pipeline.pipeline_id
+        worker = result.morsel_index % self.profile.num_threads
+        op_stats = run.stats.operators
+        source_rows = result.op_rows[0]
+        cost = self.profile.tuple_cost(run.source.kind, source_rows)
+        self.clock.advance(cost)
+        op_stats[0].rows += source_rows
+        op_stats[0].bytes += result.op_bytes[0]
+        op_stats[0].seconds += cost
+        # Lazy deallocation model: a calibrated fraction of scanned buffers
+        # stays charged until the query completes (paper §IV-A, Fig. 7).
+        self.memory.charge(
+            f"scan:{pid}", int(result.op_bytes[0] * self.profile.buffer_retention)
+        )
+        for index, operator in enumerate(pipeline.operators):
+            rows = result.op_rows[index + 1]
+            cost = self.profile.tuple_cost(operator.kind, rows)
+            self.clock.advance(cost)
+            op = op_stats[index + 1]
+            op.rows += rows
+            op.bytes += result.op_bytes[index + 1]
+            op.seconds += cost
+        pipeline.sink.sink_prepared(run.local_states[worker], result.prepared)
+        op_stats[-1].rows += result.sink_rows
         self.memory.set_charge(f"local:{pid}:{worker}", run.local_states[worker].nbytes)
         self.peak_memory_bytes = max(self.peak_memory_bytes, self.memory.total_bytes)
-        run.rows_processed += chunk.num_rows
-        run.next_morsel += 1
+        run.rows_processed += result.sink_rows
+        run.next_morsel = result.morsel_index + 1
         run.stats.rows_processed = run.rows_processed
         run.stats.morsels_processed = run.next_morsel
         if self.tracer is not None:
             run.batch_rows += source_rows
             if run.next_morsel - run.batch_start_morsel >= TRACE_MORSEL_BATCH:
                 self._flush_morsel_batch(run)
+
+    def morsel_boundary_action(self, position: int, run: _PipelineRun) -> Action:
+        """Consult the controller at a morsel boundary (backend hook)."""
+        return self.controller.on_morsel_boundary(
+            self._context(position, run, at_breaker=False)
+        )
+
+    def raise_process_suspend(self, run: _PipelineRun) -> None:
+        """Capture mid-pipeline state and raise (backend hook)."""
+        if self.tracer is not None:
+            self._flush_morsel_batch(run)
+            self.tracer.instant(
+                "suspend",
+                f"capture:process:{self.query_name}",
+                self.clock.now(),
+                track="suspend",
+                pipeline=run.pipeline.pipeline_id,
+                morsel=run.next_morsel,
+            )
+        raise QuerySuspended(self._capture_process(run))
 
     def _finish_pipeline(self, position: int, run: _PipelineRun) -> None:
         pipeline = run.pipeline

@@ -6,6 +6,13 @@ helpers (:func:`col`, :func:`lit`) plus Python operator overloading keep
 query plans readable::
 
     (col("l_shipdate") <= lit(parse_date("1998-09-02"))) & col("l_quantity").between(1, 10)
+
+Evaluation invariant: every expression's result **dtype is independent of
+the data values** — string widths come from the schema/literal/default
+branch, numeric upcasts from operand types.  The scalar kernel set
+(:mod:`repro.engine.kernels`) relies on this to evaluate row-at-a-time
+and concatenate without changing the result's dtype or bytes.  New
+expression types must preserve it.
 """
 
 from __future__ import annotations

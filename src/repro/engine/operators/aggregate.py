@@ -19,7 +19,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine.chunk import DataChunk, concat_chunks
-from repro.engine.keys import align_rows, group_rows
+from repro.engine.kernels import get_kernels
+from repro.engine.keys import align_rows
 from repro.engine.operators.base import (
     GlobalSinkState,
     LocalSinkState,
@@ -191,11 +192,24 @@ class HashAggregateSink(Sink):
         return AggGlobalState()
 
     def sink(self, state: AggLocalState, chunk: DataChunk) -> None:
+        self.sink_prepared(state, self.prepare(chunk))
+
+    def prepare(self, chunk: DataChunk) -> tuple[DataChunk, list[DataChunk]] | None:
+        """Per-chunk partial aggregation — pure, so workers can run it."""
         if chunk.num_rows == 0:
+            return None
+        partial = self._partial_aggregate(chunk)
+        distinct = [self._dedup_distinct(chunk, spec) for spec in self._distinct_specs]
+        return partial, distinct
+
+    def sink_prepared(
+        self, state: AggLocalState, prepared: tuple[DataChunk, list[DataChunk]] | None
+    ) -> None:
+        if prepared is None:
             return
-        state.partials.append(self._partial_aggregate(chunk))
-        for spec in self._distinct_specs:
-            state.distinct.append(self._dedup_distinct(chunk, spec))
+        partial, distinct = prepared
+        state.partials.append(partial)
+        state.distinct.extend(distinct)
 
     def combine(self, global_state: AggGlobalState, local_state: AggLocalState) -> None:
         global_state.pending_partials.extend(local_state.partials)
@@ -228,12 +242,15 @@ class HashAggregateSink(Sink):
     # -- aggregation kernels -------------------------------------------------
     def _group_ids(self, chunk: DataChunk) -> tuple[np.ndarray, np.ndarray, int]:
         if self.group_keys:
-            return group_rows([chunk.column(name) for name in self.group_keys])
+            return get_kernels().group_rows(
+                [chunk.column(name) for name in self.group_keys]
+            )
         ids = np.zeros(chunk.num_rows, dtype=np.int64)
         first = np.zeros(1 if chunk.num_rows else 0, dtype=np.int64)
         return ids, first, 1 if chunk.num_rows else 0
 
     def _partial_aggregate(self, chunk: DataChunk) -> DataChunk:
+        kernels = get_kernels()
         group_ids, first_idx, num_groups = self._group_ids(chunk)
         columns: list[np.ndarray] = [
             chunk.column(name)[first_idx] for name in self.group_keys
@@ -241,26 +258,28 @@ class HashAggregateSink(Sink):
         for spec in self.specs:
             if spec.func is AggFunc.SUM:
                 values = chunk.column(spec.column).astype(np.float64, copy=False)
-                columns.append(np.bincount(group_ids, weights=values, minlength=num_groups))
+                columns.append(kernels.grouped_sum(group_ids, values, num_groups))
             elif spec.func is AggFunc.AVG:
                 values = chunk.column(spec.column).astype(np.float64, copy=False)
-                columns.append(np.bincount(group_ids, weights=values, minlength=num_groups))
-                columns.append(np.bincount(group_ids, minlength=num_groups).astype(np.int64))
+                columns.append(kernels.grouped_sum(group_ids, values, num_groups))
+                columns.append(kernels.grouped_count(group_ids, num_groups))
             elif spec.func in (AggFunc.COUNT, AggFunc.COUNT_STAR):
-                columns.append(np.bincount(group_ids, minlength=num_groups).astype(np.int64))
+                columns.append(kernels.grouped_count(group_ids, num_groups))
             elif spec.func in (AggFunc.MIN, AggFunc.MAX):
                 values = chunk.column(spec.column)
                 columns.append(
-                    _grouped_extreme(group_ids, values, num_groups, spec.func is AggFunc.MIN)
+                    kernels.grouped_extreme(
+                        group_ids, values, num_groups, spec.func is AggFunc.MIN
+                    )
                 )
             elif spec.func is AggFunc.COUNT_DISTINCT:
-                columns.append(np.bincount(group_ids, minlength=num_groups).astype(np.int64))
+                columns.append(kernels.grouped_count(group_ids, num_groups))
         return DataChunk(self._partial_schema, columns)
 
     def _dedup_distinct(self, chunk: DataChunk, spec: AggSpec) -> DataChunk:
         key_arrays = [chunk.column(name) for name in self.group_keys]
         key_arrays.append(chunk.column(spec.column))
-        _, first_idx, _ = group_rows(key_arrays)
+        _, first_idx, _ = get_kernels().group_rows(key_arrays)
         schema = Schema(
             tuple(self.input_schema.field(n) for n in self.group_keys)
             + (Field(spec.name, self.input_schema.type_of(spec.column)),)
@@ -274,11 +293,12 @@ class HashAggregateSink(Sink):
     def _merge_partials(
         self, partials: list[DataChunk], distinct: list[DataChunk]
     ) -> DataChunk:
+        kernels = get_kernels()
         merged = concat_chunks(self._partial_schema, partials)
         if merged.num_rows == 0 and not self.group_keys:
             return self._empty_global_result()
         if self.group_keys:
-            group_ids, first_idx, num_groups = group_rows(
+            group_ids, first_idx, num_groups = kernels.group_rows(
                 [merged.column(name) for name in self.group_keys]
             )
         else:
@@ -297,25 +317,27 @@ class HashAggregateSink(Sink):
         for position, spec in enumerate(self.specs):
             if spec.func is AggFunc.SUM:
                 partial = merged.column(f"__s{position}")
-                columns.append(np.bincount(group_ids, weights=partial, minlength=num_groups))
+                columns.append(kernels.grouped_sum(group_ids, partial, num_groups))
             elif spec.func in (AggFunc.COUNT, AggFunc.COUNT_STAR):
                 partial = merged.column(f"__c{position}").astype(np.float64)
-                counts = np.bincount(group_ids, weights=partial, minlength=num_groups)
+                counts = kernels.grouped_sum(group_ids, partial, num_groups)
                 columns.append(counts.astype(np.int64))
             elif spec.func is AggFunc.AVG:
-                sums = np.bincount(
-                    group_ids, weights=merged.column(f"__s{position}"), minlength=num_groups
+                sums = kernels.grouped_sum(
+                    group_ids, merged.column(f"__s{position}"), num_groups
                 )
-                counts = np.bincount(
+                counts = kernels.grouped_sum(
                     group_ids,
-                    weights=merged.column(f"__c{position}").astype(np.float64),
-                    minlength=num_groups,
+                    merged.column(f"__c{position}").astype(np.float64),
+                    num_groups,
                 )
                 columns.append(sums / np.maximum(counts, 1))
             elif spec.func in (AggFunc.MIN, AggFunc.MAX):
                 partial = merged.column(f"__m{position}")
                 columns.append(
-                    _grouped_extreme(group_ids, partial, num_groups, spec.func is AggFunc.MIN)
+                    kernels.grouped_extreme(
+                        group_ids, partial, num_groups, spec.func is AggFunc.MIN
+                    )
                 )
             elif spec.func is AggFunc.COUNT_DISTINCT:
                 columns.append(distinct_counts[spec.name])
@@ -328,6 +350,7 @@ class HashAggregateSink(Sink):
         num_groups: int,
     ) -> dict[str, np.ndarray]:
         """Per-group distinct-value counts, aligned with the merged groups."""
+        kernels = get_kernels()
         counts_by_name: dict[str, np.ndarray] = {}
         for spec in self._distinct_specs:
             spec_chunks = [c for c in distinct if spec.name in c.schema]
@@ -337,13 +360,13 @@ class HashAggregateSink(Sink):
                 counts_by_name[spec.name] = np.zeros(num_groups, dtype=np.int64)
                 continue
             key_arrays = [merged.column(n) for n in self.group_keys]
-            _, dedup_idx, _ = group_rows(key_arrays + [merged.column(spec.name)])
+            _, dedup_idx, _ = kernels.group_rows(key_arrays + [merged.column(spec.name)])
             if not self.group_keys:
                 counts_by_name[spec.name] = np.array([len(dedup_idx)], dtype=np.int64)
                 continue
             dedup_keys = [arr[dedup_idx] for arr in key_arrays]
-            group_ids, rep_idx, dgroups = group_rows(dedup_keys)
-            per_group = np.bincount(group_ids, minlength=dgroups).astype(np.int64)
+            group_ids, rep_idx, dgroups = kernels.group_rows(dedup_keys)
+            per_group = kernels.grouped_count(group_ids, dgroups)
             rep_keys = [arr[rep_idx] for arr in dedup_keys]
             positions = align_rows(final_keys, rep_keys)
             if (positions < 0).any():
@@ -364,16 +387,3 @@ class HashAggregateSink(Sink):
             else:
                 columns.append(np.full(1, np.nan))
         return DataChunk(self.output_schema, columns)
-
-
-def _grouped_extreme(
-    group_ids: np.ndarray, values: np.ndarray, num_groups: int, take_min: bool
-) -> np.ndarray:
-    """Per-group min or max via sort + ``reduceat`` (exact, vectorized)."""
-    if num_groups == 0:
-        return values[:0]
-    order = np.argsort(group_ids, kind="stable")
-    sorted_values = values[order]
-    boundaries = np.searchsorted(group_ids[order], np.arange(num_groups))
-    reducer = np.minimum if take_min else np.maximum
-    return reducer.reduceat(sorted_values, boundaries)

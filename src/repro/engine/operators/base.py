@@ -158,6 +158,29 @@ class Sink:
         """Accumulate *chunk* into worker-local *state*."""
         raise NotImplementedError
 
+    def prepare(self, chunk: DataChunk) -> object:
+        """Worker-side precomputation for :meth:`sink_prepared`.
+
+        Must be a *pure function of the chunk* — no access to sink-local
+        or global state — because the parallel backend runs it in a
+        forked worker process and ships the returned payload back to the
+        coordinator.  The default is the identity (the chunk itself);
+        sinks whose per-chunk work is state-independent and expensive
+        (e.g. hash aggregation's partial aggregate) override it to move
+        that work onto the workers.  Sinks whose ``sink`` is
+        state-dependent (e.g. LIMIT's early cut-off) must keep the
+        default so the decision happens on the coordinator.
+        """
+        return chunk
+
+    def sink_prepared(self, state: LocalSinkState, prepared: object) -> None:
+        """Apply a payload from :meth:`prepare` to worker-local *state*.
+
+        Called on the coordinator, strictly in morsel order.  Default:
+        the payload is the chunk, so delegate to :meth:`sink`.
+        """
+        self.sink(state, prepared)
+
     def combine(self, global_state: GlobalSinkState, local_state: LocalSinkState) -> None:
         """Merge one worker's local state into the global state."""
         raise NotImplementedError

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.engine.chunk import DataChunk
 from repro.engine.expressions import Expression
+from repro.engine.kernels import get_kernels
 from repro.engine.operators.base import StreamingOperator
 from repro.engine.types import Schema
 
@@ -30,9 +31,10 @@ class FilterOperator(StreamingOperator):
         return f"Filter({self.predicate!r})"
 
     def execute(self, chunk: DataChunk) -> DataChunk:
-        # Evaluate over the shared base arrays — full-vector kernels, no
-        # gathers; the incoming selection restricts which entries count.
-        mask = self.predicate.evaluate(chunk.base_view())
+        # Evaluate over the shared base arrays — no gathers; the incoming
+        # selection restricts which entries count.  The active kernel set
+        # decides whole-chunk vs row-at-a-time evaluation.
+        mask = get_kernels().evaluate(self.predicate, chunk.base_view())
         if chunk.is_lazy:
             mask = mask[chunk.selection]
         return chunk.filter(mask, lazy=self.lazy)
@@ -55,10 +57,11 @@ class ProjectOperator(StreamingOperator):
     def execute(self, chunk: DataChunk) -> DataChunk:
         # Same base-vector strategy as FilterOperator: compute outputs
         # over the base arrays and keep the selection deferred.
+        kernels = get_kernels()
         base = chunk.base_view()
         return DataChunk.with_selection(
             self.output_schema,
-            [expr.evaluate(base) for expr in self.expressions],
+            [kernels.evaluate(expr, base) for expr in self.expressions],
             chunk.selection,
         )
 

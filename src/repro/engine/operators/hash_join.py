@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.engine.chunk import DataChunk, concat_chunks, record_materialization
 from repro.engine.expressions import Expression
-from repro.engine.keys import combine_int_keys
+from repro.engine.kernels import get_kernels
 from repro.engine.operators.base import (
     ChunkListLocalState,
     GlobalSinkState,
@@ -113,11 +113,12 @@ class HashJoinBuildSink(Sink):
         local_state.chunks = []
 
     def finalize(self, global_state: JoinBuildGlobalState) -> None:
+        kernels = get_kernels()
         payload = concat_chunks(self.input_schema, global_state.pending)
         global_state.pending = []
-        codes = combine_int_keys([payload.column(name) for name in self.key_columns])
-        order = np.argsort(codes, kind="stable").astype(np.int64)
-        global_state.codes_sorted = codes[order]
+        codes = kernels.join_codes([payload.column(name) for name in self.key_columns])
+        codes_sorted, order = kernels.build_order(codes)
+        global_state.codes_sorted = codes_sorted
         global_state.order = order
         global_state.payload = payload
         global_state.finalized = True
@@ -196,9 +197,11 @@ class HashJoinProbeOperator(StreamingOperator):
         build = self._build_state
         if build is None:
             raise RuntimeError("probe operator not bound to a build state")
-        probe_codes = combine_int_keys([chunk.column(name) for name in self.probe_keys])
-        left = np.searchsorted(build.codes_sorted, probe_codes, side="left")
-        right = np.searchsorted(build.codes_sorted, probe_codes, side="right")
+        kernels = get_kernels()
+        probe_codes = kernels.join_codes(
+            [chunk.column(name) for name in self.probe_keys]
+        )
+        left, right = kernels.probe_ranges(build.codes_sorted, probe_codes)
         counts = (right - left).astype(np.int64)
 
         if self.join_type in (JoinType.SEMI, JoinType.ANTI) and self.residual is None:
@@ -206,10 +209,10 @@ class HashJoinProbeOperator(StreamingOperator):
             mask = matched if self.join_type is JoinType.SEMI else ~matched
             return chunk.filter(mask)
 
-        probe_idx, build_idx = _expand_matches(left, counts, build.order)
+        probe_idx, build_idx = kernels.expand_matches(left, counts, build.order)
         if self.join_type in (JoinType.SEMI, JoinType.ANTI):
             combined = self._combine(chunk.take(probe_idx), build_idx)
-            pair_mask = self.residual.evaluate(combined)
+            pair_mask = kernels.evaluate(self.residual, combined)
             matched = self._matched_buffer(chunk.num_rows)
             matched[probe_idx[pair_mask]] = True
             mask = matched if self.join_type is JoinType.SEMI else ~matched
@@ -217,7 +220,7 @@ class HashJoinProbeOperator(StreamingOperator):
 
         result = self._combine(chunk.take(probe_idx), build_idx)
         if self.residual is not None:
-            result = result.filter(self.residual.evaluate(result))
+            result = result.filter(kernels.evaluate(self.residual, result))
         if self.join_type is JoinType.LEFT_OUTER:
             unmatched = counts == 0
             if unmatched.any():
@@ -254,19 +257,3 @@ class HashJoinProbeOperator(StreamingOperator):
             record_materialization(fill.nbytes)
             columns.append(fill)
         return DataChunk(self.output_schema, columns)
-
-
-def _expand_matches(
-    left: np.ndarray, counts: np.ndarray, order: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Expand per-probe-row match ranges into (probe_idx, build_idx) pairs."""
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    probe_idx = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
-    starts = np.repeat(left.astype(np.int64), counts)
-    run_starts = np.repeat(np.cumsum(counts) - counts, counts)
-    within = np.arange(total, dtype=np.int64) - run_starts
-    sorted_positions = starts + within
-    return probe_idx, order[sorted_positions]

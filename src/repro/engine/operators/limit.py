@@ -65,6 +65,10 @@ class LimitSink(Sink):
     def make_global_state(self) -> LimitGlobalState:
         return LimitGlobalState()
 
+    # Note: sink() reads the local state (early cut-off once a worker has
+    # buffered enough rows), so this sink keeps the default Sink.prepare —
+    # the keep/drop decision must happen on the coordinator, in morsel
+    # order, for parallel runs to stay byte-identical to inline runs.
     def sink(self, state: ChunkListLocalState, chunk: DataChunk) -> None:
         if state.num_rows < self.limit:
             state.chunks.append(chunk)

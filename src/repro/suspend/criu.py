@@ -118,6 +118,9 @@ class SimulatedCriu:
             next_morsel=image.next_morsel,
             rows_in_pipeline=image.rows_in_pipeline,
             local_states=local_states,
+            # The morsel cursor counts morsels, so a mid-pipeline restore
+            # also pins the morsel size (enforced by the executor).
+            morsel_size=image.meta.morsel_size,
         )
 
     @staticmethod

@@ -1,0 +1,245 @@
+"""Scalar vs NumPy kernel equivalence — bit-identical by construction.
+
+Property-style randomized checks: every :class:`KernelSet` primitive is
+run over seeded random inputs (duplicate-heavy keys, NaNs, strings,
+empty inputs, selection vectors, all-pass masks) and the scalar
+reference must agree with the vectorized path on dtype *and* bytes,
+because the executor promises byte-identical query results under either
+kernel set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.chunk import DataChunk
+from repro.engine.errors import EngineError
+from repro.engine.expressions import (
+    Arithmetic,
+    BooleanOp,
+    CaseWhen,
+    Comparison,
+    ExtractYear,
+    Like,
+    Not,
+    Substring,
+    col,
+    lit,
+)
+from repro.engine.kernels import (
+    KERNEL_NAMES,
+    NumpyKernels,
+    ScalarKernels,
+    get_kernels,
+    resolve_kernels,
+    set_kernels,
+)
+from repro.engine.types import DataType, Schema
+
+NUMPY = NumpyKernels()
+SCALAR = ScalarKernels()
+
+SEEDS = [0, 1, 2, 7, 1234]
+
+
+def assert_bit_identical(a: np.ndarray, b: np.ndarray) -> None:
+    assert a.dtype == b.dtype, f"dtype mismatch: {a.dtype} vs {b.dtype}"
+    assert a.shape == b.shape, f"shape mismatch: {a.shape} vs {b.shape}"
+    assert a.tobytes() == b.tobytes()
+
+
+def random_key_columns(rng: np.random.Generator, n: int) -> list[np.ndarray]:
+    """1–3 key columns with heavy duplication across mixed dtypes."""
+    pool = [
+        rng.integers(-5, 5, n),
+        rng.integers(0, 3, n).astype(np.int32),
+        np.array(["aa", "b", "ccc", "b", "aa"], dtype="U3")[rng.integers(0, 5, n)],
+        np.round(rng.random(n) * 4) / 2.0,
+        rng.integers(0, 2, n).astype(bool),
+    ]
+    count = int(rng.integers(1, 4))
+    picks = rng.choice(len(pool), size=count, replace=False)
+    return [pool[i] for i in picks]
+
+
+class TestGrouping:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_group_rows_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        arrays = random_key_columns(rng, int(rng.integers(1, 200)))
+        n_ids, n_first, n_groups = NUMPY.group_rows(arrays)
+        s_ids, s_first, s_groups = SCALAR.group_rows(arrays)
+        assert n_groups == s_groups
+        assert_bit_identical(n_ids.astype(np.int64), s_ids)
+        assert_bit_identical(n_first.astype(np.int64), s_first)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_grouped_reductions_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 300))
+        num_groups = int(rng.integers(1, 12))
+        group_ids = rng.integers(0, num_groups, n)
+        values = rng.random(n) * 100 - 50
+        assert_bit_identical(
+            NUMPY.grouped_sum(group_ids, values, num_groups),
+            SCALAR.grouped_sum(group_ids, values, num_groups),
+        )
+        assert_bit_identical(
+            NUMPY.grouped_count(group_ids, num_groups),
+            SCALAR.grouped_count(group_ids, num_groups),
+        )
+        for take_min in (True, False):
+            assert_bit_identical(
+                NUMPY.grouped_extreme(group_ids, values, num_groups, take_min),
+                SCALAR.grouped_extreme(group_ids, values, num_groups, take_min),
+            )
+
+    def test_grouped_extreme_strings_and_ints(self):
+        group_ids = np.array([0, 1, 0, 2, 1, 0], dtype=np.int64)
+        strings = np.array(["pear", "fig", "apple", "kiwi", "date", "plum"], dtype="U4")
+        ints = np.array([5, -1, 3, 9, 0, -7], dtype=np.int64)
+        for take_min in (True, False):
+            assert_bit_identical(
+                NUMPY.grouped_extreme(group_ids, strings, 3, take_min),
+                SCALAR.grouped_extreme(group_ids, strings, 3, take_min),
+            )
+            assert_bit_identical(
+                NUMPY.grouped_extreme(group_ids, ints, 3, take_min),
+                SCALAR.grouped_extreme(group_ids, ints, 3, take_min),
+            )
+
+    def test_empty_and_zero_group_inputs(self):
+        empty_ids = np.empty(0, dtype=np.int64)
+        empty_vals = np.empty(0, dtype=np.float64)
+        assert_bit_identical(
+            NUMPY.grouped_sum(empty_ids, empty_vals, 0),
+            SCALAR.grouped_sum(empty_ids, empty_vals, 0),
+        )
+        assert_bit_identical(
+            NUMPY.grouped_count(empty_ids, 0), SCALAR.grouped_count(empty_ids, 0)
+        )
+        for take_min in (True, False):
+            assert_bit_identical(
+                NUMPY.grouped_extreme(empty_ids, empty_vals, 0, take_min),
+                SCALAR.grouped_extreme(empty_ids, empty_vals, 0, take_min),
+            )
+
+
+class TestJoinPrimitives:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_build_probe_expand_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        build = rng.integers(0, 20, int(rng.integers(0, 150))).astype(np.int64)
+        probe = rng.integers(0, 25, int(rng.integers(0, 150))).astype(np.int64)
+
+        n_sorted, n_order = NUMPY.build_order(build)
+        s_sorted, s_order = SCALAR.build_order(build)
+        assert_bit_identical(n_sorted, s_sorted)
+        assert_bit_identical(n_order, s_order)
+
+        n_left, n_right = NUMPY.probe_ranges(n_sorted, probe)
+        s_left, s_right = SCALAR.probe_ranges(s_sorted, probe)
+        assert_bit_identical(n_left, s_left)
+        assert_bit_identical(n_right, s_right)
+
+        counts = (n_right - n_left).astype(np.int64)
+        n_probe, n_build = NUMPY.expand_matches(n_left, counts, n_order)
+        s_probe, s_build = SCALAR.expand_matches(s_left, counts, s_order)
+        assert_bit_identical(n_probe, s_probe)
+        assert_bit_identical(n_build, s_build)
+
+    def test_join_codes_shared(self):
+        keys = [np.array([3, 1, 3], dtype=np.int64), np.array([0, 2, 0], dtype=np.int64)]
+        assert_bit_identical(NUMPY.join_codes(keys), SCALAR.join_codes(keys))
+
+
+EXPR_SCHEMA = Schema.of(
+    ("i", DataType.INT64),
+    ("f", DataType.FLOAT64),
+    ("s", DataType.STRING),
+    ("d", DataType.DATE),
+)
+
+EXPRESSIONS = [
+    Arithmetic("*", col("f"), Arithmetic("-", lit(1.0), col("f"))),
+    Arithmetic("/", col("i"), lit(3)),
+    Comparison(">", col("f"), lit(0.5)),
+    BooleanOp("and", [Comparison(">=", col("i"), lit(2)), Not(Like(col("s"), "%a%"))]),
+    CaseWhen(
+        [(Comparison("<", col("i"), lit(5)), lit("low"))], default=lit("high")
+    ),
+    Substring(col("s"), 1, 2),
+    ExtractYear(col("d")),
+]
+
+
+def random_chunk(rng: np.random.Generator, n: int) -> DataChunk:
+    return DataChunk(
+        EXPR_SCHEMA,
+        [
+            rng.integers(0, 10, n),
+            rng.random(n),
+            np.array(["alpha", "beta", "gamma", "a"], dtype="U5")[rng.integers(0, 4, n)],
+            rng.integers(8000, 11000, n).astype(np.int32),
+        ],
+    )
+
+
+class TestExpressionEvaluation:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("expression", EXPRESSIONS, ids=repr)
+    def test_evaluate_equivalence(self, seed, expression):
+        rng = np.random.default_rng(seed)
+        chunk = random_chunk(rng, int(rng.integers(1, 60)))
+        assert_bit_identical(
+            NUMPY.evaluate(expression, chunk), SCALAR.evaluate(expression, chunk)
+        )
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS, ids=repr)
+    def test_evaluate_empty_chunk(self, expression):
+        chunk = random_chunk(np.random.default_rng(0), 7).slice(0, 0)
+        assert_bit_identical(
+            NUMPY.evaluate(expression, chunk), SCALAR.evaluate(expression, chunk)
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_evaluate_on_lazy_selection(self, seed):
+        """Kernels agree on chunks carrying a selection vector."""
+        rng = np.random.default_rng(seed)
+        chunk = random_chunk(rng, 50)
+        mask = rng.random(50) < 0.4
+        lazy = chunk.filter(mask, lazy=True)
+        assert lazy.is_lazy
+        for expression in EXPRESSIONS:
+            assert_bit_identical(
+                NUMPY.evaluate(expression, lazy), SCALAR.evaluate(expression, lazy)
+            )
+
+    def test_evaluate_all_pass_filter_mask(self):
+        chunk = random_chunk(np.random.default_rng(3), 40)
+        predicate = Comparison(">=", col("i"), lit(0))
+        n_mask = NUMPY.evaluate(predicate, chunk)
+        s_mask = SCALAR.evaluate(predicate, chunk)
+        assert n_mask.all() and s_mask.all()
+        assert_bit_identical(n_mask, s_mask)
+
+
+class TestActiveKernelState:
+    def test_resolve_and_names(self):
+        assert set(KERNEL_NAMES) == {"scalar", "numpy"}
+        assert resolve_kernels(None).name == "numpy"
+        assert resolve_kernels("scalar").name == "scalar"
+        assert resolve_kernels(SCALAR) is SCALAR
+        with pytest.raises(EngineError):
+            resolve_kernels("simd")
+
+    def test_set_kernels_returns_previous(self):
+        before = get_kernels()
+        previous = set_kernels("scalar")
+        try:
+            assert previous is before
+            assert get_kernels().name == "scalar"
+        finally:
+            set_kernels(previous)
+        assert get_kernels() is before

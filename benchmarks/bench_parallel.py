@@ -1,10 +1,13 @@
 """Backend/kernel benchmark: wall-clock and virtual time per lane.
 
-Runs every TPC-H query under three execution lanes —
+Runs every TPC-H query under four execution lanes —
 
 * ``simulated_scalar`` — inline backend, row-at-a-time reference kernels;
 * ``simulated_numpy``  — inline backend, vectorized kernels (the default);
-* ``parallel_numpy``   — multiprocessing worker backend, vectorized kernels
+* ``parallel_numpy``   — multiprocessing worker backend, vectorized kernels;
+* ``parallel_numpy_profiled`` — the parallel lane with the opt-in
+  wall-clock profiler attached, proving profiling never perturbs results
+  or virtual time
 
 — and records for each lane:
 
@@ -20,9 +23,16 @@ Runs every TPC-H query under three execution lanes —
   baseline.
 
 ``--check`` additionally asserts the correctness contract inline: all
-three lanes must return bit-identical results with identical virtual
-time, and at scale >= 0.01 the numpy kernels must beat the scalar
-reference on wall time for the join/aggregate-heavy queries Q3, Q9, Q18.
+lanes (including the profiled one) must return bit-identical results
+with identical virtual time, every profiled lane's envelope must pass
+``validate_profile``, and at scale >= 0.01 the numpy kernels must beat
+the scalar reference on wall time for the join/aggregate-heavy queries
+Q3, Q9, Q18.
+
+With wall timing on, the bench also reports ``profile_overhead_ratio``
+— profiled vs plain parallel wall time on Q3/Q9, the median of three
+interleaved repetitions (:func:`repro.harness.bench.median_overhead_ratio`).
+Like every wall number it is disclosed, never gated.
 
 Standalone on purpose (argparse, engine-only imports)::
 
@@ -36,7 +46,8 @@ import sys
 import time
 
 from repro.engine.executor import QueryExecutor
-from repro.harness.bench import bench_payload, write_bench
+from repro.harness.bench import bench_payload, median_overhead_ratio, write_bench
+from repro.obs.profile import QueryProfiler, validate_profile
 from repro.optimizer import optimize_plan
 from repro.tpch import QUERY_NAMES, build_query, generate_catalog
 
@@ -46,6 +57,13 @@ LANES = (
     ("simulated", "numpy"),
     ("parallel", "numpy"),
 )
+
+#: The parallel lane re-run with the wall-clock profiler attached.
+PROFILED_LANE = "parallel_numpy_profiled"
+
+#: Queries timed for the profiling-overhead disclosure (join/aggregate
+#: heavy, so both kernels and the worker queues see real traffic).
+OVERHEAD_QUERIES = ("Q3", "Q9")
 
 #: Queries whose numpy-vs-scalar wall-time win is asserted under --check
 #: at scale >= 0.01 (join/aggregate heavy, so kernel cost dominates).
@@ -62,7 +80,7 @@ def _rows_scanned(stats) -> int:
     )
 
 
-def _run_lane(catalog, plan, query, backend, kernels, morsel_size):
+def _run_lane(catalog, plan, query, backend, kernels, morsel_size, profiler=None):
     started = time.perf_counter()
     result = QueryExecutor(
         catalog,
@@ -73,6 +91,7 @@ def _run_lane(catalog, plan, query, backend, kernels, morsel_size):
         backend=backend,
         kernels=kernels,
         morsel_size=morsel_size,
+        profiler=profiler,
     ).run()
     wall = time.perf_counter() - started
     return result, wall
@@ -99,8 +118,10 @@ def run_parallel_bench(
     catalog = generate_catalog(scale)
     metrics: dict = {"queries": {}, "totals": {}}
 
+    plans: dict = {}
     for query in queries:
         opt = optimize_plan(catalog, build_query(query), query_name=query)
+        plans[query] = opt.plan
         cells: dict = {}
         results: dict = {}
         for backend, kernels in LANES:
@@ -116,6 +137,21 @@ def run_parallel_bench(
             if wall:
                 cells[lane]["wall_seconds"] = round(lane_wall, 4)
 
+        profiler = QueryProfiler()
+        result, lane_wall = _run_lane(
+            catalog, opt.plan, query, "parallel", "numpy", morsel_size,
+            profiler=profiler,
+        )
+        results[PROFILED_LANE] = result
+        cells[PROFILED_LANE] = {
+            "virtual_seconds": result.stats.duration,
+            "rows_scanned": _rows_scanned(result.stats),
+        }
+        if wall:
+            cells[PROFILED_LANE]["wall_seconds"] = round(lane_wall, 4)
+        if check:
+            validate_profile(profiler.to_json())
+
         if check:
             reference = results["simulated_numpy"]
             for lane, result in results.items():
@@ -128,8 +164,7 @@ def run_parallel_bench(
                     )
         metrics["queries"][query] = cells
 
-    for backend, kernels in LANES:
-        lane = f"{backend}_{kernels}"
+    for lane in [f"{backend}_{kernels}" for backend, kernels in LANES] + [PROFILED_LANE]:
         cells = [metrics["queries"][q][lane] for q in queries]
         totals = {
             "virtual_seconds": round(sum(c["virtual_seconds"] for c in cells), 6),
@@ -151,6 +186,38 @@ def run_parallel_bench(
                     f"{query}: numpy kernels did not beat scalar on wall time "
                     f"({numpy_:.4f}s vs {scalar:.4f}s) at scale {scale}"
                 )
+
+    if wall:
+        overhead_queries = [q for q in OVERHEAD_QUERIES if q in plans]
+        if overhead_queries:
+
+            def plain() -> float:
+                started = time.perf_counter()
+                for query in overhead_queries:
+                    _run_lane(
+                        catalog, plans[query], query, "parallel", "numpy", morsel_size
+                    )
+                return time.perf_counter() - started
+
+            def profiled() -> float:
+                started = time.perf_counter()
+                for query in overhead_queries:
+                    _run_lane(
+                        catalog, plans[query], query, "parallel", "numpy",
+                        morsel_size, profiler=QueryProfiler(),
+                    )
+                return time.perf_counter() - started
+
+            overhead = median_overhead_ratio(plain, profiled, repetitions=3)
+            metrics["totals"]["profile_overhead"] = {
+                "queries": list(overhead_queries),
+                "repetitions": overhead["repetitions"],
+                "plain_seconds_median": round(overhead["plain_seconds_median"], 4),
+                "profiled_seconds_median": round(
+                    overhead["instrumented_seconds_median"], 4
+                ),
+                "profile_overhead_ratio": round(overhead["ratio"], 4),
+            }
     return metrics
 
 
@@ -198,8 +265,21 @@ def main(argv: list[str] | None = None) -> int:
         totals = metrics["totals"]
         print(
             "total wall: "
-            + " ".join(f"{lane}={cell['wall_seconds']:.2f}s" for lane, cell in totals.items())
+            + " ".join(
+                f"{lane}={cell['wall_seconds']:.2f}s"
+                for lane, cell in totals.items()
+                if "wall_seconds" in cell
+            )
         )
+        overhead = totals.get("profile_overhead")
+        if overhead:
+            print(
+                f"profiling overhead on {'+'.join(overhead['queries'])}: "
+                f"x{overhead['profile_overhead_ratio']:.2f} "
+                f"({overhead['plain_seconds_median']:.2f}s -> "
+                f"{overhead['profiled_seconds_median']:.2f}s, "
+                f"median of {overhead['repetitions']}; reported, never gated)"
+            )
     if args.check:
         print("correctness check passed: all lanes bit-identical, virtual time equal")
     return 0

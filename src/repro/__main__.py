@@ -14,6 +14,13 @@ Commands:
   artifact (lifecycle span trees, windowed counters, burn-rate alerts);
 * ``report`` — render a timeline artifact as a text dashboard (windowed
   latency quantiles, SLO burn-rate sparklines, slowest lifecycles);
+* ``profile`` — run a named query under the opt-in wall-clock profiler
+  and print the hot-operator table (wall vs virtual attribution) plus
+  per-worker utilization; ``--out`` writes the ``riveter-profile/1``
+  envelope, ``--stacks`` a collapsed-stack flamegraph text, ``--chrome``
+  a Chrome trace with real per-worker wall lanes.  ``query`` and
+  ``trace`` accept ``--profile-out`` to attach the same profiler to any
+  run without touching its virtual artifacts;
 * ``experiments`` — alias for ``python -m repro.harness`` (regenerate the
   paper's figures and tables).
 
@@ -122,6 +129,7 @@ def _execute(
     verbose: bool = True,
     selection_vectors: bool = True,
     recorder=None,
+    profiler=None,
 ) -> QueryResult:
     """Run the query, optionally suspending and resuming it midway.
 
@@ -133,6 +141,13 @@ def _execute(
     the compilation of identity projections to zero-cost selects; it is
     threaded through to the resumed executor as well, so the snapshot is
     taken and restored under one execution configuration.
+
+    *profiler* (a :class:`~repro.obs.profile.QueryProfiler`) attaches
+    wall-clock profiling to the measured run — and, under
+    ``--suspend-at``, to both the suspended and resumed executors, so the
+    envelope covers the whole interrupted execution.  The untraced
+    measuring run stays unprofiled: it only calibrates the suspension
+    point.
     """
     exec_opts = dict(
         lazy_filters=selection_vectors,
@@ -144,7 +159,7 @@ def _execute(
     if args.suspend_at is None:
         result = QueryExecutor(
             catalog, plan, profile=profile, query_name=label, tracer=tracer,
-            metrics=metrics, **exec_opts,
+            metrics=metrics, profiler=profiler, **exec_opts,
         ).run()
         if recorder is not None:
             _record_query_lifecycle(
@@ -182,6 +197,7 @@ def _execute(
         query_name=label,
         tracer=tracer,
         metrics=metrics,
+        profiler=profiler,
         **exec_opts,
     )
     directory = args.snapshot_dir or tempfile.mkdtemp(prefix="riveter-cli-")
@@ -234,6 +250,7 @@ def _execute(
         resume=resumed.resume_state,
         tracer=tracer,
         metrics=metrics,
+        profiler=profiler,
         **exec_opts,
     ).run()
     if lifecycle is not None:
@@ -299,7 +316,7 @@ def cmd_query(args: argparse.Namespace) -> int:
                 print(f"  {app}")
         return 0
 
-    tracer = metrics = recorder = None
+    tracer = metrics = recorder = profiler = None
     if args.analyze or args.trace_out or args.timeline_out:
         metrics = MetricsRegistry()
         tracer = Tracer(metrics=metrics)
@@ -308,11 +325,15 @@ def cmd_query(args: argparse.Namespace) -> int:
 
         recorder = TimelineRecorder()
         recorder.set_meta(command="query", query=label, scale=args.scale, seed=args.seed)
+    if args.profile_out:
+        from repro.obs.profile import QueryProfiler
+
+        profiler = QueryProfiler()
 
     result = _execute(
         catalog, optimized.plan, label, profile, args, tracer, metrics,
         verbose=True, selection_vectors=optimized.flags.selection_vectors,
-        recorder=recorder,
+        recorder=recorder, profiler=profiler,
     )
 
     if args.analyze:
@@ -328,6 +349,11 @@ def cmd_query(args: argparse.Namespace) -> int:
     if args.timeline_out:
         count = recorder.write(args.timeline_out, dropped_events=tracer.dropped)
         print(f"\nwrote {count} timeline record(s) to {args.timeline_out}")
+    if args.profile_out:
+        from repro.obs.profile import write_profile
+
+        write_profile(profiler, args.profile_out)
+        print(f"\nwrote wall-clock profile to {args.profile_out}")
     return 0
 
 
@@ -344,15 +370,26 @@ def cmd_trace(args: argparse.Namespace) -> int:
     optimized = _optimize(catalog, plan, label, args)
     metrics = MetricsRegistry()
     tracer = Tracer(metrics=metrics)
+    profiler = None
+    if args.profile_out:
+        from repro.obs.profile import QueryProfiler
+
+        profiler = QueryProfiler()
     _execute(
         catalog, optimized.plan, label, profile, args, tracer, metrics,
         verbose=False, selection_vectors=optimized.flags.selection_vectors,
+        profiler=profiler,
     )
     count = write_chrome_trace(tracer, args.out)
     print(f"wrote {count} trace event(s) to {args.out}")
     if args.jsonl:
         write_jsonl(tracer, args.jsonl)
         print(f"wrote JSONL export to {args.jsonl}")
+    if args.profile_out:
+        from repro.obs.profile import write_profile
+
+        write_profile(profiler, args.profile_out)
+        print(f"wrote wall-clock profile to {args.profile_out}")
     if args.prom:
         with open(args.prom, "w") as stream:
             stream.write(metrics.to_prometheus())
@@ -560,6 +597,51 @@ def _print_why_report(name, normal, event, outcome, journal, accuracy) -> None:
         print(format_estimator_accuracy(accuracy))
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run a named query under the wall-clock profiler and report on it."""
+    import json as json_mod
+
+    from repro.obs.dashboard import render_profile
+    from repro.obs.profile import QueryProfiler, write_collapsed_stacks, write_profile
+
+    if args.name not in QUERY_NAMES:
+        print(f"unknown query {args.name}; expected one of {QUERY_NAMES}", file=sys.stderr)
+        return 2
+    catalog = _make_catalog(args.scale, args.seed)
+    profile = HardwareProfile()
+    optimized = _optimize(catalog, build_query(args.name), args.name, args)
+
+    metrics = MetricsRegistry()
+    tracer = Tracer(metrics=metrics) if args.chrome else None
+    profiler = QueryProfiler()
+    _execute(
+        catalog, optimized.plan, args.name, profile, args, tracer, metrics,
+        verbose=False, selection_vectors=optimized.flags.selection_vectors,
+        profiler=profiler,
+    )
+    payload = profiler.to_json()
+
+    if args.json:
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_profile(payload, top=args.top))
+    if args.out:
+        write_profile(payload, args.out)
+        print(f"\nwrote riveter-profile/1 envelope to {args.out}")
+    if args.stacks:
+        count = write_collapsed_stacks(profiler, args.stacks)
+        print(f"wrote {count} collapsed stack line(s) to {args.stacks}")
+    if args.chrome:
+        from repro.obs.export import write_chrome_trace
+
+        count = write_chrome_trace(tracer, args.chrome, profile=profiler)
+        print(
+            f"wrote {count} trace event(s) (virtual + wall worker lanes) "
+            f"to {args.chrome}"
+        )
+    return 0
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
     """Simulate a multi-tenant workload over N suspension-capable workers."""
     from repro.fleet import (
@@ -722,6 +804,12 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--snapshot-dir", default=None, metavar="DIR",
         help="directory for snapshots (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="attach the opt-in wall-clock profiler and write the "
+        "riveter-profile/1 envelope to PATH; every virtual-clock artifact "
+        "stays byte-identical",
     )
     _add_backend_arguments(parser)
 
@@ -897,6 +985,63 @@ def main(argv: list[str] | None = None) -> int:
         help="check span-tree well-formedness before rendering",
     )
     report.set_defaults(handler=cmd_report)
+    prof = subparsers.add_parser(
+        "profile",
+        help="run a named query under the wall-clock profiler and print "
+        "the hot-operator and worker-utilization report",
+    )
+    prof.add_argument("name", metavar="QUERY", help="named TPC-H query (Q1..Q22)")
+    prof.add_argument("--scale", type=float, default=0.01, help="local TPC-H scale factor")
+    prof.add_argument(
+        "--seed", type=int, default=None,
+        help="master seed deriving every random stream, including dbgen "
+        "(default: legacy per-component seeds)",
+    )
+    _add_optimizer_arguments(prof)
+    prof.add_argument(
+        "--suspend-at", type=float, default=None,
+        help="suspend at this fraction of execution time, then resume; the "
+        "profile covers both the suspended and the resumed executor",
+    )
+    prof.add_argument(
+        "--strategy", choices=["pipeline", "process"], default="pipeline",
+        help="suspension strategy used with --suspend-at",
+    )
+    prof.add_argument(
+        "--codec", choices=list(CODEC_NAMES), default="raw",
+        help="snapshot column codec used with --suspend-at",
+    )
+    prof.add_argument(
+        "--incremental", action="store_true",
+        help="register the snapshot in an incremental (delta-aware) store",
+    )
+    prof.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="directory for snapshots (default: a fresh temp dir)",
+    )
+    prof.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the riveter-profile/1 JSON envelope to PATH",
+    )
+    prof.add_argument(
+        "--stacks", default=None, metavar="PATH",
+        help="write collapsed stacks (flamegraph.pl / speedscope input) to PATH",
+    )
+    prof.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="write a Chrome trace with real per-worker wall lanes next to "
+        "the virtual lanes to PATH",
+    )
+    prof.add_argument(
+        "--json", action="store_true",
+        help="print the envelope as JSON instead of the text report",
+    )
+    prof.add_argument(
+        "--top", type=int, default=10,
+        help="operators to show in the hot-operator table (default: 10)",
+    )
+    _add_backend_arguments(prof)
+    prof.set_defaults(handler=cmd_profile)
     args = parser.parse_args(argv)
     return args.handler(args)
 

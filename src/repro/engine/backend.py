@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import multiprocessing
 import queue as queue_mod
+import time
 import traceback
 
 from repro.engine.chunk import materialized_bytes, record_materialization
@@ -85,22 +86,45 @@ class SimulatedBackend(WorkerBackend):
                 )
 
 
-def _worker_loop(executor, run, tasks, results) -> None:
+def _worker_loop(executor, run, tasks, results, worker_index: int = 0) -> None:
     """Forked worker: pull morsel indices, compute, ship results back.
 
     Materialized-bytes accounting happens in the worker's copy of the
     process-wide counter, so the delta rides along for the parent to
     replay — keeping ``bytes_materialized`` identical to an inline run.
+
+    With a profiler attached (inherited over fork), the loop also times
+    the task-queue wait preceding each morsel and the ``results.put``
+    shipping the previous one; both land on the morsel's wall-clock
+    delta.  Ship time is carried on the *next* morsel's delta, so the
+    worker's final put goes uncounted — a disclosed approximation (see
+    :mod:`repro.obs.profile`).
     """
+    profiling = executor.profiler is not None
+    queue_wait = 0.0
+    pending_ship = 0.0
     while True:
-        index = tasks.get()
+        if profiling:
+            wait_started = time.perf_counter()
+            index = tasks.get()
+            queue_wait = time.perf_counter() - wait_started
+        else:
+            index = tasks.get()
         if index is None:
             return
         try:
             before = materialized_bytes()
             result = executor.compute_morsel(run, index)
             delta = materialized_bytes() - before
-            results.put((index, result, delta, None))
+            if profiling and result.profile is not None:
+                result.profile.worker = worker_index
+                result.profile.queue_wait = queue_wait
+                result.profile.ship = pending_ship
+                ship_started = time.perf_counter()
+                results.put((index, result, delta, None))
+                pending_ship = time.perf_counter() - ship_started
+            else:
+                results.put((index, result, delta, None))
         except BaseException:
             results.put((index, None, 0, traceback.format_exc()))
             return
@@ -143,9 +167,11 @@ class ParallelBackend(WorkerBackend):
         # the full executor state copy-on-write, nothing is pickled in.
         processes = [
             context.Process(
-                target=_worker_loop, args=(executor, run, tasks, results), daemon=True
+                target=_worker_loop,
+                args=(executor, run, tasks, results, worker_index),
+                daemon=True,
             )
-            for _ in range(workers)
+            for worker_index in range(workers)
         ]
         for process in processes:
             process.start()

@@ -30,6 +30,7 @@ configuration.
 from __future__ import annotations
 
 import os
+import time
 
 from dataclasses import dataclass, field
 
@@ -89,6 +90,21 @@ def resolve_morsel_size(morsel_size: int | None = None) -> int:
 #: events would dominate the buffer; batches keep traces readable while
 #: still showing scan progress on the timeline.
 TRACE_MORSEL_BATCH = 32
+
+#: Lazily imported :class:`repro.obs.profile.MorselProfile`.  A module-
+#: level import would be circular when ``repro.obs`` loads first (its
+#: ``profile`` submodule imports ``repro.engine.kernels``, which pulls
+#: this module in via the ``repro.engine`` package).
+_MORSEL_PROFILE_CLS = None
+
+
+def _morsel_profile_cls():
+    global _MORSEL_PROFILE_CLS
+    if _MORSEL_PROFILE_CLS is None:
+        from repro.obs.profile import MorselProfile
+
+        _MORSEL_PROFILE_CLS = MorselProfile
+    return _MORSEL_PROFILE_CLS
 
 
 @dataclass
@@ -173,6 +189,10 @@ class MorselResult:
     op_bytes: list[int]
     sink_rows: int
     prepared: object
+    #: Wall-clock delta (:class:`repro.obs.profile.MorselProfile`) when a
+    #: profiler is attached; ``None`` otherwise.  Never consulted by the
+    #: deterministic apply path, never serialized into snapshots.
+    profile: object = None
 
 
 @dataclass
@@ -229,6 +249,7 @@ class QueryExecutor:
         select_operators: bool = False,
         backend: WorkerBackend | str | None = None,
         kernels: KernelSet | str | None = None,
+        profiler=None,
     ):
         self.catalog = catalog
         self.plan = plan
@@ -241,6 +262,13 @@ class QueryExecutor:
         self.query_name = query_name
         self.tracer = tracer
         self.metrics = metrics
+        # Opt-in wall-clock profiler (repro.obs.profile.QueryProfiler).
+        # Strictly observational: the profiled compute path is an exact
+        # twin of the deterministic one plus perf_counter marks, so all
+        # virtual-clock artifacts stay byte-identical with it attached.
+        self.profiler = profiler
+        if profiler is not None:
+            profiler.bind(self)
         self.memory = MemoryAccountant()
         self.plan_fingerprint = plan_fingerprint(plan)
         # Lazy filters are the default: selection vectors defer column
@@ -293,8 +321,12 @@ class QueryExecutor:
         # Install this executor's kernel set for the duration of the run
         # (operators read the process-active set); restore after so nested
         # executors and callers keep theirs.  Forked parallel workers
-        # inherit the active set.
-        previous_kernels = set_kernels(self.kernels)
+        # inherit the active set.  Under profiling the set is wrapped in
+        # a delegating wall-timer (bit-identical results by construction).
+        kernels = self.kernels
+        if self.profiler is not None:
+            kernels = self.profiler.wrap_kernels(kernels)
+        previous_kernels = set_kernels(kernels)
         try:
             return self._run()
         finally:
@@ -336,6 +368,11 @@ class QueryExecutor:
             )
         if self.metrics is not None:
             self._record_query_metrics(chunk.num_rows)
+        if self.profiler is not None:
+            # Only a completed run finishes the profile: a suspended run
+            # raises before reaching here, and the same profiler is handed
+            # to the resumed executor to cover the whole lifecycle.
+            self.profiler.finish(self.stats, metrics=self.metrics)
         return QueryResult(chunk=chunk, stats=self.stats, peak_memory_bytes=self.peak_memory_bytes)
 
     def _record_query_metrics(self, result_rows: int) -> None:
@@ -411,6 +448,8 @@ class QueryExecutor:
         chunk) — never the clock, stats, memory accountant, or sink
         states.
         """
+        if self.profiler is not None:
+            return self._compute_morsel_profiled(run, index)
         pipeline = run.pipeline
         chunk = run.source.get_morsel(index)
         op_rows = [int(chunk.num_rows)]
@@ -429,6 +468,55 @@ class QueryExecutor:
             op_bytes=op_bytes,
             sink_rows=int(chunk.num_rows),
             prepared=prepared,
+        )
+
+    def _compute_morsel_profiled(self, run: _PipelineRun, index: int) -> MorselResult:
+        """Profiled twin of :meth:`compute_morsel`.
+
+        Identical compute in identical order, plus ``perf_counter``
+        marks per operator slot.  The shared kernel recorder's ``slot``
+        is advanced alongside, so the active :class:`~repro.obs.profile.
+        ProfilingKernels` wrapper attributes kernel wall time to the
+        operator that triggered the call.  The resulting wall-clock
+        delta rides on the ``MorselResult`` and never touches snapshots.
+        """
+        morsel_profile_cls = _morsel_profile_cls()
+        recorder = self.profiler.kernel_recorder
+        pipeline = run.pipeline
+        recorder.begin()
+        started = time.perf_counter()
+        chunk = run.source.get_morsel(index)
+        mark = time.perf_counter()
+        op_wall = [mark - started]
+        op_rows = [int(chunk.num_rows)]
+        op_bytes = [int(chunk.nbytes)]
+        for slot, operator in enumerate(pipeline.operators, start=1):
+            recorder.slot = slot
+            chunk = operator.execute(chunk)
+            now = time.perf_counter()
+            op_wall.append(now - mark)
+            mark = now
+            op_rows.append(int(chunk.num_rows))
+            op_bytes.append(int(chunk.nbytes))
+        recorder.slot = len(pipeline.operators) + 1
+        chunk = chunk.materialize()
+        prepared = pipeline.sink.prepare(chunk)
+        ended = time.perf_counter()
+        op_wall.append(ended - mark)
+        return MorselResult(
+            morsel_index=index,
+            op_rows=op_rows,
+            op_bytes=op_bytes,
+            sink_rows=int(chunk.num_rows),
+            prepared=prepared,
+            profile=morsel_profile_cls(
+                morsel_index=index,
+                pid=os.getpid(),
+                started=started,
+                ended=ended,
+                op_wall=op_wall,
+                kernel_wall=recorder.take(),
+            ),
         )
 
     def apply_morsel(self, run: _PipelineRun, result: MorselResult) -> None:
@@ -470,6 +558,8 @@ class QueryExecutor:
         run.next_morsel = result.morsel_index + 1
         run.stats.rows_processed = run.rows_processed
         run.stats.morsels_processed = run.next_morsel
+        if self.profiler is not None and result.profile is not None:
+            self.profiler.record_morsel(run, result.profile)
         if self.tracer is not None:
             run.batch_rows += source_rows
             if run.next_morsel - run.batch_start_morsel >= TRACE_MORSEL_BATCH:
@@ -502,6 +592,10 @@ class QueryExecutor:
         if self.tracer is not None:
             self._flush_morsel_batch(run)
         breaker_started = self.clock.now()
+        # Wall-clock the coordinator-side breaker (combine + finalize):
+        # for sort/aggregate sinks this is where the real work happens,
+        # and no worker-side morsel timer sees it.
+        breaker_wall_started = time.perf_counter() if self.profiler is not None else 0.0
         global_state = sink.make_global_state()
         for local_state in run.local_states:
             sink.combine(global_state, local_state)
@@ -512,6 +606,8 @@ class QueryExecutor:
             sink.kind, sink.finalize_cost_rows(global_state)
         )
         self.clock.advance(finalize_cost)
+        if self.profiler is not None:
+            self.profiler.record_breaker(run, time.perf_counter() - breaker_wall_started)
         sink_stats = run.stats.operators[-1]
         sink_stats.seconds += merge_cost + finalize_cost
         sink_stats.bytes = global_state.nbytes

@@ -22,6 +22,7 @@ plus a strict relative-regression threshold workable.
 from __future__ import annotations
 
 import json
+import statistics
 import subprocess
 from pathlib import Path
 
@@ -32,6 +33,7 @@ __all__ = [
     "read_bench",
     "flatten_metrics",
     "git_rev",
+    "median_overhead_ratio",
 ]
 
 BENCH_SCHEMA = "riveter-bench/1"
@@ -85,6 +87,42 @@ def read_bench(path: str | Path) -> dict:
             f"(schema={payload.get('schema')!r}); re-run the bench to regenerate it"
         )
     return payload
+
+
+def median_overhead_ratio(run_plain, run_instrumented, repetitions: int = 3) -> dict:
+    """Instrumentation overhead as a median of interleaved repetitions.
+
+    A single plain-vs-instrumented pair is noise-dominated at bench
+    scales (tens of milliseconds): one scheduler hiccup can swing the
+    ratio past any sensible alarm line.  This helper runs the two
+    callables — each returning its own wall seconds — *interleaved*
+    (plain, instrumented, plain, ...), so drifting machine load hits
+    both sides roughly equally, and reports the median of the per-pair
+    ratios.
+
+    Wall ratios are host-dependent and for disclosure only: report them,
+    never gate CI on them (see ``benchmarks/bench_compare.py``).
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    plain_seconds: list[float] = []
+    instrumented_seconds: list[float] = []
+    for _ in range(repetitions):
+        plain_seconds.append(float(run_plain()))
+        instrumented_seconds.append(float(run_instrumented()))
+    ratios = [
+        inst / plain if plain > 0 else float("inf")
+        for plain, inst in zip(plain_seconds, instrumented_seconds)
+    ]
+    return {
+        "repetitions": repetitions,
+        "plain_seconds": plain_seconds,
+        "instrumented_seconds": instrumented_seconds,
+        "plain_seconds_median": statistics.median(plain_seconds),
+        "instrumented_seconds_median": statistics.median(instrumented_seconds),
+        "ratios": ratios,
+        "ratio": statistics.median(ratios),
+    }
 
 
 def flatten_metrics(payload: dict, prefix: str = "") -> dict[str, float]:

@@ -8,6 +8,7 @@ __all__ = [
     "format_table",
     "format_bytes",
     "format_operator_breakdown",
+    "format_profile_operators",
     "print_table",
     "summarize_distribution",
     "estimator_accuracy",
@@ -63,6 +64,66 @@ def format_operator_breakdown(stats) -> str:
                 )
             )
     return format_table(("pipeline", "operator", "kind", "rows", "bytes", "vsec"), rows)
+
+
+def format_profile_operators(payload: dict, top: int | None = None) -> str:
+    """Hot-operator table with wall vs virtual attribution side by side.
+
+    *payload* is a ``riveter-profile/1`` envelope (see
+    :mod:`repro.obs.profile`).  Operators are ranked by total wall time
+    (morsel compute plus the coordinator-side breaker for sinks); the
+    percentage columns show how differently the two clock domains
+    apportion the same query.
+    """
+    operators = payload.get("operators", [])
+
+    def wall_of(op: dict) -> float:
+        return op.get("wall_seconds", 0.0) + op.get("breaker_wall_seconds", 0.0)
+
+    total_wall = sum(wall_of(op) for op in operators)
+    total_virtual = sum(op.get("virtual_seconds", 0.0) for op in operators)
+    ranked = sorted(
+        operators, key=lambda op: (-wall_of(op), op["pipeline"], op["slot"])
+    )
+    if top is not None:
+        ranked = ranked[:top]
+    rows = []
+    for op in ranked:
+        wall = wall_of(op)
+        kernels = op.get("kernels", {})
+        hot_kernel = "-"
+        if kernels:
+            method = max(sorted(kernels), key=lambda m: kernels[m])
+            hot_kernel = f"{method} {kernels[method] * 1e3:.1f}ms"
+        rows.append(
+            (
+                f"P{op['pipeline']}",
+                op["label"],
+                op["kind"],
+                op.get("morsels", 0),
+                f"{wall * 1e3:.2f}",
+                f"{100.0 * wall / total_wall:.1f}%" if total_wall > 0 else "-",
+                f"{op.get('virtual_seconds', 0.0):.3f}",
+                f"{100.0 * op.get('virtual_seconds', 0.0) / total_virtual:.1f}%"
+                if total_virtual > 0
+                else "-",
+                hot_kernel,
+            )
+        )
+    return format_table(
+        (
+            "pipeline",
+            "operator",
+            "kind",
+            "morsels",
+            "wall ms",
+            "wall %",
+            "vsec",
+            "virtual %",
+            "top kernel",
+        ),
+        rows,
+    )
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:

@@ -25,7 +25,13 @@ package makes those timelines *inspectable*:
 * :mod:`repro.obs.audit` — the decision audit journal: an append-only,
   replayable record of every suspend/resume deliberation (cost-model
   inputs, per-strategy estimates, chosen action, measured actuals) that
-  powers ``python -m repro why`` and the estimator-accuracy report.
+  powers ``python -m repro why`` and the estimator-accuracy report;
+* :mod:`repro.obs.profile` — the opt-in wall-clock profiler: per-worker
+  operator/kernel wall timers inside the parallel backend's forked
+  workers (queue-wait / compute / ship phases), merged coordinator-side
+  into a ``riveter-profile/1`` envelope with worker-utilization
+  fractions, morsel-latency histograms, and collapsed-stack exports —
+  without perturbing any virtual-clock artifact.
 
 Tracing is strictly opt-in: every instrumented component takes
 ``tracer=None`` / ``metrics=None`` and the disabled path is a single
@@ -46,6 +52,7 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import TRACE_CATEGORIES, TraceEvent, Tracer
 from repro.obs.export import (
     counter_track_events,
+    profile_lane_events,
     schedule_to_chrome,
     text_summary,
     trace_to_chrome,
@@ -56,7 +63,20 @@ from repro.obs.export import (
     write_jsonl,
     write_schedule_trace,
 )
-from repro.obs.dashboard import render_report, sparkline
+from repro.obs.dashboard import render_profile, render_report, sparkline
+# Imported after metrics/trace: profile depends on repro.obs.metrics and
+# (transitively) the engine's kernel registry.
+from repro.obs.profile import (
+    PROFILE_FORMAT,
+    KernelRecorder,
+    MorselProfile,
+    ProfilingKernels,
+    QueryProfiler,
+    WorkerProfile,
+    validate_profile,
+    write_collapsed_stacks,
+    write_profile,
+)
 from repro.obs.timeline import (
     TIMELINE_FORMAT,
     QueryLifecycle,
@@ -103,5 +123,16 @@ __all__ = [
     "read_timeline",
     "validate_span_tree",
     "render_report",
+    "render_profile",
     "sparkline",
+    "PROFILE_FORMAT",
+    "KernelRecorder",
+    "MorselProfile",
+    "ProfilingKernels",
+    "QueryProfiler",
+    "WorkerProfile",
+    "validate_profile",
+    "write_collapsed_stacks",
+    "write_profile",
+    "profile_lane_events",
 ]

@@ -11,6 +11,11 @@ any machine or CI run.
 
 The renderer is deterministic: given the same artifact bytes it produces
 the same text, with no wall-clock or environment dependence.
+
+:func:`render_profile` is the same idea for ``riveter-profile/1``
+envelopes (``python -m repro profile``): deterministic text from the
+artifact alone — though the artifact's wall numbers are of course
+host-dependent.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ from collections import defaultdict
 
 from repro.obs.timeline import Timeline
 
-__all__ = ["sparkline", "render_report"]
+__all__ = ["sparkline", "render_report", "render_profile"]
 
 #: Eight-level bar glyphs, lowest to highest.
 _SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
@@ -244,4 +249,89 @@ def render_report(timeline: Timeline, top_k: int = 5) -> str:
                 f"  suspended    {sparkline([s['max'] for s in suspended])} "
                 f"peak={max(s['max'] for s in suspended):.0f}"
             )
+    return "\n".join(lines)
+
+
+def render_profile(payload: dict, top: int = 10) -> str:
+    """Render a ``riveter-profile/1`` envelope as a terminal report.
+
+    Sections: run header (wall vs virtual totals and the three worker
+    phases), the hot-operator table (wall-vs-virtual attribution), the
+    per-worker utilization breakdown, and the merged morsel-latency
+    histogram.
+    """
+    # Imported here: ``repro.harness`` pulls in the experiment suite
+    # (engine, cloud), which itself imports ``repro.obs``.
+    from repro.harness.report import format_profile_operators, format_table
+
+    phases = payload.get("phases", {})
+    lines = [
+        f"== wall-clock profile: {payload.get('query', '?')} ==",
+        f"backend={payload.get('backend', '-')} kernels={payload.get('kernels', '-')} "
+        f"workers={payload.get('num_threads', '-')} "
+        f"morsel_size={payload.get('morsel_size', '-')}",
+        f"wall {payload.get('wall_seconds', 0.0):.3f}s | "
+        f"virtual {payload.get('virtual_seconds', 0.0):.2f}s | "
+        f"worker phases: compute={phases.get('compute_seconds', 0.0):.3f}s "
+        f"queue-wait={phases.get('queue_wait_seconds', 0.0):.3f}s "
+        f"ship={phases.get('ship_seconds', 0.0):.3f}s",
+    ]
+
+    operators = payload.get("operators", [])
+    if operators:
+        lines.append("")
+        lines.append(
+            f"-- hot operators by wall time (top {min(top, len(operators))}) --"
+        )
+        lines.append(format_profile_operators(payload, top=top))
+
+    workers = payload.get("workers", [])
+    if workers:
+        lines.append("")
+        lines.append("-- worker utilization --")
+        rows = []
+        for worker in workers:
+            util = worker.get("utilization", {})
+            rows.append(
+                (
+                    worker.get("label", "?"),
+                    worker.get("pid", "-"),
+                    worker.get("morsels", 0),
+                    f"{100.0 * util.get('busy', 0.0):.1f}%",
+                    f"{100.0 * util.get('queue_wait', 0.0):.1f}%",
+                    f"{100.0 * util.get('ship', 0.0):.1f}%",
+                    f"{100.0 * util.get('idle', 0.0):.1f}%",
+                    f"{worker.get('span_seconds', 0.0):.3f}",
+                )
+            )
+        lines.append(
+            format_table(
+                ("worker", "pid", "morsels", "busy", "wait", "ship", "idle", "span s"),
+                rows,
+            )
+        )
+
+    latency = payload.get("morsel_latency", {})
+    buckets = latency.get("buckets", [])
+    counts = latency.get("counts", [])
+    if counts and any(counts):
+        lines.append("")
+        lines.append("-- morsel compute latency (wall) --")
+        edges = [f"<={edge:g}s" for edge in buckets] + [
+            f">{buckets[-1]:g}s" if buckets else "all"
+        ]
+        rows = [
+            (edge, count)
+            for edge, count in zip(edges, counts)
+            if count
+        ]
+        lines.append(format_table(("bucket", "morsels"), rows))
+
+    dropped = payload.get("spans_dropped", 0)
+    if dropped:
+        lines.append("")
+        lines.append(
+            f"WARNING: {dropped} per-morsel span(s) dropped from the bounded "
+            "buffers; aggregates above still cover every morsel"
+        )
     return "\n".join(lines)

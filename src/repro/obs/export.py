@@ -30,6 +30,7 @@ __all__ = [
     "trace_to_jsonl",
     "trace_to_chrome",
     "counter_track_events",
+    "profile_lane_events",
     "write_jsonl",
     "write_chrome_trace",
     "text_summary",
@@ -99,11 +100,65 @@ def counter_track_events(timeline, tid: int = 0) -> list[dict]:
     return events
 
 
-def trace_to_chrome(tracer: Tracer, timeline=None) -> dict:
+def profile_lane_events(profiler) -> list[dict]:
+    """Real per-process worker lanes from a wall-clock profiler.
+
+    *profiler* is a :class:`repro.obs.profile.QueryProfiler`.  Each
+    worker incarnation becomes its own trace *process* named after its
+    lane and carrying the **actual OS pid**, with one ``X`` span per
+    retained morsel compute (timestamps are wall microseconds relative
+    to the profiler's ``t0``).  Rendered alongside the virtual lanes,
+    Perfetto shows both clock domains in one view — which is exactly why
+    these events are only emitted when a profiler is explicitly passed
+    (``--trace-out`` artifacts stay wall-free and byte-identical).
+    """
+    events: list[dict] = []
+    for _, worker in sorted(profiler.workers.items()):
+        events.append(
+            {
+                "ph": "M",
+                "pid": worker.pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"riveter-wall:{worker.label}"},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": worker.pid,
+                "tid": 0,
+                "name": "thread_name",
+                "args": {"name": "morsel compute (wall)"},
+            }
+        )
+        for start, end, pipeline_id, morsel_index in worker.spans:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": worker.pid,
+                    "tid": 0,
+                    "cat": "profile",
+                    "name": f"P{pipeline_id}:morsel {morsel_index}",
+                    "ts": max(0.0, start) * _SECONDS_TO_MICROS,
+                    "dur": max(0.0, end - start) * _SECONDS_TO_MICROS,
+                    "args": {
+                        "worker": worker.label,
+                        "pipeline": pipeline_id,
+                        "morsel": morsel_index,
+                    },
+                }
+            )
+    return events
+
+
+def trace_to_chrome(tracer: Tracer, timeline=None, profile=None) -> dict:
     """Convert the buffer to the Chrome Trace Event JSON format.
 
     With *timeline* given, its windowed series are appended as counter
-    tracks (see :func:`counter_track_events`).
+    tracks (see :func:`counter_track_events`).  With *profile* given (a
+    :class:`repro.obs.profile.QueryProfiler`), real per-worker wall
+    lanes are appended (see :func:`profile_lane_events`).
     """
     track_ids: dict[str, int] = {}
     trace_events: list[dict] = [
@@ -146,18 +201,25 @@ def trace_to_chrome(tracer: Tracer, timeline=None) -> dict:
         body.append(entry)
     if timeline is not None:
         body.extend(counter_track_events(timeline))
+    other = {"dropped_events": tracer.dropped, "clock": "virtual"}
+    if profile is not None:
+        body.extend(profile_lane_events(profile))
+        other["clock"] = "virtual+wall"
+        other["wall_lanes"] = len(profile.workers)
     return {
         "traceEvents": trace_events + body,
         "displayTimeUnit": "ms",
-        "otherData": {"dropped_events": tracer.dropped, "clock": "virtual"},
+        "otherData": other,
     }
 
 
-def write_chrome_trace(tracer: Tracer, path: str | os.PathLike, timeline=None) -> int:
+def write_chrome_trace(
+    tracer: Tracer, path: str | os.PathLike, timeline=None, profile=None
+) -> int:
     """Write the Chrome-trace export to *path*; returns the event count."""
     with open(path, "w", encoding="utf-8") as stream:
         json.dump(
-            trace_to_chrome(tracer, timeline=timeline),
+            trace_to_chrome(tracer, timeline=timeline, profile=profile),
             stream,
             sort_keys=True,
             separators=(",", ":"),

@@ -38,19 +38,42 @@ name                               type    meaning
 ``fleet_reclamations_total``       ctr     spot windows that cut a run short
 ``trace_dropped_events_total``     ctr     tracer buffer overflow discards
 ``slo_alerts_total{class=…}``      ctr     burn-rate alerts per tenant class
+``wall_compute_seconds{worker=…}`` hist    wall-clock morsel compute per worker
+``wall_queue_wait_seconds{…}``     hist    wall-clock task-queue waits per worker
+``wall_ship_seconds{worker=…}``    hist    wall-clock result shipping per worker
 =================================  ======  =================================
+
+The three ``wall_*`` histograms are the registry's only *wall-clock*
+series, published by :class:`repro.obs.profile.QueryProfiler` when
+profiling is enabled.  Wall metrics are host-dependent and **never
+gated** — like the ``wall_seconds`` leaves in the bench suite, which
+``bench_compare.py`` deliberately leaves out of its ``GATED_SUFFIXES``
+allowlist — and they never appear in a run without a profiler attached,
+so unprofiled metric exports stay byte-identical across hosts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "WALL_BUCKETS",
+]
 
 #: Default histogram bucket upper bounds, in the units of the observed
 #: quantity (virtual seconds for latencies; bytes-sized histograms pass
 #: their own bounds).
 DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 300.0, 1800.0)
+
+#: Bucket bounds for the wall-clock ``wall_*`` histograms: real seconds
+#: span a much wider dynamic range than virtual latencies (a morsel can
+#: compute in tens of microseconds).
+WALL_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0)
 
 
 @dataclass

@@ -70,6 +70,11 @@ TRACE_CATEGORIES = frozenset(
         # Time-series rollups: windowed counter samples and SLO burn-rate
         # alerts (repro.obs.timeline).
         "timeline",
+        # Wall-clock worker lanes from the opt-in profiler
+        # (repro.obs.profile): the one category whose timestamps are real
+        # seconds, rendered in per-worker processes next to the virtual
+        # lanes.  Never emitted into --trace-out artifacts.
+        "profile",
     }
 )
 

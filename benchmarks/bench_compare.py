@@ -11,7 +11,10 @@ fails when a *gated* leaf regressed by more than ``--max-regress``
 (default 10%).  Gated leaves are the suspend/resume core costs (persist/
 reload latency, snapshot/file bytes) plus the optimizer's work metrics
 (rows scanned, bytes materialized); higher is worse for all of them.
-Everything else is reported but never fails the gate.
+*Exact* leaves are seed-deterministic counts (fleet completions and
+suspensions) where any drift in either direction is a behavioural
+change — they fail on the slightest delta, no noise band.  Everything
+else is reported but never fails the gate.
 
 Because every gated quantity rides the simulated clock, two runs of the
 same code at the same scale produce identical numbers — any delta is a
@@ -50,10 +53,24 @@ GATED_SUFFIXES = (
     "events_recorded",
 )
 
+#: Leaves that are pure functions of the seed (everything rides the
+#: virtual clock): no noise band applies, so *any* change — up or down —
+#: fails the gate.  Used by the fleet lanes (bench_fleet.py,
+#: bench_fleet_scale.py) for scheduling-outcome counts.
+EXACT_SUFFIXES = (
+    "completions",
+    "suspensions",
+)
+
 
 def is_gated(path: str) -> bool:
     """Whether a metric leaf participates in the regression gate."""
     return path.rsplit(".", 1)[-1] in GATED_SUFFIXES
+
+
+def is_exact(path: str) -> bool:
+    """Whether a metric leaf must match the baseline exactly."""
+    return path.rsplit(".", 1)[-1] in EXACT_SUFFIXES
 
 
 def compare(base: dict, head: dict, max_regress: float) -> tuple[list[str], list[str]]:
@@ -79,7 +96,7 @@ def compare(base: dict, head: dict, max_regress: float) -> tuple[list[str], list
         if new is None:
             line = f"- {path} (metric disappeared; base {old})"
             report.append(line)
-            if is_gated(path):
+            if is_gated(path) or is_exact(path):
                 failures.append(line)
             continue
         if new == old:
@@ -87,7 +104,11 @@ def compare(base: dict, head: dict, max_regress: float) -> tuple[list[str], list
         delta = (new - old) / abs(old) if old else float("inf")
         line = f"  {path}: {old} -> {new} ({delta:+.1%})"
         report.append(line)
-        if is_gated(path) and old > 0 and delta > max_regress:
+        if is_exact(path):
+            failures.append(
+                f"{path} drifted (deterministic count): {old} -> {new}"
+            )
+        elif is_gated(path) and old > 0 and delta > max_regress:
             failures.append(
                 f"{path} regressed {delta:+.1%} (> {max_regress:.0%}): {old} -> {new}"
             )

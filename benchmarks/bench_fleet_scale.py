@@ -1,0 +1,298 @@
+"""Fleet scale benchmark: indexed event loop + macro fidelity throughput.
+
+Sweeps the fleet simulator across worker counts at macro fidelity and
+reports, per point, the arrival volume, the executed event count, and the
+event-loop throughput.  Three kinds of numbers come out:
+
+* ``completions`` / ``suspensions`` / ``slo_misses`` — pure functions of
+  the seed (everything rides the virtual clock), gated against
+  ``benchmarks/baselines/fleet_scale.scale-0.002.json`` by
+  ``bench_compare.py --check``;
+* ``wall_seconds`` / ``events_per_sec`` / ``speedup_vs_seed_loop`` —
+  host-dependent, reported but never gated.  ``--no-wall`` omits them,
+  which is how the checked-in baseline is generated;
+* ``macro_identical_to_engine`` — 1 when the macro-fidelity fleet report
+  is byte-identical to engine fidelity at the reference point (the same
+  canonical JSON the CLI emits), 0 otherwise.  Gated trivially by being
+  deterministic; also asserted by ``--check``.
+
+The ``reference_engine`` lane runs engine fidelity (one ``QueryExecutor``
+per run slice — the seed event loop's cost profile, since the indexed
+structures are negligible at 2 workers and a handful of queued arrivals)
+at the small `bench_fleet.py` shape.  ``speedup_vs_seed_loop`` divides
+the first sweep point's macro throughput by that reference throughput;
+``--check`` asserts it is at least 50x, the headline of this lane.
+
+An "event" here is one unit of event-loop work: an admission verdict
+(admitted or shed) or one executed run slice.
+
+Standalone on purpose (argparse, engine-only imports)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_scale.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+from repro.fleet import (
+    AdmissionController,
+    FleetCluster,
+    fleet_report,
+    generate_workload,
+    make_policy,
+    make_tenants,
+    report_to_json,
+)
+from repro.harness.bench import bench_payload, write_bench
+from repro.seeding import derive_seed
+from repro.tpch import generate_catalog
+
+#: Shared shape knobs; the per-point worker/tenant/duration grid is below.
+DEFAULTS = {
+    "seed": 42,
+    "policy": "suspend-aware",
+    "mean_on": 180.0,
+    "mean_off": 30.0,
+}
+
+#: Sweep grid: (workers, tenants, duration).  Arrival volume scales with
+#: tenants x duration; the first point keeps the 2-worker shape of
+#: ``bench_fleet.py`` but runs 24x the horizon so the event loop, not
+#: per-run setup, dominates the throughput measurement.
+SWEEP_POINTS = (
+    (2, 3, 14400.0),
+    (25, 15, 3600.0),
+    (100, 60, 3600.0),
+)
+
+#: Reference shape: the `bench_fleet.py` default point (2 workers, small
+#: queue) where engine fidelity stands in for the seed event loop.
+REFERENCE = {"workers": 2, "tenants": 3, "duration": 600.0, "queue_depth": 8}
+
+#: The --check floor for ``speedup_vs_seed_loop``.
+MIN_SPEEDUP = 50.0
+
+#: Interleaved repetitions of the two lanes entering the speedup ratio.
+#: The median wall per lane damps scheduler noise on either side of the
+#: ratio (the `timeline_overhead` precedent in ``bench_fleet.py``).
+SPEEDUP_REPEATS = 5
+
+
+def _make_cluster(catalog, params, workers, fidelity, macro_profiles, queue_depth):
+    return FleetCluster(
+        catalog,
+        make_policy(params["policy"]),
+        workers=workers,
+        seed=int(params["seed"]),
+        admission=AdmissionController(max_queue_depth=queue_depth),
+        mean_on_seconds=float(params["mean_on"]),
+        mean_off_seconds=float(params["mean_off"]),
+        fidelity=fidelity,
+        macro_profiles=macro_profiles,
+    )
+
+
+def _run_lane(catalog, params, workers, tenants, duration, fidelity,
+              macro_profiles, queue_depth=None):
+    """One simulation; returns ``(cells, result, report)``."""
+    seed = int(params["seed"])
+    if queue_depth is None:
+        queue_depth = max(16, 2 * workers)
+    roster = make_tenants(tenants, seed)
+    arrivals = generate_workload(roster, duration, seed)
+    cluster = _make_cluster(
+        catalog, params, workers, fidelity, macro_profiles, queue_depth
+    )
+    start = time.perf_counter()
+    result = cluster.run(arrivals, duration)
+    wall = time.perf_counter() - start
+    report = fleet_report(result)
+    slices = sum(
+        1
+        for completion in result.completions
+        for segment in completion.segments
+        if segment["phase"] == "run"
+    )
+    events = len(arrivals) + slices
+    cells = {
+        "workers": workers,
+        "arrivals": len(arrivals),
+        "events": events,
+        "completions": report["totals"]["completed"],
+        "rejections": report["totals"]["rejected"],
+        "suspensions": report["totals"]["suspensions"],
+        "slo_misses": report["slo"]["missed"],
+        "wall_seconds": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+    return cells, result, report
+
+
+def run_scale_bench(scale: float, params: dict | None = None, wall: bool = True) -> dict:
+    """Run the reference, identity, and sweep lanes; returns ``metrics``."""
+    params = {**DEFAULTS, **(params or {})}
+    seed = int(params["seed"])
+    catalog = generate_catalog(scale, seed=derive_seed(seed, "dbgen"))
+
+    # Calibration is shared across every macro lane: profiles depend only
+    # on (query, catalog, hardware profile, morsel size).  Prewarm them
+    # outside the timed sections so wall numbers measure the event loop.
+    macro_profiles: dict = {}
+    warm = _make_cluster(catalog, params, 2, "macro", macro_profiles, 16)
+    roster = make_tenants(max(t for _, t, _ in SWEEP_POINTS), seed)
+    for tenant in roster:
+        for query in tenant.queries:
+            warm.measure(query)
+
+    metrics: dict = {"params": dict(params), "scale": scale, "points": {}}
+
+    # The two lanes entering the speedup ratio run interleaved and keep
+    # the median wall each, so a scheduler hiccup on either side cannot
+    # swing the ratio.  The simulated outputs are pure functions of the
+    # seed, so every repetition produces identical counts.
+    repeats = SPEEDUP_REPEATS if wall else 1
+    first_point = SWEEP_POINTS[0]
+    ref_walls: list[float] = []
+    first_walls: list[float] = []
+    reference: dict = {}
+    first: dict = {}
+    engine_report = None
+    for _ in range(repeats):
+        reference, _, engine_report = _run_lane(
+            catalog, params, REFERENCE["workers"], REFERENCE["tenants"],
+            REFERENCE["duration"], "engine", None,
+            queue_depth=REFERENCE["queue_depth"],
+        )
+        ref_walls.append(reference["wall_seconds"])
+        first, _, _ = _run_lane(
+            catalog, params, *first_point, "macro", macro_profiles
+        )
+        first_walls.append(first["wall_seconds"])
+    for cells, walls in ((reference, ref_walls), (first, first_walls)):
+        cells["wall_seconds"] = statistics.median(walls)
+        cells["events_per_sec"] = cells["events"] / cells["wall_seconds"]
+    metrics["reference_engine"] = reference
+    metrics["points"][f"w{first_point[0]}"] = first
+
+    _, _, macro_report = _run_lane(
+        catalog, params, REFERENCE["workers"], REFERENCE["tenants"],
+        REFERENCE["duration"], "macro", macro_profiles,
+        queue_depth=REFERENCE["queue_depth"],
+    )
+    metrics["macro_identical_to_engine"] = int(
+        report_to_json(macro_report) == report_to_json(engine_report)
+    )
+
+    for workers, tenants, duration in SWEEP_POINTS[1:]:
+        cells, _, _ = _run_lane(
+            catalog, params, workers, tenants, duration, "macro", macro_profiles
+        )
+        metrics["points"][f"w{workers}"] = cells
+
+    metrics["speedup_vs_seed_loop"] = (
+        first["events_per_sec"] / reference["events_per_sec"]
+        if reference["events_per_sec"] > 0
+        else 0.0
+    )
+
+    if not wall:
+        metrics.pop("speedup_vs_seed_loop")
+        for cells in [metrics["reference_engine"], *metrics["points"].values()]:
+            cells.pop("wall_seconds")
+            cells.pop("events_per_sec")
+    return metrics
+
+
+def check_scale(metrics: dict) -> list[str]:
+    """The lane's inline invariants; returns failure messages."""
+    failures = []
+    if not metrics.get("macro_identical_to_engine"):
+        failures.append(
+            "macro fleet report is not byte-identical to engine fidelity "
+            "at the reference point"
+        )
+    for label, cells in metrics["points"].items():
+        accounted = cells["completions"] + cells["rejections"]
+        if accounted != cells["arrivals"]:
+            failures.append(
+                f"{label}: {accounted} of {cells['arrivals']} arrivals "
+                "accounted for (completions + rejections)"
+            )
+    speedup = metrics.get("speedup_vs_seed_loop")
+    if speedup is not None and speedup < MIN_SPEEDUP:
+        failures.append(
+            f"macro event loop is only {speedup:.1f}x the seed event loop "
+            f"at the 2-worker point (need >= {MIN_SPEEDUP:.0f}x)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.002, help="TPC-H scale factor")
+    parser.add_argument("--seed", type=int, default=DEFAULTS["seed"], help="master seed")
+    parser.add_argument(
+        "--out", default="BENCH_fleet_scale.json", help="JSON output path"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail unless macro==engine at the reference point, every arrival "
+        "is accounted for, and the macro loop clears the 50x speedup floor",
+    )
+    parser.add_argument(
+        "--no-wall", action="store_true",
+        help="omit wall_seconds/events_per_sec/speedup leaves "
+        "(used to generate the deterministic baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    metrics = run_scale_bench(
+        args.scale, {"seed": args.seed}, wall=not args.no_wall
+    )
+    write_bench(args.out, bench_payload("fleet_scale", args.scale, metrics))
+    print(f"wrote {args.out}")
+
+    reference = metrics["reference_engine"]
+    line = f"reference engine: {reference['arrivals']} arrival(s)"
+    if not args.no_wall:
+        line += (
+            f", {reference['events_per_sec']:,.0f} events/s"
+            f" ({reference['wall_seconds']:.3f}s wall)"
+        )
+    print(line)
+    for label, cells in metrics["points"].items():
+        line = (
+            f"{label}: {cells['arrivals']} arrival(s), "
+            f"{cells['completions']} completed, "
+            f"{cells['suspensions']} suspension(s), "
+            f"{cells['slo_misses']} SLO miss(es)"
+        )
+        if not args.no_wall:
+            line += (
+                f", {cells['events_per_sec']:,.0f} events/s"
+                f" ({cells['wall_seconds']:.3f}s wall)"
+            )
+        print(line)
+    if not args.no_wall:
+        print(f"speedup vs seed event loop: {metrics['speedup_vs_seed_loop']:.1f}x")
+    print(f"macro identical to engine: {bool(metrics['macro_identical_to_engine'])}")
+
+    if args.check:
+        failures = check_scale(metrics)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            "scale check passed: macro==engine, all arrivals accounted, "
+            f"{metrics.get('speedup_vs_seed_loop', 0.0):.0f}x over the seed loop"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -655,6 +655,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         make_tenants,
         record_fleet_timeline,
         report_to_json,
+        workload_to_jsonl,
     )
     from repro.obs.audit import DecisionJournal
     from repro.obs.metrics import MetricsRegistry as Registry
@@ -663,13 +664,25 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     catalog = _make_catalog(args.scale, args.seed)
     tenants = make_tenants(args.tenants, args.seed)
     arrivals = generate_workload(tenants, args.duration, args.seed)
-    metrics = Registry()
+    # Side outputs go to stderr so `--json > report.json` stays canonical.
+    if args.arrivals_out:
+        with open(args.arrivals_out, "w", encoding="utf-8") as stream:
+            stream.write(workload_to_jsonl(arrivals))
+        print(f"wrote {len(arrivals)} arrival(s) to {args.arrivals_out}",
+              file=sys.stderr)
+    # Observability sinks are pay-for-what-you-ask: none of them feed the
+    # report, so a bare run at 100k+ arrivals skips the bookkeeping.
+    wants_obs = bool(args.trace_out or args.timeline_out)
+    metrics = Registry() if wants_obs else None
     tracer = Tracer(metrics=metrics) if args.trace_out else None
     recorder = TimelineRecorder() if args.timeline_out else None
-    journal = DecisionJournal()
+    journal = DecisionJournal() if args.journal_out else None
     slo = SLOMonitor(tracer=tracer, journal=journal, metrics=metrics, recorder=recorder)
+    queue_depth = (
+        args.queue_depth if args.queue_depth is not None else max(16, 2 * args.workers)
+    )
     admission = AdmissionController(
-        max_queue_depth=args.queue_depth,
+        max_queue_depth=queue_depth,
         memory_budget_bytes=args.memory_budget,
         journal=journal,
         metrics=metrics,
@@ -688,10 +701,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         journal=journal,
         recorder=recorder,
         slo=slo,
+        fidelity=args.fidelity,
     )
     result = cluster.run(arrivals, args.duration)
     report = fleet_report(result)
-    # Side outputs go to stderr so `--json > report.json` stays canonical.
     if args.journal_out:
         journal.write_jsonl(args.journal_out)
         print(f"wrote {len(journal.records)} journal record(s) to {args.journal_out}",
@@ -934,8 +947,16 @@ def main(argv: list[str] | None = None) -> int:
         help="local TPC-H scale factor (default: 0.002)",
     )
     fleet.add_argument(
-        "--queue-depth", type=int, default=16,
-        help="admission queue depth before shedding (default: 16)",
+        "--queue-depth", type=int, default=None,
+        help="admission queue depth before shedding "
+        "(default: max(16, 2 x workers))",
+    )
+    fleet.add_argument(
+        "--fidelity", choices=["engine", "macro"], default="engine",
+        help="execution fidelity: 'engine' runs the morsel executor per "
+        "dispatch slice, 'macro' replays calibrated per-query run profiles "
+        "analytically — byte-identical results, orders of magnitude faster "
+        "at fleet scale (default: engine)",
     )
     fleet.add_argument(
         "--memory-budget", type=int, default=None, metavar="BYTES",
@@ -956,6 +977,11 @@ def main(argv: list[str] | None = None) -> int:
     fleet.add_argument(
         "--journal-out", default=None, metavar="PATH",
         help="write the decision journal (admission/placement/reclamation) as JSONL",
+    )
+    fleet.add_argument(
+        "--arrivals-out", default=None, metavar="PATH",
+        help="dump the generated workload as canonical JSONL (one "
+        "QueryArrival per line) for inspection and twin calibration",
     )
     fleet.add_argument(
         "--trace-out", default=None, metavar="PATH",

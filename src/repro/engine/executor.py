@@ -136,6 +136,11 @@ class ExecutionCapture:
     stats: QueryStats
     memory_bytes: int
     live_pipelines: set[int] = field(default_factory=set)
+    #: Pipelines bypassed by an earlier resume: completed in a previous
+    #: suspension generation, with dead (unpersisted) states.  Without
+    #: them a chained snapshot would forget that earlier prefix and the
+    #: next resume would re-run pipelines the query already finished.
+    skipped_pipelines: set[int] = field(default_factory=set)
     current_pipeline: int | None = None
     next_morsel: int = 0
     rows_in_pipeline: int = 0
@@ -733,6 +738,7 @@ class QueryExecutor:
             stats=self.stats,
             memory_bytes=self.memory.total_bytes,
             live_pipelines=self.live_pipeline_ids(),
+            skipped_pipelines=set(self.skipped_pipelines),
         )
 
     def _capture_process(self, run: _PipelineRun | None) -> ExecutionCapture:
@@ -749,6 +755,7 @@ class QueryExecutor:
             live_pipelines=self.live_pipeline_ids(
                 None if run is None else run.pipeline.pipeline_id
             ),
+            skipped_pipelines=set(self.skipped_pipelines),
         )
         if run is not None:
             capture.current_pipeline = run.pipeline.pipeline_id

@@ -17,7 +17,20 @@ from repro.fleet.admission import (
     SuspendAwarePolicy,
     make_policy,
 )
-from repro.fleet.cluster import FleetCluster, FleetCompletion, FleetResult, WorkerSummary
+from repro.fleet.cluster import (
+    FIDELITIES,
+    FleetCluster,
+    FleetCompletion,
+    FleetResult,
+    WorkerSummary,
+)
+from repro.fleet.events import EventQueue, FairShareReadyQueue, ReadyQueue, WorkerIndex
+from repro.fleet.macro import (
+    MacroQueryState,
+    QueryRunProfile,
+    calibrate_query,
+    run_macro_slice,
+)
 from repro.fleet.report import (
     fleet_prices,
     fleet_report,
@@ -33,6 +46,7 @@ from repro.fleet.workload import (
     TenantProfile,
     generate_workload,
     make_tenants,
+    workload_to_jsonl,
 )
 
 __all__ = [
@@ -41,6 +55,16 @@ __all__ = [
     "QueryArrival",
     "make_tenants",
     "generate_workload",
+    "workload_to_jsonl",
+    "EventQueue",
+    "ReadyQueue",
+    "FairShareReadyQueue",
+    "WorkerIndex",
+    "FIDELITIES",
+    "MacroQueryState",
+    "QueryRunProfile",
+    "calibrate_query",
+    "run_macro_slice",
     "POLICIES",
     "make_policy",
     "SchedulingPolicy",

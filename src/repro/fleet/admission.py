@@ -156,6 +156,13 @@ class SchedulingPolicy:
     #: whether running non-interactive queries should be suspended when
     #: interactive work would otherwise wait
     preemptive: bool = False
+    #: static per-query heap key (a callable) when the policy's order does
+    #: not depend on runtime state; lets the cluster keep its ready set in
+    #: policy order instead of re-scanning.  ``None`` falls back to
+    #: :meth:`select` over the full ready list.
+    order_key = None
+    #: marks the weighted-fair-queueing order (two-level ready set)
+    fair_share: bool = False
 
     def select(self, queue: list, served_per_weight: dict[str, float]):
         """Pick the next query to dispatch from a non-empty *queue*.
@@ -172,8 +179,12 @@ class FifoPolicy(SchedulingPolicy):
     name = "fifo"
     preemptive = False
 
+    @staticmethod
+    def order_key(query):
+        return (query.arrival.arrival_time, query.arrival.name)
+
     def select(self, queue, served_per_weight):
-        return min(queue, key=lambda q: (q.arrival.arrival_time, q.arrival.name))
+        return min(queue, key=self.order_key)
 
 
 class SuspendAwarePolicy(SchedulingPolicy):
@@ -182,15 +193,16 @@ class SuspendAwarePolicy(SchedulingPolicy):
     name = "suspend-aware"
     preemptive = True
 
-    def select(self, queue, served_per_weight):
-        return min(
-            queue,
-            key=lambda q: (
-                not q.arrival.interactive,
-                q.arrival.arrival_time,
-                q.arrival.name,
-            ),
+    @staticmethod
+    def order_key(query):
+        return (
+            not query.arrival.interactive,
+            query.arrival.arrival_time,
+            query.arrival.name,
         )
+
+    def select(self, queue, served_per_weight):
+        return min(queue, key=self.order_key)
 
 
 class FairSharePolicy(SchedulingPolicy):
@@ -198,6 +210,7 @@ class FairSharePolicy(SchedulingPolicy):
 
     name = "fair-share"
     preemptive = True
+    fair_share = True
 
     def select(self, queue, served_per_weight):
         return min(

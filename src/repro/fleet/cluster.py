@@ -15,6 +15,20 @@ Everything is deterministic: arrivals come pre-sorted from
 chosen by ``(earliest start, worker id)``, and all latencies are modelled
 through :class:`~repro.engine.profile.HardwareProfile`, so two runs with
 the same seed produce byte-identical reports and journals.
+
+Scale comes from three layers (see DESIGN.md "Fleet at scale"):
+
+* the event loop runs on the indexed structures in
+  :mod:`repro.fleet.events` — a release heap and policy-ordered ready
+  sets instead of the former rescan/re-sort of a flat pending list, and a
+  :class:`~repro.fleet.events.WorkerIndex` instead of an O(W) worker scan
+  per dispatch;
+* availability windows are drawn in vectorized batches (bit-identical to
+  the former scalar loop);
+* ``fidelity="macro"`` replays dispatch slices analytically from
+  calibrated :class:`~repro.fleet.macro.QueryRunProfile` grids — no
+  :class:`~repro.engine.executor.QueryExecutor` per slice — and is
+  byte-identical to ``fidelity="engine"`` by construction.
 """
 
 from __future__ import annotations
@@ -22,7 +36,7 @@ from __future__ import annotations
 import math
 import os
 import tempfile
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -35,6 +49,18 @@ from repro.engine.errors import QuerySuspended, QueryTerminated
 from repro.engine.executor import QueryExecutor, ResumeState
 from repro.engine.profile import HardwareProfile
 from repro.fleet.admission import AdmissionController, FleetRejected, SchedulingPolicy
+from repro.fleet.events import (
+    EventQueue,
+    FairShareReadyQueue,
+    ReadyQueue,
+    WorkerIndex,
+)
+from repro.fleet.macro import (
+    MacroQueryState,
+    QueryRunProfile,
+    calibrate_query,
+    run_macro_slice,
+)
 from repro.fleet.workload import QueryArrival
 from repro.obs.audit import DecisionJournal
 from repro.obs.metrics import MetricsRegistry
@@ -46,11 +72,20 @@ from repro.suspend.controller import CompositeController, TerminationController
 from repro.suspend.pipeline_level import PipelineLevelStrategy
 from repro.tpch import build_query
 
-__all__ = ["FleetCompletion", "WorkerSummary", "FleetResult", "FleetCluster"]
+__all__ = [
+    "FleetCompletion",
+    "WorkerSummary",
+    "FleetResult",
+    "FleetCluster",
+    "FIDELITIES",
+]
 
 #: Slots shorter than this are skipped: dispatching into a sliver of
 #: availability would terminate before the first boundary and churn.
 MIN_SLICE_SECONDS = 1.0
+
+#: Supported execution fidelities for :class:`FleetCluster`.
+FIDELITIES = ("engine", "macro")
 
 _EPSILON = 1e-9
 
@@ -155,6 +190,8 @@ class _WorkerState:
     def __init__(self, wid: int, windows: list[_Window]):
         self.wid = wid
         self.windows = windows
+        #: sorted window ends, for the bisect in :meth:`slot_at`
+        self._ends = [window.end for window in windows]
         self.free_at = 0.0
         self.busy_seconds = 0.0
         self.reclamations = 0
@@ -166,15 +203,17 @@ class _WorkerState:
         Windows with less than :data:`MIN_SLICE_SECONDS` remaining are
         skipped; beyond the trace the worker is permanently available (the
         forecast horizon has passed), which guarantees the simulation
-        terminates.
+        terminates.  Since every window is at least
+        :data:`MIN_SLICE_SECONDS` wide, the loop past the bisect runs at
+        most twice.
         """
-        for window in self.windows:
-            if window.end <= lower:
-                continue
+        windows = self.windows
+        for index in range(bisect_right(self._ends, lower), len(windows)):
+            window = windows[index]
             start = max(lower, window.start)
             if window.end - start >= MIN_SLICE_SECONDS:
                 return start, window.end
-        tail = self.windows[-1].end if self.windows else 0.0
+        tail = windows[-1].end if windows else 0.0
         return max(lower, tail), math.inf
 
     def summary(self) -> WorkerSummary:
@@ -200,24 +239,120 @@ class _FleetQuery:
         self.snapshot_path = None
         self.pipelines = None
         self.fingerprint = None
+        #: macro-fidelity snapshot bookkeeping (None in engine fidelity)
+        self.macro: MacroQueryState | None = None
         #: causal span tree (None when the fleet runs unobserved)
         self.lifecycle: QueryLifecycle | None = None
+        #: live event tokens while queued (cancelled on selection)
+        self._interactive_event = None
+
+    @property
+    def has_snapshot(self) -> bool:
+        """Whether the next dispatch resumes from a snapshot."""
+        if self.snapshot_path is not None:
+            return True
+        return self.macro is not None and self.macro.has_snapshot
+
+
+@dataclass
+class _SliceOutcome:
+    """What one engine slice did: ``complete``/``suspend``/``terminate``."""
+
+    kind: str
+    end: float = 0.0
+    suspended_at: float = 0.0
+    persist_latency: float = 0.0
+    intermediate_bytes: int = 0
+    snapshot_path: Path | None = None
+
+
+class _SelectReadyQueue:
+    """Fallback ready set for policies without a static ``order_key``.
+
+    Preserves the historic behaviour for custom
+    :class:`~repro.fleet.admission.SchedulingPolicy` subclasses: the full
+    ready list is handed to ``policy.select`` on every dispatch.
+    """
+
+    def __init__(self, policy: SchedulingPolicy, served_per_weight: dict):
+        self._policy = policy
+        self._served = served_per_weight
+        self._items: list[_FleetQuery] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def add(self, query: _FleetQuery) -> None:
+        self._items.append(query)
+
+    def pop_min(self) -> _FleetQuery:
+        query = self._policy.select(self._items, self._served)
+        self._items.remove(query)
+        return query
+
+    def reorder(self, tenant: str) -> None:
+        """``select`` reads served time live; nothing cached to re-key."""
+
+
+@dataclass
+class _RunState:
+    """Mutable per-run scheduling state (one :meth:`FleetCluster.run`)."""
+
+    #: policy-ordered set of queries with ``ready_at <= dispatch start``
+    released: object
+    #: min-heap of not-yet-released pending queries keyed by ``ready_at``
+    release_heap: EventQueue
+    #: min-heap over queued *interactive* queries' ``ready_at``
+    interactive_heap: EventQueue
+    worker_index: WorkerIndex
+    #: sorted ``(free_at, wid)`` pairs — in-flight sampling and the
+    #: another-worker-free check without scanning the fleet
+    free_sorted: list[tuple[float, int]]
+    served_per_weight: dict[str, float]
+    #: incremental counters feeding ``_sample_state`` (O(1) per sample)
+    suspended_count: int = 0
+    reserved_bytes: int = 0
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.release_heap) + len(self.released)
 
 
 def _availability_windows(
     seed: int, wid: int, horizon: float, mean_on: float, mean_off: float
 ) -> list[_Window]:
-    """Seeded on/off window list for one worker over ``[0, horizon)``."""
+    """Seeded on/off window list for one worker over ``[0, horizon)``.
+
+    Vectorized but bit-identical to the original scalar loop: the
+    generator emits the same ``on, off, on, off, …`` exponential stream
+    (``standard_exponential`` batches continue the stream exactly), and
+    ``np.add.accumulate`` over the ``on + off`` deltas replays the
+    scalar ``cursor += on + off`` float additions left to right.
+    """
+    if horizon <= 0:
+        return []
     rng = np.random.default_rng(
         np.random.SeedSequence([derive_seed(seed, "availability", wid), 0])
     )
-    windows: list[_Window] = []
-    cursor = 0.0
-    while cursor < horizon:
-        on = max(MIN_SLICE_SECONDS, float(rng.exponential(mean_on)))
-        windows.append(_Window(cursor, cursor + on))
-        cursor += on + max(1.0, float(rng.exponential(mean_off)))
-    return windows
+    batch = max(16, int(horizon / (mean_on + mean_off) * 1.25) + 16)
+    raw = rng.standard_exponential(size=2 * batch)
+    ons = np.maximum(MIN_SLICE_SECONDS, raw[0::2] * mean_on)
+    gaps = np.maximum(1.0, raw[1::2] * mean_off)
+    cursors = np.add.accumulate(ons + gaps)
+    while cursors[-1] < horizon:
+        raw = rng.standard_exponential(size=2 * batch)
+        ons = np.concatenate([ons, np.maximum(MIN_SLICE_SECONDS, raw[0::2] * mean_on)])
+        gaps = np.concatenate([gaps, np.maximum(1.0, raw[1::2] * mean_off)])
+        # Re-accumulate from scratch so every cursor stays the exact
+        # left-to-right running sum regardless of batch boundaries.
+        cursors = np.add.accumulate(ons + gaps)
+    count = 1 + int(np.searchsorted(cursors, horizon, side="left"))
+    starts = np.concatenate(([0.0], cursors[: count - 1]))
+    ends = starts + ons[:count]
+    return [_Window(float(s), float(e)) for s, e in zip(starts, ends)]
 
 
 class FleetCluster:
@@ -240,9 +375,15 @@ class FleetCluster:
         journal: DecisionJournal | None = None,
         recorder: TimelineRecorder | None = None,
         slo=None,
+        fidelity: str = "engine",
+        macro_profiles: dict[str, QueryRunProfile] | None = None,
     ):
         if workers <= 0:
             raise ValueError(f"worker count must be positive, got {workers}")
+        if fidelity not in FIDELITIES:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r}; expected one of {FIDELITIES}"
+            )
         self.catalog = catalog
         self.policy = policy
         self.worker_count = workers
@@ -267,11 +408,22 @@ class FleetCluster:
         #: optional :class:`~repro.fleet.slo.SLOMonitor` fed every
         #: terminal outcome (completions and shed arrivals)
         self.slo = slo
+        #: "engine" runs a QueryExecutor per slice; "macro" replays the
+        #: calibrated run profile analytically (byte-identical results)
+        self.fidelity = fidelity
         self.strategy = PipelineLevelStrategy(self.profile, metrics=metrics)
         if self.admission.tracer is None:
             self.admission.tracer = tracer
         self._plans: dict[str, object] = {}
         self._measured: dict[str, tuple[float, int]] = {}
+        #: calibrated run profiles, shareable across clusters with the
+        #: same catalog/profile/morsel size (e.g. the bench sweep)
+        self._macro_profiles: dict[str, QueryRunProfile] = (
+            macro_profiles if macro_profiles is not None else {}
+        )
+        self._state: _RunState | None = None
+        self._workers: list[_WorkerState] = []
+        self._interactive_times: list[float] = []
         # Feed the admission controller measured peaks as they are learned.
         self.admission.peak_memory = {}
 
@@ -283,25 +435,57 @@ class FleetCluster:
             self._plans[query] = plan
         return plan
 
-    def measure(self, query: str) -> tuple[float, int]:
-        """Cached ``(normal_time, peak_memory_bytes)`` of an undisturbed run."""
-        cached = self._measured.get(query)
-        if cached is None:
-            clock = SimulatedClock()
-            result = QueryExecutor(
+    def _macro_profile(self, query: str) -> QueryRunProfile:
+        """Cached calibrated run profile for *query* (macro fidelity)."""
+        run_profile = self._macro_profiles.get(query)
+        if run_profile is None:
+            run_profile = calibrate_query(
                 self.catalog,
                 self._plan(query),
-                profile=self.profile,
-                clock=clock,
-                morsel_size=self.morsel_size,
-                query_name=query,
-            ).run()
-            cached = (result.stats.duration, result.peak_memory_bytes)
+                self.profile,
+                self.morsel_size,
+                query,
+                self.strategy.codec,
+            )
+            self._macro_profiles[query] = run_profile
+        return run_profile
+
+    def measure(self, query: str) -> tuple[float, int]:
+        """Cached ``(normal_time, peak_memory_bytes)`` of an undisturbed run.
+
+        In macro fidelity the measurement run doubles as the calibration
+        run — the instrumented executor records the full advance grid
+        while producing the exact same duration and peak memory.
+        """
+        cached = self._measured.get(query)
+        if cached is None:
+            if self.fidelity == "macro":
+                run_profile = self._macro_profile(query)
+                cached = (run_profile.normal_time, run_profile.peak_memory_bytes)
+            else:
+                clock = SimulatedClock()
+                result = QueryExecutor(
+                    self.catalog,
+                    self._plan(query),
+                    profile=self.profile,
+                    clock=clock,
+                    morsel_size=self.morsel_size,
+                    query_name=query,
+                ).run()
+                cached = (result.stats.duration, result.peak_memory_bytes)
             self._measured[query] = cached
-            self.admission.peak_memory[query] = result.peak_memory_bytes
+            self.admission.peak_memory[query] = cached[1]
         return cached
 
     # -- simulation ----------------------------------------------------------
+    def _make_ready_set(self, served_per_weight: dict[str, float]):
+        if getattr(self.policy, "fair_share", False):
+            return FairShareReadyQueue(served_per_weight)
+        order_key = getattr(self.policy, "order_key", None)
+        if order_key is not None:
+            return ReadyQueue(order_key)
+        return _SelectReadyQueue(self.policy, served_per_weight)
+
     def run(self, arrivals: list[QueryArrival], duration: float) -> FleetResult:
         """Simulate *arrivals* over a horizon of *duration* virtual seconds."""
         workers = [
@@ -313,56 +497,89 @@ class FleetCluster:
             )
             for wid in range(self.worker_count)
         ]
+        self._workers = workers
         arrivals = sorted(arrivals, key=lambda a: (a.arrival_time, a.name))
-        interactive_times = sorted(
+        self._interactive_times = sorted(
             a.arrival_time for a in arrivals if a.interactive
         )
         result = FleetResult(policy=self.policy.name, seed=self.seed, duration=duration)
-        pending: list[_FleetQuery] = []
         served_per_weight: dict[str, float] = {}
+        state = _RunState(
+            released=self._make_ready_set(served_per_weight),
+            release_heap=EventQueue(),
+            interactive_heap=EventQueue(),
+            worker_index=WorkerIndex(workers),
+            free_sorted=[(0.0, worker.wid) for worker in workers],
+            served_per_weight=served_per_weight,
+        )
+        self._state = state
         index = 0
-
-        while index < len(arrivals) or pending:
-            dispatch = self._next_dispatch(pending, workers)
+        # Dispatch starts are nondecreasing (pending ready times only grow,
+        # worker free times only grow), so once the released set is
+        # non-empty the previous start is a valid earliest-ready lower
+        # bound: every unreleased ready time is strictly greater, and
+        # slot_at is constant between the true minimum and the start it
+        # yields — the dispatch decision is identical.
+        last_start = 0.0
+        while index < len(arrivals) or state.pending_count:
+            dispatch = None
+            if state.pending_count:
+                if len(state.released):
+                    earliest_ready = last_start
+                    head = state.release_heap.peek()
+                    if head is not None and head.time < earliest_ready:
+                        earliest_ready = head.time
+                else:
+                    earliest_ready = state.release_heap.peek().time
+                dispatch = state.worker_index.best_slot(earliest_ready)
             if index < len(arrivals) and (
                 dispatch is None or arrivals[index].arrival_time <= dispatch[0]
             ):
-                self._admit(arrivals[index], pending, workers, result)
+                self._admit(arrivals[index], result)
                 index += 1
                 continue
             start, window_end, worker = dispatch
-            ready = [q for q in pending if q.ready_at <= start + _EPSILON]
-            query = self.policy.select(ready, served_per_weight)
-            pending.remove(query)
-            self._run_slice(
-                query,
-                worker,
-                workers,
-                start,
-                window_end,
-                pending,
-                interactive_times,
-                served_per_weight,
-                result,
-            )
-            self._sample_state(worker.free_at, pending, workers)
+            last_start = start
+            for event in state.release_heap.pop_until(start + _EPSILON):
+                state.released.add(event.payload)
+            query = state.released.pop_min()
+            self._on_select(query)
+            old_key = (worker.free_at, worker.wid)
+            self._run_slice(query, worker, start, window_end, result)
+            state.worker_index.reschedule(worker)
+            state.free_sorted.pop(bisect_left(state.free_sorted, old_key))
+            insort(state.free_sorted, (worker.free_at, worker.wid))
+            self._sample_state(worker.free_at)
         result.workers = [w.summary() for w in workers]
         result.rejections = list(self.admission.rejections)
+        self._state = None
         return result
 
-    def _next_dispatch(self, pending, workers):
-        """Earliest ``(start, window_end, worker)`` for any ready query."""
-        if not pending:
-            return None
-        earliest_ready = min(q.ready_at for q in pending)
-        best = None
-        for worker in workers:
-            start, window_end = worker.slot_at(max(earliest_ready, worker.free_at))
-            if best is None or (start, worker.wid) < (best[0], best[2].wid):
-                best = (start, window_end, worker)
-        return best
+    def _requeue(self, query: _FleetQuery) -> None:
+        """Put *query* back in the pending structures at ``query.ready_at``."""
+        state = self._state
+        name = query.arrival.name
+        state.release_heap.push(query.ready_at, "ready", name, query)
+        if query.arrival.interactive:
+            query._interactive_event = state.interactive_heap.push(
+                query.ready_at, "ready", name, query
+            )
+        if query.has_snapshot:
+            state.suspended_count += 1
+        state.reserved_bytes += self.admission.peak_memory.get(query.arrival.query, 0)
 
-    def _admit(self, arrival: QueryArrival, pending, workers, result: FleetResult) -> None:
+    def _on_select(self, query: _FleetQuery) -> None:
+        """Take *query* out of the pending bookkeeping for its slice."""
+        state = self._state
+        if query._interactive_event is not None:
+            state.interactive_heap.cancel(query._interactive_event)
+            query._interactive_event = None
+        if query.has_snapshot:
+            state.suspended_count -= 1
+        state.reserved_bytes -= self.admission.peak_memory.get(query.arrival.query, 0)
+
+    def _admit(self, arrival: QueryArrival, result: FleetResult) -> None:
+        state = self._state
         normal_time, _ = self.measure(arrival.query)
         lifecycle = None
         if self.tracer is not None or self.recorder is not None:
@@ -376,7 +593,7 @@ class FleetCluster:
                 query=arrival.query,
                 policy=self.policy.name,
             )
-        rejected = self.admission.admit(arrival, queue_depth=len(pending))
+        rejected = self.admission.admit(arrival, queue_depth=state.pending_count)
         if rejected is not None:
             if lifecycle is not None:
                 lifecycle.instant(
@@ -392,65 +609,86 @@ class FleetCluster:
                     False,
                     query=arrival.name,
                 )
-            self._sample_state(arrival.arrival_time, pending, workers)
+            self._sample_state(arrival.arrival_time)
             return
         if lifecycle is not None:
             lifecycle.instant(
-                "admission:admitted", arrival.arrival_time, queue_depth=len(pending)
+                "admission:admitted",
+                arrival.arrival_time,
+                queue_depth=state.pending_count,
             )
         query = _FleetQuery(arrival, normal_time)
         query.lifecycle = lifecycle
-        pending.append(query)
-        self._sample_state(arrival.arrival_time, pending, workers)
+        if self.fidelity == "macro":
+            query.macro = MacroQueryState()
+        self._requeue(query)
+        self._sample_state(arrival.arrival_time)
 
-    def _sample_state(self, ts: float, pending, workers) -> None:
+    def _sample_state(self, ts: float) -> None:
         """Fold the fleet's instantaneous state into the timeline windows."""
         if self.recorder is None:
             return
-        self.recorder.sample("fleet_queue_depth", ts, len(pending))
-        self.recorder.sample(
-            "fleet_suspended",
-            ts,
-            sum(1 for q in pending if q.snapshot_path is not None),
+        state = self._state
+        self.recorder.sample("fleet_queue_depth", ts, state.pending_count)
+        self.recorder.sample("fleet_suspended", ts, state.suspended_count)
+        self.recorder.sample("fleet_reserved_bytes", ts, state.reserved_bytes)
+        in_flight = self.worker_count - bisect_right(
+            state.free_sorted, (ts + _EPSILON, self.worker_count)
         )
-        self.recorder.sample(
-            "fleet_reserved_bytes",
-            ts,
-            sum(
-                self.admission.peak_memory.get(q.arrival.query, 0) for q in pending
-            ),
-        )
-        self.recorder.sample(
-            "fleet_in_flight", ts, sum(1 for w in workers if w.free_at > ts + _EPSILON)
-        )
+        self.recorder.sample("fleet_in_flight", ts, in_flight)
 
-    def _next_interactive_after(self, at_time: float, pending, interactive_times):
-        """Earliest future interactive demand, from queue or arrivals."""
-        candidates = [
-            q.ready_at
-            for q in pending
-            if q.arrival.interactive and q.ready_at > at_time + _EPSILON
-        ]
-        position = bisect_right(interactive_times, at_time + _EPSILON)
-        if position < len(interactive_times):
-            candidates.append(interactive_times[position])
-        return min(candidates, default=None)
+    def _next_interactive_after(self, at_time: float) -> float | None:
+        """Earliest future interactive demand, from queue or arrivals.
 
-    def _another_worker_free(self, workers, worker, at_time: float) -> bool:
+        Queued candidates come from the interactive ready-time heap; heads
+        at or before *at_time* are discarded outright — dispatch starts
+        are nondecreasing, so they can never become candidates again (a
+        later suspension pushes a fresh event).  Future arrivals bisect
+        the pre-sorted arrival-time list.
+        """
+        state = self._state
+        heap = state.interactive_heap
+        head = heap.peek()
+        while head is not None and head.time <= at_time + _EPSILON:
+            heap.pop()
+            head = heap.peek()
+        candidate = head.time if head is not None else None
+        position = bisect_right(self._interactive_times, at_time + _EPSILON)
+        if position < len(self._interactive_times):
+            arrival_time = self._interactive_times[position]
+            if candidate is None or arrival_time < candidate:
+                candidate = arrival_time
+        return candidate
+
+    def _another_worker_free(self, worker: _WorkerState, at_time: float) -> bool:
         """Whether a different worker could pick up work at *at_time*."""
-        for other in workers:
-            if other.wid == worker.wid:
+        state = self._state
+        free_sorted = state.free_sorted
+        limit = bisect_right(free_sorted, (at_time + _EPSILON, self.worker_count))
+        for position in range(limit):
+            wid = free_sorted[position][1]
+            if wid == worker.wid:
                 continue
-            if other.free_at > at_time + _EPSILON:
-                continue
+            other = self._workers[wid]
             start, _ = other.slot_at(max(other.free_at, at_time))
             if start <= at_time + _EPSILON:
                 return True
         return False
 
+    def _request_time(
+        self, query: _FleetQuery, worker: _WorkerState, start: float
+    ) -> float | None:
+        """When (if ever) this slice should yield to interactive demand."""
+        if not self.policy.preemptive or query.arrival.interactive:
+            return None
+        request_at = self._next_interactive_after(start)
+        if request_at is not None and self._another_worker_free(worker, request_at):
+            return None
+        return request_at
+
     def _controllers(
-        self, query, worker, workers, start, window_end, pending, interactive_times
-    ):
+        self, window_end: float, request_at: float | None
+    ) -> ExecutionController | None:
         controllers: list[ExecutionController] = []
         if math.isfinite(window_end):
             # The reclamation itself, plus a deadline controller that
@@ -463,32 +701,20 @@ class FleetCluster:
                 controllers.append(
                     DeadlineController(window_end, self.profile, "pipeline")
                 )
-        if self.policy.preemptive and not query.arrival.interactive:
-            request_at = self._next_interactive_after(start, pending, interactive_times)
-            if request_at is not None and not self._another_worker_free(
-                workers, worker, request_at
-            ):
-                controllers.append(
-                    self.strategy.make_request_controller(request_at)
-                )
+        if request_at is not None:
+            controllers.append(self.strategy.make_request_controller(request_at))
         if not controllers:
             return None
         return CompositeController(controllers)
 
-    def _run_slice(
+    def _engine_slice(
         self,
         query: _FleetQuery,
-        worker: _WorkerState,
-        workers,
         start: float,
         window_end: float,
-        pending,
-        interactive_times,
-        served_per_weight,
-        result: FleetResult,
-    ) -> None:
-        lifecycle = query.lifecycle
-        slice_id = lifecycle.begin_slice() if lifecycle is not None else None
+        request_at: float | None,
+    ) -> tuple[_SliceOutcome, float | None]:
+        """One dispatch slice through the real morsel executor."""
         resume_state: ResumeState | None = None
         clock_start = start
         reload_end = None
@@ -505,9 +731,7 @@ class FleetCluster:
             # a reclamation can land mid-reload, which truncates it.
             reload_end = clock_start
         clock = SimulatedClock(clock_start)
-        controller = self._controllers(
-            query, worker, workers, start, window_end, pending, interactive_times
-        )
+        controller = self._controllers(window_end, request_at)
         executor = QueryExecutor(
             self.catalog,
             self._plan(query.arrival.query),
@@ -524,7 +748,74 @@ class FleetCluster:
             executor.run()
         except QuerySuspended as suspended:
             persisted = self.strategy.persist(suspended.capture, self.snapshot_dir)
-            end = persisted.suspended_at + persisted.persist_latency
+            outcome = _SliceOutcome(
+                kind="suspend",
+                suspended_at=persisted.suspended_at,
+                persist_latency=persisted.persist_latency,
+                intermediate_bytes=persisted.intermediate_bytes,
+                snapshot_path=persisted.snapshot_path,
+            )
+            return outcome, reload_end
+        except QueryTerminated:
+            return _SliceOutcome(kind="terminate"), reload_end
+        return _SliceOutcome(kind="complete", end=clock.now()), reload_end
+
+    def _macro_slice(
+        self,
+        query: _FleetQuery,
+        start: float,
+        window_end: float,
+        request_at: float | None,
+    ):
+        """One dispatch slice replayed from the calibrated run profile."""
+        run_profile = self._macro_profile(query.arrival.query)
+        macro = query.macro
+        reload_end = None
+        clock_start = start
+        prefix = 0
+        durations: list[float] = []
+        if macro.has_snapshot:
+            prefix = macro.file_prefix
+            durations = list(macro.file_durations)
+            clock_start = start + run_profile.reload_latency[prefix - 1]
+            reload_end = clock_start
+        outcome = run_macro_slice(
+            run_profile,
+            prefix,
+            durations,
+            clock_start,
+            window_end,
+            self.policy.preemptive and math.isfinite(window_end),
+            request_at,
+        )
+        if outcome.kind == "suspend":
+            # The snapshot file is overwritten on every persist attempt —
+            # even one that misses its window — so the *file* state always
+            # advances; only ``has_snapshot`` (set by the caller) gates on
+            # beating the reclamation.
+            macro.file_prefix = outcome.breaker + 1
+            macro.file_durations = list(durations)
+        return outcome, reload_end
+
+    def _run_slice(
+        self,
+        query: _FleetQuery,
+        worker: _WorkerState,
+        start: float,
+        window_end: float,
+        result: FleetResult,
+    ) -> None:
+        lifecycle = query.lifecycle
+        slice_id = lifecycle.begin_slice() if lifecycle is not None else None
+        request_at = self._request_time(query, worker, start)
+        if self.fidelity == "macro":
+            outcome, reload_end = self._macro_slice(query, start, window_end, request_at)
+        else:
+            outcome, reload_end = self._engine_slice(
+                query, start, window_end, request_at
+            )
+        if outcome.kind == "suspend":
+            end = outcome.suspended_at + outcome.persist_latency
             if end > window_end + _EPSILON:
                 # The snapshot missed the reclamation: the window's
                 # progress is lost and the query falls back to its
@@ -532,18 +823,22 @@ class FleetCluster:
                 if lifecycle is not None:
                     lifecycle.instant(
                         "persist:missed-window",
-                        min(persisted.suspended_at, window_end),
+                        min(outcome.suspended_at, window_end),
                         parent_id=slice_id,
                         category="persist",
-                        persist_latency=persisted.persist_latency,
+                        persist_latency=outcome.persist_latency,
                     )
                 self._reclaim(
                     query, worker, start, window_end, result, reload_end=reload_end
                 )
             else:
                 query.suspensions += 1
-                query.persisted_bytes += persisted.intermediate_bytes
-                query.snapshot_path = persisted.snapshot_path
+                query.persisted_bytes += outcome.intermediate_bytes
+                snapshot_path = getattr(outcome, "snapshot_path", None)
+                if snapshot_path is not None:
+                    query.snapshot_path = snapshot_path
+                else:
+                    query.macro.has_snapshot = True
                 if lifecycle is not None:
                     if reload_end is not None:
                         lifecycle.span(
@@ -555,20 +850,22 @@ class FleetCluster:
                         )
                     lifecycle.instant(
                         "suspend",
-                        persisted.suspended_at,
+                        outcome.suspended_at,
                         parent_id=slice_id,
                         category="suspend",
                         suspensions=query.suspensions,
                     )
                     lifecycle.span(
                         f"persist:{self.strategy.name}",
-                        persisted.suspended_at,
+                        outcome.suspended_at,
                         end,
                         parent_id=slice_id,
                         category="persist",
-                        bytes=persisted.intermediate_bytes,
+                        bytes=outcome.intermediate_bytes,
                     )
-                self._finish_slice(query, worker, start, end, served_per_weight)
+                self._finish_slice(
+                    query, worker, start, end, self._state.served_per_weight
+                )
                 if self.journal is not None:
                     self.journal.append(
                         "placement",
@@ -578,18 +875,18 @@ class FleetCluster:
                         step="preempt",
                         worker=worker.wid,
                         suspensions=query.suspensions,
-                        persisted_bytes=persisted.intermediate_bytes,
+                        persisted_bytes=outcome.intermediate_bytes,
                     )
-            pending.append(query)
-            pending.sort(key=lambda q: (q.ready_at, q.arrival.name))
+            self._requeue(query)
             return
-        except QueryTerminated:
+        if outcome.kind == "terminate":
             # Reclamation landed before any usable suspension point.
-            self._reclaim(query, worker, start, window_end, result, reload_end=reload_end)
-            pending.append(query)
-            pending.sort(key=lambda q: (q.ready_at, q.arrival.name))
+            self._reclaim(
+                query, worker, start, window_end, result, reload_end=reload_end
+            )
+            self._requeue(query)
             return
-        end = clock.now()
+        end = outcome.end
         if lifecycle is not None and reload_end is not None:
             lifecycle.span(
                 f"reload:{self.strategy.name}",
@@ -598,7 +895,7 @@ class FleetCluster:
                 parent_id=slice_id,
                 category="resume",
             )
-        self._finish_slice(query, worker, start, end, served_per_weight)
+        self._finish_slice(query, worker, start, end, self._state.served_per_weight)
         self._complete(query, end, worker, result)
 
     def _reclaim(
@@ -629,7 +926,7 @@ class FleetCluster:
                 parent_id=slice_id,
                 worker=worker.wid,
                 lost_segments=query.lost_segments,
-                has_snapshot=query.snapshot_path is not None,
+                has_snapshot=query.has_snapshot,
             )
         if self.journal is not None:
             self.journal.append(
@@ -639,7 +936,7 @@ class FleetCluster:
                 worker=worker.wid,
                 slice_start=start,
                 lost_segments=query.lost_segments,
-                has_snapshot=query.snapshot_path is not None,
+                has_snapshot=query.has_snapshot,
             )
         if self.tracer is not None:
             self.tracer.instant(
@@ -669,6 +966,9 @@ class FleetCluster:
             served_per_weight[tenant] = served_per_weight.get(tenant, 0.0) + (
                 (end - start) / query.arrival.weight
             )
+            if self._state is not None:
+                # Fair-share caches tenant keys; re-key after serving.
+                self._state.released.reorder(tenant)
         if self.tracer is not None:
             self.tracer.span(
                 "fleet",

@@ -83,11 +83,18 @@ def dollars_for_slices(
     """
     step = prices.segment_seconds
     dollars = 0.0
+    # The price is a pure function of the segment index; memoize it so a
+    # 100k-slice fleet pays one trace lookup per segment, not per split.
+    segment_price: dict[int, float] = {}
     for start, end, _query in slices:
         cursor = start
         while cursor < end - 1e-12:
-            boundary = min(end, (int(cursor / step) + 1) * step)
-            dollars += (boundary - cursor) / 3600.0 * prices.price_at(cursor)
+            segment = int(max(0.0, cursor) // step)
+            price = segment_price.get(segment)
+            if price is None:
+                price = segment_price[segment] = prices.price_at(cursor)
+            boundary = min(end, (segment + 1) * step)
+            dollars += (boundary - cursor) / 3600.0 * price
             cursor = boundary
     return dollars
 

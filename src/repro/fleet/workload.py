@@ -22,6 +22,7 @@ fleet determinism tests assert end to end.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,6 +35,7 @@ __all__ = [
     "QueryArrival",
     "make_tenants",
     "generate_workload",
+    "workload_to_jsonl",
 ]
 
 
@@ -74,6 +76,11 @@ TENANT_CLASSES: dict[str, dict] = {
 
 #: Order in which :func:`make_tenants` cycles the classes.
 _CLASS_CYCLE = ("interactive", "analytic", "batch")
+
+#: Substream id for the per-tenant arrival process (roster jitter uses 0).
+#: Part of the workload's draw-order contract: changing it regenerates
+#: every workload, so the fleet tests and bench baselines move with it.
+_ARRIVAL_STREAM = 14
 
 
 @dataclass(frozen=True)
@@ -151,47 +158,79 @@ def make_tenants(count: int, seed: int) -> list[TenantProfile]:
     return tenants
 
 
+def _event_times(rng: np.random.Generator, mean: float, duration: float) -> np.ndarray:
+    """Poisson event times over ``[0, duration)`` from batched draws.
+
+    The exponential gaps are drawn in geometrically growing batches and
+    cumulatively summed — O(1) Python calls per tenant instead of one
+    ``rng.exponential`` round-trip per arrival.  The result is still a
+    pure function of the generator state: batch boundaries only ever add
+    *unused* tail draws, they never change the values kept.
+    """
+    batch = max(16, int(duration / mean * 1.25) + 16)
+    gaps = rng.exponential(mean, size=batch)
+    times = np.add.accumulate(gaps)
+    while times[-1] < duration:
+        gaps = rng.exponential(mean, size=batch)
+        times = np.concatenate([times, times[-1] + np.add.accumulate(gaps)])
+    return times[times < duration]
+
+
 def _tenant_arrivals(
     tenant: TenantProfile, tenant_index: int, duration: float, seed: int
 ) -> list[QueryArrival]:
-    """Arrival stream for one tenant over ``[0, duration)``."""
+    """Arrival stream for one tenant over ``[0, duration)``.
+
+    Vectorized end to end: gap cumsum, geometric burst sizes, repeated
+    burst-member offsets, and one batched weighted query choice.  Member
+    times within a burst increase by 2 s, so masking the flat member
+    array against the horizon is equivalent to the per-burst early break
+    of the scalar implementation.
+    """
     rng = np.random.default_rng(
-        np.random.SeedSequence([derive_seed(seed, "workload", tenant_index), 1])
+        np.random.SeedSequence(
+            [derive_seed(seed, "workload", tenant_index), _ARRIVAL_STREAM]
+        )
     )
     weights = np.asarray(tenant.query_weights, dtype=np.float64)
     weights = weights / weights.sum()
-    arrivals: list[QueryArrival] = []
-    serial = 0
-    clock = 0.0
-    while True:
-        clock += float(rng.exponential(tenant.mean_interarrival))
-        if clock >= duration:
-            break
-        if tenant.bursty:
-            burst = int(rng.geometric(1.0 / tenant.burst_size_mean))
-        else:
-            burst = 1
-        for position in range(burst):
-            at_time = clock + 2.0 * position  # burst members trickle in
-            if at_time >= duration:
-                break
-            query = str(rng.choice(np.asarray(tenant.queries), p=weights))
-            arrivals.append(
-                QueryArrival(
-                    # No path separators: the name doubles as the snapshot
-                    # file stem on disk.
-                    name=f"{tenant.name}:{serial:03d}:{query}",
-                    tenant=tenant.name,
-                    tenant_class=tenant.klass,
-                    query=query,
-                    arrival_time=at_time,
-                    interactive=tenant.klass == "interactive",
-                    slo_factor=tenant.slo_factor,
-                    weight=tenant.weight,
-                )
-            )
-            serial += 1
-    return arrivals
+    events = _event_times(rng, tenant.mean_interarrival, duration)
+    if events.size == 0:
+        return []
+    if tenant.bursty:
+        bursts = rng.geometric(1.0 / tenant.burst_size_mean, size=events.size)
+    else:
+        bursts = np.ones(events.size, dtype=np.int64)
+    # Flat member array in event-major order: member k of event i lands
+    # at events[i] + 2k.  positions = 0,1,..,b_i-1 per event.
+    starts = np.add.accumulate(bursts) - bursts
+    positions = np.arange(int(bursts.sum())) - np.repeat(starts, bursts)
+    at_times = np.repeat(events, bursts) + 2.0 * positions
+    at_times = at_times[at_times < duration]
+    if at_times.size == 0:
+        return []
+    picks = rng.choice(len(tenant.queries), size=at_times.size, p=weights)
+    queries = [tenant.queries[int(pick)] for pick in picks]
+    name = tenant.name
+    klass = tenant.klass
+    interactive = klass == "interactive"
+    slo_factor = tenant.slo_factor
+    weight = tenant.weight
+    return [
+        QueryArrival(
+            # No path separators: the name doubles as the snapshot
+            # file stem on disk.
+            name=f"{name}:{serial:03d}:{query}",
+            tenant=name,
+            tenant_class=klass,
+            query=query,
+            arrival_time=float(at_time),
+            interactive=interactive,
+            slo_factor=slo_factor,
+            weight=weight,
+        )
+        for serial, (at_time, query) in enumerate(zip(at_times, queries))
+    ]
 
 
 def generate_workload(
@@ -209,3 +248,16 @@ def generate_workload(
         merged.extend(_tenant_arrivals(tenant, index, duration, seed))
     merged.sort(key=lambda a: (a.arrival_time, a.name))
     return merged
+
+
+def workload_to_jsonl(arrivals: list[QueryArrival]) -> str:
+    """Canonical JSONL dump of a workload, one arrival per line.
+
+    Keys are sorted and separators minimal, so the bytes are a pure
+    function of the workload — the `--arrivals-out` contract used for
+    inspection and twin calibration.
+    """
+    return "".join(
+        json.dumps(arrival.to_json(), sort_keys=True, separators=(",", ":")) + "\n"
+        for arrival in arrivals
+    )

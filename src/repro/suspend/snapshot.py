@@ -210,7 +210,14 @@ class PipelineSnapshot:
         raw_bytes = encoded + stats.saved_bytes
         return cls(
             meta=meta,
-            completed_pipelines=sorted(capture.completed_states),
+            # Union with the resume-skipped set: after a chained suspend
+            # the in-memory completed states only cover the *live* ones
+            # restored by the last resume — the earlier generations'
+            # pipelines are finished too, and forgetting them here would
+            # make the next resume re-run work the query already did.
+            completed_pipelines=sorted(
+                set(capture.completed_states) | capture.skipped_pipelines
+            ),
             state_blobs=blobs,
             stats=capture.stats,
             codec=codec_name,

@@ -165,7 +165,7 @@ class TestAdmission:
 class TestCluster:
     def test_all_admitted_queries_complete(self, tpch_tiny, tmp_path):
         result = run_fleet(tpch_tiny, tmp_path)
-        assert len(result.completions) + len(result.rejections) == 37
+        assert len(result.completions) + len(result.rejections) == 54
         assert result.rejections == []
 
     def test_no_overlapping_run_segments_per_worker(self, tpch_tiny, tmp_path):

@@ -51,6 +51,11 @@ GATED_SUFFIXES = (
     # instrumentation leak.  Wall-clock overhead is host noise and stays
     # ungated.
     "events_recorded",
+    # Sharded execution (bench_shards.py): the exchange transfer volume
+    # is the near-data lever's output; more bytes over the wire is a
+    # pushdown regression.  The no-pushdown control arm uses a different
+    # suffix and stays reported-only.
+    "bytes_shuffled",
 )
 
 #: Leaves that are pure functions of the seed (everything rides the
@@ -82,6 +87,13 @@ def compare(base: dict, head: dict, max_regress: float) -> tuple[list[str], list
     if float(base.get("scale", 0)) != float(head.get("scale", 0)):
         raise ValueError(
             f"comparing different scales: {base.get('scale')} vs {head.get('scale')}"
+        )
+    if base.get("shards") != head.get("shards"):
+        # Sharded lanes stamp their shard-count axis into the envelope;
+        # diffing runs with different axes would silently compare
+        # different transfer volumes, so fail loudly instead.
+        raise ValueError(
+            f"comparing different shard axes: {base.get('shards')} vs {head.get('shards')}"
         )
     base_flat = flatten_metrics(base)
     head_flat = flatten_metrics(head)

@@ -1,0 +1,209 @@
+"""Sharded-execution benchmark: the bytes-shuffled and per-shard resume lane.
+
+Runs a query set through ``repro.dist`` across a shard-count axis and
+records, per (query, shards):
+
+* ``bytes_shuffled`` with near-data pushdown ON (fused predicates,
+  pruned projections, and co-partitioned/broadcast joins run below the
+  exchange) — the regression-gated transfer volume;
+* ``bytes_shuffled_no_pushdown`` with the fragment cut hoisted to the
+  bare partitioned scans (reported, not gated: it is the control arm);
+* the composed sharded virtual time and its shuffle component.
+
+A second lane reclaims one shard of Q12 mid-fragment under both
+persisting strategies and records the victim's persist/reload latency
+and snapshot bytes — the per-shard analogue of the suspend/resume lane,
+and the paper's state-size lever measured at shard granularity.
+
+All measurements ride the simulated clock, so at a fixed scale the
+output is exactly reproducible; ``benchmarks/baselines/`` keeps a
+checked-in baseline that ``benchmarks/bench_compare.py --check`` diffs
+against in CI.  ``--check`` additionally asserts the subsystem's own
+invariants: bit-identity with the unsharded run at every point of the
+axis, and that pushdown ships fewer total bytes than the control arm.
+
+Standalone on purpose (argparse, engine-only imports) so the CI job can
+run it without the dev dependency set::
+
+    PYTHONPATH=src python benchmarks/bench_shards.py --scale 0.002 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.dist import Coordinator, ShardSuspension, partition_catalog, split_plan
+from repro.engine.executor import QueryExecutor
+from repro.engine.profile import HardwareProfile
+from repro.harness.bench import bench_payload, write_bench
+from repro.optimizer import optimize_plan
+from repro.suspend import SnapshotStore
+from repro.tpch import build_query, generate_catalog
+
+DEFAULT_QUERIES = ["Q1", "Q3", "Q6", "Q12"]
+DEFAULT_SHARDS = [1, 2, 4]
+SUSPEND_QUERY = "Q12"  # its fragment sinks a join: an interior breaker
+SUSPEND_SHARDS = 2
+SUSPEND_FRACTION = 0.5
+
+
+def _identical(left, right) -> bool:
+    if left.schema.names != right.schema.names:
+        return False
+    return all(
+        a.dtype == b.dtype and a.shape == b.shape and a.tobytes() == b.tobytes()
+        for a, b in zip(left.arrays(), right.arrays())
+    )
+
+
+def run_shards_bench(
+    scale: float,
+    queries: list[str] | None = None,
+    shards_axis: list[int] | None = None,
+    check: bool = False,
+) -> dict:
+    """Run the benchmark; returns the ``metrics`` document."""
+    queries = queries or DEFAULT_QUERIES
+    shards_axis = shards_axis or DEFAULT_SHARDS
+    catalog = generate_catalog(scale)
+    profile = HardwareProfile()
+    plans = {q: optimize_plan(catalog, build_query(q)).plan for q in queries}
+    baselines = {
+        q: QueryExecutor(catalog, plans[q], query_name=q, select_operators=True).run()
+        for q in queries
+    }
+    sharded_catalogs = {n: partition_catalog(catalog, n) for n in shards_axis}
+
+    metrics: dict = {"queries": {}, "resume": {}, "totals": {}}
+    total_on = total_off = 0
+
+    for query in queries:
+        per_query: dict = {
+            "unsharded_seconds": baselines[query].stats.duration,
+            "shards": {},
+        }
+        for n in shards_axis:
+            sharded = sharded_catalogs[n]
+            coordinator = Coordinator(sharded, profile, select_operators=True)
+            cell: dict = {}
+            for pushdown in (True, False):
+                dist = split_plan(sharded, plans[query], pushdown=pushdown)
+                result = coordinator.run(dist, query)
+                if check and not _identical(baselines[query].chunk, result.chunk):
+                    raise SystemExit(
+                        f"BIT-IDENTITY FAILED: {query} at shards={n} "
+                        f"pushdown={pushdown}"
+                    )
+                if pushdown:
+                    cell["bytes_shuffled"] = result.bytes_shuffled
+                    cell["rows_shuffled"] = result.rows_shuffled
+                    cell["virtual_seconds"] = result.virtual_time
+                    cell["shuffle_seconds"] = result.shuffle_time
+                    total_on += result.bytes_shuffled
+                else:
+                    cell["bytes_shuffled_no_pushdown"] = result.bytes_shuffled
+                    total_off += result.bytes_shuffled
+            per_query["shards"][str(n)] = cell
+        metrics["queries"][query] = per_query
+
+    metrics["totals"] = {
+        "bytes_shuffled": total_on,
+        "bytes_shuffled_no_pushdown": total_off,
+        "pushdown_savings_fraction": 1.0 - total_on / total_off if total_off else 0.0,
+    }
+    if check and not total_on < total_off:
+        raise SystemExit(
+            f"PUSHDOWN FAILED to reduce shuffle volume: "
+            f"{total_on} >= {total_off} bytes"
+        )
+
+    # Per-shard suspension: reclaim one shard of Q12 mid-fragment.
+    suspend_plan = plans.get(SUSPEND_QUERY) or optimize_plan(
+        catalog, build_query(SUSPEND_QUERY)
+    ).plan
+    suspend_baseline = baselines.get(SUSPEND_QUERY)
+    sharded = sharded_catalogs.get(SUSPEND_SHARDS) or partition_catalog(
+        catalog, SUSPEND_SHARDS
+    )
+    for strategy in ("pipeline", "process"):
+        directory = tempfile.mkdtemp(prefix=f"bench-shards-{strategy}-")
+        store = SnapshotStore(directory, incremental=True)
+        coordinator = Coordinator(
+            sharded, profile, store=store, snapshot_dir=directory,
+            select_operators=True,
+        )
+        dist = split_plan(sharded, suspend_plan)
+        result = coordinator.run(
+            dist,
+            SUSPEND_QUERY,
+            suspend=ShardSuspension(strategy=strategy, suspend_at=SUSPEND_FRACTION),
+        )
+        outcome = result.victim_outcome
+        if check:
+            if not outcome.suspended:
+                raise SystemExit(
+                    f"SUSPENSION FAILED: {SUSPEND_QUERY} victim shard did not "
+                    f"suspend under {strategy}"
+                )
+            if suspend_baseline is not None and not _identical(
+                suspend_baseline.chunk, result.chunk
+            ):
+                raise SystemExit(
+                    f"BIT-IDENTITY FAILED through {strategy} per-shard resume"
+                )
+        metrics["resume"][strategy] = {
+            "victim_shard": result.victim,
+            "suspended": outcome.suspended,
+            "persist_latency": outcome.persist_latency,
+            "reload_latency": outcome.reload_latency,
+            "snapshot_bytes": outcome.intermediate_bytes,
+        }
+    return metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.002, help="TPC-H scale factor")
+    parser.add_argument(
+        "--queries", nargs="+", default=DEFAULT_QUERIES, help="queries to benchmark"
+    )
+    parser.add_argument(
+        "--shards", nargs="+", type=int, default=DEFAULT_SHARDS,
+        metavar="N", help="shard-count axis (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="assert bit-identity with the unsharded run and that pushdown "
+        "shuffles fewer total bytes than the no-pushdown control",
+    )
+    parser.add_argument("--out", default="BENCH_shards.json", help="JSON output path")
+    args = parser.parse_args(argv)
+
+    metrics = run_shards_bench(args.scale, args.queries, args.shards, check=args.check)
+    write_bench(
+        args.out,
+        bench_payload("shards", args.scale, metrics, shards=sorted(args.shards)),
+    )
+    print(f"wrote {args.out}")
+    totals = metrics["totals"]
+    print(
+        f"pushdown: {totals['bytes_shuffled']} bytes shuffled vs "
+        f"{totals['bytes_shuffled_no_pushdown']} without "
+        f"({totals['pushdown_savings_fraction']:.1%} saved)"
+    )
+    for strategy, cell in metrics["resume"].items():
+        print(
+            f"{strategy} resume of shard {cell['victim_shard']}: "
+            f"persist {cell['persist_latency']:.4f}s, "
+            f"reload {cell['reload_latency']:.4f}s, "
+            f"{cell['snapshot_bytes']} snapshot bytes"
+        )
+    if args.check:
+        print("shards check passed: bit-identical at every axis point")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

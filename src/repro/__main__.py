@@ -268,6 +268,72 @@ def _execute(
     return final
 
 
+def _execute_dist(
+    catalog,
+    optimized,
+    label: str,
+    profile: HardwareProfile,
+    args: argparse.Namespace,
+    tracer: Tracer | None,
+    metrics: MetricsRegistry | None,
+    verbose: bool = True,
+):
+    """Run the optimized plan sharded; returns ``(DistResult, DistributedPlan)``.
+
+    The plan is split into per-shard exchange fragments
+    (:func:`repro.dist.split_plan`); predicate/projection/join pushdown
+    below the exchange follows the optimizer flags, so ``--no-pushdown``
+    also hoists the fragment cut up to the bare partitioned scans.  With
+    ``--suspend-at`` one shard (the one holding the most rows) is
+    reclaimed mid-fragment and suspends under ``--strategy``; every other
+    shard runs threat-free and only the victim persists and resumes.
+    """
+    from repro.dist import Coordinator, ShardSuspension, partition_catalog, split_plan
+
+    sharded = partition_catalog(catalog, args.shards, scheme=args.partition_scheme)
+    dist = split_plan(sharded, optimized.plan, pushdown=optimized.flags.pushdown)
+    directory = args.snapshot_dir or tempfile.mkdtemp(prefix="riveter-dist-")
+    store = None
+    if args.incremental:
+        from repro.suspend import SnapshotStore
+
+        store = SnapshotStore(directory, incremental=True)
+    coordinator = Coordinator(
+        sharded,
+        profile,
+        morsel_size=args.morsel_size,
+        tracer=tracer,
+        metrics=metrics,
+        codec=getattr(args, "codec", "raw"),
+        store=store,
+        snapshot_dir=directory,
+        select_operators=optimized.flags.selection_vectors,
+        backend=args.backend,
+        kernels=args.kernels,
+    )
+    suspend = None
+    if args.suspend_at is not None:
+        suspend = ShardSuspension(strategy=args.strategy, suspend_at=args.suspend_at)
+    result = coordinator.run(dist, label, suspend=suspend)
+    if verbose:
+        _print_chunk(result.chunk)
+        print(
+            f"\n{result.chunk.num_rows} row(s); {result.shards} shard(s) "
+            f"[{result.scheme}], {len(dist.exchanges)} exchange(s), "
+            f"{result.bytes_shuffled} bytes shuffled "
+            f"({result.rows_shuffled} rows); composed virtual time "
+            f"{result.virtual_time:.2f}s"
+        )
+        outcome = result.victim_outcome
+        if outcome is not None:
+            print(
+                f"shard {result.victim} reclaimed: strategy={outcome.strategy} "
+                f"suspended={outcome.suspended} "
+                f"({outcome.intermediate_bytes} bytes persisted)"
+            )
+    return result, dist
+
+
 def _record_query_lifecycle(recorder, tracer, label, finished_at, suspended) -> None:
     """Lifecycle tree for an uninterrupted single-query run."""
     from repro.obs.timeline import QueryLifecycle
@@ -306,6 +372,57 @@ def cmd_query(args: argparse.Namespace) -> int:
 
         print(explain_optimized(catalog, plan, optimized.plan, optimized.applications))
         return 0
+    if args.shards > 1:
+        if args.timeline_out or args.profile_out:
+            print(
+                "--timeline-out/--profile-out are not supported with --shards > 1",
+                file=sys.stderr,
+            )
+            return 2
+        if args.explain:
+            from repro.dist import partition_catalog, split_plan
+            from repro.engine.explain import explain_plan
+
+            sharded = partition_catalog(
+                catalog, args.shards, scheme=args.partition_scheme
+            )
+            dist = split_plan(
+                sharded, optimized.plan, pushdown=optimized.flags.pushdown
+            )
+            print("== upper (coordinator) plan ==")
+            print(explain_plan(dist.upper))
+            for spec in dist.exchanges:
+                placements = ", ".join(spec.placements) or "scan-only"
+                print(
+                    f"\n== exchange x{spec.exchange_id}: fragment over "
+                    f"{spec.base_table} [{placements}] =="
+                )
+                print(explain_plan(spec.exchange))
+            return 0
+        tracer = metrics = None
+        if args.analyze or args.trace_out:
+            metrics = MetricsRegistry()
+            tracer = Tracer(metrics=metrics)
+        result, dist = _execute_dist(
+            catalog, optimized, label, profile, args, tracer, metrics
+        )
+        if args.analyze:
+            from repro.engine.explain import explain_analyze
+            from repro.harness.report import format_shard_fragments
+
+            print("\n== per-shard fragments ==")
+            print(format_shard_fragments(result.fragments))
+            print("\n== upper (coordinator) plan ==")
+            print(
+                explain_analyze(catalog, dist.upper, result.upper_result.stats, tracer)
+            )
+        if args.trace_out:
+            from repro.obs.export import write_chrome_trace
+
+            count = write_chrome_trace(tracer, args.trace_out)
+            print(f"\nwrote {count} trace event(s) to {args.trace_out}")
+        return 0
+
     if args.explain:
         from repro.engine.explain import explain
 
@@ -372,14 +489,22 @@ def cmd_trace(args: argparse.Namespace) -> int:
     tracer = Tracer(metrics=metrics)
     profiler = None
     if args.profile_out:
+        if args.shards > 1:
+            print("--profile-out is not supported with --shards > 1", file=sys.stderr)
+            return 2
         from repro.obs.profile import QueryProfiler
 
         profiler = QueryProfiler()
-    _execute(
-        catalog, optimized.plan, label, profile, args, tracer, metrics,
-        verbose=False, selection_vectors=optimized.flags.selection_vectors,
-        profiler=profiler,
-    )
+    if args.shards > 1:
+        _execute_dist(
+            catalog, optimized, label, profile, args, tracer, metrics, verbose=False
+        )
+    else:
+        _execute(
+            catalog, optimized.plan, label, profile, args, tracer, metrics,
+            verbose=False, selection_vectors=optimized.flags.selection_vectors,
+            profiler=profiler,
+        )
     count = write_chrome_trace(tracer, args.out)
     print(f"wrote {count} trace event(s) to {args.out}")
     if args.jsonl:
@@ -416,6 +541,8 @@ def cmd_why(args: argparse.Namespace) -> int:
     if args.name not in QUERY_NAMES:
         print(f"unknown query {args.name}; expected one of {QUERY_NAMES}", file=sys.stderr)
         return 2
+    if args.shards > 1:
+        return _cmd_why_dist(args)
     catalog = _make_catalog(args.scale, args.seed)
     profile = HardwareProfile()
 
@@ -519,6 +646,178 @@ def cmd_why(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_why_dist(args: argparse.Namespace) -> int:
+    """``repro why --shards N``: audit Algorithm 1 on one shard's fragment.
+
+    The reclamation threat hits a single shard (the one holding the most
+    partitioned rows); the adaptive selector deliberates over that
+    shard's *fragment* — its inputs (state bytes, remaining time, threat
+    window) are all shard-local, which is exactly what makes per-shard
+    suspension cheaper than suspending the whole query.  Counterfactuals
+    force each fixed strategy on the same fragment under the same sampled
+    kill.
+    """
+    import json as json_mod
+
+    from repro.cloud.events import sample_events
+    from repro.cloud.runner import QueryRunner
+    from repro.costmodel.optimizer_est import OptimizerSizeEstimator
+    from repro.costmodel.selector import AdaptiveStrategySelector
+    from repro.costmodel.termination import TerminationProfile
+    from repro.dist import Coordinator, ShardSuspension, partition_catalog, split_plan
+    from repro.harness.report import estimator_accuracy, format_shard_fragments
+    from repro.obs.audit import DecisionJournal, ReplayMismatch, replay_journal
+    from repro.suspend.store import SnapshotStore
+
+    catalog = _make_catalog(args.scale, args.seed)
+    profile = HardwareProfile()
+    directory = args.snapshot_dir or tempfile.mkdtemp(prefix="riveter-why-")
+    journal = DecisionJournal()
+    optimized = _optimize(catalog, build_query(args.name), args.name, args, journal=journal)
+    sharded = partition_catalog(catalog, args.shards, scheme=args.partition_scheme)
+    dist = split_plan(
+        sharded, optimized.plan, pushdown=optimized.flags.pushdown,
+        journal=journal, query_name=args.name,
+    )
+    store = SnapshotStore(directory, incremental=args.incremental)
+    coordinator = Coordinator(
+        sharded,
+        profile,
+        morsel_size=args.morsel_size,
+        journal=journal,
+        store=store,
+        snapshot_dir=directory,
+        select_operators=optimized.flags.selection_vectors,
+        backend=args.backend,
+        kernels=args.kernels,
+    )
+    victim = coordinator.pick_victim(ShardSuspension())
+    victim_xid = coordinator.victim_exchange(dist, victim)
+    spec = dist.exchanges[victim_xid]
+    victim_label = f"{args.name}.x{victim_xid}.s{victim}"
+
+    # Journal-less side runner over the victim's shard: calibrates the
+    # fragment's threat-free time and runs the forced counterfactuals so
+    # the main journal records only the adaptive deliberation.
+    side_runner = QueryRunner(
+        sharded.catalog_for(victim), profile, snapshot_dir=directory,
+        select_operators=optimized.flags.selection_vectors,
+        backend=args.backend, kernels=args.kernels, morsel_size=args.morsel_size,
+    )
+    normal = side_runner.measure_normal(spec.fragment, victim_label).stats.duration
+    termination = TerminationProfile.from_fractions(
+        normal, args.window[0], args.window[1], args.probability
+    )
+    if args.seed is None:
+        termination_seed = 42  # historical default, keeps old audits stable
+    else:
+        from repro.seeding import derive_seed
+
+        termination_seed = derive_seed(args.seed, "termination")
+    event = sample_events(termination, 1, seed=termination_seed)[0]
+    estimator = OptimizerSizeEstimator(sharded.catalog_for(victim))
+
+    def selector_factory(runner, fragment, label, normal_time):
+        return AdaptiveStrategySelector(
+            profile=profile,
+            termination=termination,
+            process_size_estimator=lambda fraction: estimator.estimate_bytes(
+                fragment, fraction
+            ),
+            estimated_total_time=normal_time,
+            journal=journal,
+            estimator_label="optimizer",
+        )
+
+    result = coordinator.run(
+        dist,
+        args.name,
+        suspend=ShardSuspension(victim=victim, termination_time=event.at_time),
+        selector_factory=selector_factory,
+    )
+    outcome = result.victim_outcome
+
+    request = termination.t_start
+    for strategy in ("redo", "pipeline", "process"):
+        forced = side_runner.run_forced(
+            spec.fragment, victim_label, strategy, normal, event.at_time, request
+        )
+        journal.append(
+            "counterfactual",
+            victim_label,
+            forced.busy_time,
+            strategy=strategy,
+            busy_time=forced.busy_time,
+            overhead=forced.overhead,
+            suspended=forced.suspended,
+            suspension_failed=forced.suspension_failed,
+            terminated=forced.terminated,
+            intermediate_bytes=forced.intermediate_bytes,
+        )
+    store.save_journal(args.name, journal)
+    if args.journal_out:
+        journal.write_jsonl(args.journal_out)
+
+    accuracy = estimator_accuracy(journal)
+    if args.json:
+        counterfactuals = {
+            r.payload["strategy"]: r.payload for r in journal.by_kind("counterfactual")
+        }
+        payload = {
+            "query": args.name,
+            "scale": args.scale,
+            "shards": result.shards,
+            "scheme": result.scheme,
+            "pushdown": dist.pushdown,
+            "bytes_shuffled": result.bytes_shuffled,
+            "victim": {
+                "shard": victim,
+                "exchange": victim_xid,
+                "base_table": spec.base_table,
+                "label": victim_label,
+            },
+            "normal_time": normal,
+            "termination": termination.to_json(),
+            "termination_at": event.at_time,
+            "outcome": {
+                "strategy": outcome.strategy,
+                "busy_time": outcome.busy_time,
+                "overhead": outcome.overhead,
+                "suspended": outcome.suspended,
+                "terminated": outcome.terminated,
+            },
+            "counterfactuals": counterfactuals,
+            "estimator_accuracy": accuracy,
+            "journal": [r.to_json() for r in journal.records],
+        }
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"== {args.name}: sharded over {result.shards} shard(s) "
+            f"[{result.scheme}], {len(dist.exchanges)} exchange(s), "
+            f"{result.bytes_shuffled} bytes shuffled =="
+        )
+        print(
+            f"victim           : shard {victim}, fragment x{victim_xid} "
+            f"over {spec.base_table}"
+        )
+        print(format_shard_fragments(result.fragments))
+        print()
+        _print_why_report(victim_label, normal, event, outcome, journal, accuracy)
+
+    if args.replay:
+        try:
+            results = replay_journal(journal, strict=True)
+        except ReplayMismatch as mismatch:
+            print(f"\nREPLAY FAILED: {mismatch}", file=sys.stderr)
+            return 1
+        print(
+            f"\nreplay: {len(results)} decision(s) re-derived bit-for-bit "
+            "from journaled inputs"
+        )
+    return 0
+
+
 def _print_why_report(name, normal, event, outcome, journal, accuracy) -> None:
     from repro.harness.report import format_estimator_accuracy
 
@@ -529,7 +828,14 @@ def _print_why_report(name, normal, event, outcome, journal, accuracy) -> None:
         print(f"plan rewrites    : {len(rewrites)} (optimizer)")
         for record in rewrites:
             payload = record.payload
-            print(f"  [{payload['rule']}] {payload['target']}: {payload['detail']}")
+            if "target" in payload:
+                print(f"  [{payload['rule']}] {payload['target']}: {payload['detail']}")
+            else:  # dist_exchange records: the fragment cut, not a rewrite rule
+                placements = ", ".join(payload["placements"]) or "scan-only"
+                print(
+                    f"  [{payload['rule']}] x{payload['exchange_id']} over "
+                    f"{payload['base_table']}: {placements}"
+                )
     window = journal.decisions()[0].payload["inputs"]["termination"] if journal.decisions() else None
     if window is not None:
         print(
@@ -786,8 +1092,25 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_dist_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.dist.partition import PARTITION_SCHEMES
+
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run sharded: partition the TPC-H tables over N shards and "
+        "execute through gather exchanges; results are bit-identical to "
+        "the unsharded run (default: 1, unsharded)",
+    )
+    parser.add_argument(
+        "--partition-scheme", choices=list(PARTITION_SCHEMES), default="hash",
+        help="shard assignment: key hashing or range partitioning over the "
+        "join-key families (default: hash)",
+    )
+
+
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     _add_optimizer_arguments(parser)
+    _add_dist_arguments(parser)
     parser.add_argument("sql", nargs="?", default=None, help="SQL text to execute")
     parser.add_argument("--name", help="named TPC-H query (Q1..Q22) instead of SQL")
     parser.add_argument("--scale", type=float, default=0.01, help="local TPC-H scale factor")
@@ -883,6 +1206,7 @@ def main(argv: list[str] | None = None) -> int:
     why.add_argument("name", metavar="QUERY", help="named TPC-H query (Q1..Q22)")
     why.add_argument("--scale", type=float, default=0.01, help="local TPC-H scale factor")
     _add_optimizer_arguments(why)
+    _add_dist_arguments(why)
     why.add_argument(
         "--window", type=float, nargs=2, default=(0.5, 0.75), metavar=("START", "END"),
         help="termination window as fractions of normal time (default: 0.5 0.75)",

@@ -206,6 +206,7 @@ class QueryRunner:
         recorder: TimelineRecorder | None = None,
         backend: str | None = None,
         kernels: str | None = None,
+        exchange_inputs: dict | None = None,
     ):
         self.catalog = catalog
         self.profile = profile if profile is not None else HardwareProfile()
@@ -233,6 +234,10 @@ class QueryRunner:
         #: Compile identity projections to zero-cost selects; enable when
         #: running optimizer-rewritten plans (pruning inserts them).
         self.select_operators = select_operators
+        #: Gather-exchange inputs for plans containing ShuffleRead leaves
+        #: (repro.dist): supplied to every executor this runner builds,
+        #: including the fresh executor a resume constructs.
+        self.exchange_inputs = exchange_inputs
 
     # -- lifecycle ------------------------------------------------------------
     def _begin_lifecycle(self, query_name: str, strategy_name: str) -> QueryLifecycle | None:
@@ -450,6 +455,7 @@ class QueryRunner:
             select_operators=self.select_operators,
             backend=self.backend,
             kernels=self.kernels,
+            exchange_inputs=self.exchange_inputs,
         )
 
     def _record_outcome(self, outcome: RunOutcome) -> RunOutcome:

@@ -1,0 +1,50 @@
+"""repro.dist — sharded execution for the Riveter reproduction.
+
+Turns the single-node engine into a cluster-shaped system: TPC-H tables
+are hash- or range-partitioned on their join keys (:mod:`repro.dist.
+partition`), a coordinator splits an optimized plan into one sub-plan
+per shard with ``Exchange``/``ShuffleRead`` operators at the cut
+(:mod:`repro.dist.coordinator`), and each shard fragment runs as its own
+:class:`~repro.cloud.runner.QueryRunner` unit so a spot reclamation
+suspends — and later resumes — exactly one shard's pipeline snapshot.
+
+Bit-identity with the unsharded run is held *by construction*: fragments
+carry the original row position of the driving table, the gather
+exchange reassembles shard outputs onto the unsharded run's morsel grid,
+and from there every operator, sink, and worker assignment sees exactly
+the chunk stream the single-node executor would have produced.
+"""
+
+from repro.dist.partition import (
+    PARTITION_KEYS,
+    PARTITION_SCHEMES,
+    REPLICATED_TABLES,
+    ROWID_COLUMN,
+    ShardedCatalog,
+    partition_catalog,
+)
+from repro.dist.coordinator import (
+    Coordinator,
+    DistributedPlan,
+    DistResult,
+    ExchangeSpec,
+    FragmentRun,
+    ShardSuspension,
+    split_plan,
+)
+
+__all__ = [
+    "PARTITION_KEYS",
+    "PARTITION_SCHEMES",
+    "REPLICATED_TABLES",
+    "ROWID_COLUMN",
+    "ShardedCatalog",
+    "partition_catalog",
+    "Coordinator",
+    "DistributedPlan",
+    "DistResult",
+    "ExchangeSpec",
+    "FragmentRun",
+    "ShardSuspension",
+    "split_plan",
+]

@@ -1,0 +1,232 @@
+"""Hash/range partitioning of TPC-H tables onto shards.
+
+Each base table is partitioned on its canonical join key (the key the
+schema's foreign-key graph distributes on: ``lineitem``/``orders`` on
+orderkey, ``part``/``partsupp`` on partkey, and so on); ``nation`` and
+``region`` are small enough to replicate to every shard.  Partition keys
+group into *families* — columns that join against each other — and both
+schemes assign shards as a pure function of (key value, family, shard
+count), so two tables of the same family are automatically
+co-partitioned: every ``orders`` row lands on the same shard as its
+``lineitem`` rows.  That property is what lets the coordinator sink
+co-partitioned joins below the exchange.
+
+* ``hash``: a fixed 64-bit integer mix of the key value, mod the shard
+  count.  No data-dependent state at all.
+* ``range``: boundaries are taken at even quantiles of the family
+  *owner* table's key column (e.g. ``orders`` for the orderkey family),
+  and both tables of the family are split on the same boundaries.
+
+Assignment is deterministic and seed-stable: it depends only on table
+contents, never on iteration order, randomness, or wall clock.
+
+Every partitioned shard table carries one extra ``__rowid__`` INT64
+column holding each row's position in the unsharded base table.  The
+gather exchange uses it to reassemble fragment outputs onto the original
+morsel grid (see :mod:`repro.engine.operators.exchange`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.types import DataType, Schema
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+__all__ = [
+    "PARTITION_KEYS",
+    "KEY_FAMILIES",
+    "FAMILY_OWNERS",
+    "REPLICATED_TABLES",
+    "ROWID_COLUMN",
+    "PARTITION_SCHEMES",
+    "ShardedCatalog",
+    "partition_catalog",
+    "hash_shard",
+    "range_boundaries",
+    "range_shard",
+]
+
+#: Synthetic column carrying each row's position in the unsharded table.
+ROWID_COLUMN = "__rowid__"
+
+#: Partitioning attribute per TPC-H table.  Tables absent here are
+#: replicated to every shard instead of partitioned.
+PARTITION_KEYS: dict[str, str] = {
+    "lineitem": "l_orderkey",
+    "orders": "o_orderkey",
+    "customer": "c_custkey",
+    "part": "p_partkey",
+    "partsupp": "ps_partkey",
+    "supplier": "s_suppkey",
+}
+
+#: Key family per partitioning attribute: columns in one family join
+#: against each other and must agree on shard assignment.
+KEY_FAMILIES: dict[str, str] = {
+    "l_orderkey": "orderkey",
+    "o_orderkey": "orderkey",
+    "c_custkey": "custkey",
+    "p_partkey": "partkey",
+    "ps_partkey": "partkey",
+    "s_suppkey": "suppkey",
+}
+
+#: Table whose key column defines a family's range boundaries.
+FAMILY_OWNERS: dict[str, str] = {
+    "orderkey": "orders",
+    "custkey": "customer",
+    "partkey": "part",
+    "suppkey": "supplier",
+}
+
+#: Small dimension tables copied to every shard (zero query-time shuffle
+#: for joins that build from them).
+REPLICATED_TABLES: tuple[str, ...] = ("nation", "region")
+
+PARTITION_SCHEMES: tuple[str, ...] = ("hash", "range")
+
+
+def hash_shard(values: np.ndarray, shards: int) -> np.ndarray:
+    """Deterministic shard index per key value (splitmix64-style mix).
+
+    A raw ``value % shards`` would put consecutive keys on consecutive
+    shards — fine for TPC-H's dense keys but a degenerate layout for any
+    clustered workload — so the value is avalanche-mixed first.
+    """
+    mixed = values.astype(np.uint64, copy=True)
+    mixed ^= mixed >> np.uint64(30)
+    mixed *= np.uint64(0xBF58476D1CE4E5B9)
+    mixed ^= mixed >> np.uint64(27)
+    mixed *= np.uint64(0x94D049BB133111EB)
+    mixed ^= mixed >> np.uint64(31)
+    return (mixed % np.uint64(shards)).astype(np.int64)
+
+
+def range_boundaries(owner_keys: np.ndarray, shards: int) -> np.ndarray:
+    """Upper-inclusive split points from even quantiles of *owner_keys*.
+
+    Returns ``shards - 1`` sorted boundary values; shard ``k`` holds keys
+    in ``(boundaries[k-1], boundaries[k]]`` (open-ended at both extremes,
+    so family members with keys outside the owner's range still land on a
+    valid shard).
+    """
+    if shards < 2:
+        return np.empty(0, dtype=np.int64)
+    ordered = np.sort(np.asarray(owner_keys))
+    positions = [(len(ordered) * (k + 1)) // shards - 1 for k in range(shards - 1)]
+    return ordered[np.clip(positions, 0, len(ordered) - 1)]
+
+
+def range_shard(values: np.ndarray, boundaries: np.ndarray) -> np.ndarray:
+    """Shard index per key value under the family's *boundaries*."""
+    return np.searchsorted(boundaries, values, side="left").astype(np.int64)
+
+
+@dataclass(frozen=True)
+class ShardedCatalog:
+    """One catalog per shard plus the placement metadata that produced it.
+
+    ``catalogs[k]`` contains every partitioned table restricted to shard
+    *k* (with the :data:`ROWID_COLUMN` appended) and every replicated
+    table shared by reference with the base catalog.
+    """
+
+    shards: int
+    scheme: str
+    catalogs: tuple[Catalog, ...]
+    base: Catalog
+    #: rows per shard, per partitioned table
+    shard_rows: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    #: bytes copied to replicas at load time: replicated table bytes × (shards - 1)
+    replicated_bytes: int = 0
+
+    def catalog_for(self, shard: int) -> Catalog:
+        return self.catalogs[shard]
+
+    @property
+    def partitioned_tables(self) -> tuple[str, ...]:
+        return tuple(sorted(self.shard_rows))
+
+    def describe(self) -> str:
+        lines = [f"{self.shards} shards, scheme={self.scheme}"]
+        for name in self.partitioned_tables:
+            rows = self.shard_rows[name]
+            lines.append(
+                f"  {name} on {PARTITION_KEYS[name]}: "
+                + "/".join(str(r) for r in rows)
+            )
+        lines.append(
+            f"  replicated: {', '.join(REPLICATED_TABLES)}"
+            f" ({self.replicated_bytes} bytes at load time)"
+        )
+        return "\n".join(lines)
+
+
+def _with_rowid(schema: Schema) -> Schema:
+    fields = [(f.name, f.dtype) for f in schema]
+    fields.append((ROWID_COLUMN, DataType.INT64))
+    return Schema.of(*fields)
+
+
+def partition_catalog(catalog: Catalog, shards: int, scheme: str = "hash") -> ShardedCatalog:
+    """Split *catalog* into *shards* per-shard catalogs.
+
+    Pure function of table contents: re-partitioning the same catalog at
+    the same shard count always yields byte-identical shard tables.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if scheme not in PARTITION_SCHEMES:
+        raise ValueError(f"unknown partition scheme {scheme!r}; have {PARTITION_SCHEMES}")
+
+    boundaries: dict[str, np.ndarray] = {}
+    if scheme == "range":
+        for family, owner in FAMILY_OWNERS.items():
+            if owner in catalog:
+                owner_keys = catalog.get(owner).array(PARTITION_KEYS[owner])
+                boundaries[family] = range_boundaries(owner_keys, shards)
+
+    shard_catalogs = [Catalog() for _ in range(shards)]
+    shard_rows: dict[str, tuple[int, ...]] = {}
+    replicated_bytes = 0
+
+    for name in catalog.table_names:
+        table = catalog.get(name)
+        if name not in PARTITION_KEYS:
+            # Replicated: every shard shares the base table by reference.
+            for shard_catalog in shard_catalogs:
+                shard_catalog.register(table)
+            replicated_bytes += table.nbytes * max(shards - 1, 0)
+            continue
+        key = PARTITION_KEYS[name]
+        if ROWID_COLUMN in table.schema.names:
+            raise ValueError(f"table {name!r} already has a {ROWID_COLUMN} column")
+        keys = table.array(key)
+        if scheme == "hash":
+            assignment = hash_shard(keys, shards)
+        else:
+            assignment = range_shard(keys, boundaries[KEY_FAMILIES[key]])
+        rowids = np.arange(table.num_rows, dtype=np.int64)
+        schema = _with_rowid(table.schema)
+        arrays = table.arrays()
+        rows: list[int] = []
+        for k in range(shards):
+            picked = np.flatnonzero(assignment == k)
+            columns = {col: arr[picked] for col, arr in arrays.items()}
+            columns[ROWID_COLUMN] = rowids[picked]
+            shard_catalogs[k].register(Table(name, schema, columns))
+            rows.append(len(picked))
+        shard_rows[name] = tuple(rows)
+
+    return ShardedCatalog(
+        shards=shards,
+        scheme=scheme,
+        catalogs=tuple(shard_catalogs),
+        base=catalog,
+        shard_rows=shard_rows,
+        replicated_bytes=replicated_bytes,
+    )

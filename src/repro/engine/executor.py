@@ -42,6 +42,7 @@ from repro.engine.controller import Action, BoundaryContext, ExecutionController
 from repro.engine.errors import EngineError, QuerySuspended
 from repro.engine.memory import MemoryAccountant
 from repro.engine.operators.base import GlobalSinkState, LocalSinkState, Source
+from repro.engine.operators.exchange import ExchangeInput, ExchangeSource
 from repro.engine.operators.scan import ChunkSource, TableScanSource
 from repro.engine.pipeline import Pipeline, build_pipelines
 from repro.engine.plan import PlanNode, plan_fingerprint
@@ -217,11 +218,13 @@ class _PipelineRun:
     batch_rows: int = 0
 
     def __post_init__(self) -> None:
-        source_label = (
-            f"scan({self.pipeline.source.table})"
-            if self.pipeline.source.kind == "table"
-            else f"state{sorted(self.pipeline.source.state_pipelines)}"
-        )
+        spec = self.pipeline.source
+        if spec.kind == "table":
+            source_label = f"scan({spec.table})"
+        elif spec.kind == "exchange":
+            source_label = f"exchange(x{spec.exchange_id}:{spec.table})"
+        else:
+            source_label = f"state{sorted(spec.state_pipelines)}"
         operators = [OperatorStats(label=source_label, kind=self.source.kind)]
         for index, operator in enumerate(self.pipeline.operators):
             operators.append(OperatorStats(label=f"{operator.kind}#{index}", kind=operator.kind))
@@ -255,6 +258,7 @@ class QueryExecutor:
         backend: WorkerBackend | str | None = None,
         kernels: KernelSet | str | None = None,
         profiler=None,
+        exchange_inputs: dict[int, "ExchangeInput"] | None = None,
     ):
         self.catalog = catalog
         self.plan = plan
@@ -275,6 +279,10 @@ class QueryExecutor:
         if profiler is not None:
             profiler.bind(self)
         self.memory = MemoryAccountant()
+        # Reassembled gather-exchange outputs keyed by exchange id; the
+        # coordinator supplies these when the plan contains ShuffleRead
+        # leaves (repro.dist), including again on resume.
+        self.exchange_inputs = exchange_inputs or {}
         self.plan_fingerprint = plan_fingerprint(plan)
         # Lazy filters are the default: selection vectors defer column
         # copies inside a pipeline, and the materialize() before every
@@ -680,6 +688,14 @@ class QueryExecutor:
                 chunks.append(self.pipelines[pid].sink.result_chunk(state))
             merged = concat_chunks(pipeline.source_schema, chunks)
             return ChunkSource(merged, self.morsel_size)
+        if spec.kind == "exchange":
+            exchange_input = self.exchange_inputs.get(spec.exchange_id)
+            if exchange_input is None:
+                raise EngineError(
+                    f"no exchange input for exchange id {spec.exchange_id}; "
+                    "the coordinator must supply exchange_inputs"
+                )
+            return ExchangeSource(exchange_input, self.morsel_size)
         raise EngineError(f"unknown source kind {spec.kind!r}")
 
     def _bind_probe_states(self, pipeline: Pipeline) -> None:

@@ -71,6 +71,14 @@ def _node_label(node: PlanNode) -> str:
         return f"Limit {node.count}"
     if isinstance(node, planmod.UnionAll):
         return f"UnionAll ({len(node.inputs)} inputs)"
+    if isinstance(node, planmod.Exchange):
+        keys = f" on {', '.join(node.keys)}" if node.keys else ""
+        return f"Exchange x{node.exchange_id} [{node.mode}{keys}] shards={node.shards}"
+    if isinstance(node, planmod.ShuffleRead):
+        return (
+            f"ShuffleRead x{node.exchange_id} from {node.base_table}"
+            f" [{', '.join(node.schema.names)}]"
+        )
     return type(node).__name__
 
 

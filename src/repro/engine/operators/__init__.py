@@ -2,6 +2,7 @@
 
 from repro.engine.operators.aggregate import AggFunc, AggSpec, HashAggregateSink
 from repro.engine.operators.base import Sink, Source, StreamingOperator
+from repro.engine.operators.exchange import ExchangeInput, ExchangeSource, assemble_exchange
 from repro.engine.operators.filter import FilterOperator, ProjectOperator, RenameOperator
 from repro.engine.operators.hash_join import HashJoinBuildSink, HashJoinProbeOperator, JoinType
 from repro.engine.operators.limit import LimitSink
@@ -17,6 +18,9 @@ __all__ = [
     "Sink",
     "Source",
     "StreamingOperator",
+    "ExchangeInput",
+    "ExchangeSource",
+    "assemble_exchange",
     "FilterOperator",
     "ProjectOperator",
     "RenameOperator",

@@ -1,0 +1,129 @@
+"""Gather-exchange reassembly and the exchange pipeline source.
+
+The coordinator runs one fragment per shard; each fragment's result
+carries a synthetic row-id column holding every row's position in the
+unsharded driving table.  :func:`assemble_exchange` concatenates the
+shard outputs and stable-sorts them by row id — shards partition the
+driving table, all join matches of one probe row are emitted
+contiguously within a single fragment chunk, and the sort is stable, so
+the reassembled row order is *exactly* the order the unsharded pipeline
+would have produced.
+
+:class:`ExchangeSource` then serves those rows back onto the unsharded
+run's morsel grid: morsel *m* contains the surviving rows whose row id
+falls in ``[m·morsel_size, (m+1)·morsel_size)``, and the grid spans the
+*full* driving table (empty morsels included) so the executor's
+round-robin worker assignment matches the unsharded run morsel for
+morsel.  Every downstream operator, sink partial, and local-state buffer
+therefore sees byte-identical inputs — bit-identity by construction, for
+any partitioning scheme and any shard count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.chunk import DataChunk, concat_chunks
+from repro.engine.operators.base import Source
+from repro.engine.types import Schema
+
+__all__ = ["ExchangeInput", "ExchangeSource", "assemble_exchange"]
+
+
+@dataclass
+class ExchangeInput:
+    """Reassembled output of one exchange, ready to feed the upper plan.
+
+    ``chunk`` holds the gathered rows in original driving-table order;
+    ``rowids`` is the matching sorted row-id vector.  ``bytes_shuffled``
+    counts the fragment bytes that crossed the shard → coordinator
+    boundary (row-id column included — it is physically shipped).
+    """
+
+    chunk: DataChunk
+    rowids: np.ndarray
+    base_rows: int
+    bytes_shuffled: int
+    rows_shuffled: int
+    shard_rows: tuple[int, ...]
+    shard_bytes: tuple[int, ...]
+
+
+def assemble_exchange(
+    schema: Schema,
+    shard_chunks: list[DataChunk],
+    rowid_column: str,
+    base_rows: int,
+) -> ExchangeInput:
+    """Gather per-shard fragment outputs into one :class:`ExchangeInput`.
+
+    *schema* is the fragment's logical output (no row-id column); each
+    chunk in *shard_chunks* must additionally carry *rowid_column*.  The
+    stable sort restores the unsharded row order exactly: equal row ids
+    (multiple join matches of one probe row) are contiguous within one
+    shard chunk, so their relative order survives.
+    """
+    shard_rows = tuple(c.num_rows for c in shard_chunks)
+    shard_bytes = tuple(int(c.nbytes) for c in shard_chunks)
+    with_rowid = shard_chunks[0].schema if shard_chunks else None
+    if with_rowid is None:
+        raise ValueError("assemble_exchange needs at least one shard chunk")
+    gathered = concat_chunks(with_rowid, shard_chunks)
+    rowids = gathered.column(rowid_column)
+    order = np.argsort(rowids, kind="stable")
+    ordered = gathered.take(order) if gathered.num_rows else gathered
+    chunk = ordered.select(list(schema.names)).with_schema(schema).materialize()
+    return ExchangeInput(
+        chunk=chunk,
+        rowids=np.ascontiguousarray(rowids[order] if gathered.num_rows else rowids),
+        base_rows=base_rows,
+        bytes_shuffled=sum(shard_bytes),
+        rows_shuffled=sum(shard_rows),
+        shard_rows=shard_rows,
+        shard_bytes=shard_bytes,
+    )
+
+
+class ExchangeSource(Source):
+    """Pipeline source replaying an exchange onto the original morsel grid.
+
+    ``morsel_count`` is the *driving table's* morsel count, not the
+    surviving row count's: grid morsels whose rows were all filtered out
+    on the shards still yield (empty) chunks, keeping morsel indices —
+    and with them the executor's worker round-robin — aligned with the
+    unsharded run.
+    """
+
+    kind = "exchange"
+
+    def __init__(self, exchange_input: ExchangeInput, morsel_size: int):
+        if morsel_size <= 0:
+            raise ValueError(f"morsel_size must be positive, got {morsel_size}")
+        self._input = exchange_input
+        self._morsel_size = morsel_size
+        base_rows = exchange_input.base_rows
+        count = 0 if base_rows == 0 else (base_rows + morsel_size - 1) // morsel_size
+        self._count = count
+        boundaries = np.arange(count + 1, dtype=np.int64) * morsel_size
+        self._offsets = np.searchsorted(exchange_input.rowids, boundaries, side="left")
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._input.chunk.schema
+
+    @property
+    def total_rows(self) -> int:
+        return self._input.chunk.num_rows
+
+    @property
+    def morsel_count(self) -> int:
+        return self._count
+
+    def get_morsel(self, index: int) -> DataChunk:
+        if not 0 <= index < self._count:
+            raise IndexError(f"morsel {index} out of range")
+        start = int(self._offsets[index])
+        stop = int(self._offsets[index + 1])
+        return self._input.chunk.slice(start, stop)

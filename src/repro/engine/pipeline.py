@@ -37,14 +37,17 @@ __all__ = ["SourceSpec", "Pipeline", "build_pipelines"]
 class SourceSpec:
     """Declarative pipeline source.
 
-    ``kind`` is ``"table"`` (scan of ``table`` over ``columns``) or
-    ``"state"`` (scan of the materialized results of ``state_pipelines``).
+    ``kind`` is ``"table"`` (scan of ``table`` over ``columns``),
+    ``"state"`` (scan of the materialized results of ``state_pipelines``),
+    or ``"exchange"`` (replay of a gather exchange's reassembled output,
+    supplied to the executor via ``exchange_inputs``).
     """
 
     kind: str
     table: str | None = None
     columns: tuple[str, ...] = ()
     state_pipelines: tuple[int, ...] = ()
+    exchange_id: int = -1
 
 
 @dataclass
@@ -142,6 +145,8 @@ class _PipelineBuilder:
             return self._visit_limit(node)
         if isinstance(node, planmod.UnionAll):
             return self._visit_union(node)
+        if isinstance(node, planmod.ShuffleRead):
+            return self._visit_shuffle_read(node)
         raise TypeError(f"unknown plan node {type(node).__name__}")
 
     def _visit_scan(self, node: planmod.TableScan) -> _Fragment:
@@ -157,6 +162,18 @@ class _PipelineBuilder:
             )
             fragment.labels.append("filter")
         return fragment
+
+    def _visit_shuffle_read(self, node: planmod.ShuffleRead) -> _Fragment:
+        return _Fragment(
+            source=SourceSpec(
+                kind="exchange",
+                table=node.base_table,
+                columns=tuple(node.schema.names),
+                exchange_id=node.exchange_id,
+            ),
+            source_schema=node.schema,
+            labels=[f"shuffle_read(x{node.exchange_id})"],
+        )
 
     def _visit_filter(self, node: planmod.Filter) -> _Fragment:
         fragment = self._visit(node.child)

@@ -29,6 +29,8 @@ __all__ = [
     "Sort",
     "Limit",
     "UnionAll",
+    "Exchange",
+    "ShuffleRead",
     "identity_projection",
     "make_select",
     "plan_fingerprint",
@@ -243,6 +245,70 @@ class UnionAll(PlanNode):
         return "unionall"
 
 
+@dataclass
+class Exchange(PlanNode):
+    """Data movement boundary between shard fragments and the coordinator.
+
+    Wraps a fragment plan that every shard executes against its own
+    partition.  ``mode`` records how rows cross the boundary:
+
+    * ``"gather"`` — fragment outputs ship to the coordinator, which
+      reassembles them onto the unsharded run's morsel grid (the only
+      mode that moves bytes at query time; it is what
+      ``bytes_shuffled`` counts).
+    * ``"broadcast"`` — the fragment's build input is a replicated table
+      computed locally on every shard; zero query-time movement.
+    * ``"hash"`` — inputs are co-partitioned on the join key at load
+      time, so matching rows are already co-located; zero query-time
+      movement.
+
+    ``Exchange`` nodes never execute directly: the coordinator runs
+    ``child`` per shard and feeds the merged result to the upper plan's
+    matching :class:`ShuffleRead` leaf.
+    """
+
+    child: PlanNode
+    mode: str
+    exchange_id: int
+    keys: list[str] | None = None
+    shards: int = 1
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def describe(self) -> str:
+        keys = f" on {','.join(self.keys)}" if self.keys else ""
+        return f"exchange[{self.mode}{keys}] x{self.exchange_id}"
+
+
+@dataclass
+class ShuffleRead(PlanNode):
+    """Leaf in the coordinator's upper plan reading an exchange's output.
+
+    ``base_table`` is the partitioned table driving the fragment; its
+    row count defines the morsel grid the exchange reassembles onto, so
+    the upper pipelines see exactly the chunk stream the unsharded run
+    would have produced.  ``schema`` is the fragment's logical output
+    (the synthetic row-id column already stripped).
+    """
+
+    exchange_id: int
+    schema: Schema
+    base_table: str
+
+    def children(self) -> list[PlanNode]:
+        return []
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.schema
+
+    def describe(self) -> str:
+        return f"shuffle_read(x{self.exchange_id}: {self.base_table})"
+
+
 def identity_projection(node: PlanNode) -> list[str] | None:
     """Column names when *node* is a pure column selection, else ``None``.
 
@@ -296,6 +362,14 @@ def _node_signature(node: PlanNode) -> str:
         parts += [f"{name}:{asc}" for name, asc in node.keys] + [repr(node.limit)]
     elif isinstance(node, Limit):
         parts.append(str(node.count))
+    elif isinstance(node, Exchange):
+        parts += [node.mode, str(node.exchange_id), repr(node.keys), str(node.shards)]
+    elif isinstance(node, ShuffleRead):
+        parts += [
+            str(node.exchange_id),
+            node.base_table,
+            ",".join(f"{f.name}:{f.dtype.value}" for f in node.schema),
+        ]
     return "|".join(parts)
 
 
@@ -324,6 +398,10 @@ def count_operators(root: PlanNode) -> dict[str, int]:
             label = "scan"
         elif label.startswith(("topn", "limit")):
             label = "limit"
+        elif label.startswith("exchange"):
+            label = "exchange"
+        elif label.startswith("shuffle_read"):
+            label = "shuffle_read"
         counts[label] = counts.get(label, 0) + 1
         for child in node.children():
             visit(child)

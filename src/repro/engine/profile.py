@@ -47,9 +47,16 @@ class HardwareProfile:
             "union_all": 0.2,
             "result": 0.05,
             "state_scan": 0.1,
+            # Replaying a gather exchange's reassembled rows at the
+            # coordinator: already-materialized buffers, scan-like cost.
+            "exchange": 0.1,
             "merge": 0.3,
         }
     )
+    #: Bytes/second across the shard → coordinator network boundary; the
+    #: dist coordinator charges ``bytes_shuffled`` against it when
+    #: composing sharded virtual time.
+    network_bandwidth: float = 1 * 1024**3
     process_context_bytes: int = 16 * 1024**2  # fixed CRIU image overhead
     #: Stretches I/O time onto the simulated compute timeline.  The virtual
     #: per-tuple costs emulate paper-scale durations over 1000×-smaller
@@ -85,6 +92,10 @@ class HardwareProfile:
     def reload_latency(self, nbytes: int) -> float:
         """Seconds to reload *nbytes* of intermediate data (L_r)."""
         return nbytes / self.effective_read_bandwidth
+
+    def shuffle_latency(self, nbytes: int) -> float:
+        """Seconds to move *nbytes* across the exchange network boundary."""
+        return nbytes / (self.network_bandwidth * self.io_time_scale)
 
     def compatible_with(self, other: "HardwareProfile") -> bool:
         """Whether a process image from *other* can restore here.

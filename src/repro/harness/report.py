@@ -9,6 +9,7 @@ __all__ = [
     "format_bytes",
     "format_operator_breakdown",
     "format_profile_operators",
+    "format_shard_fragments",
     "print_table",
     "summarize_distribution",
     "estimator_accuracy",
@@ -122,6 +123,36 @@ def format_profile_operators(payload: dict, top: int | None = None) -> str:
             "virtual %",
             "top kernel",
         ),
+        rows,
+    )
+
+
+def format_shard_fragments(fragments) -> str:
+    """Per-shard fragment table for a sharded run.
+
+    *fragments* is a sequence of :class:`repro.dist.FragmentRun`; one row
+    per (exchange, shard) pair, in execution order.  The ``suspended``
+    column marks the reclamation victim; busy time and persisted bytes
+    are the per-shard inputs Algorithm 1 sees.
+    """
+    rows = []
+    for frag in fragments:
+        suspended = "-"
+        if frag.suspended:
+            suspended = frag.strategy or "yes"
+        rows.append(
+            (
+                f"x{frag.exchange_id}",
+                f"s{frag.shard}",
+                frag.rows,
+                format_bytes(frag.bytes),
+                f"{frag.busy_time:.4f}",
+                suspended,
+                format_bytes(frag.intermediate_bytes) if frag.suspended else "-",
+            )
+        )
+    return format_table(
+        ("exchange", "shard", "rows", "shuffled", "busy vsec", "suspended", "persisted"),
         rows,
     )
 

@@ -67,6 +67,9 @@ TRACE_CATEGORIES = frozenset(
         # Fleet-simulator spans: worker-lane run segments, admission
         # verdicts, reclamations.
         "fleet",
+        # Sharded execution (repro.dist): per-shard fragment lanes and
+        # gather transfers, rendered in shard{k}/coordinator tracks.
+        "exchange",
         # Time-series rollups: windowed counter samples and SLO burn-rate
         # alerts (repro.obs.timeline).
         "timeline",
